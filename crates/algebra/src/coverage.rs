@@ -1,0 +1,224 @@
+//! The *coverage* measure of the paper's experimental section (§V).
+//!
+//! Coverage quantifies how join-attribute value multiplicities survive a
+//! join:
+//!
+//! ```text
+//! Coverage(L ♦ R) = ½ ( Cov(Join, L, X) + Cov(Join, R, Y) )
+//! Cov(Join, I, a) = 1/|π_a(I)| · Σ_{v ∈ π_a(I)} |σ_{a=v}(Join)| / |σ_{a=v}(I)|
+//! ```
+//!
+//! * `0`  — nothing joins;
+//! * `<1` — some tuples dangle (the upstaged-FD trigger);
+//! * `=1` — the join is lossless w.r.t. both sides;
+//! * `>1` — fan-out duplicates tuples (e.g. 25 812 on the paper's Q9*).
+//!
+//! The counts are computed from the two inputs alone — the join result is
+//! never materialized. For composite join keys the "attribute" is the key
+//! tuple.
+
+use crate::spec::JoinOp;
+use infine_relation::{AttrId, Relation, Value};
+use std::collections::HashMap;
+
+/// Per-key-value multiplicity on one side. Null components are tracked so
+/// SQL non-matching can be applied.
+fn key_counts<'a>(
+    rel: &'a Relation,
+    keys: &[AttrId],
+) -> HashMap<Vec<&'a Value>, (u64, bool)> {
+    let mut out: HashMap<Vec<&Value>, (u64, bool)> = HashMap::new();
+    for row in 0..rel.nrows() {
+        let mut any_null = false;
+        let key: Vec<&Value> = keys
+            .iter()
+            .map(|&a| {
+                if rel.is_null(row, a) {
+                    any_null = true;
+                }
+                rel.value(row, a)
+            })
+            .collect();
+        let e = out.entry(key).or_insert((0, any_null));
+        e.0 += 1;
+    }
+    out
+}
+
+/// Rows the join produces for a key present on side `I` with multiplicity
+/// `mine`, given the other side's multiplicity `theirs` (0 when absent or
+/// the key contains NULL).
+fn join_rows_for_key(op: JoinOp, side_is_left: bool, mine: u64, theirs: u64) -> u64 {
+    match op {
+        JoinOp::Inner => mine * theirs,
+        JoinOp::LeftOuter => {
+            if side_is_left {
+                mine * theirs.max(1)
+            } else {
+                mine * theirs
+            }
+        }
+        JoinOp::RightOuter => {
+            if side_is_left {
+                mine * theirs
+            } else {
+                mine * theirs.max(1)
+            }
+        }
+        JoinOp::FullOuter => mine * theirs.max(1),
+        JoinOp::LeftSemi => {
+            if side_is_left {
+                if theirs > 0 {
+                    mine
+                } else {
+                    0
+                }
+            } else {
+                // right tuples never appear in a left semi-join result;
+                // count the rows their key contributes instead.
+                if theirs > 0 {
+                    theirs
+                } else {
+                    0
+                }
+            }
+        }
+        JoinOp::RightSemi => {
+            if side_is_left {
+                if theirs > 0 {
+                    theirs
+                } else {
+                    0
+                }
+            } else if theirs > 0 {
+                mine
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// `Cov(Join, I, a)` for one side.
+fn cov_side(
+    mine: &HashMap<Vec<&Value>, (u64, bool)>,
+    theirs: &HashMap<Vec<&Value>, (u64, bool)>,
+    op: JoinOp,
+    side_is_left: bool,
+) -> f64 {
+    if mine.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (key, &(count, has_null)) in mine {
+        let other = if has_null {
+            0 // SQL: null keys match nothing
+        } else {
+            theirs.get(key).map(|&(c, _)| c).unwrap_or(0)
+        };
+        let join_rows = join_rows_for_key(op, side_is_left, count, other);
+        sum += join_rows as f64 / count as f64;
+    }
+    sum / mine.len() as f64
+}
+
+/// Coverage of a single join node, computed from the two inputs.
+pub fn coverage(
+    left: &Relation,
+    right: &Relation,
+    on: &[(AttrId, AttrId)],
+    op: JoinOp,
+) -> f64 {
+    let lkeys: Vec<AttrId> = on.iter().map(|&(l, _)| l).collect();
+    let rkeys: Vec<AttrId> = on.iter().map(|&(_, r)| r).collect();
+    let lcounts = key_counts(left, &lkeys);
+    let rcounts = key_counts(right, &rkeys);
+    0.5 * (cov_side(&lcounts, &rcounts, op, true) + cov_side(&rcounts, &lcounts, op, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::relation_from_rows;
+
+    fn rel(name: &str, vals: &[i64]) -> Relation {
+        let rows: Vec<Vec<Value>> = vals.iter().map(|&v| vec![Value::Int(v)]).collect();
+        let refs: Vec<&[Value]> = rows.iter().map(|r| r.as_slice()).collect();
+        relation_from_rows(name, &["k"], &refs)
+    }
+
+    #[test]
+    fn disjoint_keys_have_zero_coverage() {
+        let l = rel("l", &[1, 2]);
+        let r = rel("r", &[3, 4]);
+        assert_eq!(coverage(&l, &r, &[(0, 0)], JoinOp::Inner), 0.0);
+    }
+
+    #[test]
+    fn perfect_one_to_one_has_coverage_one() {
+        let l = rel("l", &[1, 2, 3]);
+        let r = rel("r", &[1, 2, 3]);
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);
+        assert!((c - 1.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn fanout_raises_coverage_above_one() {
+        let l = rel("l", &[1, 1, 1, 2]);
+        let r = rel("r", &[1, 1, 2]);
+        // key 1: L has 3, R has 2 → join rows 6. key 2: 1×1=1.
+        // Cov(L): (6/3 + 1/1)/2 = 1.5 ; Cov(R): (6/2 + 1/1)/2 = 2.0
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);
+        assert!((c - 1.75).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn dangling_tuples_lower_coverage_below_one() {
+        let l = rel("l", &[1, 2, 3, 4]);
+        let r = rel("r", &[1, 2]);
+        // Cov(L) = (1+1+0+0)/4 = 0.5; Cov(R) = (1+1)/2 = 1.0
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);
+        assert!((c - 0.75).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn left_outer_preserves_left_side() {
+        let l = rel("l", &[1, 2, 3, 4]);
+        let r = rel("r", &[1, 2]);
+        // left outer: every left key contributes ≥ its own count.
+        // Cov(L) = (1+1+1+1)/4 = 1.0 ; Cov(R) = 1.0
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::LeftOuter);
+        assert!((c - 1.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn null_keys_count_as_dangling() {
+        let l = relation_from_rows(
+            "l",
+            &["k"],
+            &[&[Value::Null], &[Value::Int(1)]],
+        );
+        let r = rel("r", &[1]);
+        // L keys: NULL (no match), 1 (matches 1). Cov(L)=(0+1)/2=0.5, Cov(R)=1.
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);
+        assert!((c - 0.75).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn semi_join_coverage_counts_surviving_rows() {
+        let l = rel("l", &[1, 1, 2]);
+        let r = rel("r", &[1]);
+        // Left semi join result: both rows with key 1.
+        // Cov(L) = (2/2 + 0/1)/2 = 0.5 ; Cov(R) = (2/1)/1 = 2.0
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::LeftSemi);
+        assert!((c - 1.25).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn empty_side_yields_zero_side_coverage() {
+        let l = rel("l", &[]);
+        let r = rel("r", &[1]);
+        let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);
+        assert_eq!(c, 0.0);
+    }
+}

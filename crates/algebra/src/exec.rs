@@ -1,0 +1,806 @@
+//! Execution of SPJ view specifications.
+//!
+//! The executor materializes views for the *straightforward* baseline
+//! pipeline (discover FDs on the full view result) and provides the
+//! building blocks InFine uses for *partial* computation: semi-join
+//! match-row extraction and column-pruned joins.
+//!
+//! Joins are hash equi-joins over dictionary codes. Because each relation
+//! has its own dictionary, join columns are first aligned onto a shared
+//! code space (one pass over each dictionary, not over the rows).
+
+use crate::spec::{CmpOp, JoinCondition, JoinOp, Predicate, ViewSpec};
+use infine_relation::{AttrId, Attribute, Column, Database, Origin, Relation, Schema, Value};
+use std::collections::HashMap;
+
+/// Errors raised while deriving schemas or executing views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A base table named in the spec is missing from the database.
+    UnknownRelation(String),
+    /// An attribute name did not resolve against a schema.
+    UnknownAttribute {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names that were available.
+        available: Vec<String>,
+    },
+    /// An attribute name resolved to more than one schema position.
+    AmbiguousAttribute(String),
+}
+
+impl std::fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            AlgebraError::UnknownAttribute { name, available } => {
+                write!(f, "unknown attribute {name:?} (available: {available:?})")
+            }
+            AlgebraError::AmbiguousAttribute(a) => write!(f, "ambiguous attribute {a:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Resolve an attribute reference against a schema.
+///
+/// Resolution order: exact name match; unique `.name` suffix match (so
+/// `subject_id` finds `patients.subject_id` after a collision rename);
+/// unique lineage match on `origin.attribute`.
+pub fn resolve(schema: &Schema, name: &str) -> Result<AttrId, AlgebraError> {
+    if let Some(id) = schema.id_of(name) {
+        return Ok(id);
+    }
+    let suffix = format!(".{name}");
+    let by_suffix: Vec<AttrId> = (0..schema.len())
+        .filter(|&i| schema.name(i).ends_with(&suffix))
+        .collect();
+    match by_suffix.len() {
+        1 => return Ok(by_suffix[0]),
+        n if n > 1 => return Err(AlgebraError::AmbiguousAttribute(name.to_string())),
+        _ => {}
+    }
+    let by_origin: Vec<AttrId> = (0..schema.len())
+        .filter(|&i| {
+            schema
+                .attr(i)
+                .origin
+                .as_ref()
+                .map(|o| o.attribute == name)
+                .unwrap_or(false)
+        })
+        .collect();
+    match by_origin.len() {
+        1 => return Ok(by_origin[0]),
+        n if n > 1 => return Err(AlgebraError::AmbiguousAttribute(name.to_string())),
+        _ => {}
+    }
+    // Qualified reference `rel.attr` matched against full lineage — lets a
+    // query say `atm.drug_id` even when the (base) schema's display name
+    // is the bare `drug_id`.
+    if let Some((rel, attr)) = name.rsplit_once('.') {
+        let by_qualified: Vec<AttrId> = (0..schema.len())
+            .filter(|&i| {
+                schema
+                    .attr(i)
+                    .origin
+                    .as_ref()
+                    .map(|o| o.relation == rel && o.attribute == attr)
+                    .unwrap_or(false)
+            })
+            .collect();
+        match by_qualified.len() {
+            1 => return Ok(by_qualified[0]),
+            n if n > 1 => return Err(AlgebraError::AmbiguousAttribute(name.to_string())),
+            _ => {}
+        }
+    }
+    Err(AlgebraError::UnknownAttribute {
+        name: name.to_string(),
+        available: schema.names().map(str::to_string).collect(),
+    })
+}
+
+/// Compute the combined schema of a join, renaming name collisions.
+///
+/// An attribute keeps its name when unique across both inputs; otherwise it
+/// is renamed to `origin.relation.origin.attribute` (falling back to an
+/// `l.`/`r.` prefix without lineage), and numeric suffixes `#2`, `#3`, …
+/// disambiguate any residual clash.
+pub fn joined_schema(left: &Schema, right: &Schema, op: JoinOp) -> Schema {
+    join_schema(left, right, op)
+}
+
+fn join_schema(left: &Schema, right: &Schema, op: JoinOp) -> Schema {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let sides: Vec<(&Schema, &str)> = match op {
+        JoinOp::LeftSemi => vec![(left, "l")],
+        JoinOp::RightSemi => vec![(right, "r")],
+        _ => vec![(left, "l"), (right, "r")],
+    };
+    for (s, _) in &sides {
+        for n in s.names() {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+    }
+    let mut out = Schema::new();
+    let mut used: HashMap<String, usize> = HashMap::new();
+    for (s, side) in &sides {
+        for attr in s.iter() {
+            let base_name = if counts[attr.name.as_str()] > 1 {
+                match &attr.origin {
+                    Some(o) => format!("{}.{}", o.relation, o.attribute),
+                    None => format!("{side}.{}", attr.name),
+                }
+            } else {
+                attr.name.clone()
+            };
+            let n = used.entry(base_name.clone()).or_insert(0);
+            *n += 1;
+            let final_name = if *n == 1 {
+                base_name
+            } else {
+                format!("{base_name}#{n}")
+            };
+            out.push(Attribute {
+                name: final_name,
+                origin: attr.origin.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Per-join-column alignment of two dictionaries onto a common code space.
+struct KeyAlign {
+    /// left code → common id
+    left: Vec<u32>,
+    /// right code → common id
+    right: Vec<u32>,
+}
+
+fn align_keys(l: &Column, r: &Column) -> KeyAlign {
+    let mut common: HashMap<&Value, u32> = HashMap::with_capacity(l.dict.len());
+    let mut left = Vec::with_capacity(l.dict.len());
+    for v in &l.dict {
+        let next = common.len() as u32;
+        let id = *common.entry(v).or_insert(next);
+        left.push(id);
+    }
+    let mut right = Vec::with_capacity(r.dict.len());
+    for v in &r.dict {
+        let next = common.len() as u32;
+        let id = *common.entry(v).or_insert(next);
+        right.push(id);
+    }
+    KeyAlign { left, right }
+}
+
+/// Composite key of a row over the aligned join columns; `None` when any
+/// component is SQL NULL (null keys never match).
+#[inline]
+fn row_key(
+    rel: &Relation,
+    row: usize,
+    attrs: &[AttrId],
+    side_is_left: bool,
+    aligns: &[KeyAlign],
+) -> Option<Vec<u32>> {
+    let mut key = Vec::with_capacity(attrs.len());
+    for (i, &a) in attrs.iter().enumerate() {
+        if rel.is_null(row, a) {
+            return None;
+        }
+        let code = rel.code(row, a) as usize;
+        let common = if side_is_left {
+            aligns[i].left[code]
+        } else {
+            aligns[i].right[code]
+        };
+        key.push(common);
+    }
+    Some(key)
+}
+
+/// Gather output codes for one side's column given (possibly absent) row
+/// indices; dangling rows become NULL.
+fn gather_optional(col: &Column, rows: &[Option<u32>]) -> Column {
+    let mut dict = col.dict.clone();
+    let mut null_code = col.null_code;
+    if rows.iter().any(Option::is_none) && null_code.is_none() {
+        null_code = Some(dict.len() as u32);
+        dict.push(Value::Null);
+    }
+    let codes = rows
+        .iter()
+        .map(|r| match r {
+            Some(i) => col.codes[*i as usize],
+            None => null_code.expect("null code allocated above"),
+        })
+        .collect();
+    Column {
+        codes,
+        dict,
+        null_code,
+    }
+}
+
+/// Hash equi-join over two relations with explicit join-attribute ids.
+///
+/// `keep_left` / `keep_right` prune the output to the listed columns (in
+/// that order); `None` keeps everything. Column pruning is what makes
+/// InFine's *partial SPJ computation* (Algorithm 4 line 19, Algorithm 5)
+/// cheap — only the attributes under test are materialized.
+pub fn join_relations(
+    left: &Relation,
+    right: &Relation,
+    op: JoinOp,
+    on: &[(AttrId, AttrId)],
+    keep_left: Option<&[AttrId]>,
+    keep_right: Option<&[AttrId]>,
+    name: &str,
+) -> Relation {
+    let aligns: Vec<KeyAlign> = on
+        .iter()
+        .map(|&(l, r)| align_keys(left.column(l), right.column(r)))
+        .collect();
+    let lattrs: Vec<AttrId> = on.iter().map(|&(l, _)| l).collect();
+    let rattrs: Vec<AttrId> = on.iter().map(|&(_, r)| r).collect();
+
+    // Build on the right side.
+    let mut table: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+    for row in 0..right.nrows() {
+        if let Some(key) = row_key(right, row, &rattrs, false, &aligns) {
+            table.entry(key).or_default().push(row as u32);
+        }
+    }
+
+    // Probe with the left side.
+    let mut pairs: Vec<(Option<u32>, Option<u32>)> = Vec::new();
+    let mut right_matched = vec![false; right.nrows()];
+    match op {
+        JoinOp::LeftSemi => {
+            for row in 0..left.nrows() {
+                if let Some(key) = row_key(left, row, &lattrs, true, &aligns) {
+                    if table.contains_key(&key) {
+                        pairs.push((Some(row as u32), None));
+                    }
+                }
+            }
+        }
+        JoinOp::RightSemi => {
+            // Probe right rows against a left-side set instead.
+            let mut left_keys: HashMap<Vec<u32>, ()> = HashMap::new();
+            for row in 0..left.nrows() {
+                if let Some(key) = row_key(left, row, &lattrs, true, &aligns) {
+                    left_keys.insert(key, ());
+                }
+            }
+            for row in 0..right.nrows() {
+                if let Some(key) = row_key(right, row, &rattrs, false, &aligns) {
+                    if left_keys.contains_key(&key) {
+                        pairs.push((None, Some(row as u32)));
+                    }
+                }
+            }
+        }
+        _ => {
+            for row in 0..left.nrows() {
+                let key = row_key(left, row, &lattrs, true, &aligns);
+                let matches = key.as_ref().and_then(|k| table.get(k));
+                match matches {
+                    Some(rs) => {
+                        for &r in rs {
+                            right_matched[r as usize] = true;
+                            pairs.push((Some(row as u32), Some(r)));
+                        }
+                    }
+                    None => {
+                        if matches!(op, JoinOp::LeftOuter | JoinOp::FullOuter) {
+                            pairs.push((Some(row as u32), None));
+                        }
+                    }
+                }
+            }
+            if matches!(op, JoinOp::RightOuter | JoinOp::FullOuter) {
+                for (row, matched) in right_matched.iter().enumerate() {
+                    if !matched {
+                        pairs.push((None, Some(row as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Assemble output columns.
+    let all_left: Vec<AttrId> = (0..left.ncols()).collect();
+    let all_right: Vec<AttrId> = (0..right.ncols()).collect();
+    let kept_left: &[AttrId] = if op.keeps_left_attrs() {
+        keep_left.unwrap_or(&all_left)
+    } else {
+        &[]
+    };
+    let kept_right: &[AttrId] = if op.keeps_right_attrs() {
+        keep_right.unwrap_or(&all_right)
+    } else {
+        &[]
+    };
+
+    let left_rows: Vec<Option<u32>> = pairs.iter().map(|&(l, _)| l).collect();
+    let right_rows: Vec<Option<u32>> = pairs.iter().map(|&(_, r)| r).collect();
+
+    let mut schema = Schema::new();
+    let mut columns = Vec::with_capacity(kept_left.len() + kept_right.len());
+    {
+        // Restricted schemas drive the collision renaming.
+        let mut lschema = Schema::new();
+        for &a in kept_left {
+            lschema.push(left.schema.attr(a).clone());
+        }
+        let mut rschema = Schema::new();
+        for &a in kept_right {
+            rschema.push(right.schema.attr(a).clone());
+        }
+        let combined = join_schema(
+            &lschema,
+            &rschema,
+            if kept_left.is_empty() {
+                JoinOp::RightSemi
+            } else if kept_right.is_empty() {
+                JoinOp::LeftSemi
+            } else {
+                JoinOp::Inner
+            },
+        );
+        for attr in combined.iter() {
+            schema.push(attr.clone());
+        }
+    }
+    for &a in kept_left {
+        columns.push(gather_optional(left.column(a), &left_rows));
+    }
+    for &a in kept_right {
+        columns.push(gather_optional(right.column(a), &right_rows));
+    }
+    Relation::from_columns(name, schema, columns, pairs.len())
+}
+
+/// Distinct rows of `probe` that have at least one join partner in `other`.
+///
+/// This realizes `I ♦X=Y πY(J)` of Algorithm 3 line 13 *without* computing
+/// the join: only the key columns are touched and each probe row appears at
+/// most once. The result drives both the size check (line 14) and the
+/// upstaged-FD mining input.
+pub fn matching_rows(
+    probe: &Relation,
+    other: &Relation,
+    probe_keys: &[AttrId],
+    other_keys: &[AttrId],
+) -> Vec<u32> {
+    assert_eq!(probe_keys.len(), other_keys.len());
+    let aligns: Vec<KeyAlign> = probe_keys
+        .iter()
+        .zip(other_keys)
+        .map(|(&p, &o)| align_keys(probe.column(p), other.column(o)))
+        .collect();
+    let mut keys: HashMap<Vec<u32>, ()> = HashMap::new();
+    for row in 0..other.nrows() {
+        if let Some(key) = row_key(other, row, other_keys, false, &aligns) {
+            keys.insert(key, ());
+        }
+    }
+    let mut out = Vec::new();
+    for row in 0..probe.nrows() {
+        if let Some(key) = row_key(probe, row, probe_keys, true, &aligns) {
+            if keys.contains_key(&key) {
+                out.push(row as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate a predicate on one row.
+fn eval_predicate(
+    rel: &Relation,
+    row: usize,
+    pred: &Predicate,
+) -> Result<bool, AlgebraError> {
+    Ok(match pred {
+        Predicate::True => true,
+        Predicate::Cmp { attr, op, value } => {
+            let a = resolve(&rel.schema, attr)?;
+            if rel.is_null(row, a) {
+                return Ok(false); // SQL: comparisons with NULL are not true
+            }
+            let v = rel.value(row, a);
+            match op {
+                CmpOp::Eq => v == value,
+                CmpOp::Ne => v != value,
+                CmpOp::Lt => v < value,
+                CmpOp::Le => v <= value,
+                CmpOp::Gt => v > value,
+                CmpOp::Ge => v >= value,
+            }
+        }
+        Predicate::IsNull(attr) => {
+            let a = resolve(&rel.schema, attr)?;
+            rel.is_null(row, a)
+        }
+        Predicate::IsNotNull(attr) => {
+            let a = resolve(&rel.schema, attr)?;
+            !rel.is_null(row, a)
+        }
+        Predicate::In { attr, values } => {
+            let a = resolve(&rel.schema, attr)?;
+            !rel.is_null(row, a) && values.contains(rel.value(row, a))
+        }
+        Predicate::And(x, y) => {
+            eval_predicate(rel, row, x)? && eval_predicate(rel, row, y)?
+        }
+        Predicate::Or(x, y) => {
+            eval_predicate(rel, row, x)? || eval_predicate(rel, row, y)?
+        }
+        Predicate::Not(x) => !eval_predicate(rel, row, x)?,
+    })
+}
+
+/// Apply a selection, returning the surviving row indices.
+pub fn select_rows(rel: &Relation, pred: &Predicate) -> Result<Vec<u32>, AlgebraError> {
+    let mut rows = Vec::new();
+    for row in 0..rel.nrows() {
+        if eval_predicate(rel, row, pred)? {
+            rows.push(row as u32);
+        }
+    }
+    Ok(rows)
+}
+
+fn apply_alias(rel: &Relation, alias: &str) -> Relation {
+    let mut schema = Schema::new();
+    for attr in rel.schema.iter() {
+        let origin = attr
+            .origin
+            .as_ref()
+            .map(|o| Origin::new(alias, o.attribute.clone()))
+            .or_else(|| Some(Origin::new(alias, attr.name.clone())));
+        schema.push(Attribute {
+            name: attr.name.clone(),
+            origin,
+        });
+    }
+    Relation::from_columns(
+        alias,
+        schema,
+        (0..rel.ncols()).map(|c| rel.column(c).clone()).collect(),
+        rel.nrows(),
+    )
+}
+
+/// Materialize a view specification against a database.
+///
+/// This is the *full* SPJ computation the paper charges to the baseline
+/// methods; InFine calls it only on sub-plans it genuinely needs.
+pub fn execute(spec: &ViewSpec, db: &Database) -> Result<Relation, AlgebraError> {
+    match spec {
+        ViewSpec::Base { table, alias } => {
+            let rel = db
+                .get(table)
+                .ok_or_else(|| AlgebraError::UnknownRelation(table.clone()))?;
+            Ok(match alias {
+                Some(a) => apply_alias(rel, a),
+                None => rel.clone(),
+            })
+        }
+        ViewSpec::Project { input, attrs } => {
+            let rel = execute(input, db)?;
+            let ids = attrs
+                .iter()
+                .map(|a| resolve(&rel.schema, a))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(rel.project(&ids, format!("π({})", rel.name)))
+        }
+        ViewSpec::Select { input, predicate } => {
+            let rel = execute(input, db)?;
+            let rows = select_rows(&rel, predicate)?;
+            Ok(rel.gather(&rows, format!("σ({})", rel.name)))
+        }
+        ViewSpec::Join {
+            left,
+            right,
+            op,
+            on,
+        } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            let ids = resolve_join_conditions(&l.schema, &r.schema, on)?;
+            let name = format!("({} {} {})", l.name, op.symbol(), r.name);
+            Ok(join_relations(&l, &r, *op, &ids, None, None, &name))
+        }
+    }
+}
+
+/// Resolve the name pairs of a join condition against both input schemas.
+pub fn resolve_join_conditions(
+    left: &Schema,
+    right: &Schema,
+    on: &[JoinCondition],
+) -> Result<Vec<(AttrId, AttrId)>, AlgebraError> {
+    on.iter()
+        .map(|(l, r)| Ok((resolve(left, l)?, resolve(right, r)?)))
+        .collect()
+}
+
+/// Derive the output schema of a view without executing it.
+///
+/// Used by `proj()` (Definition 3) and by InFine's step 1 to restrict base
+/// mining to projected attributes. Matches `execute`'s schema exactly.
+pub fn derive_schema(spec: &ViewSpec, db: &Database) -> Result<Schema, AlgebraError> {
+    match spec {
+        ViewSpec::Base { table, alias } => {
+            let rel = db
+                .get(table)
+                .ok_or_else(|| AlgebraError::UnknownRelation(table.clone()))?;
+            Ok(match alias {
+                Some(a) => {
+                    let mut s = Schema::new();
+                    for attr in rel.schema.iter() {
+                        let origin = attr
+                            .origin
+                            .as_ref()
+                            .map(|o| Origin::new(a.clone(), o.attribute.clone()))
+                            .or_else(|| Some(Origin::new(a.clone(), attr.name.clone())));
+                        s.push(Attribute {
+                            name: attr.name.clone(),
+                            origin,
+                        });
+                    }
+                    s
+                }
+                None => rel.schema.clone(),
+            })
+        }
+        ViewSpec::Project { input, attrs } => {
+            let inner = derive_schema(input, db)?;
+            let mut s = Schema::new();
+            for a in attrs {
+                let id = resolve(&inner, a)?;
+                s.push(inner.attr(id).clone());
+            }
+            Ok(s)
+        }
+        ViewSpec::Select { input, .. } => derive_schema(input, db),
+        ViewSpec::Join {
+            left, right, op, ..
+        } => {
+            let l = derive_schema(left, db)?;
+            let r = derive_schema(right, db)?;
+            Ok(join_schema(&l, &r, *op))
+        }
+    }
+}
+
+/// The set of output attribute *names* of a view: `proj(V)` of Definition 3.
+pub fn proj(spec: &ViewSpec, db: &Database) -> Result<Vec<String>, AlgebraError> {
+    Ok(derive_schema(spec, db)?
+        .names()
+        .map(str::to_string)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::relation_from_rows;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "patient",
+            &["subject_id", "gender", "dod"],
+            &[
+                &[Value::Int(249), Value::str("F"), Value::Null],
+                &[Value::Int(250), Value::str("F"), Value::str("22/11/88")],
+                &[Value::Int(251), Value::str("M"), Value::Null],
+                &[Value::Int(257), Value::str("F"), Value::str("08/07/21")],
+            ],
+        ));
+        db.insert(relation_from_rows(
+            "admission",
+            &["subject_id", "insurance"],
+            &[
+                &[Value::Int(249), Value::str("Medicare")],
+                &[Value::Int(249), Value::str("Medicare")],
+                &[Value::Int(250), Value::str("Self Pay")],
+                &[Value::Int(251), Value::str("Private")],
+                &[Value::Int(247), Value::str("Home")],
+            ],
+        ));
+        db
+    }
+
+    #[test]
+    fn inner_join_matches_and_renames() {
+        let v = ViewSpec::base("patient").inner_join(ViewSpec::base("admission"), &["subject_id"]);
+        let r = execute(&v, &db()).unwrap();
+        // 249 matches twice, 250 once, 251 once; 257 and 247 dangle.
+        assert_eq!(r.nrows(), 4);
+        // collision renamed via origins
+        assert!(r.schema.id_of("patient.subject_id").is_some());
+        assert!(r.schema.id_of("admission.subject_id").is_some());
+        assert!(r.schema.id_of("gender").is_some());
+    }
+
+    #[test]
+    fn derive_schema_matches_execute() {
+        let v = ViewSpec::base("patient")
+            .inner_join(ViewSpec::base("admission"), &["subject_id"])
+            .select(Predicate::eq("insurance", "Medicare"))
+            .project(&["gender", "insurance"]);
+        let d = db();
+        let r = execute(&v, &d).unwrap();
+        let s = derive_schema(&v, &d).unwrap();
+        assert_eq!(
+            r.schema.names().collect::<Vec<_>>(),
+            s.names().collect::<Vec<_>>()
+        );
+        assert_eq!(proj(&v, &d).unwrap(), vec!["gender", "insurance"]);
+    }
+
+    #[test]
+    fn left_outer_keeps_dangling_left() {
+        let v = ViewSpec::base("patient").join(
+            ViewSpec::base("admission"),
+            JoinOp::LeftOuter,
+            &[("subject_id", "subject_id")],
+        );
+        let r = execute(&v, &db()).unwrap();
+        assert_eq!(r.nrows(), 5); // 4 matches + dangling 257
+        let ins = r.schema.expect_id("insurance");
+        let dangling = (0..r.nrows()).filter(|&i| r.is_null(i, ins)).count();
+        assert_eq!(dangling, 1);
+    }
+
+    #[test]
+    fn right_and_full_outer() {
+        let d = db();
+        let v = ViewSpec::base("patient").join(
+            ViewSpec::base("admission"),
+            JoinOp::RightOuter,
+            &[("subject_id", "subject_id")],
+        );
+        assert_eq!(execute(&v, &d).unwrap().nrows(), 5); // 4 + dangling 247
+        let v = ViewSpec::base("patient").join(
+            ViewSpec::base("admission"),
+            JoinOp::FullOuter,
+            &[("subject_id", "subject_id")],
+        );
+        assert_eq!(execute(&v, &d).unwrap().nrows(), 6);
+    }
+
+    #[test]
+    fn semi_joins_keep_one_side() {
+        let d = db();
+        let v = ViewSpec::base("patient").join(
+            ViewSpec::base("admission"),
+            JoinOp::LeftSemi,
+            &[("subject_id", "subject_id")],
+        );
+        let r = execute(&v, &d).unwrap();
+        assert_eq!(r.nrows(), 3); // 249, 250, 251 (each once)
+        assert_eq!(r.ncols(), 3);
+        assert!(r.schema.id_of("insurance").is_none());
+
+        let v = ViewSpec::base("patient").join(
+            ViewSpec::base("admission"),
+            JoinOp::RightSemi,
+            &[("subject_id", "subject_id")],
+        );
+        let r = execute(&v, &d).unwrap();
+        assert_eq!(r.nrows(), 4); // both 249 rows, 250, 251
+        assert_eq!(r.ncols(), 2);
+    }
+
+    #[test]
+    fn selection_filters_rows() {
+        let v = ViewSpec::base("admission").select(Predicate::eq("insurance", "Medicare"));
+        let r = execute(&v, &db()).unwrap();
+        assert_eq!(r.nrows(), 2);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut d = Database::new();
+        d.insert(relation_from_rows(
+            "l",
+            &["k", "x"],
+            &[
+                &[Value::Null, Value::Int(1)],
+                &[Value::Int(1), Value::Int(2)],
+            ],
+        ));
+        d.insert(relation_from_rows(
+            "r",
+            &["k", "y"],
+            &[
+                &[Value::Null, Value::Int(9)],
+                &[Value::Int(1), Value::Int(8)],
+            ],
+        ));
+        let v = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
+        let res = execute(&v, &d).unwrap();
+        assert_eq!(res.nrows(), 1); // NULL = NULL does not join
+    }
+
+    #[test]
+    fn matching_rows_is_distinct_and_partial() {
+        let d = db();
+        let p = d.expect("patient");
+        let a = d.expect("admission");
+        let rows = matching_rows(p, a, &[0], &[0]);
+        assert_eq!(rows, vec![0, 1, 2]); // 249,250,251 each once
+        let rows = matching_rows(a, p, &[0], &[0]);
+        assert_eq!(rows.len(), 4); // both 249 rows kept (distinct probe rows)
+    }
+
+    #[test]
+    fn join_with_column_pruning() {
+        let d = db();
+        let p = d.expect("patient");
+        let a = d.expect("admission");
+        let r = join_relations(
+            p,
+            a,
+            JoinOp::Inner,
+            &[(0, 0)],
+            Some(&[1]),          // gender
+            Some(&[1]),          // insurance
+            "partial",
+        );
+        assert_eq!(r.ncols(), 2);
+        assert_eq!(r.nrows(), 4);
+        assert_eq!(r.schema.name(0), "gender");
+        assert_eq!(r.schema.name(1), "insurance");
+    }
+
+    #[test]
+    fn predicate_errors_are_reported() {
+        let v = ViewSpec::base("patient").select(Predicate::eq("nope", 1i64));
+        assert!(matches!(
+            execute(&v, &db()),
+            Err(AlgebraError::UnknownAttribute { .. })
+        ));
+        let v = ViewSpec::base("missing");
+        assert!(matches!(
+            execute(&v, &db()),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn alias_changes_lineage() {
+        let d = db();
+        let v = ViewSpec::base_as("patient", "p1")
+            .join(ViewSpec::base_as("patient", "p2"), JoinOp::Inner, &[("gender", "gender")]);
+        let r = execute(&v, &d).unwrap();
+        assert!(r.schema.id_of("p1.subject_id").is_some());
+        assert!(r.schema.id_of("p2.subject_id").is_some());
+        // F appears 3x on each side → 9 pairs; M 1x1 → 1 pair
+        assert_eq!(r.nrows(), 10);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_suffix_and_origin() {
+        let d = db();
+        let v = ViewSpec::base("patient").inner_join(ViewSpec::base("admission"), &["subject_id"]);
+        let r = execute(&v, &d).unwrap();
+        // bare name resolves via unique suffix? both sides have .subject_id
+        assert!(matches!(
+            resolve(&r.schema, "subject_id"),
+            Err(AlgebraError::AmbiguousAttribute(_))
+        ));
+        assert!(resolve(&r.schema, "patient.subject_id").is_ok());
+        assert!(resolve(&r.schema, "gender").is_ok());
+    }
+}

@@ -1,0 +1,409 @@
+//! SPJ view specifications (Definition 2 of the paper).
+//!
+//! A [`ViewSpec`] is a relational-algebra tree restricted to the operator
+//! set `{π, σ, ⋈, ⟕, ⟖, ⟗, ⋉, ⋊}` — projections, selections, and the six
+//! join operators. The `Display` implementation renders the sub-query
+//! strings stored in FD provenance triples (Definition 8).
+
+use infine_relation::Value;
+use std::fmt;
+
+/// The six join operators of Definition 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinOp {
+    /// Inner equi-join ⋈.
+    Inner,
+    /// Left outer join ⟕ (keeps dangling left tuples, null-padded).
+    LeftOuter,
+    /// Right outer join ⟖.
+    RightOuter,
+    /// Full outer join ⟗.
+    FullOuter,
+    /// Left semi-join ⋉ (left tuples with a match; left schema only).
+    LeftSemi,
+    /// Right semi-join ⋊ (right tuples with a match; right schema only).
+    RightSemi,
+}
+
+impl JoinOp {
+    /// Symbol used in rendered sub-queries.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            JoinOp::Inner => "⋈",
+            JoinOp::LeftOuter => "⟕",
+            JoinOp::RightOuter => "⟖",
+            JoinOp::FullOuter => "⟗",
+            JoinOp::LeftSemi => "⋉",
+            JoinOp::RightSemi => "⋊",
+        }
+    }
+
+    /// Does the join result contain the left input's attributes?
+    pub fn keeps_left_attrs(self) -> bool {
+        !matches!(self, JoinOp::RightSemi)
+    }
+
+    /// Does the join result contain the right input's attributes?
+    pub fn keeps_right_attrs(self) -> bool {
+        !matches!(self, JoinOp::LeftSemi)
+    }
+
+    /// Can tuples of the left input be absent from the result?
+    ///
+    /// This is the precondition for *left upstaged* FDs (Definition 5): a
+    /// join can only upstage FDs on the side that loses tuples.
+    pub fn can_drop_left(self) -> bool {
+        matches!(
+            self,
+            JoinOp::Inner | JoinOp::RightOuter | JoinOp::LeftSemi | JoinOp::RightSemi
+        )
+    }
+
+    /// Can tuples of the right input be absent from the result?
+    pub fn can_drop_right(self) -> bool {
+        matches!(
+            self,
+            JoinOp::Inner | JoinOp::LeftOuter | JoinOp::LeftSemi | JoinOp::RightSemi
+        )
+    }
+}
+
+/// Comparison operators for selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Selection predicates (the ρ of σρ).
+///
+/// Attribute references are by output-schema name of the predicate's input
+/// view; resolution is lenient (see `resolve` in the executor) so that
+/// `subject_id` finds `patients.subject_id` after a collision rename.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (σ becomes a no-op; useful in generated workloads).
+    True,
+    /// `attr op literal`. Comparisons involving NULL are false (SQL-ish).
+    Cmp {
+        /// Attribute name in the input view.
+        attr: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `attr IS NULL`.
+    IsNull(String),
+    /// `attr IS NOT NULL`.
+    IsNotNull(String),
+    /// `attr IN (v1, .., vk)`.
+    In {
+        /// Attribute name in the input view.
+        attr: String,
+        /// Literal list.
+        values: Vec<Value>,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value` shorthand.
+    pub fn eq(attr: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            attr: attr.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `attr op value` shorthand.
+    pub fn cmp(attr: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            attr: attr.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction builder.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction builder.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation builder.
+    pub fn negate(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::Cmp { attr, op, value } => {
+                write!(f, "{attr}{}{value}", op.symbol())
+            }
+            Predicate::IsNull(a) => write!(f, "{a} IS NULL"),
+            Predicate::IsNotNull(a) => write!(f, "{a} IS NOT NULL"),
+            Predicate::In { attr, values } => {
+                write!(f, "{attr} IN (")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Predicate::Not(a) => write!(f, "¬({a})"),
+        }
+    }
+}
+
+/// One equality condition of an equi-join: left name = right name.
+pub type JoinCondition = (String, String);
+
+/// An SPJ view specification tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewSpec {
+    /// A base relation, optionally aliased (aliases make self-joins like
+    /// `[atm ⋈ bond ⋈ atm] ⋈ drug` expressible).
+    Base {
+        /// Base-table name in the database.
+        table: String,
+        /// Alias; when set, output attributes take lineage from the alias.
+        alias: Option<String>,
+    },
+    /// Projection πX.
+    Project {
+        /// Input view.
+        input: Box<ViewSpec>,
+        /// Output attribute names (resolved against the input's schema).
+        attrs: Vec<String>,
+    },
+    /// Selection σρ.
+    Select {
+        /// Input view.
+        input: Box<ViewSpec>,
+        /// Predicate ρ.
+        predicate: Predicate,
+    },
+    /// One of the six joins.
+    Join {
+        /// Left input.
+        left: Box<ViewSpec>,
+        /// Right input.
+        right: Box<ViewSpec>,
+        /// Join operator.
+        op: JoinOp,
+        /// Equality conditions (empty = cross product, not used in the
+        /// paper's workloads but supported).
+        on: Vec<JoinCondition>,
+    },
+}
+
+impl ViewSpec {
+    /// A base relation reference.
+    pub fn base(table: impl Into<String>) -> Self {
+        ViewSpec::Base {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    /// A base relation reference under an alias.
+    pub fn base_as(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        ViewSpec::Base {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, attrs: &[&str]) -> Self {
+        ViewSpec::Project {
+            input: Box::new(self),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, predicate: Predicate) -> Self {
+        ViewSpec::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Join with another view.
+    pub fn join(self, right: ViewSpec, op: JoinOp, on: &[(&str, &str)]) -> Self {
+        ViewSpec::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            op,
+            on: on
+                .iter()
+                .map(|(l, r)| (l.to_string(), r.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Natural-style inner join on equally-named keys.
+    pub fn inner_join(self, right: ViewSpec, keys: &[&str]) -> Self {
+        let on: Vec<(&str, &str)> = keys.iter().map(|k| (*k, *k)).collect();
+        self.join(right, JoinOp::Inner, &on)
+    }
+
+    /// Names of all base tables referenced (with multiplicity).
+    pub fn base_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            ViewSpec::Base { table, .. } => out.push(table),
+            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => {
+                input.collect_bases(out)
+            }
+            ViewSpec::Join { left, right, .. } => {
+                left.collect_bases(out);
+                right.collect_bases(out);
+            }
+        }
+    }
+
+    /// Number of join operators in the tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            ViewSpec::Base { .. } => 0,
+            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => {
+                input.join_count()
+            }
+            ViewSpec::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+}
+
+impl fmt::Display for ViewSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewSpec::Base { table, alias } => match alias {
+                Some(a) => write!(f, "{table} AS {a}"),
+                None => write!(f, "{table}"),
+            },
+            ViewSpec::Project { input, attrs } => {
+                write!(f, "π[{}]({input})", attrs.join(","))
+            }
+            ViewSpec::Select { input, predicate } => {
+                write!(f, "σ[{predicate}]({input})")
+            }
+            ViewSpec::Join {
+                left,
+                right,
+                op,
+                on,
+            } => {
+                let conds: Vec<String> =
+                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                write!(
+                    f,
+                    "({left} {}[{}] {right})",
+                    op.symbol(),
+                    conds.join(",")
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let v = ViewSpec::base("patients")
+            .inner_join(ViewSpec::base("admissions"), &["subject_id"])
+            .select(Predicate::eq("insurance", "Medicare"))
+            .project(&["subject_id", "insurance"]);
+        assert_eq!(v.base_tables(), vec!["patients", "admissions"]);
+        assert_eq!(v.join_count(), 1);
+        let s = v.to_string();
+        assert!(s.contains("⋈"));
+        assert!(s.contains("insurance=Medicare"));
+        assert!(s.starts_with("π[subject_id,insurance]"));
+    }
+
+    #[test]
+    fn self_join_via_alias_renders() {
+        let v = ViewSpec::base_as("atm", "atm1")
+            .join(ViewSpec::base_as("atm", "atm2"), JoinOp::Inner, &[("a", "a")]);
+        assert_eq!(v.base_tables(), vec!["atm", "atm"]);
+        assert!(v.to_string().contains("atm AS atm1"));
+    }
+
+    #[test]
+    fn join_op_drop_sides() {
+        assert!(JoinOp::Inner.can_drop_left() && JoinOp::Inner.can_drop_right());
+        assert!(!JoinOp::LeftOuter.can_drop_left() && JoinOp::LeftOuter.can_drop_right());
+        assert!(JoinOp::RightOuter.can_drop_left() && !JoinOp::RightOuter.can_drop_right());
+        assert!(!JoinOp::FullOuter.can_drop_left() && !JoinOp::FullOuter.can_drop_right());
+        assert!(JoinOp::LeftSemi.can_drop_left());
+        assert!(!JoinOp::LeftSemi.keeps_right_attrs());
+        assert!(!JoinOp::RightSemi.keeps_left_attrs());
+    }
+
+    #[test]
+    fn predicate_display_covers_variants() {
+        let p = Predicate::eq("a", 1i64)
+            .and(Predicate::IsNull("b".into()))
+            .or(Predicate::In {
+                attr: "c".into(),
+                values: vec![Value::Int(1), Value::Int(2)],
+            })
+            .negate();
+        let s = p.to_string();
+        assert!(s.contains("a=1"));
+        assert!(s.contains("b IS NULL"));
+        assert!(s.contains("c IN (1,2)"));
+        assert!(s.starts_with("¬"));
+    }
+}

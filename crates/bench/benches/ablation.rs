@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1 — Theorem-4 selective mining**: `mineFDs` with the constraint
+//!   pruning on vs off (off = every candidate validated against data).
+//! * **A2 — semi-join upstaged check**: Algorithm 3's side instance via
+//!   key-only semi-join vs materializing the full join and projecting.
+//! * **A3 — partition cache**: level-wise mining through the shared
+//!   [`infine_partitions::PliCache`] vs direct per-set grouping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infine_algebra::{execute, join_relations, matching_rows, JoinOp, ViewSpec};
+use infine_core::mine_join_fds_with_options;
+use infine_datagen::{DatasetKind, Scale};
+use infine_discovery::{mine_fds, FdSet};
+use infine_partitions::{Pli, PliCache};
+use infine_relation::{AttrSet, Database, Relation};
+
+fn scale() -> Scale {
+    match std::env::var("INFINE_SCALE").ok().and_then(|s| s.parse().ok()) {
+        Some(f) => Scale::of(f),
+        None => Scale::of(0.003),
+    }
+}
+
+/// Shared fixture: the MIMIC patients ⋈ admissions join node.
+struct JoinFixture {
+    db: Database,
+    left: Relation,
+    right: Relation,
+    on: Vec<(usize, usize)>,
+    dl: FdSet,
+    dr: FdSet,
+}
+
+fn fixture() -> JoinFixture {
+    let db = DatasetKind::Mimic.generate(scale());
+    let left = execute(&ViewSpec::base("patients"), &db).unwrap();
+    let right = execute(&ViewSpec::base("admissions"), &db).unwrap();
+    let on = vec![(
+        left.schema.expect_id("subject_id"),
+        right.schema.expect_id("subject_id"),
+    )];
+    let dl = mine_fds(&left, left.attr_set());
+    let dr = mine_fds(&right, right.attr_set());
+    JoinFixture {
+        db,
+        left,
+        right,
+        on,
+        dl,
+        dr,
+    }
+}
+
+fn a1_theorem4_pruning(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("ablation/theorem4");
+    group.sample_size(10);
+    for (name, on_flag) in [("pruned", true), ("unpruned", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                mine_join_fds_with_options(
+                    &f.left,
+                    &f.right,
+                    JoinOp::Inner,
+                    &f.on,
+                    &f.dl,
+                    &f.dr,
+                    &FdSet::new(),
+                    None,
+                    on_flag,
+                )
+            })
+        });
+    }
+    group.finish();
+    drop(f.db);
+}
+
+fn a2_semijoin_vs_full(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("ablation/upstage_check");
+    group.sample_size(10);
+    let lkeys: Vec<usize> = f.on.iter().map(|&(l, _)| l).collect();
+    let rkeys: Vec<usize> = f.on.iter().map(|&(_, r)| r).collect();
+    group.bench_function("semi_join_rows", |b| {
+        b.iter(|| matching_rows(&f.left, &f.right, &lkeys, &rkeys))
+    });
+    group.bench_function("full_join_then_project", |b| {
+        b.iter(|| {
+            let all_left: Vec<usize> = (0..f.left.ncols()).collect();
+            join_relations(
+                &f.left,
+                &f.right,
+                JoinOp::Inner,
+                &f.on,
+                Some(&all_left),
+                Some(&[]),
+                "full",
+            )
+        })
+    });
+    group.finish();
+    drop(f.db);
+}
+
+fn a3_pli_cache(c: &mut Criterion) {
+    let f = fixture();
+    let rel = &f.right; // admissions: widest table
+    let sets: Vec<AttrSet> = {
+        // a fixed walk of 2- and 3-attribute sets
+        let n = rel.ncols().min(8);
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                v.push([i, j].into_iter().collect::<AttrSet>());
+                if j + 1 < n {
+                    v.push([i, j, j + 1].into_iter().collect());
+                }
+            }
+        }
+        v
+    };
+    let mut group = c.benchmark_group("ablation/pli_cache");
+    group.sample_size(10);
+    group.bench_function("cached_products", |b| {
+        b.iter(|| {
+            let mut cache = PliCache::new(rel);
+            sets.iter()
+                .map(|&s| cache.get(s).num_classes())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("direct_grouping", |b| {
+        b.iter(|| {
+            sets.iter()
+                .map(|&s| Pli::for_set(rel, s).num_classes())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+    drop(f.db);
+}
+
+criterion_group!(benches, a1_theorem4_pruning, a2_semijoin_vs_full, a3_pli_cache);
+criterion_main!(benches);

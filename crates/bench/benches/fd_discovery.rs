@@ -1,0 +1,66 @@
+//! Criterion version of the Fig. 3 comparison: InFine vs the four
+//! baselines-with-full-SPJ, one group per dataset, one representative view
+//! per group by default (`INFINE_BENCH_ALL=1` benches all 16 views).
+//!
+//! Scale defaults to 0.003 here (statistical sampling multiplies the
+//! cost); `INFINE_SCALE` overrides.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infine_core::{discover_base_fds, straightforward, InFine};
+use infine_datagen::{catalog, Scale};
+use infine_discovery::Algorithm;
+
+fn bench_scale() -> Scale {
+    match std::env::var("INFINE_SCALE").ok().and_then(|s| s.parse().ok()) {
+        Some(f) => Scale::of(f),
+        None => Scale::of(0.003),
+    }
+}
+
+fn representative(id: &str) -> bool {
+    if std::env::var("INFINE_BENCH_ALL").is_ok() {
+        return true;
+    }
+    matches!(
+        id,
+        "pte_atm_drug" | "ptc_connected_bond" | "mimic_q_patients_admissions" | "tpch_q2"
+    )
+}
+
+fn fig3_runtime(c: &mut Criterion) {
+    let scale = bench_scale();
+    for case in catalog() {
+        if !representative(case.id) {
+            continue;
+        }
+        let db = case.dataset.generate(scale);
+        let mut group = c.benchmark_group(format!("fig3/{}", case.id));
+        group.sample_size(10);
+
+        group.bench_function(BenchmarkId::new("InFine", case.id), |b| {
+            let engine = InFine::default();
+            b.iter(|| engine.discover(&db, &case.spec).expect("pipeline"))
+        });
+        for algo in Algorithm::BASELINES {
+            // FastFDs is quadratic in tuple pairs; skip above tiny scales
+            // unless explicitly requested (mirrors the paper's >2000 s
+            // cut-off points).
+            if algo == Algorithm::FastFds
+                && scale.factor > 0.005
+                && std::env::var("INFINE_BENCH_FASTFDS").is_err()
+            {
+                continue;
+            }
+            let base = discover_base_fds(&db, &case.spec, algo);
+            group.bench_function(BenchmarkId::new(algo.name(), case.id), |b| {
+                b.iter(|| {
+                    straightforward(&db, &case.spec, algo, &base).expect("baseline")
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig3_runtime);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Fig. 3 — average runtime: InFine against HyFD, FastFDs, FUN, and TANE
+//! with full SPJ computation, plus the full-SPJ and partial-SPJ columns.
+//!
+//! Runs each method `INFINE_RUNS` times (default 3; the paper uses 10)
+//! and reports the mean. FastFDs can be excluded on large scales with
+//! `INFINE_SKIP=FastFDs` (comma-separated names).
+//!
+//! ```text
+//! cargo run -p infine-bench --bin fig3 --release
+//! ```
+
+use infine_bench::runner::{bench_scale, run_baseline, run_infine, secs, TextTable};
+use infine_datagen::{catalog, DatasetKind};
+use infine_discovery::Algorithm;
+use std::time::Duration;
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+fn runs() -> usize {
+    std::env::var("INFINE_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+fn skipped() -> Vec<String> {
+    std::env::var("INFINE_SKIP")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+fn mean(ds: &[Duration]) -> Duration {
+    ds.iter().sum::<Duration>() / ds.len().max(1) as u32
+}
+
+fn main() {
+    let scale = bench_scale();
+    let n = runs();
+    let skip = skipped();
+    eprintln!("# {n} runs per method (INFINE_RUNS); skipping: {skip:?} (INFINE_SKIP)");
+
+    let mut table = TextTable::new(&[
+        "DB",
+        "SPJ View",
+        "InFine(s)",
+        "HyFD(s)",
+        "FastFDs(s)",
+        "FUN(s)",
+        "TANE(s)",
+        "full SPJ(s)",
+        "partial SPJ rows",
+    ]);
+    for ds in DatasetKind::ALL {
+        let db = ds.generate(scale);
+        for case in catalog().into_iter().filter(|c| c.dataset == ds) {
+            let mut infine_times = Vec::new();
+            let mut partial_rows = 0usize;
+            for _ in 0..n {
+                let r = run_infine(&db, &case);
+                partial_rows = r.report.stats.partial_join_rows;
+                infine_times.push(r.total);
+            }
+            let mut cols = vec![
+                ds.name().to_string(),
+                case.label.to_string(),
+                secs(mean(&infine_times)),
+            ];
+            let mut full_spj = Duration::ZERO;
+            for algo in Algorithm::BASELINES {
+                if skip.iter().any(|s| s == algo.name()) {
+                    cols.push("skipped".into());
+                    continue;
+                }
+                let mut times = Vec::new();
+                for _ in 0..n {
+                    let r = run_baseline(&db, &case, algo);
+                    full_spj = r.view_time;
+                    times.push(r.total);
+                }
+                cols.push(secs(mean(&times)));
+            }
+            cols.push(secs(full_spj));
+            cols.push(partial_rows.to_string());
+            table.row(cols);
+        }
+    }
+    println!(
+        "Fig. 3: average runtime — InFine vs baselines with full SPJ computation (scale {})",
+        scale.factor
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,55 @@
+//! Fig. 4 — maximal memory consumption per method per view, measured as
+//! the peak allocation (bytes above the pre-run baseline) through the
+//! counting global allocator.
+//!
+//! ```text
+//! cargo run -p infine-bench --bin fig4 --release
+//! ```
+
+use infine_bench::runner::{bench_scale, mib, run_baseline, run_infine, TextTable};
+use infine_datagen::{catalog, DatasetKind};
+use infine_discovery::Algorithm;
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+fn main() {
+    let scale = bench_scale();
+    let skip: Vec<String> = std::env::var("INFINE_SKIP")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let mut table = TextTable::new(&[
+        "DB",
+        "SPJ View",
+        "InFine(MiB)",
+        "HyFD(MiB)",
+        "FastFDs(MiB)",
+        "FUN(MiB)",
+        "TANE(MiB)",
+    ]);
+    for ds in DatasetKind::ALL {
+        let db = ds.generate(scale);
+        for case in catalog().into_iter().filter(|c| c.dataset == ds) {
+            let i = run_infine(&db, &case);
+            let mut cols = vec![
+                ds.name().to_string(),
+                case.label.to_string(),
+                mib(i.peak_bytes),
+            ];
+            for algo in Algorithm::BASELINES {
+                if skip.iter().any(|s| s == algo.name()) {
+                    cols.push("skipped".into());
+                    continue;
+                }
+                let b = run_baseline(&db, &case, algo);
+                cols.push(mib(b.peak_bytes));
+            }
+            table.row(cols);
+        }
+    }
+    println!(
+        "Fig. 4: maximal memory consumption per method (scale {})",
+        scale.factor
+    );
+    println!("{}", table.render());
+}

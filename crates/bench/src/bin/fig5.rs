@@ -1,0 +1,56 @@
+//! Fig. 5 — InFine runtime breakdown per algorithm (I/O, upstageFDs,
+//! inferFDs, mineFDs) with the corresponding accuracy shares (the paper's
+//! pie charts), per view.
+//!
+//! ```text
+//! cargo run -p infine-bench --bin fig5 --release
+//! ```
+
+use infine_bench::runner::{bench_scale, run_infine, secs, TextTable};
+use infine_datagen::{catalog, DatasetKind};
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+fn main() {
+    let scale = bench_scale();
+    let mut table = TextTable::new(&[
+        "DB",
+        "SPJ View",
+        "I/O(s)",
+        "upstage(s)",
+        "infer(s)",
+        "mine(s)",
+        "upstage%",
+        "infer%",
+        "mine%",
+        "Th4 pruned",
+        "validated",
+    ]);
+    for ds in DatasetKind::ALL {
+        let db = ds.generate(scale);
+        for case in catalog().into_iter().filter(|c| c.dataset == ds) {
+            let run = run_infine(&db, &case);
+            let t = &run.report.timings;
+            let (u, i, m) = run.report.phase_shares();
+            table.row(vec![
+                ds.name().to_string(),
+                case.label.to_string(),
+                secs(t.io),
+                secs(t.upstage),
+                secs(t.infer),
+                secs(t.mine),
+                format!("{:.1}", u * 100.0),
+                format!("{:.1}", i * 100.0),
+                format!("{:.1}", m * 100.0),
+                run.report.stats.pruned_by_theorem4.to_string(),
+                run.report.stats.mine_validated.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "Fig. 5: InFine runtime breakdown and accuracy shares per algorithm (scale {})",
+        scale.factor
+    );
+    println!("{}", table.render());
+}

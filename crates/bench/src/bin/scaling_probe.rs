@@ -1,0 +1,26 @@
+use infine_core::{discover_base_fds, straightforward, InFine};
+use infine_datagen::{find, Scale};
+use infine_discovery::Algorithm;
+
+fn main() {
+    let case = find("mimic_diag_patients").unwrap();
+    println!("view: {}", case.label);
+    for factor in [0.01, 0.03, 0.06] {
+        let db = case.dataset.generate(Scale::of(factor));
+        let t0 = std::time::Instant::now();
+        let r = InFine::default().discover(&db, &case.spec).unwrap();
+        let infine = t0.elapsed().as_secs_f64();
+        let mut line = format!(
+            "scale {factor}: InFine {:.3}s ({} FDs)",
+            infine, r.triples.len()
+        );
+        for algo in [Algorithm::HyFd, Algorithm::Tane, Algorithm::Fun] {
+            let base = discover_base_fds(&db, &case.spec, algo);
+            let t1 = std::time::Instant::now();
+            let b = straightforward(&db, &case.spec, algo, &base).unwrap();
+            line += &format!("  {} {:.3}s", algo.name(), t1.elapsed().as_secs_f64());
+            let _ = b;
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Table II — the 16 SPJ views: tuple counts and FD counts, with the
+//! paper's published values alongside.
+//!
+//! ```text
+//! cargo run -p infine-bench --bin table2 --release
+//! ```
+
+use infine_algebra::execute;
+use infine_bench::runner::{bench_scale, TextTable};
+use infine_datagen::{catalog, DatasetKind};
+use infine_discovery::Algorithm;
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+fn main() {
+    let scale = bench_scale();
+    let mut table = TextTable::new(&[
+        "DB",
+        "SPJ View",
+        "Tuple#",
+        "FD#",
+        "paper Tuple#",
+        "paper FD#",
+    ]);
+    for ds in DatasetKind::ALL {
+        let db = ds.generate(scale);
+        for case in catalog().into_iter().filter(|c| c.dataset == ds) {
+            let view = execute(&case.spec, &db).unwrap_or_else(|e| panic!("{}: {e}", case.id));
+            let fds = Algorithm::Tane.discover(&view);
+            table.row(vec![
+                ds.name().to_string(),
+                case.label.to_string(),
+                view.nrows().to_string(),
+                fds.len().to_string(),
+                case.paper.tuples.to_string(),
+                case.paper.fds.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "Table II: SPJ queries considered (scale {}; paper columns at scale 1.0)",
+        scale.factor
+    );
+    println!("{}", table.render());
+}

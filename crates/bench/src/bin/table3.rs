@@ -1,0 +1,61 @@
+//! Table III — per-view coverage, InFine accuracy shares per algorithm
+//! (upstageFDs / inferFDs / mineFDs), total FD count, and time breakdowns
+//! (I/O, upstageFDs, mineFDs), with the paper's shares alongside.
+//!
+//! ```text
+//! cargo run -p infine-bench --bin table3 --release
+//! ```
+
+use infine_bench::runner::{bench_scale, run_infine, secs, TextTable};
+use infine_datagen::{catalog, root_join_coverage, DatasetKind};
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+fn main() {
+    let scale = bench_scale();
+    let mut table = TextTable::new(&[
+        "DB",
+        "SPJ View",
+        "Cov.",
+        "Upstage",
+        "Infer",
+        "Mine",
+        "FD#",
+        "I/O(s)",
+        "upstage(s)",
+        "mine(s)",
+        "paper U/I/M",
+    ]);
+    for ds in DatasetKind::ALL {
+        let db = ds.generate(scale);
+        for case in catalog().into_iter().filter(|c| c.dataset == ds) {
+            let cov = root_join_coverage(&db, &case.spec)
+                .unwrap_or(None)
+                .unwrap_or(f64::NAN);
+            let run = run_infine(&db, &case);
+            let (u, i, m) = run.report.phase_shares();
+            table.row(vec![
+                ds.name().to_string(),
+                case.label.to_string(),
+                format!("{cov:.2}"),
+                format!("{u:.3}"),
+                format!("{i:.3}"),
+                format!("{m:.3}"),
+                run.report.triples.len().to_string(),
+                secs(run.report.timings.io),
+                secs(run.report.timings.upstage),
+                secs(run.report.timings.mine),
+                format!(
+                    "{:.2}/{:.2}/{:.2}",
+                    case.paper.upstage_share, case.paper.infer_share, case.paper.mine_share
+                ),
+            ]);
+        }
+    }
+    println!(
+        "Table III: accuracy and time breakdowns of InFine algorithms (scale {})",
+        scale.factor
+    );
+    println!("{}", table.render());
+}

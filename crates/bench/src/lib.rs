@@ -1,0 +1,27 @@
+//! # infine-bench
+//!
+//! Benchmark harness reproducing every table and figure of the InFine
+//! paper's evaluation (§V):
+//!
+//! | Artifact | Binary | What it prints |
+//! |---|---|---|
+//! | Table I | `table1` | base-table characteristics (Att#, Tuple#, FD#) |
+//! | Table II | `table2` | the 16 SPJ views (Tuple#, FD#) |
+//! | Table III | `table3` | coverage, per-algorithm accuracy shares, time breakdowns |
+//! | Fig. 3 | `fig3` | runtime: InFine vs 4 baselines (+ full/partial SPJ split) |
+//! | Fig. 4 | `fig4` | maximal memory per method per view |
+//! | Fig. 5 | `fig5` | InFine runtime breakdown + accuracy shares |
+//! | ablations | `join_order` | Lemma 1 / future-work join-order study |
+//! | scaling | `scaling_probe` | InFine vs baselines across scale factors |
+//! | data | `export_datasets` | CSV dump of the synthetic databases |
+//!
+//! Criterion benches `fd_discovery` and `ablation` provide statistically
+//! sampled versions of the Fig. 3 comparison and the design-choice
+//! ablations (Theorem-4 pruning on/off, semi-join vs full-join upstage
+//! checks).
+//!
+//! Scale: all binaries honour `INFINE_SCALE` (fraction of the paper's
+//! published row counts; default 0.01).
+
+pub mod alloc;
+pub mod runner;

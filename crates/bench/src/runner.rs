@@ -1,0 +1,207 @@
+//! Shared measurement harness: run InFine and the four baselines on a
+//! catalog view and collect the quantities each paper table/figure needs.
+
+use crate::alloc::measure_peak;
+use infine_algebra::execute;
+use infine_core::{discover_base_fds, straightforward, FdKind, InFine, InFineReport};
+use infine_datagen::{QueryCase, Scale};
+use infine_discovery::Algorithm;
+use infine_relation::Database;
+use std::time::Duration;
+
+/// One measured run of InFine on a view.
+pub struct InFineRun {
+    /// The pipeline report (triples, timings, stats).
+    pub report: InFineReport,
+    /// Wall-clock of the whole pipeline (excluding base mining).
+    pub total: Duration,
+    /// Peak allocation bytes (0 unless the counting allocator is active).
+    pub peak_bytes: usize,
+}
+
+/// One measured run of a baseline (full SPJ + discovery + diff labelling).
+pub struct BaselineRun {
+    /// Algorithm used.
+    pub algorithm: Algorithm,
+    /// Total wall-clock (view computation + discovery + labelling).
+    pub total: Duration,
+    /// View materialization time alone.
+    pub view_time: Duration,
+    /// Number of FDs discovered on the view.
+    pub fds: usize,
+    /// Rows of the materialized view.
+    pub view_rows: usize,
+    /// Peak allocation bytes (0 unless the counting allocator is active).
+    pub peak_bytes: usize,
+}
+
+/// Run InFine on a case (fresh database generation is *not* measured).
+pub fn run_infine(db: &Database, case: &QueryCase) -> InFineRun {
+    let engine = InFine::default();
+    let (report, peak_bytes) = measure_peak(|| {
+        engine
+            .discover(db, &case.spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id))
+    });
+    let total = report.timings.infine_total();
+    InFineRun {
+        report,
+        total,
+        peak_bytes,
+    }
+}
+
+/// Run one baseline on a case. Base-table FD discovery is excluded from
+/// the timing (the paper treats it as a shared cost), so it runs outside
+/// the measured region.
+pub fn run_baseline(db: &Database, case: &QueryCase, algorithm: Algorithm) -> BaselineRun {
+    let base_fds = discover_base_fds(db, &case.spec, algorithm);
+    let (report, peak_bytes) = measure_peak(|| {
+        straightforward(db, &case.spec, algorithm, &base_fds)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id))
+    });
+    BaselineRun {
+        algorithm,
+        total: report.timings.total(),
+        view_time: report.timings.view_computation,
+        fds: report.fds.len(),
+        view_rows: report.view_rows,
+        peak_bytes,
+    }
+}
+
+/// Tuple count of a view result (materializes it; used by Table II).
+pub fn view_rows(db: &Database, case: &QueryCase) -> usize {
+    execute(&case.spec, db)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.id))
+        .nrows()
+}
+
+/// InFine accuracy shares in the Table III sense.
+pub fn shares(report: &InFineReport) -> (f64, f64, f64) {
+    report.phase_shares()
+}
+
+/// FD count per kind, rendered compactly (diagnostics).
+pub fn kind_summary(report: &InFineReport) -> String {
+    FdKind::ALL
+        .iter()
+        .map(|&k| format!("{}={}", k.label(), report.count_kind(k)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Format a duration in seconds with sub-millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Format bytes as mebibytes.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Scale from the environment with a stderr note (shared by binaries).
+pub fn bench_scale() -> Scale {
+    let s = Scale::from_env();
+    eprintln!(
+        "# scale factor {} (set INFINE_SCALE to change; 1.0 = paper-published sizes)",
+        s.factor
+    );
+    s
+}
+
+/// Simple fixed-width text table writer for the harness binaries.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (arity must match the headers).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        let _ = ncols;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_datagen::find;
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(&["a", "long header"]);
+        t.row(vec!["xx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("--"));
+    }
+
+    #[test]
+    fn infine_and_baseline_run_on_a_small_case() {
+        let case = find("pte_active_drug").unwrap();
+        let db = case.dataset.generate(Scale::of(0.01));
+        let i = run_infine(&db, &case);
+        assert!(!i.report.triples.is_empty());
+        let b = run_baseline(&db, &case, Algorithm::Tane);
+        assert!(b.fds > 0);
+        assert!(b.view_rows > 0);
+        // shares sum to 1
+        let (u, f, m) = shares(&i.report);
+        assert!((u + f + m - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.5000");
+        assert_eq!(mib(1024 * 1024), "1.00");
+    }
+}

@@ -1,0 +1,220 @@
+//! AFD-origin annotation — the grey FD class of the paper's Fig. 1.
+//!
+//! The figure distinguishes upstaged FDs that were *approximate* FDs on
+//! their base table (e.g. `expire_flag ⇁₁ dod` in PATIENT, violated only
+//! by patient #257) from ones with no base-table signal at all. This
+//! post-processing step recovers that annotation: for every upstaged
+//! triple in a report whose attributes all originate from one stored base
+//! table, it computes the FD's `g3` error on that table.
+//!
+//! A small `g3` (the paper's `⇁₁` means "exact after removing one
+//! violating value combination") tells the data steward the constraint
+//! was *almost* true upstream — usually a data-quality finding — whereas
+//! a large `g3` means the view's selection/join genuinely manufactured
+//! the dependency.
+
+use crate::pipeline::InFineReport;
+use crate::provenance::FdKind;
+use infine_partitions::PliCache;
+use infine_relation::{AttrSet, Database};
+
+/// The base-table approximation profile of one upstaged FD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AfdOrigin {
+    /// Index into `report.triples`.
+    pub triple_index: usize,
+    /// The base table the FD's attributes come from.
+    pub base_table: String,
+    /// `g3` error of the FD on that base table (0 = it already held).
+    pub g3: f64,
+    /// Number of rows to delete for exactness (`⌈g3 · n⌉`).
+    pub violating_rows: usize,
+}
+
+impl AfdOrigin {
+    /// Was this an approximate FD at threshold `epsilon` on the base
+    /// table (the paper's grey class uses small per-table thresholds)?
+    pub fn was_afd(&self, epsilon: f64) -> bool {
+        self.g3 > 0.0 && self.g3 <= epsilon
+    }
+}
+
+/// Annotate every upstaged triple of a report with its base-table `g3`.
+///
+/// Triples whose attributes span several base tables, or whose source
+/// table is not stored under its own name (aliased self-joins), are
+/// skipped — an upstaged FD is single-sided by construction, so in
+/// practice this covers them all.
+pub fn afd_origins(db: &Database, report: &InFineReport) -> Vec<AfdOrigin> {
+    let mut out = Vec::new();
+    for (idx, t) in report.triples.iter().enumerate() {
+        if !matches!(
+            t.kind,
+            FdKind::UpstagedLeft | FdKind::UpstagedRight | FdKind::UpstagedSelection
+        ) {
+            continue;
+        }
+        // All attributes must share one origin relation present in the db.
+        let mut table: Option<&str> = None;
+        let mut ok = true;
+        for a in t.fd.attrs().iter() {
+            match report.schema.attr(a).origin.as_ref() {
+                Some(o) => match table {
+                    None => table = Some(&o.relation),
+                    Some(t0) if t0 == o.relation => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let Some(table) = table.filter(|_| ok) else {
+            continue;
+        };
+        let Some(base) = db.get(table) else {
+            continue; // aliased occurrence; base name differs
+        };
+        // Map view attr ids → base ids by origin attribute name.
+        let map = |a: usize| -> Option<usize> {
+            let o = report.schema.attr(a).origin.as_ref()?;
+            base.schema.id_of(&o.attribute)
+        };
+        let lhs: Option<AttrSet> = t
+            .fd
+            .lhs
+            .iter()
+            .map(map)
+            .collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().collect());
+        let (Some(lhs), Some(rhs)) = (lhs, map(t.fd.rhs)) else {
+            continue;
+        };
+        let g3 = if lhs.is_empty() {
+            // ∅ → rhs: minimum deletions to make the column constant.
+            let n = base.nrows();
+            if n == 0 {
+                0.0
+            } else {
+                let mut counts = std::collections::HashMap::new();
+                for row in 0..n {
+                    *counts.entry(base.code(row, rhs)).or_insert(0usize) += 1;
+                }
+                let max = counts.values().copied().max().unwrap_or(0);
+                (n - max) as f64 / n as f64
+            }
+        } else {
+            let mut cache = PliCache::with_attrs(base, lhs.with(rhs));
+            cache.g3(lhs, rhs)
+        };
+        out.push(AfdOrigin {
+            triple_index: idx,
+            base_table: table.to_string(),
+            g3,
+            violating_rows: (g3 * base.nrows() as f64).ceil() as usize,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::InFine;
+    use infine_algebra::{Predicate, ViewSpec};
+    use infine_relation::{relation_from_rows, Value};
+
+    #[test]
+    fn fig1_expire_flag_dod_is_a_one_row_afd() {
+        // The Fig. 1 excerpt: expire_flag ⇁₁ dod violated only by #257.
+        let patient = relation_from_rows(
+            "patient",
+            &["subject_id", "dod", "expire_flag"],
+            &[
+                &[Value::Int(249), Value::Null, Value::Int(0)],
+                &[Value::Int(250), Value::str("22/11/88"), Value::Int(1)],
+                &[Value::Int(251), Value::Null, Value::Int(0)],
+                &[Value::Int(252), Value::Null, Value::Int(0)],
+                &[Value::Int(257), Value::str("08/07/21"), Value::Int(1)],
+            ],
+        );
+        let admission = relation_from_rows(
+            "admission",
+            &["subject_id", "insurance"],
+            &[
+                &[Value::Int(249), Value::str("Medicare")],
+                &[Value::Int(250), Value::str("Self Pay")],
+                &[Value::Int(251), Value::str("Private")],
+                &[Value::Int(252), Value::str("Private")],
+            ],
+        );
+        let mut db = Database::new();
+        db.insert(patient);
+        db.insert(admission);
+        let spec = ViewSpec::base("patient")
+            .inner_join(ViewSpec::base("admission"), &["subject_id"]);
+        let report = InFine::default().discover(&db, &spec).unwrap();
+        let origins = afd_origins(&db, &report);
+        // find the expire_flag → dod annotation
+        let ef = report.schema.expect_id("expire_flag");
+        let dod = report.schema.expect_id("dod");
+        let ann = origins
+            .iter()
+            .find(|o| {
+                let t = &report.triples[o.triple_index];
+                t.fd.rhs == dod && t.fd.lhs == AttrSet::single(ef)
+            })
+            .expect("expire_flag → dod should be annotated");
+        assert_eq!(ann.base_table, "patient");
+        assert_eq!(ann.violating_rows, 1); // exactly patient #257
+        assert!(ann.was_afd(0.25));
+        assert!(!ann.was_afd(0.1)); // 1/5 = 0.2 > 0.1
+    }
+
+    #[test]
+    fn selection_upstaged_fds_are_annotated() {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "t",
+            &["x", "y", "flag"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0)],
+                &[Value::Int(1), Value::Int(10), Value::Int(0)],
+                &[Value::Int(1), Value::Int(99), Value::Int(1)],
+                &[Value::Int(2), Value::Int(20), Value::Int(0)],
+            ],
+        ));
+        let spec = ViewSpec::base("t").select(Predicate::eq("flag", 0i64));
+        let report = InFine::default().discover(&db, &spec).unwrap();
+        let origins = afd_origins(&db, &report);
+        let x = report.schema.expect_id("x");
+        let y = report.schema.expect_id("y");
+        let ann = origins
+            .iter()
+            .find(|o| {
+                let t = &report.triples[o.triple_index];
+                t.fd.rhs == y && t.fd.lhs == AttrSet::single(x)
+            })
+            .expect("x → y annotation");
+        assert_eq!(ann.violating_rows, 1);
+        assert!(ann.g3 > 0.0);
+    }
+
+    #[test]
+    fn non_upstaged_triples_are_not_annotated() {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "t",
+            &["k", "v"],
+            &[&[Value::Int(1), Value::Int(2)], &[Value::Int(3), Value::Int(4)]],
+        ));
+        let report = InFine::default()
+            .discover(&db, &ViewSpec::base("t"))
+            .unwrap();
+        assert!(afd_origins(&db, &report).is_empty());
+    }
+}

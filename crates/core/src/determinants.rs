@@ -1,0 +1,140 @@
+//! Minimal-determinant search over an FD set.
+//!
+//! Algorithm 4's `infer` needs, conceptually, every FD `A → X` where `X`
+//! is the (composite) join-attribute set. With canonical single-rhs FDs
+//! this is a closure question: find the ⊆-minimal `A` with
+//! `X ⊆ closure(A)`. The same search powers projection restriction (find
+//! minimal lhs within the surviving attributes for each rhs).
+//!
+//! The search is level-wise over the candidate lattice with antichain
+//! pruning; closure tests are cheap (bitset fixpoint), so this stays fast
+//! at the attribute widths of the paper's views.
+
+use infine_discovery::FdSet;
+use infine_relation::AttrSet;
+
+/// All ⊆-minimal sets `A ⊆ universe` with `target ⊆ closure(A)` under
+/// `fds`. Returns an antichain, sorted for determinism.
+pub fn minimal_determinants(fds: &FdSet, universe: AttrSet, target: AttrSet) -> Vec<AttrSet> {
+    // Fast exits.
+    if target.is_empty() {
+        return vec![AttrSet::EMPTY];
+    }
+    if !target.is_subset(fds.closure(universe)) {
+        return Vec::new(); // even the whole universe fails
+    }
+    let mut found: Vec<AttrSet> = Vec::new();
+    if target.is_subset(fds.closure(AttrSet::EMPTY)) {
+        return vec![AttrSet::EMPTY];
+    }
+
+    let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
+    let mut depth = 1usize;
+    while !level.is_empty() && depth <= universe.len() {
+        let mut extendable: Vec<AttrSet> = Vec::new();
+        for &a in &level {
+            if found.iter().any(|f| f.is_subset(a)) {
+                continue; // non-minimal
+            }
+            if target.is_subset(fds.closure(a)) {
+                found.push(a);
+            } else {
+                extendable.push(a);
+            }
+        }
+        let mut next = Vec::new();
+        for &a in &extendable {
+            let max_attr = a.iter().last().expect("non-empty");
+            for b in universe.iter() {
+                if b > max_attr {
+                    next.push(a.with(b));
+                }
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+    found.sort_by_key(|s| (s.len(), s.bits()));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_discovery::Fd;
+
+    fn set(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn direct_determinant_found() {
+        // a→x. target {x}: minimal determinants {a} and {x}... x not in
+        // universe when we exclude it; try universe {a,b}.
+        let fds = FdSet::from_fds([Fd::new(set(&[0]), 2)]);
+        let dets = minimal_determinants(&fds, set(&[0, 1]), set(&[2]));
+        assert_eq!(dets, vec![set(&[0])]);
+    }
+
+    #[test]
+    fn transitive_determinant_found() {
+        // a→b, b→x: {a} determines x transitively.
+        let fds = FdSet::from_fds([Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)]);
+        let dets = minimal_determinants(&fds, set(&[0, 1]), set(&[2]));
+        // both {a} and {b} are minimal
+        assert_eq!(dets, vec![set(&[0]), set(&[1])]);
+    }
+
+    #[test]
+    fn composite_target_needs_all_parts() {
+        // a→x, b→y; target {x,y} needs {a,b}.
+        let fds = FdSet::from_fds([Fd::new(set(&[0]), 2), Fd::new(set(&[1]), 3)]);
+        let dets = minimal_determinants(&fds, set(&[0, 1]), set(&[2, 3]));
+        assert_eq!(dets, vec![set(&[0, 1])]);
+    }
+
+    #[test]
+    fn target_in_universe_is_its_own_determinant() {
+        let fds = FdSet::new();
+        let dets = minimal_determinants(&fds, set(&[0, 1, 2]), set(&[2]));
+        assert_eq!(dets, vec![set(&[2])]);
+    }
+
+    #[test]
+    fn unreachable_target_yields_nothing() {
+        let fds = FdSet::new();
+        let dets = minimal_determinants(&fds, set(&[0, 1]), set(&[5]));
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn constant_target_determined_by_empty_set() {
+        let fds = FdSet::from_fds([Fd::new(AttrSet::EMPTY, 3)]);
+        let dets = minimal_determinants(&fds, set(&[0, 1]), set(&[3]));
+        assert_eq!(dets, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn result_is_an_antichain() {
+        // a→x and ab→x (latter non-minimal): only {a} reported; also c,d→x.
+        let fds = FdSet::from_fds([
+            Fd::new(set(&[0]), 4),
+            Fd::new(set(&[2, 3]), 4),
+        ]);
+        let dets = minimal_determinants(&fds, set(&[0, 1, 2, 3]), set(&[4]));
+        assert_eq!(dets, vec![set(&[0]), set(&[2, 3])]);
+        for i in 0..dets.len() {
+            for j in 0..dets.len() {
+                if i != j {
+                    assert!(!dets[i].is_subset(dets[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_target_is_trivially_determined() {
+        let dets = minimal_determinants(&FdSet::new(), set(&[0]), AttrSet::EMPTY);
+        assert_eq!(dets, vec![AttrSet::EMPTY]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Algorithm 4 — `inferFDs`: logical inference of FDs through join
+//! attributes, with data-backed lhs refinement.
+//!
+//! Theorem 2 of the paper: if `A → X` holds on the join (with `A` from the
+//! left side and `X` the left join attributes) and `X → b` holds (via the
+//! join equality `X = Y` and `Y → b` on the right side), then `A → b`
+//! holds on the join. The `infer` step composes these chains purely
+//! logically; the `refine` step then checks, against a **horizontal
+//! partition** of the join restricted to the needed columns
+//! (`π_{X∪A}(L) ♦ π_{Y∪{b}}(R)`, Algorithm 4 line 19), whether any strict
+//! subset of `A` suffices — something logic alone cannot decide.
+//!
+//! Unlike the paper (which trusts Theorem 2 outright), the refined
+//! candidates themselves are validated on the partial join too: with
+//! outer operators and NULL-bearing data, padding can break the premises
+//! (see `instance.rs`), and the validation costs a handful of partition
+//! operations on an already tiny relation.
+
+use crate::determinants::minimal_determinants;
+use infine_algebra::{join_relations, JoinOp};
+use infine_discovery::{Fd, FdSet};
+use infine_partitions::PliCache;
+use infine_relation::{AttrId, AttrSet, Relation};
+
+/// One inferred FD over *join* attribute ids (left ids unchanged, right
+/// ids offset by the left width).
+pub type JoinFd = Fd;
+
+/// Run `inferFDs` for one join node.
+///
+/// * `dl`, `dr` — complete join-valid FD sets of the two sides, over each
+///   side's own attribute ids;
+/// * `known` — FDs already established over join ids (used only to skip
+///   candidates that cannot be minimal);
+/// * returns inferred FDs over join ids, plus the number of partial-join
+///   rows materialized (for the harness' partial-SPJ accounting).
+#[allow(clippy::too_many_arguments)]
+pub fn infer_fds(
+    l_rel: &Relation,
+    r_rel: &Relation,
+    op: JoinOp,
+    on: &[(AttrId, AttrId)],
+    dl: &FdSet,
+    dr: &FdSet,
+    known: &FdSet,
+) -> (Vec<JoinFd>, usize) {
+    let nl = l_rel.ncols();
+    let mut out: Vec<JoinFd> = Vec::new();
+    let mut partial_rows = 0usize;
+
+    // Direction: lhs ⊆ atts(L), rhs ∈ atts(R).
+    partial_rows += infer_direction(
+        l_rel, r_rel, op, on, dl, dr, known, nl, true, &mut out,
+    );
+    // Mirrored direction: lhs ⊆ atts(R), rhs ∈ atts(L).
+    partial_rows += infer_direction(
+        l_rel, r_rel, op, on, dl, dr, known, nl, false, &mut out,
+    );
+    (out, partial_rows)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn infer_direction(
+    l_rel: &Relation,
+    r_rel: &Relation,
+    op: JoinOp,
+    on: &[(AttrId, AttrId)],
+    dl: &FdSet,
+    dr: &FdSet,
+    known: &FdSet,
+    nl: usize,
+    lhs_is_left: bool,
+    out: &mut Vec<JoinFd>,
+) -> usize {
+    let x_set: AttrSet = on.iter().map(|&(a, _)| a).collect(); // left keys
+    let y_set: AttrSet = on.iter().map(|&(_, b)| b).collect(); // right keys
+    let (src_rel, src_fds, src_keys) = if lhs_is_left {
+        (l_rel, dl, x_set)
+    } else {
+        (r_rel, dr, y_set)
+    };
+    let (dst_fds, dst_keys) = if lhs_is_left {
+        (dr, y_set)
+    } else {
+        (dl, x_set)
+    };
+
+    // Candidate rhs attributes: everything the other side's join keys
+    // determine (subroutine `infer`, lines 12–14: A→X composed with Y→b).
+    let rhs_candidates: Vec<AttrId> = dst_fds
+        .closure(dst_keys)
+        .difference(dst_keys)
+        .iter()
+        .collect();
+    if rhs_candidates.is_empty() {
+        return 0;
+    }
+    // Candidate lhs: minimal determinants of this side's join keys.
+    let dets = minimal_determinants(src_fds, src_rel.attr_set(), src_keys);
+    if dets.is_empty() {
+        return 0;
+    }
+    let det_union: AttrSet = dets.iter().fold(AttrSet::EMPTY, |u, &d| u.union(d));
+
+    // One column-pruned partial join for the whole direction:
+    // π_{X ∪ ⋃A}(L) ♦ π_{Y ∪ Bs}(R)  (or mirrored).
+    let (keep_src, keep_dst): (Vec<AttrId>, Vec<AttrId>) = (
+        src_keys.union(det_union).iter().collect(),
+        dst_keys
+            .union(rhs_candidates.iter().copied().collect())
+            .iter()
+            .collect(),
+    );
+    let (keep_left, keep_right) = if lhs_is_left {
+        (keep_src.clone(), keep_dst.clone())
+    } else {
+        (keep_dst.clone(), keep_src.clone())
+    };
+    let partial = join_relations(
+        l_rel,
+        r_rel,
+        op,
+        on,
+        Some(&keep_left),
+        Some(&keep_right),
+        "refine",
+    );
+    let partial_rows = partial.nrows();
+
+    // Remap side ids → partial-join column ids.
+    let pos = |side_is_left: bool, id: AttrId| -> AttrId {
+        if side_is_left {
+            keep_left
+                .iter()
+                .position(|&k| k == id)
+                .expect("kept left column")
+        } else {
+            keep_left.len()
+                + keep_right
+                    .iter()
+                    .position(|&k| k == id)
+                    .expect("kept right column")
+        }
+    };
+    // Map a side id to the final join-id space (left unchanged, right +nl).
+    let join_id = |side_is_left: bool, id: AttrId| -> AttrId {
+        if side_is_left {
+            id
+        } else {
+            nl + id
+        }
+    };
+
+    let mut cache = PliCache::new(&partial);
+    let mut found = FdSet::new(); // over join ids, local to this direction
+    for &b in &rhs_candidates {
+        let b_partial = pos(!lhs_is_left, b);
+        let b_join = join_id(!lhs_is_left, b);
+        for &a_det in &dets {
+            // refine: subsets of A by ascending size, smallest valid wins.
+            let mut subsets: Vec<AttrSet> = a_det.strict_subsets();
+            subsets.push(AttrSet::EMPTY);
+            subsets.push(a_det);
+            subsets.sort_by_key(|s| (s.len(), s.bits()));
+            for cand in subsets {
+                let cand_join: AttrSet =
+                    cand.iter().map(|a| join_id(lhs_is_left, a)).collect();
+                if known.has_subset_lhs(cand_join, b_join)
+                    || found.has_subset_lhs(cand_join, b_join)
+                {
+                    continue;
+                }
+                let cand_partial: AttrSet =
+                    cand.iter().map(|a| pos(lhs_is_left, a)).collect();
+                if cand_partial.contains(b_partial) {
+                    continue;
+                }
+                let valid = if cand_partial.is_empty() {
+                    partial.nrows() == 0 || partial.distinct_count(b_partial) <= 1
+                } else {
+                    cache.fd_holds(cand_partial, b_partial)
+                };
+                if valid {
+                    found.insert_minimal(Fd::new(cand_join, b_join));
+                    out.push(Fd::new(cand_join, b_join));
+                }
+            }
+        }
+    }
+    partial_rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::{relation_from_rows, Value};
+
+    /// The paper's running example, reduced: ADMISSION-like left
+    /// (subject_id, insurance, diagnosis), PATIENT-like right
+    /// (subject_id, dob).
+    fn sides() -> (Relation, Relation) {
+        let adm = relation_from_rows(
+            "adm",
+            &["subject_id", "insurance", "diagnosis"],
+            &[
+                &[Value::Int(249), Value::str("Medicare"), Value::str("ANGINA")],
+                &[Value::Int(249), Value::str("Medicare"), Value::str("CHEST PAIN")],
+                &[Value::Int(250), Value::str("Self Pay"), Value::str("PNEUMONIA")],
+                &[Value::Int(251), Value::str("Private"), Value::str("HEAD BLEED")],
+            ],
+        );
+        let pat = relation_from_rows(
+            "pat",
+            &["subject_id", "dob"],
+            &[
+                &[Value::Int(249), Value::str("13/03/75")],
+                &[Value::Int(250), Value::str("27/12/64")],
+                &[Value::Int(251), Value::str("15/03/90")],
+            ],
+        );
+        (adm, pat)
+    }
+
+    #[test]
+    fn transitive_inference_through_join_keys() {
+        let (adm, pat) = sides();
+        // left FDs: diagnosis→subject_id, diagnosis→insurance,
+        //           subject_id→insurance (complete-ish for the test)
+        let dl = FdSet::from_fds([
+            Fd::new(AttrSet::single(2), 0),
+            Fd::new(AttrSet::single(2), 1),
+            Fd::new(AttrSet::single(0), 1),
+        ]);
+        // right FDs: subject_id→dob
+        let dr = FdSet::from_fds([Fd::new(AttrSet::single(0), 1)]);
+        let (fds, rows) = infer_fds(
+            &adm,
+            &pat,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+        );
+        assert!(rows > 0);
+        // Expect diagnosis→dob (join ids: diagnosis=2, dob=3+1=4)
+        assert!(
+            fds.contains(&Fd::new(AttrSet::single(2), 4)),
+            "missing diagnosis→dob in {fds:?}"
+        );
+        // And subject_id→dob via the trivial determinant X itself.
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 4)));
+    }
+
+    #[test]
+    fn refine_shrinks_composite_determinants() {
+        // Left: (k1, k2, a) where {k1,k2} are join keys and a alone
+        // determines them logically only jointly with... craft: a→k1 and
+        // a→k2 hold, so minimal determinant of {k1,k2} is {a}. But also a
+        // composite det {k1,k2} itself. refine should emit lhs {a}.
+        let l = relation_from_rows(
+            "l",
+            &["k1", "k2", "a"],
+            &[
+                &[Value::Int(1), Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(2), Value::Int(20)],
+            ],
+        );
+        let r = relation_from_rows(
+            "r",
+            &["k1", "k2", "b"],
+            &[
+                &[Value::Int(1), Value::Int(1), Value::Int(100)],
+                &[Value::Int(2), Value::Int(2), Value::Int(200)],
+            ],
+        );
+        let dl = FdSet::from_fds([
+            Fd::new(AttrSet::single(2), 0),
+            Fd::new(AttrSet::single(2), 1),
+        ]);
+        let dr = FdSet::from_fds([
+            Fd::new([0usize, 1].into_iter().collect::<AttrSet>(), 2),
+        ]);
+        let (fds, _) = infer_fds(
+            &l,
+            &r,
+            JoinOp::Inner,
+            &[(0, 0), (1, 1)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+        );
+        // a→b: join ids a=2, b=3+2=5
+        assert!(
+            fds.contains(&Fd::new(AttrSet::single(2), 5)),
+            "missing a→b in {fds:?}"
+        );
+    }
+
+    #[test]
+    fn no_inference_without_key_determination() {
+        let (adm, pat) = sides();
+        // left knows nothing about its keys
+        let dl = FdSet::new();
+        let dr = FdSet::from_fds([Fd::new(AttrSet::single(0), 1)]);
+        let (fds, _) = infer_fds(
+            &adm,
+            &pat,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+        );
+        // Only the trivial determinant X = {subject_id} applies:
+        // subject_id→dob may appear, but nothing with diagnosis.
+        for fd in &fds {
+            assert!(!fd.lhs.contains(2), "unexpected {fd:?}");
+        }
+    }
+
+    #[test]
+    fn known_fds_suppress_rediscovery() {
+        let (adm, pat) = sides();
+        let dl = FdSet::from_fds([Fd::new(AttrSet::single(0), 1)]);
+        let dr = FdSet::from_fds([Fd::new(AttrSet::single(0), 1)]);
+        let mut known = FdSet::new();
+        // already know subject_id→dob over join ids (0 → 4)
+        known.insert_minimal(Fd::new(AttrSet::single(0), 4));
+        let (fds, _) = infer_fds(
+            &adm,
+            &pat,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &known,
+        );
+        assert!(!fds.contains(&Fd::new(AttrSet::single(0), 4)));
+    }
+}

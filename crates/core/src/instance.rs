@@ -1,0 +1,226 @@
+//! Side-instance construction for join nodes.
+//!
+//! The FDs holding on one side's attributes *within a join result* are
+//! exactly the FDs of that side's **side instance**: the set of its rows
+//! that survive the join, plus — for outer operators that pad this side's
+//! attributes — one synthetic all-NULL row. Duplicated rows caused by join
+//! fan-out are irrelevant to FD satisfaction and are not replicated.
+//!
+//! This is the instance Algorithm 3 mines (`I ♦ πY(J)`, line 13) and the
+//! instance against which inherited FDs must be re-validated when padding
+//! exists (outer joins can break a base FD when a surviving row carries
+//! NULLs on the FD's lhs — a corner the paper's Theorem 1 glosses over;
+//! see DESIGN.md).
+
+use infine_algebra::{matching_rows, JoinOp};
+use infine_relation::{AttrId, Column, Relation, Value};
+
+/// What happened to one side of a join.
+pub struct SideInstance {
+    /// The side's instance inside the join result (distinct surviving rows
+    /// + optional all-NULL padding row).
+    pub rel: Relation,
+    /// True iff at least one of the side's rows was dropped by the join.
+    pub lost_rows: bool,
+    /// True iff an all-NULL padding row was appended.
+    pub padded: bool,
+}
+
+/// Compute the side instance for `side` (`true` = left) of `l ♦ r`.
+pub fn side_instance(
+    l: &Relation,
+    r: &Relation,
+    on: &[(AttrId, AttrId)],
+    op: JoinOp,
+    left_side: bool,
+) -> SideInstance {
+    let lkeys: Vec<AttrId> = on.iter().map(|&(a, _)| a).collect();
+    let rkeys: Vec<AttrId> = on.iter().map(|&(_, b)| b).collect();
+    let (mine, other, my_keys, other_keys, keeps_all, padded_by_other) = if left_side {
+        (
+            l,
+            r,
+            lkeys.as_slice(),
+            rkeys.as_slice(),
+            !op.can_drop_left(),
+            matches!(op, JoinOp::RightOuter | JoinOp::FullOuter),
+        )
+    } else {
+        (
+            r,
+            l,
+            rkeys.as_slice(),
+            lkeys.as_slice(),
+            !op.can_drop_right(),
+            matches!(op, JoinOp::LeftOuter | JoinOp::FullOuter),
+        )
+    };
+
+    let surviving: Vec<u32> = if keeps_all {
+        (0..mine.nrows() as u32).collect()
+    } else {
+        matching_rows(mine, other, my_keys, other_keys)
+    };
+    let lost_rows = surviving.len() < mine.nrows();
+
+    // Padding happens when the *other* side has dangling rows and the
+    // operator preserves them (their output rows carry NULLs on `mine`'s
+    // attributes).
+    let padded = padded_by_other && {
+        let other_surviving = matching_rows(other, mine, other_keys, my_keys);
+        other_surviving.len() < other.nrows()
+    };
+
+    let rel = if padded {
+        gather_with_null_row(mine, &surviving)
+    } else {
+        mine.gather(&surviving, format!("{}⋉", mine.name))
+    };
+    SideInstance {
+        rel,
+        lost_rows,
+        padded,
+    }
+}
+
+/// Gather rows and append one all-NULL row.
+fn gather_with_null_row(rel: &Relation, rows: &[u32]) -> Relation {
+    let mut columns: Vec<Column> = Vec::with_capacity(rel.ncols());
+    for c in 0..rel.ncols() {
+        let col = rel.column(c);
+        let mut dict = col.dict.clone();
+        let null_code = match col.null_code {
+            Some(nc) => nc,
+            None => {
+                let nc = dict.len() as u32;
+                dict.push(Value::Null);
+                nc
+            }
+        };
+        let mut codes: Vec<u32> = rows.iter().map(|&r| col.codes[r as usize]).collect();
+        codes.push(null_code);
+        columns.push(Column {
+            codes,
+            dict,
+            null_code: Some(null_code),
+        });
+    }
+    Relation::from_columns(
+        format!("{}⋉+null", rel.name),
+        rel.schema.clone(),
+        columns,
+        rows.len() + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::relation_from_rows;
+
+    fn sides() -> (Relation, Relation) {
+        let l = relation_from_rows(
+            "l",
+            &["k", "x"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(20)],
+                &[Value::Int(3), Value::Int(30)], // dangling
+            ],
+        );
+        let r = relation_from_rows(
+            "r",
+            &["k", "y"],
+            &[
+                &[Value::Int(1), Value::Int(100)],
+                &[Value::Int(1), Value::Int(101)],
+                &[Value::Int(2), Value::Int(200)],
+                &[Value::Int(9), Value::Int(900)], // dangling
+            ],
+        );
+        (l, r)
+    }
+
+    #[test]
+    fn inner_join_drops_dangling_both_sides() {
+        let (l, r) = sides();
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::Inner, true);
+        assert_eq!(sl.rel.nrows(), 2);
+        assert!(sl.lost_rows && !sl.padded);
+        let sr = side_instance(&l, &r, &[(0, 0)], JoinOp::Inner, false);
+        assert_eq!(sr.rel.nrows(), 3);
+        assert!(sr.lost_rows && !sr.padded);
+    }
+
+    #[test]
+    fn left_outer_keeps_left_and_pads_right() {
+        let (l, r) = sides();
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::LeftOuter, true);
+        assert_eq!(sl.rel.nrows(), 3);
+        assert!(!sl.lost_rows && !sl.padded);
+        let sr = side_instance(&l, &r, &[(0, 0)], JoinOp::LeftOuter, false);
+        // 3 surviving right rows + null padding row (left has dangling #3)
+        assert_eq!(sr.rel.nrows(), 4);
+        assert!(sr.lost_rows && sr.padded);
+        let last = sr.rel.nrows() - 1;
+        assert!(sr.rel.is_null(last, 0) && sr.rel.is_null(last, 1));
+    }
+
+    #[test]
+    fn full_outer_pads_both_no_losses() {
+        let (l, r) = sides();
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::FullOuter, true);
+        assert!(!sl.lost_rows && sl.padded);
+        assert_eq!(sl.rel.nrows(), 4); // 3 + null row
+        let sr = side_instance(&l, &r, &[(0, 0)], JoinOp::FullOuter, false);
+        assert!(!sr.lost_rows && sr.padded);
+        assert_eq!(sr.rel.nrows(), 5);
+    }
+
+    #[test]
+    fn no_padding_when_other_side_has_no_dangling() {
+        let l = relation_from_rows(
+            "l",
+            &["k"],
+            &[&[Value::Int(1)], &[Value::Int(2)]],
+        );
+        let r = relation_from_rows(
+            "r",
+            &["k"],
+            &[&[Value::Int(1)], &[Value::Int(2)], &[Value::Int(3)]],
+        );
+        // right outer: left side would be padded only if right had dangling
+        // rows w.r.t. left — it does (k=3). Flip: left outer pads right side
+        // only if left has dangling rows — it does not.
+        let sr = side_instance(&l, &r, &[(0, 0)], JoinOp::LeftOuter, false);
+        assert!(!sr.padded);
+        assert!(sr.lost_rows); // k=3 dropped
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::RightOuter, true);
+        assert!(sl.padded); // right's k=3 dangles and is preserved
+    }
+
+    #[test]
+    fn semi_join_sides() {
+        let (l, r) = sides();
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::LeftSemi, true);
+        assert_eq!(sl.rel.nrows(), 2);
+        assert!(!sl.padded);
+    }
+
+    #[test]
+    fn null_row_groups_with_existing_nulls() {
+        let l = relation_from_rows(
+            "l",
+            &["k", "x"],
+            &[&[Value::Int(1), Value::Null], &[Value::Int(7), Value::Int(5)]],
+        );
+        let r = relation_from_rows("r", &["k"], &[&[Value::Int(1)], &[Value::Int(2)]]);
+        // right outer: left padded (right k=2 dangles)
+        let sl = side_instance(&l, &r, &[(0, 0)], JoinOp::RightOuter, true);
+        assert!(sl.padded);
+        // surviving left = row0; + null row
+        assert_eq!(sl.rel.nrows(), 2);
+        // null x of row0 and padded null share a code
+        assert_eq!(sl.rel.code(0, 1), sl.rel.code(1, 1));
+    }
+}

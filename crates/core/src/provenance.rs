@@ -1,0 +1,204 @@
+//! FD provenance triples (Definition 8 of the paper).
+//!
+//! Every FD emitted by InFine carries *where it came from*: its type (one
+//! of the six kinds below) and the first sub-query of the view
+//! specification in which it holds. The [`ProvenanceBuilder`] maintains
+//! the global minimality invariant of the output: inserting an FD whose
+//! lhs is a subset of an existing one evicts the (now non-minimal)
+//! incumbent — this is how, e.g., a base FD `admission_location,diagnosis
+//! → subject_id` disappears from the view's canonical set once the
+//! upstaged `diagnosis → subject_id` is found (Fig. 1 of the paper).
+
+use infine_discovery::{Fd, FdSet};
+use infine_relation::Schema;
+use std::fmt;
+
+/// The provenance type of an FD on a view (Definition 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FdKind {
+    /// Valid on a base relation and still valid (and minimal) on the view.
+    Base,
+    /// Became exact because a selection filtered violating tuples (Alg. 2).
+    UpstagedSelection,
+    /// Became exact because a join dropped dangling left tuples (Alg. 3).
+    UpstagedLeft,
+    /// Became exact because a join dropped dangling right tuples (Alg. 3).
+    UpstagedRight,
+    /// Obtained by Armstrong transitivity through join attributes (Alg. 4),
+    /// or by closure restriction through a projection.
+    Inferred,
+    /// Mixed-side FD only checkable against (partial) join data (Alg. 5).
+    JoinFd,
+}
+
+impl FdKind {
+    /// The paper's label for this kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            FdKind::Base => "base",
+            FdKind::UpstagedSelection => "upstaged selection",
+            FdKind::UpstagedLeft => "upstaged left",
+            FdKind::UpstagedRight => "upstaged right",
+            FdKind::Inferred => "inferred",
+            FdKind::JoinFd => "joinFD",
+        }
+    }
+
+    /// All kinds, in pipeline order.
+    pub const ALL: [FdKind; 6] = [
+        FdKind::Base,
+        FdKind::UpstagedSelection,
+        FdKind::UpstagedLeft,
+        FdKind::UpstagedRight,
+        FdKind::Inferred,
+        FdKind::JoinFd,
+    ];
+}
+
+impl fmt::Display for FdKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A provenance triple `(d, t, s)`: the FD, its type, and the first
+/// sub-query of the view specification in which it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceTriple {
+    /// The FD, over the schema of the node that owns the triple.
+    pub fd: Fd,
+    /// The provenance type.
+    pub kind: FdKind,
+    /// Rendered sub-query (e.g. `patients ⋈[subject_id=subject_id] admissions`).
+    pub subquery: String,
+}
+
+impl ProvenanceTriple {
+    /// Construct a triple.
+    pub fn new(fd: Fd, kind: FdKind, subquery: impl Into<String>) -> Self {
+        ProvenanceTriple {
+            fd,
+            kind,
+            subquery: subquery.into(),
+        }
+    }
+
+    /// Render with attribute names.
+    pub fn render(&self, schema: &Schema) -> String {
+        format!("({}, \"{}\", {})", self.fd.render(schema), self.kind, self.subquery)
+    }
+}
+
+/// Accumulates provenance triples while maintaining minimality of the FD
+/// antichain (per rhs).
+#[derive(Debug, Default, Clone)]
+pub struct ProvenanceBuilder {
+    triples: Vec<ProvenanceTriple>,
+    fds: FdSet,
+}
+
+impl ProvenanceBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current FD antichain (all triples' FDs).
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// Insert a triple; returns true iff it survived minimality screening.
+    /// Evicted incumbents (supersets of the new lhs) are removed from the
+    /// triple list.
+    pub fn insert(&mut self, triple: ProvenanceTriple) -> bool {
+        if self.fds.has_subset_lhs(triple.fd.lhs, triple.fd.rhs) {
+            return false;
+        }
+        // evict stored supersets
+        self.triples.retain(|t| {
+            !(t.fd.rhs == triple.fd.rhs && triple.fd.lhs.is_subset(t.fd.lhs))
+        });
+        self.fds.insert_minimal(triple.fd);
+        self.triples.push(triple);
+        true
+    }
+
+    /// Insert many.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = ProvenanceTriple>) {
+        for t in triples {
+            self.insert(t);
+        }
+    }
+
+    /// Number of stored triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Count triples of one kind.
+    pub fn count_kind(&self, kind: FdKind) -> usize {
+        self.triples.iter().filter(|t| t.kind == kind).count()
+    }
+
+    /// Finish, returning the triples (insertion order).
+    pub fn into_triples(self) -> Vec<ProvenanceTriple> {
+        self.triples
+    }
+
+    /// Borrow the triples.
+    pub fn triples(&self) -> &[ProvenanceTriple] {
+        &self.triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::AttrSet;
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(lhs.iter().copied().collect::<AttrSet>(), rhs)
+    }
+
+    #[test]
+    fn kinds_have_paper_labels() {
+        assert_eq!(FdKind::Base.label(), "base");
+        assert_eq!(FdKind::UpstagedSelection.label(), "upstaged selection");
+        assert_eq!(FdKind::JoinFd.label(), "joinFD");
+        assert_eq!(FdKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn builder_maintains_minimality() {
+        let mut b = ProvenanceBuilder::new();
+        assert!(b.insert(ProvenanceTriple::new(fd(&[0, 1], 2), FdKind::Base, "R")));
+        // superset rejected
+        assert!(!b.insert(ProvenanceTriple::new(fd(&[0, 1, 3], 2), FdKind::JoinFd, "V")));
+        // subset evicts the incumbent triple
+        assert!(b.insert(ProvenanceTriple::new(fd(&[1], 2), FdKind::UpstagedRight, "V")));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.triples()[0].kind, FdKind::UpstagedRight);
+        assert_eq!(b.count_kind(FdKind::Base), 0);
+    }
+
+    #[test]
+    fn builder_keeps_distinct_rhs_independent() {
+        let mut b = ProvenanceBuilder::new();
+        b.insert(ProvenanceTriple::new(fd(&[0], 1), FdKind::Base, "R"));
+        b.insert(ProvenanceTriple::new(fd(&[0], 2), FdKind::Base, "R"));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn triple_renders_with_names() {
+        let schema = Schema::base("r", &["x", "y"]);
+        let t = ProvenanceTriple::new(fd(&[0], 1), FdKind::Inferred, "r ⋈ s");
+        assert_eq!(t.render(&schema), "(x → y, \"inferred\", r ⋈ s)");
+    }
+}

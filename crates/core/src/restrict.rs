@@ -1,0 +1,148 @@
+//! Restriction of a provenance-annotated FD set through a projection.
+//!
+//! `fds(π_X(V)) ⊆ D` (Theorem 1): a projection never creates FDs on the
+//! *instance*, but the canonical cover over the surviving attributes is
+//! not the syntactic filter of the cover — an FD chain through a dropped
+//! attribute (`a → k`, `k → b` with `k` projected away) leaves `a → b`
+//! holding on the projection. Restriction therefore combines:
+//!
+//! 1. keep (and remap) every triple whose attributes all survive;
+//! 2. derive, per surviving rhs, the minimal determinants within the
+//!    surviving attributes under the *full* FD set — new FDs get kind
+//!    [`FdKind::Inferred`] with the projection as their sub-query.
+//!
+//! Because the input triple set is complete for the child instance, the
+//! output is complete for the projected instance.
+
+use crate::determinants::minimal_determinants;
+use crate::provenance::{FdKind, ProvenanceBuilder, ProvenanceTriple};
+use infine_discovery::{Fd, FdSet};
+use infine_relation::{AttrId, AttrSet, Schema};
+
+/// Restrict `triples` (over `child_schema`) to the child attribute ids in
+/// `keep` (output order). Returns the new schema and triples over it.
+pub fn restrict_triples(
+    triples: &[ProvenanceTriple],
+    child_schema: &Schema,
+    keep: &[AttrId],
+    subquery: &str,
+) -> (Schema, Vec<ProvenanceTriple>) {
+    let mut new_schema = Schema::new();
+    for &a in keep {
+        new_schema.push(child_schema.attr(a).clone());
+    }
+    let keep_set: AttrSet = keep.iter().copied().collect();
+    // child id → new id
+    let mut remap = vec![usize::MAX; AttrSet::MAX_ATTRS];
+    for (new_id, &old_id) in keep.iter().enumerate() {
+        remap[old_id] = new_id;
+    }
+    let remap_set = |s: AttrSet| -> AttrSet { s.iter().map(|a| remap[a]).collect() };
+
+    let mut builder = ProvenanceBuilder::new();
+    // 1. syntactic survivors
+    for t in triples {
+        if t.fd.attrs().is_subset(keep_set) {
+            builder.insert(ProvenanceTriple::new(
+                Fd::new(remap_set(t.fd.lhs), remap[t.fd.rhs]),
+                t.kind,
+                t.subquery.clone(),
+            ));
+        }
+    }
+    // 2. closure-derived FDs through dropped attributes
+    let all: FdSet = triples.iter().map(|t| t.fd).collect::<Vec<_>>().into_iter().fold(
+        FdSet::new(),
+        |mut s, fd| {
+            s.insert_unchecked(fd);
+            s
+        },
+    );
+    for rhs in keep_set.iter() {
+        let universe = keep_set.without(rhs);
+        for lhs in minimal_determinants(&all, universe, AttrSet::single(rhs)) {
+            builder.insert(ProvenanceTriple::new(
+                Fd::new(remap_set(lhs), remap[rhs]),
+                FdKind::Inferred,
+                subquery.to_string(),
+            ));
+        }
+    }
+    (new_schema, builder.into_triples())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[usize]) -> AttrSet {
+        v.iter().copied().collect()
+    }
+
+    fn triple(lhs: &[usize], rhs: usize, kind: FdKind) -> ProvenanceTriple {
+        ProvenanceTriple::new(Fd::new(set(lhs), rhs), kind, "base")
+    }
+
+    #[test]
+    fn survivors_are_remapped() {
+        let schema = Schema::base("t", &["a", "b", "c"]);
+        let triples = vec![triple(&[0], 2, FdKind::Base)];
+        // keep c, a (reordered): c→0, a→1
+        let (s, out) = restrict_triples(&triples, &schema, &[2, 0], "π");
+        assert_eq!(s.name(0), "c");
+        assert_eq!(s.name(1), "a");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fd, Fd::new(set(&[1]), 0));
+        assert_eq!(out[0].kind, FdKind::Base);
+    }
+
+    #[test]
+    fn chain_through_dropped_attr_is_derived() {
+        // a→k, k→b ; drop k ⇒ a→b inferred.
+        let schema = Schema::base("t", &["a", "k", "b"]);
+        let triples = vec![
+            triple(&[0], 1, FdKind::Base),
+            triple(&[1], 2, FdKind::Base),
+        ];
+        let (_, out) = restrict_triples(&triples, &schema, &[0, 2], "π[a,b]");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fd, Fd::new(set(&[0]), 1)); // a→b in new ids
+        assert_eq!(out[0].kind, FdKind::Inferred);
+        assert_eq!(out[0].subquery, "π[a,b]");
+    }
+
+    #[test]
+    fn fds_about_dropped_attrs_vanish() {
+        let schema = Schema::base("t", &["a", "b", "c"]);
+        let triples = vec![triple(&[0], 1, FdKind::Base)];
+        let (_, out) = restrict_triples(&triples, &schema, &[0, 2], "π");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn syntactic_survivor_preferred_over_derivation() {
+        // a→b survives; derivation would also find it — kind stays Base.
+        let schema = Schema::base("t", &["a", "b"]);
+        let triples = vec![triple(&[0], 1, FdKind::Base)];
+        let (_, out) = restrict_triples(&triples, &schema, &[0, 1], "π");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, FdKind::Base);
+    }
+
+    #[test]
+    fn derived_fd_can_be_smaller_than_survivor() {
+        // ab→c survives syntactically, but a→k, k→c gives a→c after k
+        // drops... keep k? No: keep {a,b,c}; chain a→k→c with k dropped
+        // yields a→c which evicts ab→c.
+        let schema = Schema::base("t", &["a", "b", "c", "k"]);
+        let triples = vec![
+            triple(&[0, 1], 2, FdKind::JoinFd),
+            triple(&[0], 3, FdKind::Base),
+            triple(&[3], 2, FdKind::Base),
+        ];
+        let (_, out) = restrict_triples(&triples, &schema, &[0, 1, 2], "π");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].fd, Fd::new(set(&[0]), 2));
+        assert_eq!(out[0].kind, FdKind::Inferred);
+    }
+}

@@ -1,0 +1,219 @@
+//! Shared generator utilities: scaling, seeded RNG helpers, value pools.
+
+use infine_relation::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scaling configuration for the synthetic datasets.
+///
+/// `factor` multiplies the paper's published row counts (Table I); the
+/// default keeps everything laptop-test sized. The benches read
+/// `INFINE_SCALE` to push toward the paper's full sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier on the paper's row counts (1.0 = full published size).
+    pub factor: f64,
+    /// RNG seed — generation is fully deterministic given (factor, seed).
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            factor: 0.01,
+            seed: 0xF00D,
+        }
+    }
+}
+
+impl Scale {
+    /// A scale with the given factor and the default seed.
+    pub fn of(factor: f64) -> Self {
+        Scale {
+            factor,
+            ..Default::default()
+        }
+    }
+
+    /// Scale from the `INFINE_SCALE` environment variable (default 0.01).
+    pub fn from_env() -> Self {
+        let factor = std::env::var("INFINE_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.01);
+        Scale::of(factor)
+    }
+
+    /// Scaled row count for a paper-published count, with a floor.
+    pub fn rows(&self, paper_count: usize, min: usize) -> usize {
+        ((paper_count as f64 * self.factor) as usize).max(min)
+    }
+
+    /// A seeded RNG, offset so each table draws an independent stream.
+    pub fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+}
+
+/// A date value `days` after the synthetic epoch.
+pub fn date(days: i32) -> Value {
+    Value::Date(days)
+}
+
+/// Pick uniformly from a slice.
+pub fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Pick an index with the given weights.
+pub fn pick_weighted(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Zipf-ish skewed index in `0..n` (rank-1 heaviest).
+pub fn skewed_index(rng: &mut StdRng, n: usize, skew: f64) -> usize {
+    let u: f64 = rng.gen();
+    let idx = (n as f64 * u.powf(1.0 + skew)) as usize;
+    idx.min(n - 1)
+}
+
+/// Small pools of realistic-looking tokens.
+pub mod pools {
+    /// Insurance providers (MIMIC-style).
+    pub const INSURANCE: &[&str] = &["Medicare", "Private", "Medicaid", "Self Pay", "Government"];
+    /// Admission locations.
+    pub const ADMISSION_LOCATION: &[&str] = &[
+        "EMERGENCY ROOM ADMIT",
+        "PHYS REFERRAL/NORMAL DELI",
+        "CLINIC REFERRAL/PREMATURE",
+        "TRANSFER FROM HOSP/EXTRAM",
+        "TRANSFER FROM SKILLED NUR",
+    ];
+    /// Admission types.
+    pub const ADMISSION_TYPE: &[&str] = &["EMERGENCY", "ELECTIVE", "URGENT", "NEWBORN"];
+    /// Diagnoses.
+    pub const DIAGNOSIS_STEMS: &[&str] = &[
+        "CHEST PAIN",
+        "PNEUMONIA",
+        "GASTROINTESTINAL BLEED",
+        "INTRACRANIAL HEAD BLEED",
+        "UNSTABLE ANGINA",
+        "SEPSIS",
+        "CONGESTIVE HEART FAILURE",
+        "CORONARY ARTERY DISEASE",
+        "ALTERED MENTAL STATUS",
+        "COMPLETE HEART BLOCK",
+    ];
+    /// Marital statuses.
+    pub const MARITAL: &[&str] = &["MARRIED", "SINGLE", "WIDOWED", "DIVORCED"];
+    /// Ethnicities.
+    pub const ETHNICITY: &[&str] = &["WHITE", "BLACK", "HISPANIC", "ASIAN", "OTHER"];
+    /// Religions.
+    pub const RELIGION: &[&str] = &["CATHOLIC", "PROTESTANT", "JEWISH", "NOT SPECIFIED"];
+    /// Languages.
+    pub const LANGUAGE: &[&str] = &["ENGL", "SPAN", "RUSS", "PORT"];
+    /// Chemical elements (PTE/PTC style).
+    pub const ELEMENTS: &[&str] = &["c", "h", "o", "n", "s", "cl", "f", "br", "p", "i"];
+    /// Bond types.
+    pub const BOND_TYPES: &[&str] = &["1", "2", "3", "7"];
+    /// TPC-H part types.
+    pub const PART_TYPES: &[&str] = &[
+        "STANDARD ANODIZED BRASS",
+        "SMALL PLATED COPPER",
+        "MEDIUM POLISHED STEEL",
+        "ECONOMY BURNISHED NICKEL",
+        "PROMO BRUSHED TIN",
+        "LARGE ANODIZED STEEL",
+    ];
+    /// TPC-H containers.
+    pub const CONTAINERS: &[&str] = &["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
+    /// TPC-H market segments.
+    pub const SEGMENTS: &[&str] =
+        &["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    /// TPC-H nations (paper-size: 25) with region index.
+    pub const NATIONS: &[(&str, usize)] = &[
+        ("ALGERIA", 0),
+        ("ARGENTINA", 1),
+        ("BRAZIL", 1),
+        ("CANADA", 1),
+        ("EGYPT", 4),
+        ("ETHIOPIA", 0),
+        ("FRANCE", 3),
+        ("GERMANY", 3),
+        ("INDIA", 2),
+        ("INDONESIA", 2),
+        ("IRAN", 4),
+        ("IRAQ", 4),
+        ("JAPAN", 2),
+        ("JORDAN", 4),
+        ("KENYA", 0),
+        ("MOROCCO", 0),
+        ("MOZAMBIQUE", 0),
+        ("PERU", 1),
+        ("CHINA", 2),
+        ("ROMANIA", 3),
+        ("SAUDI ARABIA", 4),
+        ("VIETNAM", 2),
+        ("RUSSIA", 3),
+        ("UNITED KINGDOM", 3),
+        ("UNITED STATES", 1),
+    ];
+    /// TPC-H regions.
+    pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    /// TPC-H order statuses.
+    pub const ORDER_STATUS: &[&str] = &["O", "F", "P"];
+    /// TPC-H ship modes.
+    pub const SHIP_MODES: &[&str] = &["TRUCK", "MAIL", "SHIP", "AIR", "RAIL", "FOB", "REG AIR"];
+    /// TPC-H priorities.
+    pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_rows_respects_floor_and_factor() {
+        let s = Scale::of(0.1);
+        assert_eq!(s.rows(1000, 5), 100);
+        assert_eq!(s.rows(10, 5), 5);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_stream() {
+        let s = Scale::of(1.0);
+        let a: u64 = s.rng(1).gen();
+        let b: u64 = s.rng(1).gen();
+        let c: u64 = s.rng(2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pick_weighted_respects_support() {
+        let s = Scale::of(1.0);
+        let mut rng = s.rng(3);
+        for _ in 0..100 {
+            let i = pick_weighted(&mut rng, &[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn skewed_index_in_range() {
+        let s = Scale::of(1.0);
+        let mut rng = s.rng(4);
+        for _ in 0..1000 {
+            let i = skewed_index(&mut rng, 50, 1.0);
+            assert!(i < 50);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # infine-datagen
+//!
+//! Synthetic stand-ins for the paper's four evaluation databases — the
+//! credential-gated MIMIC-III, the offline PTE and PTC molecule datasets,
+//! and TPC-H — calibrated to Table I (attribute counts, scaled row
+//! counts, key/FK structure, planted FDs and approximate FDs), plus the
+//! 16-view SPJ query catalog of Table II with the paper's published
+//! numbers attached.
+//!
+//! Generation is deterministic given a [`Scale`] (factor × seed); the
+//! benches read `INFINE_SCALE` to trade fidelity for runtime.
+
+pub mod common;
+pub mod mimic;
+pub mod ptc;
+pub mod pte;
+pub mod queries;
+pub mod tpch;
+
+pub use common::Scale;
+pub use queries::{catalog, catalog_for, find, root_join_coverage, DatasetKind, PaperNumbers, QueryCase};

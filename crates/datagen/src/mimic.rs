@@ -1,0 +1,286 @@
+//! MIMIC-III-like clinical data generator.
+//!
+//! The real MIMIC-III database is credential-gated, so this module builds
+//! a synthetic stand-in calibrated to Table I of the paper: the same four
+//! tables, the same attribute counts, row counts scaled from the
+//! published sizes, and — most importantly for InFine — the same
+//! *structural* phenomena:
+//!
+//! * keys (`subject_id`, `row_id`, `icd9_code`) inducing base FDs;
+//! * derived columns (`expire_flag` from `dod`, `hospital_expire_flag`
+//!   from `insurance`) inducing non-key base FDs;
+//! * foreign keys with dangling tuples on both sides, so joins drop rows
+//!   and upstage FDs;
+//! * a planted approximate FD (`diagnosis ⇁ discharge_location`) whose
+//!   violators all live on dangling admissions — it becomes exact in the
+//!   join, reproducing the paper's Fig. 1 `expire_flag ⇁ dod` effect.
+
+use crate::common::{date, pick, pools, skewed_index, Scale};
+use infine_relation::{Database, RelationBuilder, Schema, Value};
+use rand::Rng;
+
+/// Paper row counts (Table I).
+pub const PAPER_PATIENTS: usize = 46_520;
+/// Paper row count for admissions.
+pub const PAPER_ADMISSIONS: usize = 58_976;
+/// Paper row count for diagnoses_icd.
+pub const PAPER_DIAGNOSES_ICD: usize = 651_047;
+/// Paper row count for d_icd_diagnoses.
+pub const PAPER_D_ICD: usize = 14_710;
+
+/// Generate the four MIMIC-like tables.
+pub fn generate(scale: Scale) -> Database {
+    let n_patients = scale.rows(PAPER_PATIENTS, 60);
+    let n_admissions = scale.rows(PAPER_ADMISSIONS, 80);
+    let n_diag = scale.rows(PAPER_DIAGNOSES_ICD, 200);
+    let n_icd = scale.rows(PAPER_D_ICD, 40);
+    let mut db = Database::new();
+
+    // ---- patients (7 attributes) ----
+    let mut rng = scale.rng(11);
+    let mut b = RelationBuilder::new(
+        "patients",
+        Schema::base(
+            "patients",
+            &[
+                "subject_id",
+                "gender",
+                "dob",
+                "dod",
+                "expire_flag",
+                "marital_status",
+                "language",
+            ],
+        ),
+    );
+    for i in 0..n_patients {
+        let subject_id = 10_000 + i as i64;
+        let gender = if rng.gen_bool(0.55) { "F" } else { "M" };
+        let dob = date(rng.gen_range(-20_000..0));
+        // ~12% deceased; dod functionally determines expire_flag.
+        let dod = if rng.gen_bool(0.12) {
+            date(rng.gen_range(0..8_000))
+        } else {
+            Value::Null
+        };
+        let expire_flag = Value::Int(if dod.is_null() { 0 } else { 1 });
+        b.push_row(vec![
+            Value::Int(subject_id),
+            Value::str(gender),
+            dob,
+            dod,
+            expire_flag,
+            Value::str(*pick(&mut rng, pools::MARITAL)),
+            Value::str(*pick(&mut rng, pools::LANGUAGE)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- admissions (18 attributes) ----
+    let mut rng = scale.rng(12);
+    let names = [
+        "row_id",
+        "subject_id",
+        "admittime",
+        "dischtime",
+        "admission_type",
+        "admission_location",
+        "discharge_location",
+        "insurance",
+        "language",
+        "religion",
+        "marital_status",
+        "ethnicity",
+        "edregtime",
+        "hospital_expire_flag",
+        "diagnosis",
+        "has_chartevents_data",
+        "deathtime",
+        "edouttime",
+    ];
+    let mut b = RelationBuilder::new("admissions", Schema::base("admissions", &names));
+    // per-subject stable insurance (subject_id → insurance) and
+    // insurance → hospital_expire_flag (derived 0/1 per provider).
+    let insurance_of = |sid: usize| pools::INSURANCE[sid % pools::INSURANCE.len()];
+    let h_flag_of = |ins: &str| i64::from(ins == "Self Pay");
+    // diagnosis → discharge_location is *almost* functional: violators are
+    // planted only on dangling admissions (subject_id outside patients),
+    // so the FD upstages to exact in patients ⋈ admissions.
+    let n_diag_pool = (n_admissions / 6).max(4);
+    let disch_of = |d: usize| pools::ADMISSION_LOCATION[d % pools::ADMISSION_LOCATION.len()];
+    for i in 0..n_admissions {
+        let row_id = i as i64;
+        // ~88% of admissions reference an existing patient (skewed: some
+        // patients have many admissions); the rest dangle.
+        let dangling = rng.gen_bool(0.12);
+        let sid_idx = if dangling {
+            n_patients + rng.gen_range(0..n_patients.max(8) / 8 + 1)
+        } else {
+            skewed_index(&mut rng, n_patients, 0.8)
+        };
+        let subject_id = 10_000 + sid_idx as i64;
+        let admit = rng.gen_range(0..40_000);
+        let stay = rng.gen_range(1..60);
+        let diag_idx = rng.gen_range(0..n_diag_pool);
+        let diagnosis = format!(
+            "{} {}",
+            pools::DIAGNOSIS_STEMS[diag_idx % pools::DIAGNOSIS_STEMS.len()],
+            diag_idx
+        );
+        // planted AFD violation: dangling rows sometimes break
+        // diagnosis → discharge_location
+        let disch = if dangling && rng.gen_bool(0.5) {
+            pools::ADMISSION_LOCATION[(diag_idx + 1) % pools::ADMISSION_LOCATION.len()]
+        } else {
+            disch_of(diag_idx)
+        };
+        let ins = insurance_of(sid_idx);
+        let h_flag = h_flag_of(ins);
+        let deathtime = if h_flag == 1 && rng.gen_bool(0.5) {
+            date(admit + stay)
+        } else {
+            Value::Null
+        };
+        b.push_row(vec![
+            Value::Int(row_id),
+            Value::Int(subject_id),
+            date(admit),
+            date(admit + stay),
+            Value::str(*pick(&mut rng, pools::ADMISSION_TYPE)),
+            Value::str(*pick(&mut rng, pools::ADMISSION_LOCATION)),
+            Value::str(disch),
+            Value::str(ins),
+            Value::str(*pick(&mut rng, pools::LANGUAGE)),
+            Value::str(*pick(&mut rng, pools::RELIGION)),
+            Value::str(*pick(&mut rng, pools::MARITAL)),
+            Value::str(*pick(&mut rng, pools::ETHNICITY)),
+            date(admit - rng.gen_range(0..2)),
+            Value::Int(h_flag),
+            Value::str(diagnosis),
+            Value::Int(1),
+            deathtime,
+            date(admit + rng.gen_range(0..2)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- d_icd_diagnoses (3 attributes) ----
+    let mut rng = scale.rng(13);
+    let mut b = RelationBuilder::new(
+        "d_icd_diagnoses",
+        Schema::base("d_icd_diagnoses", &["icd9_code", "short_title", "long_title"]),
+    );
+    for i in 0..n_icd {
+        let code = format!("{:05}", i * 7 % 99_999);
+        b.push_row(vec![
+            Value::str(code.clone()),
+            Value::str(format!("short {i}")),
+            Value::str(format!(
+                "{} long title {i}",
+                pick(&mut rng, pools::DIAGNOSIS_STEMS)
+            )),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- diagnoses_icd (4 attributes) ----
+    let mut rng = scale.rng(14);
+    let mut b = RelationBuilder::new(
+        "diagnoses_icd",
+        Schema::base("diagnoses_icd", &["row_id", "subject_id", "seq_num", "icd9_code"]),
+    );
+    for i in 0..n_diag {
+        // heavy fan-out onto patients (paper coverage ≈ 7.5)
+        let sid_idx = skewed_index(&mut rng, n_patients, 0.3);
+        let icd_idx = skewed_index(&mut rng, n_icd, 0.7);
+        let code = format!("{:05}", icd_idx * 7 % 99_999);
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(10_000 + sid_idx as i64),
+            Value::Int(rng.gen_range(1..10)),
+            Value::str(code),
+        ]);
+    }
+    db.insert(b.finish());
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_discovery::{mine_fds, Fd};
+    use infine_relation::AttrSet;
+
+    #[test]
+    fn tables_have_paper_attribute_counts() {
+        let db = generate(Scale::of(0.002));
+        assert_eq!(db.expect("patients").ncols(), 7);
+        assert_eq!(db.expect("admissions").ncols(), 18);
+        assert_eq!(db.expect("diagnoses_icd").ncols(), 4);
+        assert_eq!(db.expect("d_icd_diagnoses").ncols(), 3);
+    }
+
+    #[test]
+    fn planted_fds_hold() {
+        let db = generate(Scale::of(0.003));
+        let p = db.expect("patients");
+        // dod → expire_flag
+        let dod = p.schema.expect_id("dod");
+        let ef = p.schema.expect_id("expire_flag");
+        assert!(infine_partitions::fd_holds(p, AttrSet::single(dod), ef));
+        // subject_id is a key
+        let sid = p.schema.expect_id("subject_id");
+        for a in 1..p.ncols() {
+            assert!(infine_partitions::fd_holds(p, AttrSet::single(sid), a));
+        }
+        let adm = db.expect("admissions");
+        let ins = adm.schema.expect_id("insurance");
+        let h = adm.schema.expect_id("hospital_expire_flag");
+        assert!(infine_partitions::fd_holds(adm, AttrSet::single(ins), h));
+        let sid = adm.schema.expect_id("subject_id");
+        assert!(infine_partitions::fd_holds(adm, AttrSet::single(sid), ins));
+    }
+
+    #[test]
+    fn planted_afd_becomes_exact_after_join() {
+        use infine_algebra::{execute, ViewSpec};
+        let db = generate(Scale::of(0.004));
+        let adm = db.expect("admissions");
+        let diag = adm.schema.expect_id("diagnosis");
+        let disch = adm.schema.expect_id("discharge_location");
+        // AFD on the base table (violated) …
+        let holds_base = infine_partitions::fd_holds(adm, AttrSet::single(diag), disch);
+        // … exact on the join (violators dangle).
+        let spec = ViewSpec::base("patients")
+            .inner_join(ViewSpec::base("admissions"), &["subject_id"]);
+        let view = execute(&spec, &db).unwrap();
+        let vdiag = view.schema.expect_id("diagnosis");
+        let vdisch = view.schema.expect_id("discharge_location");
+        let holds_view = infine_partitions::fd_holds(&view, AttrSet::single(vdiag), vdisch);
+        assert!(holds_view, "diagnosis → discharge_location must hold on the view");
+        // The base violation is probabilistic but near-certain at this
+        // scale; assert only the upstaging direction.
+        let _ = holds_base;
+    }
+
+    #[test]
+    fn icd_dictionary_has_two_fds() {
+        let db = generate(Scale::of(0.003));
+        let icd = db.expect("d_icd_diagnoses");
+        let fds = mine_fds(icd, icd.attr_set());
+        let code = icd.schema.expect_id("icd9_code");
+        assert!(fds.contains(&Fd::new(AttrSet::single(code), 1)));
+        assert!(fds.contains(&Fd::new(AttrSet::single(code), 2)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(Scale::of(0.002));
+        let b = generate(Scale::of(0.002));
+        assert_eq!(
+            a.expect("patients").row(5),
+            b.expect("patients").row(5)
+        );
+    }
+}

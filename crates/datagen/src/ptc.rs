@@ -1,0 +1,154 @@
+//! PTC-like generator (Predictive Toxicology Challenge).
+//!
+//! Molecules labelled by carcinogenicity, their atoms, bonds, and the
+//! `connected` adjacency table. Table I shapes: molecule (2; 343),
+//! atom (3; 12 333), bond (3; 12 379), connected (3; 24 758).
+//! `connected` fans out over `bond` (paper coverage 1.5) and over
+//! `atom ⋈ molecule` (coverage 27.08 for the bracketed views).
+
+use crate::common::{pick, pools, Scale};
+use infine_relation::{Database, RelationBuilder, Schema, Value};
+use rand::Rng;
+
+/// Paper row counts (Table I).
+pub const PAPER_MOLECULE: usize = 343;
+/// atom rows.
+pub const PAPER_ATOM: usize = 12_333;
+/// bond rows.
+pub const PAPER_BOND: usize = 12_379;
+/// connected rows.
+pub const PAPER_CONNECTED: usize = 24_758;
+
+/// Generate the four PTC-like tables.
+pub fn generate(scale: Scale) -> Database {
+    let n_mol = scale.rows(PAPER_MOLECULE, 24).min(PAPER_MOLECULE);
+    let n_atom = scale.rows(PAPER_ATOM, 150);
+    let n_bond = scale.rows(PAPER_BOND, 150);
+    let mut db = Database::new();
+
+    // ---- molecule (2 attributes) ----
+    let mut rng = scale.rng(31);
+    let mut b = RelationBuilder::new(
+        "molecule",
+        Schema::base("molecule", &["molecule_id", "label"]),
+    );
+    for i in 0..n_mol {
+        b.push_row(vec![
+            Value::str(format!("TR{i:03}")),
+            Value::Int(i64::from(rng.gen_bool(0.45))),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- atom (3 attributes) ----
+    let mut rng = scale.rng(32);
+    let mut b = RelationBuilder::new(
+        "atom",
+        Schema::base("atom", &["atom_id", "molecule_id", "element"]),
+    );
+    // Real atom ids per molecule, so `connected` references existing atoms.
+    let mut atoms_of: Vec<Vec<String>> = vec![Vec::new(); n_mol];
+    for i in 0..n_atom {
+        let mol = rng.gen_range(0..n_mol);
+        let id = format!("TR{mol:03}_{i}");
+        atoms_of[mol].push(id.clone());
+        b.push_row(vec![
+            Value::str(id),
+            Value::str(format!("TR{mol:03}")),
+            Value::str(*pick(&mut rng, pools::ELEMENTS)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- bond (3 attributes) ----
+    let mut rng = scale.rng(33);
+    let mut b = RelationBuilder::new(
+        "bond",
+        Schema::base("bond", &["bond_id", "molecule_id", "btype"]),
+    );
+    for i in 0..n_bond {
+        let mol = rng.gen_range(0..n_mol);
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("TR{mol:03}")),
+            Value::str(*pick(&mut rng, pools::BOND_TYPES)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- connected (3 attributes): two rows per bond (both directions) ----
+    let mut rng = scale.rng(34);
+    let mut b = RelationBuilder::new(
+        "connected",
+        Schema::base("connected", &["atom_id1", "atom_id2", "bond_id"]),
+    );
+    let connectable: Vec<usize> = (0..n_mol).filter(|&m| atoms_of[m].len() >= 2).collect();
+    for i in 0..n_bond {
+        let mol = *pick(&mut rng, &connectable);
+        let atoms = &atoms_of[mol];
+        let i1 = rng.gen_range(0..atoms.len());
+        let i2 = (i1 + 1 + rng.gen_range(0..atoms.len() - 1)) % atoms.len();
+        let (id1, id2) = (atoms[i1].clone(), atoms[i2].clone());
+        b.push_row(vec![
+            Value::str(id1.clone()),
+            Value::str(id2.clone()),
+            Value::Int(i as i64),
+        ]);
+        b.push_row(vec![
+            Value::str(id2),
+            Value::str(id1),
+            Value::Int(i as i64),
+        ]);
+    }
+    db.insert(b.finish());
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::AttrSet;
+
+    #[test]
+    fn shapes_match_table1() {
+        let db = generate(Scale::of(0.05));
+        assert_eq!(db.expect("molecule").ncols(), 2);
+        assert_eq!(db.expect("atom").ncols(), 3);
+        assert_eq!(db.expect("bond").ncols(), 3);
+        assert_eq!(db.expect("connected").ncols(), 3);
+        // connected ≈ 2 × bond
+        assert_eq!(
+            db.expect("connected").nrows(),
+            2 * db.expect("bond").nrows()
+        );
+    }
+
+    #[test]
+    fn atom_key_fds() {
+        let db = generate(Scale::of(0.05));
+        let atom = db.expect("atom");
+        let id = atom.schema.expect_id("atom_id");
+        assert!(infine_partitions::fd_holds(atom, AttrSet::single(id), 1));
+        assert!(infine_partitions::fd_holds(atom, AttrSet::single(id), 2));
+    }
+
+    #[test]
+    fn molecule_label_fd() {
+        let db = generate(Scale::of(0.05));
+        let mol = db.expect("molecule");
+        assert!(infine_partitions::fd_holds(mol, AttrSet::single(0), 1));
+    }
+
+    #[test]
+    fn connected_bond_fanout() {
+        use infine_algebra::{coverage, JoinOp};
+        let db = generate(Scale::of(0.05));
+        let c = db.expect("connected");
+        let bd = db.expect("bond");
+        let cb = c.schema.expect_id("bond_id");
+        let bb = bd.schema.expect_id("bond_id");
+        let cov = coverage(c, bd, &[(cb, bb)], JoinOp::Inner);
+        assert!(cov > 1.0, "connected ⋈ bond should fan out, got {cov}");
+    }
+}

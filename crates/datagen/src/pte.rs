@@ -1,0 +1,148 @@
+//! PTE-like generator (Predictive Toxicology Evaluation).
+//!
+//! The original dataset (relational.fit.cvut.cz) is a molecule database:
+//! drugs, their atoms (`atm`), bonds between atoms, and an activity label
+//! per drug. Table I shapes: drug (1 attr; 340), active (2; 300),
+//! atm (5; 9 317), bond (4; 9 317-ish). `active` covers a strict subset
+//! of the drugs (paper coverage of `active ⋈ drug` is 0.94).
+
+use crate::common::{pick, pools, Scale};
+use infine_relation::{Database, RelationBuilder, Schema, Value};
+use rand::Rng;
+
+/// Paper row counts (Table I).
+pub const PAPER_DRUG: usize = 340;
+/// active rows.
+pub const PAPER_ACTIVE: usize = 300;
+/// atm rows.
+pub const PAPER_ATM: usize = 9_189;
+/// bond rows.
+pub const PAPER_BOND: usize = 9_317;
+
+/// Generate the four PTE-like tables.
+pub fn generate(scale: Scale) -> Database {
+    // Keep drug count near the paper's (it is already tiny) but scale the
+    // big tables.
+    let n_drug = scale.rows(PAPER_DRUG, 30).min(PAPER_DRUG);
+    let n_active = ((n_drug as f64) * PAPER_ACTIVE as f64 / PAPER_DRUG as f64) as usize;
+    let n_atm = scale.rows(PAPER_ATM, 120);
+    let n_bond = scale.rows(PAPER_BOND, 120);
+    let mut db = Database::new();
+
+    // ---- drug (1 attribute — no FDs possible) ----
+    let mut b = RelationBuilder::new("drug", Schema::base("drug", &["drug_id"]));
+    for i in 0..n_drug {
+        b.push_row(vec![Value::str(format!("d{i}"))]);
+    }
+    db.insert(b.finish());
+
+    // ---- active (2 attributes): subset of drugs, one label each ----
+    let mut rng = scale.rng(21);
+    let mut b = RelationBuilder::new("active", Schema::base("active", &["drug_id", "activity"]));
+    for i in 0..n_active {
+        b.push_row(vec![
+            Value::str(format!("d{i}")),
+            Value::Int(i64::from(rng.gen_bool(0.5))),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- atm (5 attributes) ----
+    let mut rng = scale.rng(22);
+    let mut b = RelationBuilder::new(
+        "atm",
+        Schema::base("atm", &["atm_id", "drug_id", "element", "charge", "atype"]),
+    );
+    // Track real atom ids per drug so bonds reference existing atoms —
+    // the bond/atm joins must actually match (paper coverage ≈ 14).
+    let mut atoms_of: Vec<Vec<String>> = vec![Vec::new(); n_drug];
+    for i in 0..n_atm {
+        let drug = rng.gen_range(0..n_drug);
+        let element = *pick(&mut rng, pools::ELEMENTS);
+        // atype is functional of element (element → atype base FD).
+        let atype = 20 + pools::ELEMENTS.iter().position(|e| *e == element).unwrap() as i64;
+        let id = format!("d{drug}_{i}");
+        atoms_of[drug].push(id.clone());
+        b.push_row(vec![
+            Value::str(id),
+            Value::str(format!("d{drug}")),
+            Value::str(element),
+            Value::float((rng.gen_range(-3..=3) as f64) / 10.0),
+            Value::Int(atype),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- bond (4 attributes): endpoints are real atoms of the drug ----
+    let mut rng = scale.rng(23);
+    let mut b = RelationBuilder::new(
+        "bond",
+        Schema::base("bond", &["drug_id", "atm_id1", "atm_id2", "btype"]),
+    );
+    let bondable: Vec<usize> = (0..n_drug).filter(|&d| atoms_of[d].len() >= 2).collect();
+    for _ in 0..n_bond {
+        let drug = *pick(&mut rng, &bondable);
+        let atoms = &atoms_of[drug];
+        let a1 = rng.gen_range(0..atoms.len());
+        let a2 = (a1 + 1 + rng.gen_range(0..atoms.len() - 1)) % atoms.len();
+        b.push_row(vec![
+            Value::str(format!("d{drug}")),
+            Value::str(atoms[a1].clone()),
+            Value::str(atoms[a2].clone()),
+            Value::str(*pick(&mut rng, pools::BOND_TYPES)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::AttrSet;
+
+    #[test]
+    fn shapes_match_table1() {
+        let db = generate(Scale::of(0.05));
+        assert_eq!(db.expect("drug").ncols(), 1);
+        assert_eq!(db.expect("active").ncols(), 2);
+        assert_eq!(db.expect("atm").ncols(), 5);
+        assert_eq!(db.expect("bond").ncols(), 4);
+    }
+
+    #[test]
+    fn active_is_a_strict_subset_of_drugs() {
+        let db = generate(Scale::of(0.05));
+        assert!(db.expect("active").nrows() < db.expect("drug").nrows());
+    }
+
+    #[test]
+    fn atm_key_and_element_fds() {
+        let db = generate(Scale::of(0.05));
+        let atm = db.expect("atm");
+        let id = atm.schema.expect_id("atm_id");
+        for a in 1..atm.ncols() {
+            assert!(
+                infine_partitions::fd_holds(atm, AttrSet::single(id), a),
+                "atm_id should determine column {a}"
+            );
+        }
+        let el = atm.schema.expect_id("element");
+        let ty = atm.schema.expect_id("atype");
+        assert!(infine_partitions::fd_holds(atm, AttrSet::single(el), ty));
+    }
+
+    #[test]
+    fn active_drug_ids_reference_drug() {
+        let db = generate(Scale::of(0.05));
+        let drug = db.expect("drug");
+        let active = db.expect("active");
+        let ids: std::collections::HashSet<String> = (0..drug.nrows())
+            .map(|r| drug.value(r, 0).to_string())
+            .collect();
+        for r in 0..active.nrows() {
+            assert!(ids.contains(&active.value(r, 0).to_string()));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! TPC-H-like generator (from-scratch `dbgen` stand-in).
+//!
+//! Eight tables with the TPC-H key/foreign-key structure and the Table I
+//! attribute counts (the paper projects `part` to 7 attributes). Row
+//! counts follow scale-factor 1 (the paper's setting) multiplied by the
+//! scale factor, so `Scale::of(1.0)` reproduces the published sizes:
+//! supplier 10k, customer 150k, orders 1.5M, lineitem ≈6M, part 200k,
+//! partsupp 800k, nation 25, region 5.
+//!
+//! Functional structure mirrors TPC-H: every table's primary key, the
+//! FK chains used by the adapted queries Q2*/Q3*/Q9*/Q11*, derived
+//! columns (e.g. `p_retailprice` is a function of the part key in real
+//! dbgen — here of `p_size` and `p_mfgr` to give non-key FDs).
+
+use crate::common::{date, pick, pools, Scale};
+use infine_relation::{Database, RelationBuilder, Schema, Value};
+use rand::Rng;
+
+/// SF-1 row counts.
+pub const SF1_SUPPLIER: usize = 10_000;
+/// customer rows at SF 1.
+pub const SF1_CUSTOMER: usize = 150_000;
+/// orders rows at SF 1.
+pub const SF1_ORDERS: usize = 1_500_000;
+/// average lineitems per order (≈4 → 6M at SF 1).
+pub const LINES_PER_ORDER: usize = 4;
+/// part rows at SF 1.
+pub const SF1_PART: usize = 200_000;
+/// partsupp rows per part.
+pub const PS_PER_PART: usize = 4;
+
+/// Generate the eight TPC-H-like tables.
+pub fn generate(scale: Scale) -> Database {
+    let n_supp = scale.rows(SF1_SUPPLIER, 50);
+    let n_cust = scale.rows(SF1_CUSTOMER, 80);
+    let n_orders = scale.rows(SF1_ORDERS, 150);
+    let n_part = scale.rows(SF1_PART, 60);
+    let n_nation = pools::NATIONS.len();
+    let mut db = Database::new();
+
+    // ---- region (3) ----
+    let mut b = RelationBuilder::new(
+        "region",
+        Schema::base("region", &["r_regionkey", "r_name", "r_comment"]),
+    );
+    for (i, name) in pools::REGIONS.iter().enumerate() {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(*name),
+            Value::str(format!("region comment {i}")),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- nation (4) ----
+    let mut b = RelationBuilder::new(
+        "nation",
+        Schema::base("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+    );
+    for (i, (name, region)) in pools::NATIONS.iter().enumerate() {
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(*name),
+            Value::Int(*region as i64),
+            Value::str(format!("nation comment {i}")),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- supplier (7) ----
+    let mut rng = scale.rng(41);
+    let mut b = RelationBuilder::new(
+        "supplier",
+        Schema::base(
+            "supplier",
+            &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+        ),
+    );
+    for i in 0..n_supp {
+        // Round-robin base + jitter: every nation keeps suppliers at any
+        // scale (Q11*'s GERMANY selection must not come up empty).
+        let nation = if rng.gen_bool(0.5) {
+            i % n_nation
+        } else {
+            rng.gen_range(0..n_nation)
+        };
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("Supplier#{i:09}")),
+            Value::str(format!("addr s{}", i % (n_supp / 2 + 1))),
+            Value::Int(nation as i64),
+            Value::str(format!("{}-{:07}", 10 + nation, i)),
+            Value::Int(rng.gen_range(-99_999..999_999)),
+            Value::str(format!("supplier comment {}", i % 97)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- customer (8) ----
+    let mut rng = scale.rng(42);
+    let mut b = RelationBuilder::new(
+        "customer",
+        Schema::base(
+            "customer",
+            &["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"],
+        ),
+    );
+    for i in 0..n_cust {
+        let nation = rng.gen_range(0..n_nation);
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("Customer#{i:09}")),
+            Value::str(format!("addr c{}", i % (n_cust / 2 + 1))),
+            Value::Int(nation as i64),
+            Value::str(format!("{}-{:07}", 10 + nation, i + 7)),
+            Value::Int(rng.gen_range(-99_999..999_999)),
+            Value::str(*pick(&mut rng, pools::SEGMENTS)),
+            Value::str(format!("customer comment {}", i % 89)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- part (7, as in Table I) ----
+    let mut rng = scale.rng(43);
+    let mut b = RelationBuilder::new(
+        "part",
+        Schema::base(
+            "part",
+            &["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container"],
+        ),
+    );
+    for i in 0..n_part {
+        let mfgr = rng.gen_range(1..=5);
+        // brand functionally depends on mfgr (TPC-H: Brand#MN with M=mfgr)
+        let brand = format!("Brand#{}{}", mfgr, rng.gen_range(1..=5));
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("part name {}", i % (n_part * 3 / 4 + 1))),
+            Value::str(format!("Manufacturer#{mfgr}")),
+            Value::str(brand),
+            Value::str(*pick(&mut rng, pools::PART_TYPES)),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::str(*pick(&mut rng, pools::CONTAINERS)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- partsupp (5) ----
+    let mut rng = scale.rng(44);
+    let mut b = RelationBuilder::new(
+        "partsupp",
+        Schema::base(
+            "partsupp",
+            &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+        ),
+    );
+    for p in 0..n_part {
+        for s in 0..PS_PER_PART {
+            let supp = (p + s * (n_supp / PS_PER_PART + 1)) % n_supp;
+            b.push_row(vec![
+                Value::Int(p as i64),
+                Value::Int(supp as i64),
+                Value::Int(rng.gen_range(1..10_000)),
+                Value::Int(rng.gen_range(100..100_000)),
+                Value::str(format!("ps comment {}", (p + s) % 61)),
+            ]);
+        }
+    }
+    db.insert(b.finish());
+
+    // ---- orders (9) ----
+    let mut rng = scale.rng(45);
+    let mut b = RelationBuilder::new(
+        "orders",
+        Schema::base(
+            "orders",
+            &["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"],
+        ),
+    );
+    let mut order_dates = Vec::with_capacity(n_orders);
+    for i in 0..n_orders {
+        // TPC-H: only 2/3 of customers have orders.
+        let cust = rng.gen_range(0..n_cust) / 3 * 3 % n_cust;
+        let odate = rng.gen_range(0..2_400); // ~6.5 years of days
+        order_dates.push(odate);
+        b.push_row(vec![
+            Value::Int(i as i64),
+            Value::Int(cust as i64),
+            Value::str(*pick(&mut rng, pools::ORDER_STATUS)),
+            Value::Int(rng.gen_range(1_000..500_000)),
+            date(odate),
+            Value::str(*pick(&mut rng, pools::PRIORITIES)),
+            Value::str(format!("Clerk#{:09}", rng.gen_range(0..n_orders / 100 + 1))),
+            Value::Int(0),
+            Value::str(format!("order comment {}", i % 71)),
+        ]);
+    }
+    db.insert(b.finish());
+
+    // ---- lineitem (16) ----
+    let mut rng = scale.rng(46);
+    let mut b = RelationBuilder::new(
+        "lineitem",
+        Schema::base(
+            "lineitem",
+            &[
+                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+                "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+                "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+                "l_shipmode", "l_comment",
+            ],
+        ),
+    );
+    for (o, &odate) in order_dates.iter().enumerate() {
+        let nlines = 1 + rng.gen_range(0..(2 * LINES_PER_ORDER - 1));
+        for ln in 0..nlines {
+            let part = rng.gen_range(0..n_part);
+            // supplier from the part's partsupp candidates (FK into partsupp)
+            let s = rng.gen_range(0..PS_PER_PART);
+            let supp = (part + s * (n_supp / PS_PER_PART + 1)) % n_supp;
+            let ship = odate + rng.gen_range(1..121);
+            let status = if ship > 2_000 { "O" } else { "F" };
+            b.push_row(vec![
+                Value::Int(o as i64),
+                Value::Int(part as i64),
+                Value::Int(supp as i64),
+                Value::Int(ln as i64 + 1),
+                Value::Int(rng.gen_range(1..=50)),
+                Value::Int(rng.gen_range(1_000..100_000)),
+                Value::Int(rng.gen_range(0..=10)),
+                Value::Int(rng.gen_range(0..=8)),
+                Value::str(if status == "O" { "N" } else if rng.gen_bool(0.5) { "R" } else { "A" }),
+                Value::str(status),
+                date(ship),
+                date(odate + rng.gen_range(30..91)),
+                date(ship + rng.gen_range(1..31)),
+                Value::str("DELIVER IN PERSON"),
+                Value::str(*pick(&mut rng, pools::SHIP_MODES)),
+                Value::str(format!("line comment {}", (o + ln) % 53)),
+            ]);
+        }
+    }
+    db.insert(b.finish());
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::AttrSet;
+
+    #[test]
+    fn shapes_match_table1() {
+        let db = generate(Scale::of(0.001));
+        assert_eq!(db.expect("region").ncols(), 3);
+        assert_eq!(db.expect("nation").ncols(), 4);
+        assert_eq!(db.expect("supplier").ncols(), 7);
+        assert_eq!(db.expect("customer").ncols(), 8);
+        assert_eq!(db.expect("orders").ncols(), 9);
+        assert_eq!(db.expect("lineitem").ncols(), 16);
+        assert_eq!(db.expect("part").ncols(), 7);
+        assert_eq!(db.expect("partsupp").ncols(), 5);
+        assert_eq!(db.expect("nation").nrows(), 25);
+        assert_eq!(db.expect("region").nrows(), 5);
+    }
+
+    #[test]
+    fn primary_keys_hold() {
+        let db = generate(Scale::of(0.001));
+        for (table, key) in [
+            ("supplier", "s_suppkey"),
+            ("customer", "c_custkey"),
+            ("orders", "o_orderkey"),
+            ("part", "p_partkey"),
+            ("nation", "n_nationkey"),
+            ("region", "r_regionkey"),
+        ] {
+            let rel = db.expect(table);
+            let k = rel.schema.expect_id(key);
+            for a in 0..rel.ncols() {
+                if a != k {
+                    assert!(
+                        infine_partitions::fd_holds(rel, AttrSet::single(k), a),
+                        "{table}.{key} must determine column {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lineitem_fk_into_partsupp() {
+        let db = generate(Scale::of(0.001));
+        let li = db.expect("lineitem");
+        let ps = db.expect("partsupp");
+        let pairs: std::collections::HashSet<(i64, i64)> = (0..ps.nrows())
+            .map(|r| {
+                (
+                    ps.value(r, 0).as_i64().unwrap(),
+                    ps.value(r, 1).as_i64().unwrap(),
+                )
+            })
+            .collect();
+        for r in 0..li.nrows().min(500) {
+            let key = (
+                li.value(r, 1).as_i64().unwrap(),
+                li.value(r, 2).as_i64().unwrap(),
+            );
+            assert!(pairs.contains(&key), "lineitem ps FK broken: {key:?}");
+        }
+    }
+
+    #[test]
+    fn orders_reference_a_third_of_customers() {
+        let db = generate(Scale::of(0.002));
+        let o = db.expect("orders");
+        let custs: std::collections::HashSet<i64> = (0..o.nrows())
+            .map(|r| o.value(r, 1).as_i64().unwrap())
+            .collect();
+        // all referenced keys are ≡ 0 mod 3 (the dbgen-style gap)
+        assert!(custs.iter().all(|c| c % 3 == 0));
+    }
+
+    #[test]
+    fn brand_determined_by_its_prefix_structure() {
+        let db = generate(Scale::of(0.001));
+        let p = db.expect("part");
+        let brand = p.schema.expect_id("p_brand");
+        let mfgr = p.schema.expect_id("p_mfgr");
+        assert!(infine_partitions::fd_holds(p, AttrSet::single(brand), mfgr));
+    }
+}

@@ -1,0 +1,255 @@
+//! DepMiner (Lopes, Petit & Lakhal, EDBT 2000) — reference [20] of the
+//! InFine paper's related work.
+//!
+//! Tuple-oriented like FastFDs, but organized around *maximal* agree
+//! sets: for each rhs attribute `a`, collect the agree sets that do not
+//! contain `a` and are ⊆-maximal (`max(AG, a)`). A set `X` is a minimal
+//! FD lhs for `a` exactly when `X` is a minimal transversal of the
+//! hypergraph of their complements `{R \ M : M ∈ max(AG, a)}` — every
+//! pair of tuples agreeing on `M ∌ a` must be split by at least one lhs
+//! attribute outside `M`.
+//!
+//! Sharing the agree-set computation shape with FastFDs but pruning to
+//! maximal sets first gives DepMiner its distinct cost profile (fewer,
+//! larger hyperedges).
+
+use crate::fd::{Fd, FdSet};
+use crate::levelwise::constant_attrs;
+use infine_partitions::Pli;
+use infine_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashSet;
+
+/// Discover all minimal FDs over `attrs` in `rel` with DepMiner.
+pub fn depminer(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let mut result = FdSet::new();
+    let constants = constant_attrs(rel, attrs);
+    for a in constants.iter() {
+        result.insert_minimal(Fd::new(AttrSet::EMPTY, a));
+    }
+    let universe = attrs.difference(constants);
+    if universe.len() < 2 {
+        return result;
+    }
+
+    let agree_sets = compute_agree_sets(rel, universe);
+
+    for rhs in universe.iter() {
+        // max(AG, rhs): maximal agree sets not containing rhs. The empty
+        // agree set participates: a pair agreeing on nothing still rules
+        // out ∅ → rhs once it disagrees on rhs — represented by keeping ∅
+        // when present (its complement is the full universe minus rhs).
+        let not_containing: Vec<AttrSet> = agree_sets
+            .iter()
+            .copied()
+            .filter(|ag| !ag.contains(rhs))
+            .collect();
+        let maximal = maximal_sets(&not_containing);
+        // Hyperedges: complements within the universe, rhs removed.
+        let mut edges: Vec<AttrSet> = maximal
+            .iter()
+            .map(|&m| universe.difference(m).without(rhs))
+            .collect();
+        // Pairs agreeing *nowhere relevant* are invisible to the stripped
+        // partitions; as in FastFDs, the full edge keeps transversals
+        // non-empty and is harmless when redundant.
+        edges.push(universe.without(rhs));
+        let edges = minimize_sets(&edges);
+        if edges.iter().any(|e| e.is_empty()) {
+            continue; // some pair differs only on rhs: no FD possible
+        }
+        for lhs in minimal_transversals(&edges, universe.without(rhs)) {
+            result.insert_minimal(Fd::new(lhs, rhs));
+        }
+    }
+    result
+}
+
+/// Distinct agree sets of tuple pairs co-occurring in some class of a
+/// single-attribute partition (identical to the FastFDs front end).
+fn compute_agree_sets(rel: &Relation, universe: AttrSet) -> Vec<AttrSet> {
+    let mut seen_pairs: HashSet<(u32, u32)> = HashSet::new();
+    let mut agree: HashSet<AttrSet> = HashSet::new();
+    let attrs: Vec<AttrId> = universe.iter().collect();
+    for &a in &attrs {
+        let pli = Pli::for_attr(rel, a);
+        for class in pli.classes() {
+            for i in 0..class.len() {
+                for j in (i + 1)..class.len() {
+                    let pair = (class[i], class[j]);
+                    if !seen_pairs.insert(pair) {
+                        continue;
+                    }
+                    let mut ag = AttrSet::EMPTY;
+                    for &b in &attrs {
+                        if rel.code(pair.0 as usize, b) == rel.code(pair.1 as usize, b) {
+                            ag = ag.with(b);
+                        }
+                    }
+                    agree.insert(ag);
+                }
+            }
+        }
+    }
+    agree.into_iter().collect()
+}
+
+/// Keep only the ⊆-maximal sets.
+fn maximal_sets(sets: &[AttrSet]) -> Vec<AttrSet> {
+    let mut sorted: Vec<AttrSet> = sets.to_vec();
+    sorted.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    sorted.dedup();
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sorted {
+        if !out.iter().any(|m| s.is_subset(*m)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Keep only the ⊆-minimal sets.
+fn minimize_sets(sets: &[AttrSet]) -> Vec<AttrSet> {
+    let mut sorted: Vec<AttrSet> = sets.to_vec();
+    sorted.sort_by_key(|s| s.len());
+    sorted.dedup();
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sorted {
+        if !out.iter().any(|m| m.is_subset(s)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// All minimal transversals (hitting sets) of the hyperedges, by ordered
+/// depth-first branching (every minimal transversal has each chosen
+/// attribute uniquely hitting some edge, so the ascending-order walk
+/// visits all of them; non-minimal outputs are pruned by the caller's
+/// antichain insertion and a subset guard here).
+fn minimal_transversals(edges: &[AttrSet], candidates: AttrSet) -> Vec<AttrSet> {
+    let mut out = Vec::new();
+    let order: Vec<AttrId> = candidates.iter().collect();
+    dfs(edges, AttrSet::EMPTY, &order, &mut out);
+    // final antichain filter
+    let mut minimal: Vec<AttrSet> = Vec::new();
+    let mut sorted = out;
+    sorted.sort_by_key(|s| s.len());
+    for s in sorted {
+        if !minimal.iter().any(|m| m.is_subset(s)) {
+            minimal.push(s);
+        }
+    }
+    minimal
+}
+
+fn dfs(remaining: &[AttrSet], path: AttrSet, order: &[AttrId], out: &mut Vec<AttrSet>) {
+    if remaining.is_empty() {
+        if !out.iter().any(|c| c.is_subset(path)) {
+            out.push(path);
+        }
+        return;
+    }
+    for (i, &a) in order.iter().enumerate() {
+        let still: Vec<AttrSet> = remaining
+            .iter()
+            .copied()
+            .filter(|e| !e.contains(a))
+            .collect();
+        if still.len() == remaining.len() {
+            continue; // `a` hits nothing new
+        }
+        dfs(&still, path.with(a), &order[i + 1..], out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::same_fds;
+    use crate::levelwise::mine_fds_bruteforce;
+    use crate::tane::tane;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(2), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(3), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(4), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(5), Value::Int(30), Value::Int(0), Value::Int(7)],
+            ],
+        )
+    }
+
+    #[test]
+    fn depminer_matches_tane_and_bruteforce() {
+        let r = rel();
+        let d = depminer(&r, r.attr_set());
+        let t = tane(&r, r.attr_set());
+        assert!(same_fds(&d, &t), "\ndepminer: {:?}\ntane: {:?}",
+            d.to_sorted_vec(), t.to_sorted_vec());
+        assert!(same_fds(&d, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn depminer_all_distinct_rows() {
+        let r = relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(20)],
+                &[Value::Int(3), Value::Int(30)],
+            ],
+        );
+        let d = depminer(&r, r.attr_set());
+        assert!(same_fds(&d, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn depminer_with_nulls() {
+        let r = relation_from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                &[Value::Null, Value::Int(1), Value::Int(1)],
+                &[Value::Null, Value::Int(1), Value::Int(1)],
+                &[Value::Int(1), Value::Int(2), Value::Int(1)],
+                &[Value::Int(2), Value::Int(2), Value::Int(2)],
+            ],
+        );
+        let d = depminer(&r, r.attr_set());
+        assert!(same_fds(&d, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn maximal_and_minimal_set_helpers() {
+        let sets = vec![
+            [0usize].into_iter().collect::<AttrSet>(),
+            [0usize, 1].into_iter().collect::<AttrSet>(),
+            [2usize].into_iter().collect::<AttrSet>(),
+        ];
+        let max = maximal_sets(&sets);
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&[0usize, 1].into_iter().collect()));
+        let min = minimize_sets(&sets);
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&[0usize].into_iter().collect()));
+    }
+
+    #[test]
+    fn transversals_of_simple_hypergraph() {
+        // edges {0,1}, {1,2}: minimal transversals {1}, {0,2}
+        let edges = vec![
+            [0usize, 1].into_iter().collect::<AttrSet>(),
+            [1usize, 2].into_iter().collect::<AttrSet>(),
+        ];
+        let ts = minimal_transversals(&edges, AttrSet::all(3));
+        assert_eq!(ts.len(), 2);
+        assert!(ts.contains(&AttrSet::single(1)));
+        assert!(ts.contains(&[0usize, 2].into_iter().collect()));
+    }
+}

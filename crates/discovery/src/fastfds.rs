@@ -1,0 +1,284 @@
+//! FastFDs (Wyss, Giannella & Robertson, DaWaK 2001).
+//!
+//! Tuple-oriented discovery: compute *agree sets* (the attribute sets on
+//! which tuple pairs coincide), complement them into *difference sets*,
+//! and, per rhs attribute, search depth-first for the minimal attribute
+//! sets covering every difference set — these are exactly the minimal FD
+//! left-hand sides.
+//!
+//! Agree sets are derived from stripped single-attribute partitions: only
+//! pairs co-occurring in some class can agree on anything. Pairs agreeing
+//! nowhere contribute the full difference set `R`, which is added when the
+//! partitions do not account for every pair (it is harmless when spurious
+//! — see the module tests).
+//!
+//! The quadratic pair enumeration is intrinsic to the algorithm and is why
+//! FastFDs is the slowest baseline on the paper's larger views (Fig. 3);
+//! the benches scale data accordingly.
+
+use crate::fd::{Fd, FdSet};
+use crate::levelwise::constant_attrs;
+use infine_partitions::Pli;
+use infine_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashSet;
+
+/// Discover all minimal FDs over `attrs` in `rel` with FastFDs.
+pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let mut result = FdSet::new();
+    let constants = constant_attrs(rel, attrs);
+    for a in constants.iter() {
+        result.insert_minimal(Fd::new(AttrSet::EMPTY, a));
+    }
+    let universe = attrs.difference(constants);
+    if universe.len() < 2 {
+        return result;
+    }
+
+    let agree_sets = compute_agree_sets(rel, universe);
+    // Difference sets: complements of agree sets within the universe.
+    let mut diff_sets: HashSet<AttrSet> = agree_sets
+        .iter()
+        .map(|&a| universe.difference(a))
+        .collect();
+    diff_sets.remove(&AttrSet::EMPTY); // duplicate tuples: no constraint
+    // The full difference set R accounts for pairs agreeing nowhere. It is
+    // redundant unless no smaller difference set exists for some rhs, and
+    // harmless otherwise (every non-empty lhs covers R \ {a}).
+    diff_sets.insert(universe);
+
+    for rhs in universe.iter() {
+        // D_a: difference sets containing a, with a removed; minimized.
+        let with_rhs: Vec<AttrSet> = diff_sets
+            .iter()
+            .filter(|d| d.contains(rhs))
+            .map(|d| d.without(rhs))
+            .collect();
+        let minimal_diffs = minimize_sets(&with_rhs);
+        if minimal_diffs.is_empty() {
+            // no pair ever disagrees on rhs while agreeing elsewhere —
+            // handled by the constant case; nothing to do here.
+            continue;
+        }
+        if minimal_diffs.iter().any(|d| d.is_empty()) {
+            // some pair disagrees *only* on rhs: no FD with this rhs holds.
+            continue;
+        }
+        let mut covers = Vec::new();
+        let order = order_by_coverage(&minimal_diffs, universe.without(rhs));
+        find_covers(
+            &minimal_diffs,
+            AttrSet::EMPTY,
+            &order,
+            &mut covers,
+        );
+        for lhs in covers {
+            result.insert_minimal(Fd::new(lhs, rhs));
+        }
+    }
+    result
+}
+
+/// All distinct agree sets of tuple pairs co-occurring in at least one
+/// single-attribute partition class.
+fn compute_agree_sets(rel: &Relation, universe: AttrSet) -> Vec<AttrSet> {
+    let mut seen_pairs: HashSet<(u32, u32)> = HashSet::new();
+    let mut agree: HashSet<AttrSet> = HashSet::new();
+    let attrs: Vec<AttrId> = universe.iter().collect();
+    for &a in &attrs {
+        let pli = Pli::for_attr(rel, a);
+        for class in pli.classes() {
+            for i in 0..class.len() {
+                for j in (i + 1)..class.len() {
+                    let pair = (class[i], class[j]);
+                    if !seen_pairs.insert(pair) {
+                        continue;
+                    }
+                    let mut ag = AttrSet::EMPTY;
+                    for &b in &attrs {
+                        if rel.code(pair.0 as usize, b) == rel.code(pair.1 as usize, b) {
+                            ag = ag.with(b);
+                        }
+                    }
+                    agree.insert(ag);
+                }
+            }
+        }
+    }
+    agree.into_iter().collect()
+}
+
+/// Keep only the ⊆-minimal sets.
+fn minimize_sets(sets: &[AttrSet]) -> Vec<AttrSet> {
+    let mut sorted: Vec<AttrSet> = sets.to_vec();
+    sorted.sort_by_key(|s| s.len());
+    sorted.dedup();
+    let mut out: Vec<AttrSet> = Vec::new();
+    for s in sorted {
+        if !out.iter().any(|m| m.is_subset(s)) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Attributes ordered by how many difference sets they cover (descending,
+/// ties by id) — the FastFDs search heuristic.
+fn order_by_coverage(diffs: &[AttrSet], candidates: AttrSet) -> Vec<AttrId> {
+    let mut counted: Vec<(usize, AttrId)> = candidates
+        .iter()
+        .map(|a| {
+            let cnt = diffs.iter().filter(|d| d.contains(a)).count();
+            (cnt, a)
+        })
+        .filter(|&(cnt, _)| cnt > 0)
+        .collect();
+    counted.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+    counted.into_iter().map(|(_, a)| a).collect()
+}
+
+/// Depth-first search for covers of the remaining difference sets.
+///
+/// Each branch fixes one attribute from the current ordering and recurses
+/// on the still-uncovered sets with the *later* attributes only (the
+/// classic FastFDs enumeration, which visits every cover exactly once).
+/// Minimality of emitted covers is checked directly: every chosen
+/// attribute must uniquely cover some difference set.
+fn find_covers(
+    remaining: &[AttrSet],
+    path: AttrSet,
+    order: &[AttrId],
+    out: &mut Vec<AttrSet>,
+) {
+    if remaining.is_empty() {
+        out.push(path);
+        return;
+    }
+    for (i, &a) in order.iter().enumerate() {
+        let still: Vec<AttrSet> = remaining
+            .iter()
+            .copied()
+            .filter(|d| !d.contains(a))
+            .collect();
+        if still.len() == remaining.len() {
+            continue; // a covers nothing new on this branch
+        }
+        let new_path = path.with(a);
+        if still.is_empty() {
+            // Every minimal cover is visited by this enumeration (each of
+            // its attributes uniquely covers some difference set, so every
+            // prefix makes progress); non-minimal covers emitted here are
+            // evicted by the caller's antichain insertion. The subset
+            // guard just keeps `out` small along the way.
+            if !out.iter().any(|&c| c.is_subset(new_path)) {
+                out.push(new_path);
+            }
+        } else {
+            let sub_order: Vec<AttrId> = order[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&b| still.iter().any(|d| d.contains(b)))
+                .collect();
+            find_covers(&still, new_path, &sub_order, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::same_fds;
+    use crate::levelwise::mine_fds_bruteforce;
+    use crate::tane::tane;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(2), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(3), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(4), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(5), Value::Int(30), Value::Int(0), Value::Int(7)],
+            ],
+        )
+    }
+
+    #[test]
+    fn fastfds_matches_tane_and_bruteforce() {
+        let r = rel();
+        let f = fastfds(&r, r.attr_set());
+        let t = tane(&r, r.attr_set());
+        assert!(same_fds(&f, &t), "\nfastfds: {:?}\ntane: {:?}",
+            f.to_sorted_vec(), t.to_sorted_vec());
+        assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn all_distinct_rows_still_yield_key_fds() {
+        // No two rows agree anywhere except... every attribute is a key.
+        let r = relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(20)],
+                &[Value::Int(3), Value::Int(30)],
+            ],
+        );
+        let f = fastfds(&r, r.attr_set());
+        // a→b and b→a hold (both keys); agree sets are empty so the full
+        // difference set R path must produce them.
+        assert!(f.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(f.contains(&Fd::new(AttrSet::single(1), 0)));
+        assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn duplicate_rows_are_not_violations() {
+        let r = relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(20)],
+            ],
+        );
+        let f = fastfds(&r, r.attr_set());
+        assert!(f.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn no_fd_when_rhs_varies_under_equal_lhs() {
+        let r = relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(1), Value::Int(20)],
+            ],
+        );
+        let f = fastfds(&r, r.attr_set());
+        // a→b violated; a is constant so ∅→a is the minimal FD with rhs a
+        // (b→a holds but is shadowed by ∅→a).
+        assert!(!f.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(f.contains(&Fd::new(AttrSet::EMPTY, 0)));
+        assert!(!f.contains(&Fd::new(AttrSet::single(1), 0)));
+        assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn minimize_sets_keeps_antichain() {
+        let sets = vec![
+            [0usize, 1].into_iter().collect::<AttrSet>(),
+            [0usize].into_iter().collect::<AttrSet>(),
+            [1usize, 2].into_iter().collect::<AttrSet>(),
+        ];
+        let m = minimize_sets(&sets);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&AttrSet::single(0)));
+    }
+}

@@ -1,0 +1,479 @@
+//! Functional dependencies, FD sets, and Armstrong-axiom reasoning.
+//!
+//! Throughout the workspace FDs are *canonical*: a single rhs attribute
+//! and (when stored in an [`FdSet`] via [`FdSet::insert_minimal`]) a
+//! subset-minimal lhs. The empty lhs is allowed and denotes a constant
+//! attribute (`∅ → a`).
+
+use infine_relation::{AttrId, AttrSet, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A canonical functional dependency `lhs → rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Left-hand side attribute set (may be empty: constant column).
+    pub lhs: AttrSet,
+    /// Right-hand side attribute.
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Construct, asserting non-triviality (`rhs ∉ lhs`).
+    pub fn new(lhs: AttrSet, rhs: AttrId) -> Fd {
+        assert!(!lhs.contains(rhs), "trivial FD: rhs {rhs} ∈ lhs {lhs:?}");
+        Fd { lhs, rhs }
+    }
+
+    /// Render with attribute names from a schema.
+    pub fn render(&self, schema: &Schema) -> String {
+        let lhs = if self.lhs.is_empty() {
+            "∅".to_string()
+        } else {
+            schema.render_set(self.lhs)
+        };
+        format!("{lhs} → {}", schema.name(self.rhs))
+    }
+
+    /// All attributes mentioned by the FD.
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs.with(self.rhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} → {}", self.lhs, self.rhs)
+    }
+}
+
+/// A set of canonical FDs, stored per rhs attribute.
+///
+/// [`FdSet::insert_minimal`] maintains the *antichain* invariant per rhs:
+/// no stored lhs is a subset of another. All reasoning helpers (closure,
+/// implication, covers) work regardless of that invariant, so the set can
+/// also hold raw collections via [`FdSet::insert_unchecked`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    by_rhs: HashMap<AttrId, Vec<AttrSet>>,
+}
+
+impl FdSet {
+    /// Empty set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// Build from an iterator, minimally.
+    pub fn from_fds(fds: impl IntoIterator<Item = Fd>) -> FdSet {
+        let mut s = FdSet::new();
+        for fd in fds {
+            s.insert_minimal(fd);
+        }
+        s
+    }
+
+    /// Number of stored FDs.
+    pub fn len(&self) -> usize {
+        self.by_rhs.values().map(Vec::len).sum()
+    }
+
+    /// True iff no FD is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert keeping the per-rhs antichain: drop the FD if a stored lhs
+    /// is a subset; evict stored supersets. Returns true iff inserted.
+    pub fn insert_minimal(&mut self, fd: Fd) -> bool {
+        let lhss = self.by_rhs.entry(fd.rhs).or_default();
+        if lhss.iter().any(|&x| x.is_subset(fd.lhs)) {
+            return false;
+        }
+        lhss.retain(|&x| !fd.lhs.is_subset(x));
+        lhss.push(fd.lhs);
+        true
+    }
+
+    /// Insert without minimality maintenance (deduplicates exact matches).
+    pub fn insert_unchecked(&mut self, fd: Fd) -> bool {
+        let lhss = self.by_rhs.entry(fd.rhs).or_default();
+        if lhss.contains(&fd.lhs) {
+            return false;
+        }
+        lhss.push(fd.lhs);
+        true
+    }
+
+    /// Remove an exact FD; returns true iff it was present.
+    pub fn remove(&mut self, fd: &Fd) -> bool {
+        if let Some(lhss) = self.by_rhs.get_mut(&fd.rhs) {
+            if let Some(pos) = lhss.iter().position(|&x| x == fd.lhs) {
+                lhss.swap_remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact membership.
+    pub fn contains(&self, fd: &Fd) -> bool {
+        self.by_rhs
+            .get(&fd.rhs)
+            .map(|v| v.contains(&fd.lhs))
+            .unwrap_or(false)
+    }
+
+    /// Is there a stored `X → rhs` with `X ⊆ lhs`? (The subset-pruning
+    /// test of Algorithms 2, 3, and 5.)
+    pub fn has_subset_lhs(&self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.by_rhs
+            .get(&rhs)
+            .map(|v| v.iter().any(|&x| x.is_subset(lhs)))
+            .unwrap_or(false)
+    }
+
+    /// The stored lhs sets for one rhs.
+    pub fn lhss_for(&self, rhs: AttrId) -> &[AttrSet] {
+        self.by_rhs.get(&rhs).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rhs attributes that have at least one FD.
+    pub fn rhs_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.by_rhs
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&a, _)| a)
+    }
+
+    /// Iterate all FDs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.by_rhs
+            .iter()
+            .flat_map(|(&rhs, lhss)| lhss.iter().map(move |&lhs| Fd { lhs, rhs }))
+    }
+
+    /// Sorted vector of FDs — canonical order for comparisons and output.
+    pub fn to_sorted_vec(&self) -> Vec<Fd> {
+        let mut v: Vec<Fd> = self.iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Merge another set (minimally).
+    pub fn extend_minimal(&mut self, other: &FdSet) {
+        for fd in other.iter() {
+            self.insert_minimal(fd);
+        }
+    }
+
+    /// Attribute-set closure `X⁺` under the stored FDs (Armstrong).
+    ///
+    /// Linear passes to a fixpoint; at ≤ 64 attributes and the FD-set
+    /// sizes of this workload the simple loop beats index maintenance.
+    pub fn closure(&self, attrs: AttrSet) -> AttrSet {
+        let mut closed = attrs;
+        loop {
+            let before = closed;
+            for (&rhs, lhss) in &self.by_rhs {
+                if closed.contains(rhs) {
+                    continue;
+                }
+                if lhss.iter().any(|&lhs| lhs.is_subset(closed)) {
+                    closed = closed.with(rhs);
+                }
+            }
+            if closed == before {
+                return closed;
+            }
+        }
+    }
+
+    /// Does the stored set logically imply `fd`?
+    pub fn implies(&self, fd: &Fd) -> bool {
+        self.closure(fd.lhs).contains(fd.rhs)
+    }
+
+    /// Logical equivalence with another set (mutual implication).
+    pub fn equivalent(&self, other: &FdSet) -> bool {
+        self.iter().all(|fd| other.implies(&fd)) && other.iter().all(|fd| self.implies(&fd))
+    }
+
+    /// A minimal cover: every lhs is reduced (no extraneous attribute) and
+    /// every FD not implied by the others is kept.
+    pub fn minimal_cover(&self) -> FdSet {
+        // 1. reduce lhs attributes
+        let mut reduced = FdSet::new();
+        for fd in self.iter() {
+            let mut lhs = fd.lhs;
+            loop {
+                let mut shrunk = false;
+                for a in lhs.iter() {
+                    let candidate = lhs.without(a);
+                    if self.closure(candidate).contains(fd.rhs) {
+                        lhs = candidate;
+                        shrunk = true;
+                        break;
+                    }
+                }
+                if !shrunk {
+                    break;
+                }
+            }
+            reduced.insert_minimal(Fd { lhs, rhs: fd.rhs });
+        }
+        // 2. drop FDs implied by the remaining ones (sequential scan over
+        // the working set; once dropped an FD cannot justify later drops)
+        let all: Vec<Fd> = reduced.to_sorted_vec();
+        let mut kept = vec![true; all.len()];
+        for i in 0..all.len() {
+            kept[i] = false;
+            let rest: FdSet = all
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| kept[j])
+                .map(|(_, &fd)| fd)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .fold(FdSet::new(), |mut s, fd| {
+                    s.insert_unchecked(fd);
+                    s
+                });
+            if !rest.implies(&all[i]) {
+                kept[i] = true;
+            }
+        }
+        let mut cover = FdSet::new();
+        for (i, fd) in all.iter().enumerate() {
+            if kept[i] {
+                cover.insert_minimal(*fd);
+            }
+        }
+        cover
+    }
+
+    /// All ⊆-minimal candidate keys of a relation with attribute set
+    /// `universe`, derived from the stored FDs: the minimal `K` with
+    /// `closure(K) = universe`.
+    ///
+    /// Classic application of the closure machinery (database design /
+    /// normalization); level-wise search with antichain pruning, seeded
+    /// with the attributes that appear in no rhs (those belong to every
+    /// key).
+    pub fn candidate_keys(&self, universe: AttrSet) -> Vec<AttrSet> {
+        if universe.is_empty() {
+            return vec![AttrSet::EMPTY];
+        }
+        // Attributes that appear in no rhs cannot be derived, so they
+        // belong to every key (the "core").
+        let determined: AttrSet = self
+            .by_rhs
+            .iter()
+            .filter(|(_, lhss)| !lhss.is_empty())
+            .map(|(&a, _)| a)
+            .collect();
+        let core = universe.difference(determined);
+        if universe.is_subset(self.closure(core)) {
+            return vec![core];
+        }
+        // Grow the core with subsets of the derivable attributes,
+        // level-wise, max-attribute extension, antichain pruning.
+        let pool = universe.intersect(determined);
+        let mut found: Vec<AttrSet> = Vec::new();
+        let mut level: Vec<AttrSet> = pool.iter().map(|a| core.with(a)).collect();
+        while !level.is_empty() {
+            let mut extendable = Vec::new();
+            for &k in &level {
+                if found.iter().any(|f| f.is_subset(k)) {
+                    continue;
+                }
+                if universe.is_subset(self.closure(k)) {
+                    found.push(k);
+                } else {
+                    extendable.push(k);
+                }
+            }
+            let mut next = Vec::new();
+            for &k in &extendable {
+                let max_ext = k
+                    .difference(core)
+                    .iter()
+                    .last()
+                    .expect("extension part is non-empty past level 1");
+                for b in pool.iter() {
+                    if b > max_ext {
+                        next.push(k.with(b));
+                    }
+                }
+            }
+            level = next;
+        }
+        found.sort_by_key(|s| (s.len(), s.bits()));
+        found
+    }
+
+    /// Render all FDs with a schema, sorted, one per line.
+    pub fn render(&self, schema: &Schema) -> String {
+        self.to_sorted_vec()
+            .iter()
+            .map(|fd| fd.render(schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        FdSet::from_fds(iter)
+    }
+}
+
+/// Do two FD sets contain exactly the same FDs (as sets, not logically)?
+pub fn same_fds(a: &FdSet, b: &FdSet) -> bool {
+    a.to_sorted_vec() == b.to_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(bits: &[AttrId]) -> AttrSet {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_minimal_keeps_antichain() {
+        let mut s = FdSet::new();
+        assert!(s.insert_minimal(Fd::new(set(&[0, 1]), 2)));
+        // superset rejected
+        assert!(!s.insert_minimal(Fd::new(set(&[0, 1, 3]), 2)));
+        // subset evicts superset
+        assert!(s.insert_minimal(Fd::new(set(&[0]), 2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Fd::new(set(&[0]), 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial FD")]
+    fn trivial_fd_rejected() {
+        Fd::new(set(&[0, 1]), 1);
+    }
+
+    #[test]
+    fn closure_transitivity() {
+        // a→b, b→c  ⇒  {a}+ = {a,b,c}
+        let s = FdSet::from_fds([Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)]);
+        assert_eq!(s.closure(set(&[0])), set(&[0, 1, 2]));
+        assert!(s.implies(&Fd::new(set(&[0]), 2)));
+        assert!(!s.implies(&Fd::new(set(&[2]), 0)));
+    }
+
+    #[test]
+    fn closure_handles_empty_lhs() {
+        // ∅→a (constant), a,b→c
+        let s = FdSet::from_fds([Fd::new(AttrSet::EMPTY, 0), Fd::new(set(&[0, 1]), 2)]);
+        assert_eq!(s.closure(set(&[1])), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn equivalence_is_logical() {
+        // {a→b, b→c} ≡ {a→b, b→c, a→c}
+        let s1 = FdSet::from_fds([Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)]);
+        let mut s2 = s1.clone();
+        s2.insert_unchecked(Fd::new(set(&[0]), 2));
+        assert!(s1.equivalent(&s2));
+        let s3 = FdSet::from_fds([Fd::new(set(&[0]), 1)]);
+        assert!(!s1.equivalent(&s3));
+    }
+
+    #[test]
+    fn minimal_cover_reduces_lhs_and_drops_implied() {
+        // a→b; ab→c (lhs reducible to a); a→c (implied once reduced)
+        let mut s = FdSet::new();
+        s.insert_unchecked(Fd::new(set(&[0]), 1));
+        s.insert_unchecked(Fd::new(set(&[0, 1]), 2));
+        s.insert_unchecked(Fd::new(set(&[0]), 2));
+        let cover = s.minimal_cover();
+        assert!(cover.equivalent(&s));
+        assert!(cover.len() <= 2, "cover too large: {:?}", cover.to_sorted_vec());
+        assert!(cover.contains(&Fd::new(set(&[0]), 1)));
+    }
+
+    #[test]
+    fn has_subset_lhs_checks_per_rhs() {
+        let s = FdSet::from_fds([Fd::new(set(&[0]), 2)]);
+        assert!(s.has_subset_lhs(set(&[0, 1]), 2));
+        assert!(!s.has_subset_lhs(set(&[1]), 2));
+        assert!(!s.has_subset_lhs(set(&[0, 1]), 3));
+    }
+
+    #[test]
+    fn sorted_vec_is_deterministic() {
+        let s = FdSet::from_fds([
+            Fd::new(set(&[2]), 0),
+            Fd::new(set(&[1]), 0),
+            Fd::new(set(&[0]), 1),
+        ]);
+        let v = s.to_sorted_vec();
+        assert_eq!(v.len(), 3);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(v, sorted);
+    }
+
+    #[test]
+    fn extend_minimal_merges() {
+        let mut a = FdSet::from_fds([Fd::new(set(&[0, 1]), 2)]);
+        let b = FdSet::from_fds([Fd::new(set(&[0]), 2), Fd::new(set(&[3]), 4)]);
+        a.extend_minimal(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(&Fd::new(set(&[0]), 2)));
+    }
+
+    #[test]
+    fn candidate_keys_textbook_example() {
+        // R(a,b,c,d): a→b, b→c. Keys: {a,d} (d underived, a derives b,c).
+        let s = FdSet::from_fds([Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 2)]);
+        let keys = s.candidate_keys(AttrSet::all(4));
+        assert_eq!(keys, vec![set(&[0, 3])]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple_minimal() {
+        // a→b, b→a, plus c underived: keys {a,c} and {b,c}.
+        let s = FdSet::from_fds([Fd::new(set(&[0]), 1), Fd::new(set(&[1]), 0)]);
+        let keys = s.candidate_keys(AttrSet::all(3));
+        assert_eq!(keys, vec![set(&[0, 2]), set(&[1, 2])]);
+    }
+
+    #[test]
+    fn candidate_keys_no_fds_means_whole_relation() {
+        let keys = FdSet::new().candidate_keys(AttrSet::all(3));
+        assert_eq!(keys, vec![AttrSet::all(3)]);
+    }
+
+    #[test]
+    fn candidate_keys_are_an_antichain_of_superkeys() {
+        // chain a→b→c→d plus d→a: every singleton is a key.
+        let s = FdSet::from_fds([
+            Fd::new(set(&[0]), 1),
+            Fd::new(set(&[1]), 2),
+            Fd::new(set(&[2]), 3),
+            Fd::new(set(&[3]), 0),
+        ]);
+        let keys = s.candidate_keys(AttrSet::all(4));
+        assert_eq!(keys.len(), 4);
+        for k in &keys {
+            assert_eq!(k.len(), 1);
+            assert_eq!(s.closure(*k), AttrSet::all(4));
+        }
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let schema = Schema::base("t", &["x", "y", "z"]);
+        let fd = Fd::new(set(&[0, 1]), 2);
+        assert_eq!(fd.render(&schema), "x,y → z");
+        assert_eq!(Fd::new(AttrSet::EMPTY, 0).render(&schema), "∅ → x");
+    }
+}

@@ -1,0 +1,194 @@
+//! FUN (Novelli & Cicchetti, ICDT 2001).
+//!
+//! Cardinality-driven level-wise discovery: the lattice is restricted to
+//! *free sets* — attribute sets whose cardinality (number of distinct
+//! value combinations) strictly exceeds that of every strict subset. Only
+//! free sets can be minimal FD left-hand sides, and the FD validity test
+//! is pure counting: `X → a` holds iff `|X| = |X ∪ {a}|`.
+//!
+//! This reimplementation keeps FUN's defining ideas (free-set pruning,
+//! cardinality-equality validity, key cut-off) on top of the shared PLI
+//! substrate; the embedded-dependency extension of the original paper is
+//! out of scope, as in the InFine evaluation.
+
+use crate::fd::{Fd, FdSet};
+use crate::levelwise::constant_attrs;
+use infine_partitions::PliCache;
+use infine_relation::{AttrSet, Relation};
+use std::collections::{HashMap, HashSet};
+
+/// Discover all minimal FDs over `attrs` in `rel` with FUN.
+pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let mut result = FdSet::new();
+    let constants = constant_attrs(rel, attrs);
+    for a in constants.iter() {
+        result.insert_minimal(Fd::new(AttrSet::EMPTY, a));
+    }
+    let universe = attrs.difference(constants);
+    if universe.len() < 2 {
+        return result;
+    }
+    let nrows = rel.nrows();
+    let mut cache = PliCache::with_attrs(rel, universe);
+    let mut card: HashMap<AttrSet, usize> = HashMap::new();
+    card.insert(AttrSet::EMPTY, 1.min(nrows));
+
+    // Level 1: singletons; all are free (constants were excluded, so
+    // |{a}| > 1 = |∅|).
+    let mut free_level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
+    for &x in &free_level {
+        let c = cache.get(x).distinct_count();
+        card.insert(x, c);
+    }
+
+    while !free_level.is_empty() {
+        // Emit FDs: for each free X and attribute a outside X, the FD
+        // X → a holds iff adding a does not increase the cardinality.
+        // Minimality is guaranteed by free-set pruning plus the subset
+        // check against already-found FDs.
+        let mut keys: HashSet<AttrSet> = HashSet::new();
+        for &x in &free_level {
+            let cx = card[&x];
+            if cx == nrows {
+                // X is a key: it determines every attribute. Supersets of
+                // keys are non-free; stop expanding through X.
+                for a in universe.difference(x).iter() {
+                    if !result.has_subset_lhs(x, a) {
+                        result.insert_minimal(Fd::new(x, a));
+                    }
+                }
+                keys.insert(x);
+                continue;
+            }
+            for a in universe.difference(x).iter() {
+                if result.has_subset_lhs(x, a) {
+                    continue;
+                }
+                let xa = x.with(a);
+                let cxa = *card
+                    .entry(xa)
+                    .or_insert_with(|| cache.get(xa).distinct_count());
+                if cxa == cx {
+                    result.insert_minimal(Fd::new(x, a));
+                }
+            }
+        }
+
+        // Generate the next level of free-set candidates: prefix join of
+        // non-key free sets, then keep candidates that are genuinely free
+        // (cardinality strictly above every immediate subset) — non-free
+        // sets cannot be minimal lhs and their supersets are non-free too.
+        let expandable: Vec<AttrSet> = free_level
+            .iter()
+            .copied()
+            .filter(|x| !keys.contains(x))
+            .collect();
+        let present: HashSet<AttrSet> = expandable.iter().copied().collect();
+        let mut by_prefix: HashMap<AttrSet, Vec<usize>> = HashMap::new();
+        for &x in &expandable {
+            let max = x.iter().last().expect("nonempty");
+            by_prefix.entry(x.without(max)).or_default().push(max);
+        }
+        let mut next: Vec<AttrSet> = Vec::new();
+        for (prefix, maxes) in &by_prefix {
+            let mut ms = maxes.clone();
+            ms.sort_unstable();
+            for i in 0..ms.len() {
+                for j in (i + 1)..ms.len() {
+                    let cand = prefix.with(ms[i]).with(ms[j]);
+                    if !cand.immediate_subsets().all(|s| present.contains(&s)) {
+                        continue;
+                    }
+                    let c = *card
+                        .entry(cand)
+                        .or_insert_with(|| cache.get(cand).distinct_count());
+                    // free ⇔ strictly larger than every immediate subset
+                    let is_free = cand.immediate_subsets().all(|s| card[&s] < c);
+                    if is_free {
+                        next.push(cand);
+                    }
+                }
+            }
+        }
+        next.sort_by_key(|s| s.bits());
+        next.dedup();
+        free_level = next;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::same_fds;
+    use crate::levelwise::mine_fds_bruteforce;
+    use crate::tane::tane;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(2), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(3), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(4), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(5), Value::Int(30), Value::Int(0), Value::Int(7)],
+            ],
+        )
+    }
+
+    #[test]
+    fn fun_matches_tane_and_bruteforce() {
+        let r = rel();
+        let f = fun(&r, r.attr_set());
+        let t = tane(&r, r.attr_set());
+        let b = mine_fds_bruteforce(&r, r.attr_set());
+        assert!(same_fds(&f, &t), "\nfun: {:?}\ntane: {:?}",
+            f.to_sorted_vec(), t.to_sorted_vec());
+        assert!(same_fds(&f, &b));
+    }
+
+    #[test]
+    fn fun_key_shortcut_emits_key_fds() {
+        let r = relation_from_rows(
+            "t",
+            &["id", "x", "y"],
+            &[
+                &[Value::Int(1), Value::Int(5), Value::Int(5)],
+                &[Value::Int(2), Value::Int(5), Value::Int(6)],
+                &[Value::Int(3), Value::Int(6), Value::Int(6)],
+            ],
+        );
+        let f = fun(&r, r.attr_set());
+        assert!(f.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(f.contains(&Fd::new(AttrSet::single(0), 2)));
+        assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
+    }
+
+    #[test]
+    fn fun_two_attribute_bijection() {
+        let r = relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Int(20)],
+                &[Value::Int(1), Value::Int(10)],
+            ],
+        );
+        let f = fun(&r, r.attr_set());
+        assert!(f.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(f.contains(&Fd::new(AttrSet::single(1), 0)));
+    }
+
+    #[test]
+    fn fun_restriction() {
+        let r = rel();
+        let attrs: AttrSet = [1usize, 2, 3].into_iter().collect();
+        let f = fun(&r, attrs);
+        let b = mine_fds_bruteforce(&r, attrs);
+        assert!(same_fds(&f, &b));
+    }
+}

@@ -1,0 +1,312 @@
+//! Generic level-wise (lattice) FD mining.
+//!
+//! This is the machinery behind the paper's Algorithms 2 and 3: explore
+//! candidate lhs sets per rhs attribute bottom-up, prune candidates whose
+//! lhs has a valid subset (in the already-discovered output `Dout` *or* in
+//! the externally-known FD set `DV` — lines 8–9 of Algorithm 2), validate
+//! with stripped partitions, and stop when a level generates nothing.
+//!
+//! The same code doubles as the plain miner used by InFine step 1 on base
+//! tables (empty `known` set) and as the approximate-FD miner (`g3`
+//! validity) used to surface AFDs that later become exact on views.
+
+use crate::fd::{Fd, FdSet};
+use infine_partitions::PliCache;
+use infine_relation::{AttrId, AttrSet, Relation};
+
+/// Attributes that are constant over the relation's rows (`∅ → a` holds).
+///
+/// Constants are excluded from lattice universes everywhere: a constant
+/// attribute can never be part of a *minimal* lhs (it refines nothing) and
+/// as a rhs it is covered by the level-0 FD `∅ → a`.
+pub fn constant_attrs(rel: &Relation, attrs: AttrSet) -> AttrSet {
+    if rel.nrows() == 0 {
+        // Every FD (vacuously) holds on an empty instance; by convention we
+        // report every attribute as constant.
+        return attrs;
+    }
+    attrs
+        .iter()
+        .filter(|&a| rel.distinct_count(a) <= 1)
+        .collect()
+}
+
+/// Validity oracle for candidate FDs.
+pub trait Validity {
+    /// Does `lhs → rhs` hold (for this oracle's notion of "hold")?
+    fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool;
+}
+
+/// Exact validity through a [`PliCache`].
+pub struct ExactValidity<'a, 'r>(pub &'a mut PliCache<'r>);
+
+impl Validity for ExactValidity<'_, '_> {
+    fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.0.fd_holds(lhs, rhs)
+    }
+}
+
+/// `g3 ≤ ε` validity (approximate FDs) through a [`PliCache`].
+pub struct ApproxValidity<'a, 'r> {
+    /// The partition provider.
+    pub cache: &'a mut PliCache<'r>,
+    /// Error threshold (fraction of rows to delete).
+    pub epsilon: f64,
+}
+
+impl Validity for ApproxValidity<'_, '_> {
+    fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.cache.g3(lhs, rhs) <= self.epsilon
+    }
+}
+
+/// Mine the minimal FDs over `attrs` that are *new* w.r.t. `known`.
+///
+/// An FD is pruned (neither validated nor extended) when a subset-lhs FD
+/// with the same rhs exists in `known` or in the output so far — exactly
+/// the pruning of Algorithm 2 lines 8–9. With an empty `known` this is a
+/// complete minimal-FD miner.
+///
+/// `max_lhs` caps the explored lhs size (defaults to `attrs.len() - 1`).
+pub fn mine_new_fds_with<V: Validity>(
+    validity: &mut V,
+    rel: &Relation,
+    attrs: AttrSet,
+    known: &FdSet,
+    max_lhs: Option<usize>,
+) -> FdSet {
+    let mut found = FdSet::new();
+    if attrs.is_empty() {
+        return found;
+    }
+    let max_lhs = max_lhs.unwrap_or_else(|| attrs.len().saturating_sub(1));
+
+    // Level 0: constant attributes.
+    let constants = constant_attrs(rel, attrs);
+    for a in constants.iter() {
+        if !known.has_subset_lhs(AttrSet::EMPTY, a) {
+            found.insert_minimal(Fd::new(AttrSet::EMPTY, a));
+        }
+    }
+    let universe = attrs.difference(constants);
+
+    for rhs in universe.iter() {
+        if known.has_subset_lhs(AttrSet::EMPTY, rhs) {
+            continue; // ∅ → rhs already known
+        }
+        let lhs_universe = universe.without(rhs);
+        // Level 1 candidates.
+        let mut level: Vec<AttrSet> = lhs_universe.iter().map(AttrSet::single).collect();
+        let mut depth = 1usize;
+        while !level.is_empty() && depth <= max_lhs {
+            let mut extendable: Vec<AttrSet> = Vec::new();
+            for &lhs in &level {
+                if known.has_subset_lhs(lhs, rhs) || found.has_subset_lhs(lhs, rhs) {
+                    continue; // non-minimal: a valid subset FD exists
+                }
+                if validity.holds(lhs, rhs) {
+                    found.insert_minimal(Fd::new(lhs, rhs));
+                } else {
+                    extendable.push(lhs);
+                }
+            }
+            // Generate the next level by max-attribute extension: each set
+            // is produced exactly once, from its parent without its
+            // maximum attribute.
+            let mut next = Vec::new();
+            for &lhs in &extendable {
+                let max_attr = lhs.iter().last().expect("non-empty lhs");
+                for b in lhs_universe.iter() {
+                    if b > max_attr {
+                        next.push(lhs.with(b));
+                    }
+                }
+            }
+            level = next;
+            depth += 1;
+        }
+    }
+    found
+}
+
+/// Exact-FD variant of [`mine_new_fds_with`] with its own cache.
+pub fn mine_new_fds(rel: &Relation, attrs: AttrSet, known: &FdSet) -> FdSet {
+    let mut cache = PliCache::with_attrs(rel, attrs);
+    let mut v = ExactValidity(&mut cache);
+    mine_new_fds_with(&mut v, rel, attrs, known, None)
+}
+
+/// All minimal exact FDs over `attrs` (empty `known` set).
+pub fn mine_fds(rel: &Relation, attrs: AttrSet) -> FdSet {
+    mine_new_fds(rel, attrs, &FdSet::new())
+}
+
+/// All minimal approximate FDs over `attrs` at threshold `epsilon`
+/// (`g3 ≤ ε`); exact FDs are a subset (ε = 0 degenerates to exact mining).
+pub fn mine_afds(rel: &Relation, attrs: AttrSet, epsilon: f64) -> FdSet {
+    let mut cache = PliCache::with_attrs(rel, attrs);
+    let mut v = ApproxValidity {
+        cache: &mut cache,
+        epsilon,
+    };
+    mine_new_fds_with(&mut v, rel, attrs, &FdSet::new(), None)
+}
+
+/// Reference oracle: brute-force minimal FD discovery by pairwise row
+/// comparison over every candidate. Exponential ×  quadratic — tests only.
+pub fn mine_fds_bruteforce(rel: &Relation, attrs: AttrSet) -> FdSet {
+    use infine_partitions::fd_holds_bruteforce;
+    let mut found = FdSet::new();
+    let constants = constant_attrs(rel, attrs);
+    for a in constants.iter() {
+        found.insert_minimal(Fd::new(AttrSet::EMPTY, a));
+    }
+    let universe = attrs.difference(constants);
+    for rhs in universe.iter() {
+        let lhs_universe = universe.without(rhs);
+        // enumerate all subsets by increasing size
+        let mut all: Vec<AttrSet> = subsets_of(lhs_universe);
+        all.sort_by_key(|s| (s.len(), s.bits()));
+        for lhs in all {
+            if lhs.is_empty() {
+                continue;
+            }
+            if found.has_subset_lhs(lhs, rhs) {
+                continue;
+            }
+            if fd_holds_bruteforce(rel, lhs, rhs) {
+                found.insert_minimal(Fd::new(lhs, rhs));
+            }
+        }
+    }
+    found
+}
+
+fn subsets_of(set: AttrSet) -> Vec<AttrSet> {
+    let mut out = set.strict_subsets();
+    out.push(set);
+    out.push(AttrSet::EMPTY);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::same_fds;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(2), Value::Int(10), Value::Int(0), Value::Int(7)],
+                &[Value::Int(3), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(4), Value::Int(20), Value::Int(1), Value::Int(7)],
+                &[Value::Int(5), Value::Int(30), Value::Int(0), Value::Int(7)],
+            ],
+        )
+    }
+
+    #[test]
+    fn matches_bruteforce_on_sample() {
+        let r = rel();
+        let fast = mine_fds(&r, r.attr_set());
+        let slow = mine_fds_bruteforce(&r, r.attr_set());
+        assert!(same_fds(&fast, &slow), "\nfast: {:?}\nslow: {:?}",
+            fast.to_sorted_vec(), slow.to_sorted_vec());
+    }
+
+    #[test]
+    fn finds_constants_as_empty_lhs() {
+        let r = rel();
+        let fds = mine_fds(&r, r.attr_set());
+        assert!(fds.contains(&Fd::new(AttrSet::EMPTY, 3))); // d constant
+    }
+
+    #[test]
+    fn key_attribute_determines_everything() {
+        let r = rel();
+        let fds = mine_fds(&r, r.attr_set());
+        // a is a key: a→b, a→c minimal (a→d shadowed by ∅→d)
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 2)));
+        assert!(!fds.contains(&Fd::new(AttrSet::single(0), 3)));
+    }
+
+    #[test]
+    fn b_determines_c_minimally() {
+        let r = rel();
+        let fds = mine_fds(&r, r.attr_set());
+        assert!(fds.contains(&Fd::new(AttrSet::single(1), 2))); // 10→0, 20→1, 30→0
+        // c does not determine b (c=0 maps to b∈{10,30})
+        assert!(!fds.contains(&Fd::new(AttrSet::single(2), 1)));
+    }
+
+    #[test]
+    fn known_fds_prune_output() {
+        let r = rel();
+        let known = FdSet::from_fds([Fd::new(AttrSet::single(1), 2)]);
+        let fds = mine_new_fds(&r, r.attr_set(), &known);
+        // b→c is known → not re-reported, nor any superset
+        assert!(!fds.contains(&Fd::new(AttrSet::single(1), 2)));
+        for fd in fds.iter() {
+            assert!(!(fd.rhs == 2 && AttrSet::single(1).is_subset(fd.lhs)));
+        }
+    }
+
+    #[test]
+    fn restricted_attrs_limit_scope() {
+        let r = rel();
+        let attrs: AttrSet = [0usize, 1].into_iter().collect();
+        let fds = mine_fds(&r, attrs);
+        for fd in fds.iter() {
+            assert!(fd.attrs().is_subset(attrs));
+        }
+        // a→b still found within the restriction
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 1)));
+    }
+
+    #[test]
+    fn afds_include_exact_and_near_fds() {
+        let r = relation_from_rows(
+            "t",
+            &["x", "y"],
+            &[
+                &[Value::Int(1), Value::Int(1)],
+                &[Value::Int(1), Value::Int(1)],
+                &[Value::Int(1), Value::Int(1)],
+                &[Value::Int(1), Value::Int(2)], // one violation of x→y
+                &[Value::Int(2), Value::Int(3)],
+            ],
+        );
+        let exact = mine_fds(&r, r.attr_set());
+        assert!(!exact.contains(&Fd::new(AttrSet::single(0), 1)));
+        let afds = mine_afds(&r, r.attr_set(), 0.25); // 1/5 violations allowed
+        assert!(afds.contains(&Fd::new(AttrSet::single(0), 1)));
+        // ε = 0 degenerates to exact
+        let zero = mine_afds(&r, r.attr_set(), 0.0);
+        assert!(same_fds(&zero, &exact));
+    }
+
+    #[test]
+    fn empty_relation_reports_all_constant() {
+        let r = relation_from_rows("t", &["a", "b"], &[]);
+        let fds = mine_fds(&r, r.attr_set());
+        assert!(fds.contains(&Fd::new(AttrSet::EMPTY, 0)));
+        assert!(fds.contains(&Fd::new(AttrSet::EMPTY, 1)));
+        assert_eq!(fds.len(), 2);
+    }
+
+    #[test]
+    fn max_lhs_caps_exploration() {
+        let r = rel();
+        let mut cache = infine_partitions::PliCache::new(&r);
+        let mut v = ExactValidity(&mut cache);
+        let fds = mine_new_fds_with(&mut v, &r, r.attr_set(), &FdSet::new(), Some(1));
+        for fd in fds.iter() {
+            assert!(fd.lhs.len() <= 1);
+        }
+    }
+}

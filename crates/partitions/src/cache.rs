@@ -1,0 +1,222 @@
+//! Attribute-set-keyed PLI cache.
+//!
+//! Level-wise miners repeatedly need `π_X` for lattice nodes `X`. The
+//! cache memoizes computed partitions and derives new ones by the cheapest
+//! available route: a cached subset of size `|X| - 1` intersected with a
+//! single-attribute seed, falling back to direct grouping.
+//!
+//! Memory discipline follows the paper's observation that level-wise
+//! algorithms need only two lattice levels at a time: [`PliCache::retain_levels`]
+//! lets callers evict everything below the previous level.
+
+use crate::pli::Pli;
+use infine_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashMap;
+
+/// Memoizing provider of stripped partitions for one relation.
+pub struct PliCache<'a> {
+    rel: &'a Relation,
+    cache: HashMap<AttrSet, Pli>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'a> PliCache<'a> {
+    /// Create a cache seeded with all single-attribute partitions.
+    pub fn new(rel: &'a Relation) -> Self {
+        let mut cache = HashMap::new();
+        for a in 0..rel.ncols() {
+            cache.insert(AttrSet::single(a), Pli::for_attr(rel, a));
+        }
+        PliCache {
+            rel,
+            cache,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Create a cache restricted to the given attributes (others are never
+    /// seeded — InFine's projection-pruning of Algorithm 1 lines 3–5).
+    pub fn with_attrs(rel: &'a Relation, attrs: AttrSet) -> Self {
+        let mut cache = HashMap::new();
+        for a in attrs.iter() {
+            cache.insert(AttrSet::single(a), Pli::for_attr(rel, a));
+        }
+        PliCache {
+            rel,
+            cache,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &'a Relation {
+        self.rel
+    }
+
+    /// Number of cache hits / misses (observability for benches).
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Get (computing and memoizing if needed) the partition `π_set`.
+    pub fn get(&mut self, set: AttrSet) -> &Pli {
+        if self.cache.contains_key(&set) {
+            self.hits += 1;
+            return &self.cache[&set];
+        }
+        self.misses += 1;
+        let pli = self.compute(set);
+        self.cache.entry(set).or_insert(pli)
+    }
+
+    fn compute(&mut self, set: AttrSet) -> Pli {
+        if set.is_empty() {
+            return Pli::for_set(self.rel, set);
+        }
+        if set.len() == 1 {
+            return Pli::for_attr(self.rel, set.first().expect("non-empty"));
+        }
+        // Find a cached immediate subset to refine.
+        for a in set.iter() {
+            let sub = set.without(a);
+            if self.cache.contains_key(&sub) {
+                let single = AttrSet::single(a);
+                if !self.cache.contains_key(&single) {
+                    let p = Pli::for_attr(self.rel, a);
+                    self.cache.insert(single, p);
+                }
+                let sub_pli = &self.cache[&sub];
+                let single_pli = &self.cache[&single];
+                return sub_pli.intersect(single_pli);
+            }
+        }
+        // No subset cached: direct grouping.
+        Pli::for_set(self.rel, set)
+    }
+
+    /// Exact FD check `lhs → rhs` through the cache.
+    pub fn fd_holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        debug_assert!(!lhs.contains(rhs), "trivial FD {lhs:?} → {rhs}");
+        let d_lhs = self.get(lhs).distinct_count();
+        let d_both = self.get(lhs.with(rhs)).distinct_count();
+        d_lhs == d_both
+    }
+
+    /// `g3` error of `lhs → rhs` (0 for exact FDs).
+    pub fn g3(&mut self, lhs: AttrSet, rhs: AttrId) -> f64 {
+        let probe: Vec<u32> = (0..self.rel.nrows())
+            .map(|row| self.rel.code(row, rhs))
+            .collect();
+        self.get(lhs).g3_error(&probe)
+    }
+
+    /// Evict entries whose attribute-set size is strictly below `level`,
+    /// keeping singletons (cheap to retain, expensive to recompute).
+    pub fn retain_levels(&mut self, level: usize) {
+        self.cache
+            .retain(|k, _| k.len() >= level || k.len() <= 1);
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Approximate heap footprint of the cached partitions.
+    pub fn approx_bytes(&self) -> usize {
+        self.cache.values().map(Pli::approx_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pli::fd_holds_bruteforce;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                &[Value::Int(1), Value::Int(1), Value::Int(1), Value::Int(1)],
+                &[Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(1)],
+                &[Value::Int(2), Value::Int(1), Value::Int(1), Value::Int(2)],
+                &[Value::Int(2), Value::Int(2), Value::Int(2), Value::Int(2)],
+                &[Value::Int(3), Value::Int(2), Value::Int(2), Value::Int(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn cache_agrees_with_bruteforce_everywhere() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        for lhs_bits in 1u64..16 {
+            let lhs = AttrSet::from_bits(lhs_bits);
+            for rhs in 0..4 {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                assert_eq!(
+                    cache.fd_holds(lhs, rhs),
+                    fd_holds_bruteforce(&r, lhs, rhs),
+                    "lhs={lhs:?} rhs={rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memoization_hits_on_repeat() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        let set: AttrSet = [0usize, 1].into_iter().collect();
+        cache.get(set);
+        let (_, misses1) = cache.stats();
+        cache.get(set);
+        let (hits2, misses2) = cache.stats();
+        assert_eq!(misses1, misses2);
+        assert!(hits2 >= 1);
+    }
+
+    #[test]
+    fn with_attrs_restricts_seeding() {
+        let r = rel();
+        let cache = PliCache::with_attrs(&r, [0usize, 2].into_iter().collect());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn retain_levels_evicts_middle() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        cache.get([0usize, 1].into_iter().collect());
+        cache.get([0usize, 1, 2].into_iter().collect());
+        let before = cache.len();
+        cache.retain_levels(3);
+        assert!(cache.len() < before);
+        // singletons survive
+        assert!(cache.len() >= 4);
+    }
+
+    #[test]
+    fn g3_zero_iff_exact() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        // a → d holds exactly in rel()
+        assert!(cache.fd_holds(AttrSet::single(0), 3));
+        assert_eq!(cache.g3(AttrSet::single(0), 3), 0.0);
+        // a → c: class a=1 rows {0,1} differ on c → violations ≥ 1
+        assert!(!cache.fd_holds(AttrSet::single(0), 2));
+        assert!(cache.g3(AttrSet::single(0), 2) > 0.0);
+    }
+}

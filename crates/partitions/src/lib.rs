@@ -1,0 +1,12 @@
+//! # infine-partitions
+//!
+//! Stripped-partition (position list index) machinery shared by every FD
+//! miner in the workspace: partition construction, the TANE partition
+//! product, key error `e(X)`, the `g3` approximate-FD error, and a
+//! memoizing per-relation partition cache.
+
+pub mod cache;
+pub mod pli;
+
+pub use cache::PliCache;
+pub use pli::{fd_holds, fd_holds_bruteforce, Pli};

@@ -1,0 +1,374 @@
+//! Stripped partitions (position list indexes, PLIs).
+//!
+//! The partition `π_X` of a relation under an attribute set `X` groups
+//! rows agreeing on all attributes of `X`. A *stripped* partition drops
+//! singleton classes (they can never witness an FD violation), which is
+//! the representation TANE introduced and every level-wise miner here
+//! uses. Products of partitions (`π_X ∩ π_Y = π_{X∪Y}`) are computed with
+//! the classic probe-vector algorithm.
+//!
+//! With the `NULL = NULL` convention of `infine-relation`, nulls are just
+//! another dictionary code, so no special casing is needed anywhere.
+
+use infine_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashMap;
+
+/// A stripped partition over the rows of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pli {
+    /// Equivalence classes of size ≥ 2; row ids in ascending order within
+    /// a class (construction order, stable for tests).
+    classes: Vec<Vec<u32>>,
+    /// Total number of rows of the underlying relation.
+    nrows: usize,
+}
+
+impl Pli {
+    /// Partition of a single attribute, grouped by dictionary code.
+    pub fn for_attr(rel: &Relation, attr: AttrId) -> Pli {
+        let col = rel.column(attr);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); col.dict.len()];
+        for (row, &code) in col.codes.iter().enumerate() {
+            buckets[code as usize].push(row as u32);
+        }
+        let classes = buckets.into_iter().filter(|c| c.len() >= 2).collect();
+        Pli {
+            classes,
+            nrows: rel.nrows(),
+        }
+    }
+
+    /// Partition of an arbitrary attribute set by direct composite-key
+    /// grouping. `O(n · |X|)`; used for seeds and as an oracle in tests —
+    /// level-wise miners prefer chains of [`Pli::intersect`].
+    pub fn for_set(rel: &Relation, set: AttrSet) -> Pli {
+        let attrs: Vec<AttrId> = set.iter().collect();
+        if attrs.is_empty() {
+            // π_∅ has a single class containing every row.
+            let all: Vec<u32> = (0..rel.nrows() as u32).collect();
+            let classes = if all.len() >= 2 { vec![all] } else { Vec::new() };
+            return Pli {
+                classes,
+                nrows: rel.nrows(),
+            };
+        }
+        if attrs.len() == 1 {
+            return Pli::for_attr(rel, attrs[0]);
+        }
+        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+        for row in 0..rel.nrows() {
+            let key: Vec<u32> = attrs.iter().map(|&a| rel.code(row, a)).collect();
+            groups.entry(key).or_default().push(row as u32);
+        }
+        let mut classes: Vec<Vec<u32>> =
+            groups.into_values().filter(|c| c.len() >= 2).collect();
+        classes.sort_by_key(|c| c[0]); // deterministic order
+        Pli {
+            classes,
+            nrows: rel.nrows(),
+        }
+    }
+
+    /// Construct from explicit classes (tests, synthetic partitions).
+    pub fn from_classes(classes: Vec<Vec<u32>>, nrows: usize) -> Pli {
+        let classes = classes.into_iter().filter(|c| c.len() >= 2).collect();
+        Pli { classes, nrows }
+    }
+
+    /// Number of stripped classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Sum of stripped class sizes (`||π||` in TANE's notation).
+    pub fn sum_class_sizes(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// Rows of the underlying relation.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// The classes themselves.
+    pub fn classes(&self) -> &[Vec<u32>] {
+        &self.classes
+    }
+
+    /// Number of distinct value combinations over the rows
+    /// (`|π_X|` counting singletons): `n - ||π|| + |π|`.
+    pub fn distinct_count(&self) -> usize {
+        self.nrows - self.sum_class_sizes() + self.num_classes()
+    }
+
+    /// TANE's key error `e(X) = (||π|| - |π|) / n`: the fraction of rows
+    /// that must be removed for `X` to become a key. Zero iff `X` is a key.
+    pub fn key_error(&self) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        (self.sum_class_sizes() - self.num_classes()) as f64 / self.nrows as f64
+    }
+
+    /// True iff `X` is a (super)key: every class is a singleton.
+    pub fn is_key(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Probe vector: row → class index, or `-1` for singleton rows.
+    pub fn probe_vector(&self) -> Vec<i32> {
+        let mut probe = vec![-1i32; self.nrows];
+        for (ci, class) in self.classes.iter().enumerate() {
+            for &row in class {
+                probe[row as usize] = ci as i32;
+            }
+        }
+        probe
+    }
+
+    /// Partition product `π_{X∪Y}` from `π_X` (self) and `π_Y` (via its
+    /// probe vector) — the standard TANE refinement step.
+    pub fn intersect_probe(&self, other_probe: &[i32]) -> Pli {
+        debug_assert_eq!(other_probe.len(), self.nrows);
+        let mut classes = Vec::new();
+        let mut groups: HashMap<i32, Vec<u32>> = HashMap::new();
+        for class in &self.classes {
+            groups.clear();
+            for &row in class {
+                let key = other_probe[row as usize];
+                if key >= 0 {
+                    groups.entry(key).or_default().push(row);
+                }
+                // key < 0: row is a singleton in the other partition, so it
+                // is a singleton in the product — stripped away.
+            }
+            for (_, rows) in groups.drain() {
+                if rows.len() >= 2 {
+                    classes.push(rows);
+                }
+            }
+        }
+        classes.sort_by_key(|c| c[0]);
+        Pli {
+            classes,
+            nrows: self.nrows,
+        }
+    }
+
+    /// Partition product with another PLI.
+    pub fn intersect(&self, other: &Pli) -> Pli {
+        // Probe the smaller side for fewer hash operations.
+        if other.sum_class_sizes() < self.sum_class_sizes() {
+            other.intersect_probe(&self.probe_vector())
+        } else {
+            self.intersect_probe(&other.probe_vector())
+        }
+    }
+
+    /// Does the FD `X → a` hold, where `self = π_X` and `with_a = π_{X∪a}`?
+    ///
+    /// Holds iff refining by `a` does not split any class, i.e. the
+    /// distinct counts coincide.
+    pub fn refines_to(&self, with_a: &Pli) -> bool {
+        self.distinct_count() == with_a.distinct_count()
+    }
+
+    /// The `g3` error of the FD `X → a`: the minimum fraction of rows to
+    /// delete so the FD holds. `self = π_X`; `rhs_probe` distinguishes
+    /// values of `a` per row (any injective labeling works — dictionary
+    /// codes are used by callers).
+    ///
+    /// `g3 = Σ_{c ∈ π_X} (|c| - max multiplicity of an a-value in c) / n`.
+    pub fn g3_error(&self, rhs_probe: &[u32]) -> f64 {
+        if self.nrows == 0 {
+            return 0.0;
+        }
+        let mut violations = 0usize;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for class in &self.classes {
+            counts.clear();
+            for &row in class {
+                *counts.entry(rhs_probe[row as usize]).or_insert(0) += 1;
+            }
+            let max = counts.values().copied().max().unwrap_or(0);
+            violations += class.len() - max;
+        }
+        violations as f64 / self.nrows as f64
+    }
+
+    /// Approximate heap footprint (for the bench harness).
+    pub fn approx_bytes(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+/// Exact FD check `X → a` on a relation via partitions (no cache).
+///
+/// Convenience for tests and one-off checks; algorithmic code goes through
+/// [`crate::PliCache`].
+pub fn fd_holds(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> bool {
+    let px = Pli::for_set(rel, lhs);
+    let pxa = Pli::for_set(rel, lhs.with(rhs));
+    px.refines_to(&pxa)
+}
+
+/// Brute-force FD check by pairwise row comparison — `O(n²)` oracle used
+/// in tests to validate the partition machinery.
+pub fn fd_holds_bruteforce(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> bool {
+    for i in 0..rel.nrows() {
+        for j in (i + 1)..rel.nrows() {
+            let agree_lhs = lhs.iter().all(|a| rel.code(i, a) == rel.code(j, a));
+            if agree_lhs && rel.code(i, rhs) != rel.code(j, rhs) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        // a b c
+        // 1 x 0
+        // 1 x 1
+        // 2 y 0
+        // 2 z 0
+        // 3 z 1
+        relation_from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                &[Value::Int(1), Value::str("x"), Value::Int(0)],
+                &[Value::Int(1), Value::str("x"), Value::Int(1)],
+                &[Value::Int(2), Value::str("y"), Value::Int(0)],
+                &[Value::Int(2), Value::str("z"), Value::Int(0)],
+                &[Value::Int(3), Value::str("z"), Value::Int(1)],
+            ],
+        )
+    }
+
+    #[test]
+    fn single_attr_partition_strips_singletons() {
+        let p = Pli::for_attr(&rel(), 0);
+        assert_eq!(p.num_classes(), 2); // {0,1}, {2,3}; row 4 singleton
+        assert_eq!(p.sum_class_sizes(), 4);
+        assert_eq!(p.distinct_count(), 3);
+        assert!(!p.is_key());
+    }
+
+    #[test]
+    fn empty_set_partition_is_one_class() {
+        let p = Pli::for_set(&rel(), AttrSet::EMPTY);
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.distinct_count(), 1);
+    }
+
+    #[test]
+    fn intersect_equals_direct_grouping() {
+        let r = rel();
+        let pa = Pli::for_attr(&r, 0);
+        let pb = Pli::for_attr(&r, 1);
+        let prod = pa.intersect(&pb);
+        let direct = Pli::for_set(&r, [0usize, 1].into_iter().collect());
+        assert_eq!(prod, direct);
+        // ab classes: {0,1} (1,x); rows 2,3 differ on b; singleton stripped
+        assert_eq!(prod.num_classes(), 1);
+    }
+
+    #[test]
+    fn key_detection() {
+        let r = rel();
+        let pabc = Pli::for_set(&r, AttrSet::all(3));
+        assert!(pabc.is_key());
+        assert_eq!(pabc.key_error(), 0.0);
+        let pa = Pli::for_attr(&r, 0);
+        assert!(pa.key_error() > 0.0);
+    }
+
+    #[test]
+    fn fd_validity_via_refinement() {
+        let r = rel();
+        // a → b? rows 2,3 agree on a=2 but differ on b → no
+        assert!(!fd_holds(&r, AttrSet::single(0), 1));
+        // b → a? z maps to 2 and 3 → no
+        assert!(!fd_holds(&r, AttrSet::single(1), 0));
+        // ab → c? (1,x) has c=0,1 → no
+        assert!(!fd_holds(&r, [0usize, 1].into_iter().collect(), 2));
+        // ac → b? rows 2,3 share ac=(2,0) but differ on b → no
+        assert!(!fd_holds(&r, [0usize, 2].into_iter().collect(), 1));
+        // bc → a? all (b,c) pairs are distinct → key → yes
+        assert!(fd_holds(&r, [1usize, 2].into_iter().collect(), 0));
+    }
+
+    #[test]
+    fn pli_checks_agree_with_bruteforce() {
+        let r = rel();
+        for lhs_bits in 1u64..8 {
+            let lhs = AttrSet::from_bits(lhs_bits);
+            for rhs in 0..3 {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                assert_eq!(
+                    fd_holds(&r, lhs, rhs),
+                    fd_holds_bruteforce(&r, lhs, rhs),
+                    "lhs={lhs:?} rhs={rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn g3_error_counts_min_removals() {
+        let r = rel();
+        // a → c: class {0,1} has c values {0,1} → 1 violation;
+        // class {2,3} has c values {0,0} → 0. g3 = 1/5.
+        let pa = Pli::for_attr(&r, 0);
+        let probe: Vec<u32> = (0..r.nrows()).map(|i| r.code(i, 2)).collect();
+        assert!((pa.g3_error(&probe) - 0.2).abs() < 1e-12);
+        // exact FD has zero g3: bc → a (bc is a key)
+        let pbc = Pli::for_set(&r, [1usize, 2].into_iter().collect());
+        let probe_a: Vec<u32> = (0..r.nrows()).map(|i| r.code(i, 0)).collect();
+        assert_eq!(pbc.g3_error(&probe_a), 0.0);
+    }
+
+    #[test]
+    fn probe_vector_marks_singletons() {
+        let p = Pli::for_attr(&rel(), 0);
+        let probe = p.probe_vector();
+        assert_eq!(probe.len(), 5);
+        assert_eq!(probe[4], -1);
+        assert_eq!(probe[0], probe[1]);
+        assert_ne!(probe[0], probe[2]);
+    }
+
+    #[test]
+    fn nulls_group_together() {
+        let r = relation_from_rows(
+            "t",
+            &["a"],
+            &[&[Value::Null], &[Value::Null], &[Value::Int(1)]],
+        );
+        let p = Pli::for_attr(&r, 0);
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.classes()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn intersect_probe_drops_singletons_of_other() {
+        let r = rel();
+        let pb = Pli::for_attr(&r, 1);
+        let pc = Pli::for_attr(&r, 2);
+        let prod = pb.intersect(&pc);
+        let direct = Pli::for_set(&r, [1usize, 2].into_iter().collect());
+        assert_eq!(prod, direct);
+    }
+}

@@ -1,0 +1,327 @@
+//! Attribute identifiers and attribute-set bitsets.
+//!
+//! Every schema position gets a dense [`AttrId`]; sets of attributes are a
+//! single `u64` bitset ([`AttrSet`]). All lattice traversal, minimality
+//! pruning, and closure computation in the workspace operates on these,
+//! which is the main reason the level-wise miners stay cheap: subset and
+//! superset tests compile to one AND and one compare.
+//!
+//! The 64-attribute cap covers every view in the paper's evaluation (the
+//! widest view has 15 attributes; the widest base table 18). Constructors
+//! assert the cap instead of silently wrapping.
+
+use std::fmt;
+
+/// Index of an attribute within a [`crate::Schema`].
+pub type AttrId = usize;
+
+/// A set of attributes over a schema with at most 64 positions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// Maximum number of attributes representable.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Singleton set `{a}`.
+    #[inline]
+    pub fn single(a: AttrId) -> Self {
+        assert!(a < Self::MAX_ATTRS, "attribute id {a} out of range");
+        AttrSet(1u64 << a)
+    }
+
+    /// Set containing attributes `0..n`.
+    #[inline]
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::MAX_ATTRS, "{n} attributes exceed the 64 cap");
+        if n == Self::MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from raw bits. Callers own the interpretation.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
+    }
+
+    /// Raw bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True iff no attribute is present.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, a: AttrId) -> bool {
+        a < Self::MAX_ATTRS && self.0 & (1u64 << a) != 0
+    }
+
+    /// `self ∪ {a}`.
+    #[inline]
+    pub fn with(self, a: AttrId) -> Self {
+        assert!(a < Self::MAX_ATTRS, "attribute id {a} out of range");
+        AttrSet(self.0 | (1u64 << a))
+    }
+
+    /// `self \ {a}`.
+    #[inline]
+    pub fn without(self, a: AttrId) -> Self {
+        AttrSet(self.0 & !(1u64 << (a % Self::MAX_ATTRS)))
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: Self) -> Self {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: Self) -> Self {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: Self) -> Self {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `self ⊂ other` (strict).
+    #[inline]
+    pub fn is_strict_subset(self, other: Self) -> bool {
+        self.0 != other.0 && self.is_subset(other)
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub fn is_superset(self, other: Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// True iff the sets share at least one attribute.
+    #[inline]
+    pub fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate attribute ids in ascending order.
+    #[inline]
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// The lowest attribute id, if any.
+    #[inline]
+    pub fn first(self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// All subsets of `self` obtained by removing exactly one attribute
+    /// (the "immediate generalizations" used by minimality checks).
+    pub fn immediate_subsets(self) -> impl Iterator<Item = AttrSet> {
+        self.iter().map(move |a| self.without(a))
+    }
+
+    /// Enumerate every *strict, non-empty* subset of `self`.
+    ///
+    /// Used by tests and by brute-force oracles; exponential, so only call
+    /// on small sets.
+    pub fn strict_subsets(self) -> Vec<AttrSet> {
+        let bits = self.0;
+        let mut out = Vec::new();
+        if bits == 0 {
+            return out; // the empty set has no strict subsets
+        }
+        // Standard sub-mask enumeration.
+        let mut sub = bits;
+        loop {
+            sub = (sub - 1) & bits;
+            if sub == 0 {
+                break;
+            }
+            out.push(AttrSet(sub));
+        }
+        out
+    }
+
+    /// Collect into a `Vec<AttrId>`.
+    pub fn to_vec(self) -> Vec<AttrId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = AttrId>>(iter: T) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s = s.with(a);
+        }
+        s
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = AttrId;
+    type IntoIter = AttrSetIter;
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the attribute ids of an [`AttrSet`].
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = AttrId;
+
+    #[inline]
+    fn next(&mut self) -> Option<AttrId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let a = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(a)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert!(AttrSet::EMPTY.is_empty());
+        assert_eq!(AttrSet::EMPTY.len(), 0);
+        let s = AttrSet::single(5);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn all_covers_prefix() {
+        let s = AttrSet::all(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(0) && s.contains(9) && !s.contains(10));
+        assert_eq!(AttrSet::all(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_panics_past_cap() {
+        let _ = AttrSet::single(64);
+    }
+
+    #[test]
+    fn set_algebra_laws() {
+        let a: AttrSet = [0, 2, 4].into_iter().collect();
+        let b: AttrSet = [2, 3].into_iter().collect();
+        assert_eq!(a.union(b).to_vec(), vec![0, 2, 3, 4]);
+        assert_eq!(a.intersect(b).to_vec(), vec![2]);
+        assert_eq!(a.difference(b).to_vec(), vec![0, 4]);
+        assert!(a.intersects(b));
+        assert!(!a.difference(b).intersects(b));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a: AttrSet = [1, 3].into_iter().collect();
+        let b: AttrSet = [1, 2, 3].into_iter().collect();
+        assert!(a.is_subset(b));
+        assert!(a.is_strict_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(b.is_superset(a));
+        assert!(a.is_subset(a));
+        assert!(!a.is_strict_subset(a));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let s: AttrSet = [7, 1, 63, 0].into_iter().collect();
+        let v = s.to_vec();
+        assert_eq!(v, vec![0, 1, 7, 63]);
+        assert_eq!(s.iter().len(), 4);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(AttrSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn immediate_subsets_drop_one_attribute_each() {
+        let s: AttrSet = [0, 1, 2].into_iter().collect();
+        let subs: Vec<_> = s.immediate_subsets().collect();
+        assert_eq!(subs.len(), 3);
+        for sub in subs {
+            assert_eq!(sub.len(), 2);
+            assert!(sub.is_strict_subset(s));
+        }
+    }
+
+    #[test]
+    fn strict_subsets_enumerates_all() {
+        let s: AttrSet = [0, 1, 2].into_iter().collect();
+        let subs = s.strict_subsets();
+        // 2^3 - 2 = 6 strict non-empty subsets.
+        assert_eq!(subs.len(), 6);
+        for sub in &subs {
+            assert!(sub.is_strict_subset(s));
+            assert!(!sub.is_empty());
+        }
+    }
+
+    #[test]
+    fn without_is_noop_for_absent_attr() {
+        let s: AttrSet = [0, 1].into_iter().collect();
+        assert_eq!(s.without(5), s);
+    }
+}

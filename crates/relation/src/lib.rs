@@ -1,0 +1,32 @@
+//! # infine-relation
+//!
+//! Relational storage substrate for the InFine reproduction: typed values,
+//! dictionary-encoded columnar relations, schemas with base-table lineage,
+//! and `u64`-bitset attribute sets.
+//!
+//! Everything downstream — the SPJ algebra, the partition (PLI) machinery,
+//! the four baseline FD-discovery algorithms, and InFine itself — builds on
+//! the types exported here.
+//!
+//! ## Null semantics
+//!
+//! The paper (Definition 1, remark below it) is explicitly agnostic to null
+//! semantics. This implementation fixes the convention once:
+//!
+//! * **FD satisfaction**: `NULL = NULL` — all nulls of a column share one
+//!   dictionary code, so partition refinement treats them as one class.
+//! * **Join keys** (in `infine-algebra`): SQL semantics — a `NULL` key
+//!   matches nothing, which is what makes tuples "dangle" and produces the
+//!   paper's upstaged FDs.
+
+pub mod attrs;
+pub mod csv;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use attrs::{AttrId, AttrSet, AttrSetIter};
+pub use csv::{read_csv, write_csv, TypeInference};
+pub use relation::{relation_from_rows, Column, Database, Relation, RelationBuilder};
+pub use schema::{Attribute, Origin, Schema};
+pub use value::Value;

@@ -1,0 +1,437 @@
+//! Dictionary-encoded columnar relations.
+//!
+//! FD mining, partition construction, and hash joins all operate on dense
+//! `u32` codes rather than raw values: each column keeps a dictionary
+//! mapping codes to [`Value`]s, assigned in first-appearance order at build
+//! time. Equality of codes is equality of values — including `NULL = NULL`,
+//! which is the FD-satisfaction convention documented in DESIGN.md; the
+//! SQL null-key rule for joins is applied by the algebra layer via
+//! [`Relation::is_null`].
+
+use crate::attrs::{AttrId, AttrSet};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One dictionary-encoded column.
+#[derive(Debug, Clone, Default)]
+pub struct Column {
+    /// Per-row dictionary codes.
+    pub codes: Vec<u32>,
+    /// Code → value. Codes are assigned in first-appearance order.
+    pub dict: Vec<Value>,
+    /// The code assigned to `Value::Null`, if any null was seen.
+    pub null_code: Option<u32>,
+}
+
+impl Column {
+    /// Number of distinct values present in the dictionary.
+    ///
+    /// After row filtering the dictionary may be a superset of the codes in
+    /// use; callers needing exact distinct counts over *rows* should use
+    /// [`Relation::distinct_count`].
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Value for a row.
+    #[inline]
+    pub fn value(&self, row: usize) -> &Value {
+        &self.dict[self.codes[row] as usize]
+    }
+
+    /// Approximate heap footprint in bytes (codes + dictionary payloads).
+    pub fn approx_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<u32>()
+            + self.dict.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+}
+
+/// A named relation instance: schema + columnar data.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Instance name (base-table name, or a derived label for views).
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    columns: Vec<Column>,
+    nrows: usize,
+}
+
+impl Relation {
+    /// An empty relation over `schema`.
+    pub fn empty(name: impl Into<String>, schema: Schema) -> Self {
+        let ncols = schema.len();
+        Relation {
+            name: name.into(),
+            schema,
+            columns: vec![Column::default(); ncols],
+            nrows: 0,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column accessor.
+    #[inline]
+    pub fn column(&self, attr: AttrId) -> &Column {
+        &self.columns[attr]
+    }
+
+    /// Dictionary code at (row, attr).
+    #[inline]
+    pub fn code(&self, row: usize, attr: AttrId) -> u32 {
+        self.columns[attr].codes[row]
+    }
+
+    /// Value at (row, attr).
+    #[inline]
+    pub fn value(&self, row: usize, attr: AttrId) -> &Value {
+        self.columns[attr].value(row)
+    }
+
+    /// True iff the cell is SQL NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize, attr: AttrId) -> bool {
+        match self.columns[attr].null_code {
+            Some(nc) => self.columns[attr].codes[row] == nc,
+            None => false,
+        }
+    }
+
+    /// Materialize one row as owned values (diagnostics, CSV export).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        (0..self.ncols()).map(|c| self.value(row, c).clone()).collect()
+    }
+
+    /// Exact number of distinct values (codes) appearing in the rows of a
+    /// column. O(n) with a bitmap over the dictionary.
+    pub fn distinct_count(&self, attr: AttrId) -> usize {
+        let col = &self.columns[attr];
+        let mut seen = vec![false; col.dict.len()];
+        let mut n = 0;
+        for &c in &col.codes {
+            let idx = c as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Gather a subset of rows (by index) into a new relation sharing the
+    /// same schema and dictionaries. Codes remain valid because the
+    /// dictionary is append-only.
+    pub fn gather(&self, rows: &[u32], name: impl Into<String>) -> Relation {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| Column {
+                codes: rows.iter().map(|&r| col.codes[r as usize]).collect(),
+                dict: col.dict.clone(),
+                null_code: col.null_code,
+            })
+            .collect();
+        Relation {
+            name: name.into(),
+            schema: self.schema.clone(),
+            columns,
+            nrows: rows.len(),
+        }
+    }
+
+    /// Keep only the given attributes (in the order listed), producing a
+    /// relation whose schema is the projection. Duplicate rows are *not*
+    /// eliminated — SPJ views in the paper are bag-projections; distinctness
+    /// is irrelevant to FD satisfaction (duplicates never violate an FD).
+    pub fn project(&self, attrs: &[AttrId], name: impl Into<String>) -> Relation {
+        let mut schema = Schema::new();
+        for &a in attrs {
+            schema.push(self.schema.attr(a).clone());
+        }
+        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        Relation {
+            name: name.into(),
+            schema,
+            columns,
+            nrows: self.nrows,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
+    /// The full attribute set of this relation.
+    pub fn attr_set(&self) -> AttrSet {
+        self.schema.attr_set()
+    }
+
+    /// Build a relation directly from pre-encoded columns. Internal-ish
+    /// constructor used by the algebra executor to avoid re-encoding.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        nrows: usize,
+    ) -> Relation {
+        assert_eq!(schema.len(), columns.len(), "schema/column arity mismatch");
+        for c in &columns {
+            assert_eq!(c.codes.len(), nrows, "column length mismatch");
+        }
+        Relation {
+            name: name.into(),
+            schema,
+            columns,
+            nrows,
+        }
+    }
+}
+
+/// Row-at-a-time builder performing dictionary encoding.
+pub struct RelationBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    value_index: Vec<HashMap<Value, u32>>,
+    nrows: usize,
+}
+
+impl RelationBuilder {
+    /// Start building a relation over `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let ncols = schema.len();
+        RelationBuilder {
+            name: name.into(),
+            schema,
+            columns: vec![Column::default(); ncols],
+            value_index: (0..ncols).map(|_| HashMap::new()).collect(),
+            nrows: 0,
+        }
+    }
+
+    /// Append one row; arity must match the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> &mut Self {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        for (c, v) in row.into_iter().enumerate() {
+            let col = &mut self.columns[c];
+            let idx = &mut self.value_index[c];
+            let code = match idx.get(&v) {
+                Some(&code) => code,
+                None => {
+                    let code = col.dict.len() as u32;
+                    if v.is_null() {
+                        col.null_code = Some(code);
+                    }
+                    col.dict.push(v.clone());
+                    idx.insert(v, code);
+                    code
+                }
+            };
+            col.codes.push(code);
+        }
+        self.nrows += 1;
+        self
+    }
+
+    /// Append many rows.
+    pub fn extend_rows(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) -> &mut Self {
+        for r in rows {
+            self.push_row(r);
+        }
+        self
+    }
+
+    /// Finish and return the relation.
+    pub fn finish(self) -> Relation {
+        Relation {
+            name: self.name,
+            schema: self.schema,
+            columns: self.columns,
+            nrows: self.nrows,
+        }
+    }
+}
+
+/// A named collection of base relations (the `R` of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert (or replace) a relation under its own name.
+    pub fn insert(&mut self, rel: Relation) {
+        self.relations.insert(rel.name.clone(), rel);
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, panicking with a clear message when absent.
+    pub fn expect(&self, name: &str) -> &Relation {
+        self.get(name).unwrap_or_else(|| {
+            panic!(
+                "relation {:?} not in database (have: {:?})",
+                name,
+                self.names().collect::<Vec<_>>()
+            )
+        })
+    }
+
+    /// Iterate relation names (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff no relation is stored.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+/// Convenience macro-free helper to build a small relation from literal
+/// rows, heavily used by tests and examples.
+pub fn relation_from_rows(
+    name: &str,
+    attrs: &[&str],
+    rows: &[&[Value]],
+) -> Relation {
+    let mut b = RelationBuilder::new(name, Schema::base(name, attrs));
+    for r in rows {
+        b.push_row(r.to_vec());
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("y")],
+                &[Value::Int(1), Value::Null],
+                &[Value::Int(3), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn dictionary_codes_reflect_equality() {
+        let r = sample();
+        assert_eq!(r.nrows(), 4);
+        assert_eq!(r.code(0, 0), r.code(2, 0)); // both Int(1)
+        assert_ne!(r.code(0, 0), r.code(1, 0));
+        // the two NULLs share a code: null = null
+        assert_eq!(r.code(2, 1), r.code(3, 1));
+        assert!(r.is_null(2, 1) && r.is_null(3, 1));
+        assert!(!r.is_null(0, 1));
+    }
+
+    #[test]
+    fn distinct_count_over_rows() {
+        let r = sample();
+        assert_eq!(r.distinct_count(0), 3); // 1,2,3
+        assert_eq!(r.distinct_count(1), 3); // x,y,NULL
+    }
+
+    #[test]
+    fn gather_preserves_codes_and_dict() {
+        let r = sample();
+        let g = r.gather(&[0, 2], "g");
+        assert_eq!(g.nrows(), 2);
+        assert_eq!(g.value(0, 0), &Value::Int(1));
+        assert_eq!(g.value(1, 1), &Value::Null);
+        // codes still comparable with the parent's dictionary
+        assert_eq!(g.code(0, 0), r.code(0, 0));
+        // distinct over the gathered rows, not the stale dictionary
+        assert_eq!(g.distinct_count(0), 1);
+    }
+
+    #[test]
+    fn project_reorders_schema() {
+        let r = sample();
+        let p = r.project(&[1, 0], "p");
+        assert_eq!(p.schema.name(0), "b");
+        assert_eq!(p.schema.name(1), "a");
+        assert_eq!(p.value(1, 1), &Value::Int(2));
+        assert_eq!(p.nrows(), r.nrows());
+    }
+
+    #[test]
+    fn row_materializes_values() {
+        let r = sample();
+        assert_eq!(r.row(1), vec![Value::Int(2), Value::str("y")]);
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db = Database::new();
+        db.insert(sample());
+        assert!(db.get("t").is_some());
+        assert_eq!(db.expect("t").nrows(), 4);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in database")]
+    fn database_expect_panics_on_missing() {
+        Database::new().expect("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn builder_rejects_wrong_arity() {
+        let mut b = RelationBuilder::new("t", Schema::base("t", &["a"]));
+        b.push_row(vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn from_columns_checks_lengths() {
+        let r = sample();
+        let rebuilt = Relation::from_columns(
+            "t2",
+            r.schema.clone(),
+            (0..r.ncols()).map(|c| r.column(c).clone()).collect(),
+            r.nrows(),
+        );
+        assert_eq!(rebuilt.nrows(), 4);
+    }
+
+    #[test]
+    fn empty_relation_has_no_rows() {
+        let r = Relation::empty("e", Schema::base("e", &["a", "b"]));
+        assert_eq!(r.nrows(), 0);
+        assert_eq!(r.ncols(), 2);
+        assert_eq!(r.approx_bytes(), 0);
+    }
+}

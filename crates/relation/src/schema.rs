@@ -1,0 +1,246 @@
+//! Relation schemas with base-table lineage.
+//!
+//! View schemas carry, for each attribute, the base relation and attribute
+//! it originates from. InFine's provenance machinery uses that lineage to
+//! decide which side of a join an FD's attributes come from (Definitions
+//! 6 and 7 of the paper quantify over `atts(R1)` / `atts(R2)`).
+
+use crate::attrs::{AttrId, AttrSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where an attribute of a (possibly derived) relation comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Origin {
+    /// Name of the base relation.
+    pub relation: String,
+    /// Attribute name within the base relation.
+    pub attribute: String,
+}
+
+impl Origin {
+    /// Construct an origin.
+    pub fn new(relation: impl Into<String>, attribute: impl Into<String>) -> Self {
+        Origin {
+            relation: relation.into(),
+            attribute: attribute.into(),
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.relation, self.attribute)
+    }
+}
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Display name. Unique within a schema (qualified when ambiguous).
+    pub name: String,
+    /// Base-table lineage, if known.
+    pub origin: Option<Origin>,
+}
+
+impl Attribute {
+    /// A plain attribute without lineage.
+    pub fn new(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            origin: None,
+        }
+    }
+
+    /// An attribute with base-table lineage.
+    pub fn with_origin(name: impl Into<String>, origin: Origin) -> Self {
+        Attribute {
+            name: name.into(),
+            origin: Some(origin),
+        }
+    }
+}
+
+/// Ordered list of attributes with O(1) name lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// Empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Schema from attribute names, with lineage pointing at `relation`.
+    ///
+    /// This is the standard constructor for base tables: the attribute
+    /// `a` of relation `r` gets origin `r.a`.
+    pub fn base(relation: &str, names: &[&str]) -> Self {
+        let mut s = Schema::new();
+        for n in names {
+            s.push(Attribute::with_origin(*n, Origin::new(relation, *n)));
+        }
+        s
+    }
+
+    /// Schema from bare attribute names (no lineage).
+    pub fn unqualified(names: &[&str]) -> Self {
+        let mut s = Schema::new();
+        for n in names {
+            s.push(Attribute::new(*n));
+        }
+        s
+    }
+
+    /// Append an attribute; panics on duplicate names or overflow of the
+    /// 64-attribute cap.
+    pub fn push(&mut self, attr: Attribute) -> AttrId {
+        assert!(
+            self.attrs.len() < AttrSet::MAX_ATTRS,
+            "schema exceeds {} attributes",
+            AttrSet::MAX_ATTRS
+        );
+        let id = self.attrs.len();
+        let prev = self.by_name.insert(attr.name.clone(), id);
+        assert!(prev.is_none(), "duplicate attribute name {:?}", attr.name);
+        self.attrs.push(attr);
+        id
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True iff the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute by id.
+    pub fn attr(&self, id: AttrId) -> &Attribute {
+        &self.attrs[id]
+    }
+
+    /// Attribute name by id.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attrs[id].name
+    }
+
+    /// Resolve a name to an id.
+    pub fn id_of(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a name, panicking with a helpful message when absent.
+    pub fn expect_id(&self, name: &str) -> AttrId {
+        self.id_of(name).unwrap_or_else(|| {
+            panic!(
+                "attribute {:?} not in schema {:?}",
+                name,
+                self.names().collect::<Vec<_>>()
+            )
+        })
+    }
+
+    /// All attribute ids as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        AttrSet::all(self.attrs.len())
+    }
+
+    /// Iterate attribute names in schema order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+
+    /// Iterate attributes in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = &Attribute> {
+        self.attrs.iter()
+    }
+
+    /// Ids of attributes whose origin lies in base relation `relation`.
+    pub fn attrs_from(&self, relation: &str) -> AttrSet {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| {
+                a.origin
+                    .as_ref()
+                    .map(|o| o.relation == relation)
+                    .unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Render an attribute set as a comma-separated name list.
+    pub fn render_set(&self, set: AttrSet) -> String {
+        let mut out = String::new();
+        for (i, a) in set.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(self.name(a));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_schema_has_lineage() {
+        let s = Schema::base("patient", &["subject_id", "gender"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(0), "subject_id");
+        assert_eq!(
+            s.attr(1).origin,
+            Some(Origin::new("patient", "gender"))
+        );
+    }
+
+    #[test]
+    fn name_lookup_round_trips() {
+        let s = Schema::base("r", &["a", "b", "c"]);
+        assert_eq!(s.id_of("b"), Some(1));
+        assert_eq!(s.id_of("zz"), None);
+        assert_eq!(s.expect_id("c"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        let mut s = Schema::new();
+        s.push(Attribute::new("a"));
+        s.push(Attribute::new("a"));
+    }
+
+    #[test]
+    fn attrs_from_filters_by_origin() {
+        let mut s = Schema::new();
+        s.push(Attribute::with_origin("l.x", Origin::new("l", "x")));
+        s.push(Attribute::with_origin("r.y", Origin::new("r", "y")));
+        s.push(Attribute::with_origin("l.z", Origin::new("l", "z")));
+        assert_eq!(s.attrs_from("l").to_vec(), vec![0, 2]);
+        assert_eq!(s.attrs_from("r").to_vec(), vec![1]);
+        assert!(s.attrs_from("q").is_empty());
+    }
+
+    #[test]
+    fn render_set_lists_names() {
+        let s = Schema::base("r", &["a", "b", "c"]);
+        let set: AttrSet = [0, 2].into_iter().collect();
+        assert_eq!(s.render_set(set), "a,c");
+    }
+
+    #[test]
+    fn attr_set_spans_schema() {
+        let s = Schema::base("r", &["a", "b"]);
+        assert_eq!(s.attr_set().len(), 2);
+    }
+}

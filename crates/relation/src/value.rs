@@ -1,0 +1,199 @@
+//! Cell values stored in relations.
+//!
+//! FD discovery only ever needs *equality* of values, so the concrete type
+//! zoo is kept small and every variant is hashable. Floating-point values
+//! are compared by their bit pattern (`f64::to_bits`), which gives a total
+//! equivalence relation at the price of distinguishing `-0.0` from `0.0`
+//! and unifying nothing across NaN payloads — both acceptable for
+//! dictionary encoding.
+
+use std::fmt;
+
+/// A single cell value.
+///
+/// `Null` is an ordinary value for dictionary-encoding purposes: two nulls
+/// receive the same code. This realizes the "null = null" convention for FD
+/// satisfaction chosen in DESIGN.md §2 (the paper is null-semantics
+/// agnostic). Join-key matching applies SQL semantics separately by
+/// consulting [`Value::is_null`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Floating point, stored as raw bits so the type is `Eq + Hash`.
+    Float(u64),
+    /// UTF-8 string.
+    Str(Box<str>),
+    /// Boolean flag.
+    Bool(bool),
+    /// Date as days since an arbitrary epoch (calendar math is out of scope).
+    Date(i32),
+}
+
+impl Value {
+    /// Build a `Float` from an `f64`.
+    pub fn float(f: f64) -> Self {
+        Value::Float(f.to_bits())
+    }
+
+    /// Build a `Str` from anything string-like.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True iff the value is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The float payload, if this is a `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(b) => Some(f64::from_bits(*b)),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate heap + inline footprint in bytes, used by the memory
+    /// accounting in the bench harness.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(b) => write!(f, "{}", f64::from_bits(*b)),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "D{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn nulls_are_equal_and_hash_alike() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_eq!(hash_of(&Value::Null), hash_of(&Value::Null));
+    }
+
+    #[test]
+    fn floats_compare_by_bits() {
+        assert_eq!(Value::float(1.5), Value::float(1.5));
+        assert_ne!(Value::float(0.0), Value::float(-0.0));
+        // NaN equals itself under bit comparison: required for dictionary
+        // encoding to terminate with one code per distinct bit pattern.
+        assert_eq!(Value::float(f64::NAN), Value::float(f64::NAN));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions_produce_expected_variants() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(2.0f64), Value::float(2.0));
+    }
+
+    #[test]
+    fn is_null_only_for_null() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert!(!Value::str("").is_null());
+    }
+
+    #[test]
+    fn accessors_return_payloads() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Null.as_i64(), None);
+    }
+
+    #[test]
+    fn approx_bytes_counts_string_payload() {
+        let base = Value::Int(1).approx_bytes();
+        assert_eq!(Value::str("abcd").approx_bytes(), base + 4);
+    }
+}

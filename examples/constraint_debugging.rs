@@ -1,0 +1,64 @@
+//! Constraint debugging with selections (Algorithm 2 in action): a data
+//! steward filters a dirty feed and wants to know which quality rules
+//! *become* enforceable on the clean subset.
+//!
+//! The sensor feed violates `sensor → unit` only in rows flagged as
+//! calibration errors; selecting the valid rows upstages the FD to exact,
+//! and InFine reports it with an `upstaged selection` provenance triple
+//! pointing at the exact sub-query that made it true.
+//!
+//! ```text
+//! cargo run --example constraint_debugging
+//! ```
+
+use infine_algebra::{Predicate, ViewSpec};
+use infine_core::{FdKind, InFine};
+use infine_relation::{relation_from_rows, Database, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.insert(relation_from_rows(
+        "readings",
+        &["sensor", "unit", "value", "status"],
+        &[
+            &[Value::str("s1"), Value::str("°C"), Value::float(21.5), Value::str("ok")],
+            &[Value::str("s1"), Value::str("°C"), Value::float(22.0), Value::str("ok")],
+            // calibration error: s1 suddenly reports Fahrenheit
+            &[Value::str("s1"), Value::str("°F"), Value::float(71.2), Value::str("cal-error")],
+            &[Value::str("s2"), Value::str("hPa"), Value::float(1013.0), Value::str("ok")],
+            &[Value::str("s2"), Value::str("hPa"), Value::float(1009.2), Value::str("ok")],
+            &[Value::str("s3"), Value::str("%"), Value::float(45.0), Value::str("ok")],
+        ],
+    ));
+
+    // On the raw feed, sensor → unit is only approximate:
+    let raw = ViewSpec::base("readings");
+    let raw_report = InFine::default().discover(&db, &raw).expect("raw");
+    let has_fd = |report: &infine_core::InFineReport| {
+        report.triples.iter().find(|t| {
+            report.schema.name(t.fd.rhs) == "unit"
+                && t.fd.lhs.len() == 1
+                && t.fd.lhs.iter().all(|a| report.schema.name(a) == "sensor")
+        }).cloned()
+    };
+    println!("raw feed: sensor → unit discovered? {}", has_fd(&raw_report).is_some());
+
+    // After filtering the flagged rows, the FD upstages to exact:
+    let clean = ViewSpec::base("readings").select(Predicate::eq("status", "ok"));
+    let clean_report = InFine::default().discover(&db, &clean).expect("clean");
+    match has_fd(&clean_report) {
+        Some(t) => {
+            assert_eq!(t.kind, FdKind::UpstagedSelection);
+            println!(
+                "clean feed: sensor → unit holds — {} (first valid in: {})",
+                t.kind, t.subquery
+            );
+        }
+        None => println!("clean feed: FD still missing?!"),
+    }
+
+    println!("\nall FDs on the clean view:");
+    for t in &clean_report.triples {
+        println!("  {}", t.render(&clean_report.schema));
+    }
+}

@@ -1,0 +1,18 @@
+//! InFine umbrella crate — re-exports the full public API of the
+//! workspace: relational substrate, SPJ algebra, partitions, the four
+//! FD-discovery baselines, and the InFine provenance pipeline.
+//!
+//! See the README for a tour; `infine_core::InFine` is the main entry
+//! point.
+
+pub use infine_algebra as algebra;
+pub use infine_core as core;
+pub use infine_datagen as datagen;
+pub use infine_discovery as discovery;
+pub use infine_partitions as partitions;
+pub use infine_relation as relation;
+
+pub use infine_algebra::{JoinOp, Predicate, ViewSpec};
+pub use infine_core::{FdKind, InFine, InFineConfig, InFineReport, ProvenanceTriple};
+pub use infine_discovery::{Algorithm, Fd, FdSet};
+pub use infine_relation::{AttrSet, Database, Relation, Schema, Value};

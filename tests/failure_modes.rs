@@ -1,0 +1,176 @@
+//! Failure injection: malformed specs, degenerate instances, and edge
+//! shapes must produce clean errors or sane results — never panics or
+//! silent wrong answers.
+
+use infine_algebra::{execute, AlgebraError, JoinOp, Predicate, ViewSpec};
+use infine_core::{InFine, InFineError};
+use infine_discovery::Algorithm;
+use infine_relation::{relation_from_rows, Database, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert(relation_from_rows(
+        "t",
+        &["a", "b"],
+        &[&[Value::Int(1), Value::Int(2)]],
+    ));
+    db
+}
+
+#[test]
+fn unknown_relation_is_reported() {
+    let spec = ViewSpec::base("missing");
+    match InFine::default().discover(&db(), &spec) {
+        Err(InFineError::Algebra(AlgebraError::UnknownRelation(r))) => {
+            assert_eq!(r, "missing")
+        }
+        other => panic!("expected UnknownRelation, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_attribute_in_predicate() {
+    let spec = ViewSpec::base("t").select(Predicate::eq("zzz", 1i64));
+    assert!(matches!(
+        InFine::default().discover(&db(), &spec),
+        Err(InFineError::Algebra(AlgebraError::UnknownAttribute { .. }))
+    ));
+}
+
+#[test]
+fn unknown_attribute_in_join_condition() {
+    let mut d = db();
+    d.insert(relation_from_rows(
+        "u",
+        &["a", "c"],
+        &[&[Value::Int(1), Value::Int(3)]],
+    ));
+    let spec = ViewSpec::base("t").join(ViewSpec::base("u"), JoinOp::Inner, &[("a", "nope")]);
+    assert!(matches!(
+        InFine::default().discover(&d, &spec),
+        Err(InFineError::Algebra(AlgebraError::UnknownAttribute { .. }))
+    ));
+}
+
+#[test]
+fn duplicate_unaliased_table_rejected_but_aliased_accepted() {
+    let spec = ViewSpec::base("t").join(ViewSpec::base("t"), JoinOp::Inner, &[("a", "a")]);
+    assert!(matches!(
+        InFine::default().discover(&db(), &spec),
+        Err(InFineError::DuplicateBaseLabel(_))
+    ));
+    let spec = ViewSpec::base_as("t", "t1")
+        .join(ViewSpec::base_as("t", "t2"), JoinOp::Inner, &[("a", "a")]);
+    assert!(InFine::default().discover(&db(), &spec).is_ok());
+}
+
+#[test]
+fn empty_base_relation_flows_through_every_operator() {
+    let mut d = Database::new();
+    d.insert(relation_from_rows("e", &["x", "y"], &[]));
+    d.insert(relation_from_rows(
+        "t",
+        &["x", "z"],
+        &[&[Value::Int(1), Value::Int(2)]],
+    ));
+    for spec in [
+        ViewSpec::base("e"),
+        ViewSpec::base("e").select(Predicate::eq("x", 1i64)),
+        ViewSpec::base("e").project(&["y"]),
+        ViewSpec::base("e").inner_join(ViewSpec::base("t"), &["x"]),
+        ViewSpec::base("t").join(ViewSpec::base("e"), JoinOp::LeftOuter, &[("x", "x")]),
+    ] {
+        let report = InFine::default()
+            .discover(&d, &spec)
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        // on an empty instance every attribute is constant
+        let view = execute(&spec, &d).unwrap();
+        if view.nrows() == 0 {
+            assert_eq!(report.triples.len(), view.ncols(), "spec {spec}");
+        }
+    }
+}
+
+#[test]
+fn single_row_instances_make_everything_constant() {
+    let report = InFine::default()
+        .discover(&db(), &ViewSpec::base("t"))
+        .unwrap();
+    // one row ⇒ ∅ → a, ∅ → b
+    assert_eq!(report.triples.len(), 2);
+    assert!(report.triples.iter().all(|t| t.fd.lhs.is_empty()));
+}
+
+#[test]
+fn selection_keeping_everything_adds_nothing() {
+    let mut d = Database::new();
+    d.insert(relation_from_rows(
+        "t",
+        &["a", "b"],
+        &[
+            &[Value::Int(1), Value::Int(1)],
+            &[Value::Int(2), Value::Int(1)],
+        ],
+    ));
+    let base = InFine::default()
+        .discover(&d, &ViewSpec::base("t"))
+        .unwrap();
+    let selected = InFine::default()
+        .discover(&d, &ViewSpec::base("t").select(Predicate::True))
+        .unwrap();
+    assert_eq!(base.triples.len(), selected.triples.len());
+    assert_eq!(
+        selected
+            .triples
+            .iter()
+            .filter(|t| t.kind == infine_core::FdKind::UpstagedSelection)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn all_baselines_handle_degenerate_tables() {
+    for rel in [
+        relation_from_rows("empty", &["a", "b"], &[]),
+        relation_from_rows("one", &["a", "b"], &[&[Value::Int(1), Value::Int(2)]]),
+        relation_from_rows(
+            "allnull",
+            &["a", "b"],
+            &[&[Value::Null, Value::Null], &[Value::Null, Value::Null]],
+        ),
+        relation_from_rows("single_col", &["a"], &[&[Value::Int(1)], &[Value::Int(2)]]),
+    ] {
+        for algo in [
+            Algorithm::Tane,
+            Algorithm::Fun,
+            Algorithm::FastFds,
+            Algorithm::HyFd,
+            Algorithm::Levelwise,
+        ] {
+            let fds = algo.discover(&rel);
+            // must agree with the brute-force oracle
+            let oracle = infine_discovery::mine_fds_bruteforce(&rel, rel.attr_set());
+            assert!(
+                infine_discovery::same_fds(&fds, &oracle),
+                "{} on {}: {:?} vs {:?}",
+                algo.name(),
+                rel.name,
+                fds.to_sorted_vec(),
+                oracle.to_sorted_vec()
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_join_with_empty_condition_works() {
+    let mut d = Database::new();
+    d.insert(relation_from_rows("l", &["a"], &[&[Value::Int(1)], &[Value::Int(2)]]));
+    d.insert(relation_from_rows("r", &["b"], &[&[Value::Int(7)]]));
+    let spec = ViewSpec::base("l").join(ViewSpec::base("r"), JoinOp::Inner, &[]);
+    let view = execute(&spec, &d).unwrap();
+    assert_eq!(view.nrows(), 2); // cross product
+    let report = InFine::default().discover(&d, &spec).unwrap();
+    assert!(infine_core::all_hold(&view, &report.fd_set()));
+}

@@ -1,0 +1,233 @@
+//! Provenance-kind semantics on crafted scenarios: each FD kind of
+//! Definition 8 is exercised by a construction that forces it, and the
+//! sub-query component points at the right node of the view tree.
+
+use infine_algebra::{JoinOp, Predicate, ViewSpec};
+use infine_core::{FdKind, InFine};
+use infine_discovery::Fd;
+use infine_relation::{relation_from_rows, AttrSet, Database, Value};
+
+fn int_rows(name: &str, attrs: &[&str], rows: &[&[i64]]) -> infine_relation::Relation {
+    let vrows: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+        .collect();
+    let refs: Vec<&[Value]> = vrows.iter().map(|r| r.as_slice()).collect();
+    relation_from_rows(name, attrs, &refs)
+}
+
+#[test]
+fn base_fds_carry_their_table_as_subquery() {
+    let mut db = Database::new();
+    db.insert(int_rows("t", &["k", "v"], &[&[1, 10], &[2, 20]]));
+    let spec = ViewSpec::base("t");
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    assert!(!report.triples.is_empty());
+    for t in &report.triples {
+        assert_eq!(t.kind, FdKind::Base);
+        assert_eq!(t.subquery, "t");
+    }
+}
+
+#[test]
+fn upstaged_selection_points_at_the_sigma_node() {
+    let mut db = Database::new();
+    // x → y violated only where flag = 1.
+    db.insert(int_rows(
+        "t",
+        &["x", "y", "flag"],
+        &[&[1, 10, 0], &[1, 10, 0], &[1, 99, 1], &[2, 20, 0]],
+    ));
+    let spec = ViewSpec::base("t").select(Predicate::eq("flag", 0i64));
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let x = report.schema.expect_id("x");
+    let y = report.schema.expect_id("y");
+    let t = report
+        .triples
+        .iter()
+        .find(|t| t.fd == Fd::new(AttrSet::single(x), y))
+        .expect("x → y must be upstaged");
+    assert_eq!(t.kind, FdKind::UpstagedSelection);
+    assert!(t.subquery.contains("σ"), "subquery: {}", t.subquery);
+}
+
+#[test]
+fn upstaged_left_and_right_depend_on_which_side_dangles() {
+    let mut db = Database::new();
+    // Left violator (k=9) has no right partner → upstaged LEFT.
+    db.insert(int_rows(
+        "l",
+        &["k", "a", "b"],
+        &[&[1, 5, 7], &[2, 6, 9], &[9, 5, 8]],
+    ));
+    // Right violator (k=8) has no left partner → upstaged RIGHT.
+    db.insert(int_rows(
+        "r",
+        &["k", "c", "d"],
+        &[&[1, 3, 4], &[2, 7, 6], &[8, 3, 5]],
+    ));
+    let spec = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let a = report.schema.expect_id("a");
+    let b = report.schema.expect_id("b");
+    let c = report.schema.expect_id("c");
+    let d = report.schema.expect_id("d");
+    let kind_of = |lhs: usize, rhs: usize| {
+        report
+            .triples
+            .iter()
+            .find(|t| t.fd == Fd::new(AttrSet::single(lhs), rhs))
+            .map(|t| t.kind)
+    };
+    assert_eq!(kind_of(a, b), Some(FdKind::UpstagedLeft), "{}", report.render());
+    assert_eq!(kind_of(c, d), Some(FdKind::UpstagedRight), "{}", report.render());
+}
+
+#[test]
+fn inferred_fd_composes_through_join_keys() {
+    let mut db = Database::new();
+    // a → k in l, k → b in r ⇒ a → b inferred on the join.
+    db.insert(int_rows("l", &["k", "a"], &[&[1, 100], &[2, 200], &[1, 100]]));
+    db.insert(int_rows("r", &["k", "b"], &[&[1, 11], &[2, 22]]));
+    let spec = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let a = report.schema.expect_id("a");
+    let b = report.schema.expect_id("b");
+    let t = report
+        .triples
+        .iter()
+        .find(|t| t.fd == Fd::new(AttrSet::single(a), b))
+        .expect("a → b must be discovered");
+    assert_eq!(t.kind, FdKind::Inferred, "{}", report.render());
+    assert!(t.subquery.contains("⋈"));
+}
+
+#[test]
+fn theorem3_fd_is_classified_as_join_fd() {
+    // The appendix counterexample: AA' → b holds on the join but cannot
+    // be inferred from the side FD sets.
+    let mut db = Database::new();
+    db.insert(int_rows("l", &["x", "a"], &[&[0, 0], &[1, 0], &[1, 1], &[2, 2]]));
+    db.insert(int_rows(
+        "r",
+        &["y", "ap", "b"],
+        &[&[0, 0, 0], &[1, 0, 0], &[1, 1, 1], &[2, 1, 0]],
+    ));
+    let spec = ViewSpec::base("l").join(ViewSpec::base("r"), JoinOp::Inner, &[("x", "y")]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let a = report.schema.expect_id("a");
+    let ap = report.schema.expect_id("ap");
+    let b = report.schema.expect_id("b");
+    let lhs: AttrSet = [a, ap].into_iter().collect();
+    let t = report
+        .triples
+        .iter()
+        .find(|t| t.fd == Fd::new(lhs, b))
+        .expect("AA' → b must be discovered");
+    assert_eq!(t.kind, FdKind::JoinFd, "{}", report.render());
+}
+
+#[test]
+fn key_equivalence_fds_are_inferred_on_inner_joins() {
+    let mut db = Database::new();
+    db.insert(int_rows("l", &["k", "a"], &[&[1, 0], &[2, 0]]));
+    db.insert(int_rows("r", &["k", "b"], &[&[1, 0], &[2, 0]]));
+    let spec = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let lk = report.schema.expect_id("l.k");
+    let rk = report.schema.expect_id("r.k");
+    for (from, to) in [(lk, rk), (rk, lk)] {
+        let t = report
+            .triples
+            .iter()
+            .find(|t| t.fd == Fd::new(AttrSet::single(from), to))
+            .unwrap_or_else(|| panic!("key equivalence missing:\n{}", report.render()));
+        // discovered logically, not mined
+        assert_ne!(t.kind, FdKind::JoinFd);
+    }
+}
+
+#[test]
+fn projection_of_join_keys_keeps_chained_fds() {
+    // a → k in l, k → b in r; the final projection drops BOTH key columns
+    // yet a → b must survive — composed by inferFDs at the join node and
+    // carried through the closure-based projection restriction.
+    let mut db = Database::new();
+    db.insert(int_rows("l", &["k", "a"], &[&[10, 1], &[20, 2], &[10, 3]]));
+    db.insert(int_rows("r", &["k", "b"], &[&[10, 5], &[20, 6]]));
+    let spec = ViewSpec::base("l")
+        .inner_join(ViewSpec::base("r"), &["k"])
+        .project(&["a", "b"]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    assert!(report.schema.id_of("l.k").is_none(), "keys projected away");
+    let a = report.schema.expect_id("a");
+    let b = report.schema.expect_id("b");
+    let t = report
+        .triples
+        .iter()
+        .find(|t| t.fd == Fd::new(AttrSet::single(a), b))
+        .unwrap_or_else(|| panic!("a → b must survive:\n{}", report.render()));
+    assert_eq!(t.kind, FdKind::Inferred, "{}", report.render());
+}
+
+#[test]
+fn minimality_eviction_retags_base_fds() {
+    // Base FD ab → c; the join drops the row that blocked a → c, so the
+    // smaller upstaged FD must *replace* the base one in the canonical set.
+    let mut db = Database::new();
+    db.insert(int_rows(
+        "l",
+        &["k", "a", "b", "c"],
+        &[&[1, 1, 1, 1], &[2, 2, 2, 5], &[9, 1, 9, 7]], // k=9 dangles
+    ));
+    db.insert(int_rows("r", &["k", "z"], &[&[1, 0], &[2, 0]]));
+    let spec = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    let a = report.schema.expect_id("a");
+    let c = report.schema.expect_id("c");
+    // a → c minimal on the view (k=9 removed)
+    let t = report
+        .triples
+        .iter()
+        .find(|t| t.fd == Fd::new(AttrSet::single(a), c))
+        .expect("a → c must hold on the view");
+    assert_eq!(t.kind, FdKind::UpstagedLeft);
+    // no surviving superset FD with rhs c and lhs ⊇ {a}
+    for t in &report.triples {
+        if t.fd.rhs == c {
+            assert!(
+                !AttrSet::single(a).is_strict_subset(t.fd.lhs),
+                "non-minimal FD survived: {}",
+                t.render(&report.schema)
+            );
+        }
+    }
+}
+
+#[test]
+fn semi_join_discards_other_side_and_mixed_kinds() {
+    let mut db = Database::new();
+    db.insert(int_rows("l", &["k", "a"], &[&[1, 0], &[2, 0], &[9, 1]]));
+    db.insert(int_rows("r", &["k", "b"], &[&[1, 0], &[2, 1]]));
+    let spec = ViewSpec::base("l").join(
+        ViewSpec::base("r"),
+        JoinOp::LeftSemi,
+        &[("k", "k")],
+    );
+    let report = InFine::default().discover(&db, &spec).unwrap();
+    // only left attributes in the schema
+    assert!(report.schema.id_of("b").is_none());
+    // no inferred / joinFD kinds possible
+    for t in &report.triples {
+        assert!(matches!(
+            t.kind,
+            FdKind::Base | FdKind::UpstagedLeft
+        ));
+    }
+    // ∅ → a upstaged (k=9 dropped, a becomes constant)
+    let a = report.schema.expect_id("a");
+    assert!(report
+        .triples
+        .iter()
+        .any(|t| t.fd == Fd::new(AttrSet::EMPTY, a) && t.kind == FdKind::UpstagedLeft));
+}
