@@ -23,10 +23,7 @@ use std::collections::HashMap;
 
 /// Per-key-value multiplicity on one side. Null components are tracked so
 /// SQL non-matching can be applied.
-fn key_counts<'a>(
-    rel: &'a Relation,
-    keys: &[AttrId],
-) -> HashMap<Vec<&'a Value>, (u64, bool)> {
+fn key_counts<'a>(rel: &'a Relation, keys: &[AttrId]) -> HashMap<Vec<&'a Value>, (u64, bool)> {
     let mut out: HashMap<Vec<&Value>, (u64, bool)> = HashMap::new();
     for row in 0..rel.nrows() {
         let mut any_null = false;
@@ -123,12 +120,7 @@ fn cov_side(
 }
 
 /// Coverage of a single join node, computed from the two inputs.
-pub fn coverage(
-    left: &Relation,
-    right: &Relation,
-    on: &[(AttrId, AttrId)],
-    op: JoinOp,
-) -> f64 {
+pub fn coverage(left: &Relation, right: &Relation, on: &[(AttrId, AttrId)], op: JoinOp) -> f64 {
     let lkeys: Vec<AttrId> = on.iter().map(|&(l, _)| l).collect();
     let rkeys: Vec<AttrId> = on.iter().map(|&(_, r)| r).collect();
     let lcounts = key_counts(left, &lkeys);
@@ -193,11 +185,7 @@ mod tests {
 
     #[test]
     fn null_keys_count_as_dangling() {
-        let l = relation_from_rows(
-            "l",
-            &["k"],
-            &[&[Value::Null], &[Value::Int(1)]],
-        );
+        let l = relation_from_rows("l", &["k"], &[&[Value::Null], &[Value::Int(1)]]);
         let r = rel("r", &[1]);
         // L keys: NULL (no match), 1 (matches 1). Cov(L)=(0+1)/2=0.5, Cov(R)=1.
         let c = coverage(&l, &r, &[(0, 0)], JoinOp::Inner);

@@ -163,13 +163,13 @@ struct KeyAlign {
 fn align_keys(l: &Column, r: &Column) -> KeyAlign {
     let mut common: HashMap<&Value, u32> = HashMap::with_capacity(l.dict.len());
     let mut left = Vec::with_capacity(l.dict.len());
-    for v in &l.dict {
+    for v in l.dict.iter() {
         let next = common.len() as u32;
         let id = *common.entry(v).or_insert(next);
         left.push(id);
     }
     let mut right = Vec::with_capacity(r.dict.len());
-    for v in &r.dict {
+    for v in r.dict.iter() {
         let next = common.len() as u32;
         let id = *common.entry(v).or_insert(next);
         right.push(id);
@@ -210,7 +210,7 @@ fn gather_optional(col: &Column, rows: &[Option<u32>]) -> Column {
     let mut null_code = col.null_code;
     if rows.iter().any(Option::is_none) && null_code.is_none() {
         null_code = Some(dict.len() as u32);
-        dict.push(Value::Null);
+        std::sync::Arc::make_mut(&mut dict).push(Value::Null);
     }
     let codes = rows
         .iter()
@@ -402,11 +402,7 @@ pub fn matching_rows(
 }
 
 /// Evaluate a predicate on one row.
-fn eval_predicate(
-    rel: &Relation,
-    row: usize,
-    pred: &Predicate,
-) -> Result<bool, AlgebraError> {
+fn eval_predicate(rel: &Relation, row: usize, pred: &Predicate) -> Result<bool, AlgebraError> {
     Ok(match pred {
         Predicate::True => true,
         Predicate::Cmp { attr, op, value } => {
@@ -436,12 +432,8 @@ fn eval_predicate(
             let a = resolve(&rel.schema, attr)?;
             !rel.is_null(row, a) && values.contains(rel.value(row, a))
         }
-        Predicate::And(x, y) => {
-            eval_predicate(rel, row, x)? && eval_predicate(rel, row, y)?
-        }
-        Predicate::Or(x, y) => {
-            eval_predicate(rel, row, x)? || eval_predicate(rel, row, y)?
-        }
+        Predicate::And(x, y) => eval_predicate(rel, row, x)? && eval_predicate(rel, row, y)?,
+        Predicate::Or(x, y) => eval_predicate(rel, row, x)? || eval_predicate(rel, row, y)?,
         Predicate::Not(x) => !eval_predicate(rel, row, x)?,
     })
 }
@@ -754,8 +746,8 @@ mod tests {
             a,
             JoinOp::Inner,
             &[(0, 0)],
-            Some(&[1]),          // gender
-            Some(&[1]),          // insurance
+            Some(&[1]), // gender
+            Some(&[1]), // insurance
             "partial",
         );
         assert_eq!(r.ncols(), 2);
@@ -781,8 +773,11 @@ mod tests {
     #[test]
     fn alias_changes_lineage() {
         let d = db();
-        let v = ViewSpec::base_as("patient", "p1")
-            .join(ViewSpec::base_as("patient", "p2"), JoinOp::Inner, &[("gender", "gender")]);
+        let v = ViewSpec::base_as("patient", "p1").join(
+            ViewSpec::base_as("patient", "p2"),
+            JoinOp::Inner,
+            &[("gender", "gender")],
+        );
         let r = execute(&v, &d).unwrap();
         assert!(r.schema.id_of("p1.subject_id").is_some());
         assert!(r.schema.id_of("p2.subject_id").is_some());

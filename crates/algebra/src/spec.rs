@@ -314,9 +314,7 @@ impl ViewSpec {
     pub fn join_count(&self) -> usize {
         match self {
             ViewSpec::Base { .. } => 0,
-            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => {
-                input.join_count()
-            }
+            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => input.join_count(),
             ViewSpec::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
         }
     }
@@ -341,14 +339,8 @@ impl fmt::Display for ViewSpec {
                 op,
                 on,
             } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
-                write!(
-                    f,
-                    "({left} {}[{}] {right})",
-                    op.symbol(),
-                    conds.join(",")
-                )
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                write!(f, "({left} {}[{}] {right})", op.symbol(), conds.join(","))
             }
         }
     }
@@ -374,8 +366,11 @@ mod tests {
 
     #[test]
     fn self_join_via_alias_renders() {
-        let v = ViewSpec::base_as("atm", "atm1")
-            .join(ViewSpec::base_as("atm", "atm2"), JoinOp::Inner, &[("a", "a")]);
+        let v = ViewSpec::base_as("atm", "atm1").join(
+            ViewSpec::base_as("atm", "atm2"),
+            JoinOp::Inner,
+            &[("a", "a")],
+        );
         assert_eq!(v.base_tables(), vec!["atm", "atm"]);
         assert!(v.to_string().contains("atm AS atm1"));
     }

@@ -16,7 +16,10 @@ use infine_partitions::{Pli, PliCache};
 use infine_relation::{AttrSet, Database, Relation};
 
 fn scale() -> Scale {
-    match std::env::var("INFINE_SCALE").ok().and_then(|s| s.parse().ok()) {
+    match std::env::var("INFINE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
         Some(f) => Scale::of(f),
         None => Scale::of(0.003),
     }
@@ -142,5 +145,10 @@ fn a3_pli_cache(c: &mut Criterion) {
     drop(f.db);
 }
 
-criterion_group!(benches, a1_theorem4_pruning, a2_semijoin_vs_full, a3_pli_cache);
+criterion_group!(
+    benches,
+    a1_theorem4_pruning,
+    a2_semijoin_vs_full,
+    a3_pli_cache
+);
 criterion_main!(benches);

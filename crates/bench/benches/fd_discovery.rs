@@ -11,7 +11,10 @@ use infine_datagen::{catalog, Scale};
 use infine_discovery::Algorithm;
 
 fn bench_scale() -> Scale {
-    match std::env::var("INFINE_SCALE").ok().and_then(|s| s.parse().ok()) {
+    match std::env::var("INFINE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
         Some(f) => Scale::of(f),
         None => Scale::of(0.003),
     }
@@ -53,9 +56,7 @@ fn fig3_runtime(c: &mut Criterion) {
             }
             let base = discover_base_fds(&db, &case.spec, algo);
             group.bench_function(BenchmarkId::new(algo.name(), case.id), |b| {
-                b.iter(|| {
-                    straightforward(&db, &case.spec, algo, &base).expect("baseline")
-                })
+                b.iter(|| straightforward(&db, &case.spec, algo, &base).expect("baseline"))
             });
         }
         group.finish();

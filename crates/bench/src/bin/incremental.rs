@@ -1,0 +1,222 @@
+//! Incremental maintenance vs full re-discovery.
+//!
+//! For each representative catalog view, two maintenance engines are
+//! bootstrapped — cover-only (delta joins + patched view PLIs, no
+//! pipeline replay) and exact-provenance (pipeline replay with base
+//! mining skipped) — then identical random churn batches (half deletes,
+//! half perturbed-copy inserts) of 0.1%, 1%, and 10% of the target
+//! table's rows are applied to both. Each round reports both engines'
+//! wall-clock against re-running `InFine::discover` from scratch on the
+//! identical post-delta database (base mining included — a from-scratch
+//! run pays it), plus the straightforward TANE baseline when
+//! `INFINE_BENCH_STRAIGHTFORWARD=1`.
+//!
+//! Cover equivalence is asserted every round: the fast engine's cover is
+//! logically equivalent to the full run's triple set. Scale via
+//! `INFINE_SCALE` (default 0.01).
+
+#[global_allocator]
+static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
+
+use infine_bench::runner::{
+    bench_scale, mib, run_baseline, run_full_rediscovery, run_maintenance, secs, TextTable,
+};
+use infine_core::InFine;
+use infine_datagen::{find, random_churn};
+use infine_discovery::{Algorithm, Fd, FdSet};
+use infine_incremental::{FdStatus, MaintenanceEngine, MaintenanceMode};
+use infine_relation::AttrSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// (case id, delta target table) — targets chosen as mid-sized tables so
+/// the run shows both skipped mining on the untouched tables and real
+/// revalidation work on the touched one.
+const SCENARIOS: &[(&str, &str)] = &[
+    ("tpch_q2", "supplier"),
+    ("tpch_q3", "customer"),
+    ("mimic_q_patients_admissions", "patients"),
+    ("ptc_connected_bond", "bond"),
+    ("pte_atm_drug", "atm"),
+];
+
+const FRACTIONS: &[f64] = &[0.001, 0.01, 0.1];
+
+/// Delta composition per round.
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    /// Half deletes, half perturbed-copy inserts.
+    Churn,
+    /// Inserts only — the streaming-ingest case (no compaction work).
+    Append,
+}
+
+impl Workload {
+    fn label(self) -> &'static str {
+        match self {
+            Workload::Churn => "churn",
+            Workload::Append => "append",
+        }
+    }
+}
+
+fn main() {
+    let scale = bench_scale();
+    let straightforward = std::env::var("INFINE_BENCH_STRAIGHTFORWARD").is_ok();
+
+    let mut headers = vec![
+        "workload",
+        "view",
+        "Δtable",
+        "Δrows",
+        "Δ%",
+        "FDs",
+        "untouched",
+        "reval",
+        "invalid",
+        "t_cover",
+        "t_exact",
+        "t_full",
+        "speedup_cover",
+        "speedup_exact",
+        "peak_cover(MiB)",
+    ];
+    if straightforward {
+        headers.push("t_straightforward");
+    }
+    let mut table = TextTable::new(&headers);
+    let mut one_percent: Vec<(Workload, String, f64)> = Vec::new();
+
+    for workload in [Workload::Churn, Workload::Append] {
+        let mut rng = StdRng::seed_from_u64(0xDE17A);
+        for &(case_id, target) in SCENARIOS {
+            let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+            let db = case.dataset.generate(scale);
+            let t0 = Instant::now();
+            let mut fast = MaintenanceEngine::with_mode(
+                InFine::default(),
+                db.clone(),
+                case.spec.clone(),
+                MaintenanceMode::CoverOnly,
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: fast bootstrap failed: {e}"));
+            let mut exact = MaintenanceEngine::new(InFine::default(), db, case.spec.clone())
+                .unwrap_or_else(|e| panic!("{case_id}: exact bootstrap failed: {e}"));
+            assert!(
+                fast.supports_cover_fast_path(),
+                "{case_id}: scenario views must support the fast path"
+            );
+            eprintln!(
+                "# {case_id} [{}]: engines bootstrapped in {} s ({} FDs)",
+                workload.label(),
+                secs(t0.elapsed()),
+                exact.report().triples.len()
+            );
+
+            for &fraction in FRACTIONS {
+                let rel = fast.database().expect(target);
+                let mut delta = random_churn(&mut rng, rel, fraction);
+                if workload == Workload::Append {
+                    delta.batch.deletes.clear();
+                }
+                let delta_rows = delta.batch.num_deletes() + delta.batch.num_inserts();
+                let fast_run = run_maintenance(&mut fast, std::slice::from_ref(&delta));
+                let exact_run = run_maintenance(&mut exact, std::slice::from_ref(&delta));
+
+                // From-scratch re-discovery on the identical database.
+                let (full, t_full) = run_full_rediscovery(fast.database(), &case);
+                assert_covers_equivalent(&fast_run.report, &full);
+                let speedup_cover = t_full.as_secs_f64() / fast_run.total.as_secs_f64().max(1e-9);
+                let speedup_exact = t_full.as_secs_f64() / exact_run.total.as_secs_f64().max(1e-9);
+                if (fraction - 0.01).abs() < 1e-12 {
+                    one_percent.push((workload, format!("{case_id}/{target}"), speedup_cover));
+                }
+
+                let mut row = vec![
+                    workload.label().to_string(),
+                    case_id.to_string(),
+                    target.to_string(),
+                    delta_rows.to_string(),
+                    format!("{:.1}", fraction * 100.0),
+                    fast_run.report.cover.len().to_string(),
+                    fast_run
+                        .report
+                        .count_status(FdStatus::Untouched)
+                        .to_string(),
+                    fast_run
+                        .report
+                        .count_status(FdStatus::Revalidated)
+                        .to_string(),
+                    fast_run
+                        .report
+                        .count_status(FdStatus::Invalidated)
+                        .to_string(),
+                    secs(fast_run.total),
+                    secs(exact_run.total),
+                    secs(t_full),
+                    format!("{speedup_cover:.1}x"),
+                    format!("{speedup_exact:.1}x"),
+                    mib(fast_run.peak_bytes),
+                ];
+                if straightforward {
+                    let b = run_baseline(fast.database(), &case, Algorithm::Tane);
+                    row.push(secs(b.total));
+                }
+                table.row(row);
+            }
+        }
+    }
+
+    println!("{}", table.render());
+    println!("# 1%-delta speedups (cover maintenance vs full InFine re-discovery):");
+    let mut geomeans = Vec::new();
+    for workload in [Workload::Churn, Workload::Append] {
+        let speedups: Vec<f64> = one_percent
+            .iter()
+            .filter(|(w, _, _)| *w == workload)
+            .map(|(_, label, s)| {
+                println!("#   [{}] {label}: {s:.1}x", workload.label());
+                *s
+            })
+            .collect();
+        let geomean =
+            (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+        println!("#   [{}] geometric mean: {geomean:.1}x", workload.label());
+        geomeans.push(geomean);
+    }
+    let headline = geomeans.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "# headline (min geometric mean across workloads): {headline:.1}x \
+         (acceptance threshold: 5x) — {}",
+        if headline >= 5.0 { "PASS" } else { "MISS" }
+    );
+}
+
+/// The fast engine's canonical cover must be logically equivalent to the
+/// full pipeline's triple set (id spaces aligned by column name).
+fn assert_covers_equivalent(
+    report: &infine_incremental::MaintenanceReport,
+    full: &infine_core::InFineReport,
+) {
+    let map: Vec<usize> = (0..report.schema.len())
+        .map(|i| full.schema.expect_id(report.schema.name(i)))
+        .collect();
+    let remapped = report
+        .cover
+        .iter()
+        .map(|fd| {
+            Fd::new(
+                fd.lhs.iter().map(|a| map[a]).collect::<AttrSet>(),
+                map[fd.rhs],
+            )
+        })
+        .fold(FdSet::new(), |mut s, fd| {
+            s.insert_unchecked(fd);
+            s
+        });
+    assert!(
+        remapped.equivalent(&full.fd_set()),
+        "incremental cover diverged from full re-discovery"
+    );
+}

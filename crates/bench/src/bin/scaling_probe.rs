@@ -12,7 +12,8 @@ fn main() {
         let infine = t0.elapsed().as_secs_f64();
         let mut line = format!(
             "scale {factor}: InFine {:.3}s ({} FDs)",
-            infine, r.triples.len()
+            infine,
+            r.triples.len()
         );
         for algo in [Algorithm::HyFd, Algorithm::Tane, Algorithm::Fun] {
             let base = discover_base_fds(&db, &case.spec, algo);

@@ -44,6 +44,9 @@ fn main() {
             ]);
         }
     }
-    println!("Table I: data characteristics (synthetic stand-ins, scale {})", scale.factor);
+    println!(
+        "Table I: data characteristics (synthetic stand-ins, scale {})",
+        scale.factor
+    );
     println!("{}", table.render());
 }

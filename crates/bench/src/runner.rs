@@ -6,8 +6,9 @@ use infine_algebra::execute;
 use infine_core::{discover_base_fds, straightforward, FdKind, InFine, InFineReport};
 use infine_datagen::{QueryCase, Scale};
 use infine_discovery::Algorithm;
-use infine_relation::Database;
-use std::time::Duration;
+use infine_incremental::{MaintenanceEngine, MaintenanceReport};
+use infine_relation::{Database, DeltaRelation};
+use std::time::{Duration, Instant};
 
 /// One measured run of InFine on a view.
 pub struct InFineRun {
@@ -68,6 +69,43 @@ pub fn run_baseline(db: &Database, case: &QueryCase, algorithm: Algorithm) -> Ba
         view_rows: report.view_rows,
         peak_bytes,
     }
+}
+
+/// One measured maintenance round of the incremental engine.
+pub struct MaintenanceRun {
+    /// The engine's round report (classification, per-base stats,
+    /// timing breakdown).
+    pub report: MaintenanceReport,
+    /// Wall-clock of the whole `apply` call.
+    pub total: Duration,
+    /// Peak allocation bytes (0 unless the counting allocator is active).
+    pub peak_bytes: usize,
+}
+
+/// Apply one round of deltas through the maintenance engine, measured.
+pub fn run_maintenance(engine: &mut MaintenanceEngine, deltas: &[DeltaRelation]) -> MaintenanceRun {
+    let t0 = Instant::now();
+    let (report, peak_bytes) = measure_peak(|| {
+        engine
+            .apply(deltas)
+            .unwrap_or_else(|e| panic!("maintenance apply failed: {e}"))
+    });
+    MaintenanceRun {
+        report,
+        total: t0.elapsed(),
+        peak_bytes,
+    }
+}
+
+/// Wall-clock one full `InFine::discover` from scratch (base mining
+/// included — from-scratch re-discovery pays it, unlike the per-phase
+/// split of [`run_infine`]).
+pub fn run_full_rediscovery(db: &Database, case: &QueryCase) -> (InFineReport, Duration) {
+    let t0 = Instant::now();
+    let report = InFine::default()
+        .discover(db, &case.spec)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+    (report, t0.elapsed())
 }
 
 /// Tuple count of a view result (materializes it; used by Table II).

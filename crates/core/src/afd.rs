@@ -84,13 +84,12 @@ pub fn afd_origins(db: &Database, report: &InFineReport) -> Vec<AfdOrigin> {
             let o = report.schema.attr(a).origin.as_ref()?;
             base.schema.id_of(&o.attribute)
         };
-        let lhs: Option<AttrSet> = t
-            .fd
-            .lhs
-            .iter()
-            .map(map)
-            .collect::<Option<Vec<_>>>()
-            .map(|v| v.into_iter().collect());
+        let lhs: Option<AttrSet> =
+            t.fd.lhs
+                .iter()
+                .map(map)
+                .collect::<Option<Vec<_>>>()
+                .map(|v| v.into_iter().collect());
         let (Some(lhs), Some(rhs)) = (lhs, map(t.fd.rhs)) else {
             continue;
         };
@@ -155,8 +154,8 @@ mod tests {
         let mut db = Database::new();
         db.insert(patient);
         db.insert(admission);
-        let spec = ViewSpec::base("patient")
-            .inner_join(ViewSpec::base("admission"), &["subject_id"]);
+        let spec =
+            ViewSpec::base("patient").inner_join(ViewSpec::base("admission"), &["subject_id"]);
         let report = InFine::default().discover(&db, &spec).unwrap();
         let origins = afd_origins(&db, &report);
         // find the expire_flag → dod annotation
@@ -210,7 +209,10 @@ mod tests {
         db.insert(relation_from_rows(
             "t",
             &["k", "v"],
-            &[&[Value::Int(1), Value::Int(2)], &[Value::Int(3), Value::Int(4)]],
+            &[
+                &[Value::Int(1), Value::Int(2)],
+                &[Value::Int(3), Value::Int(4)],
+            ],
         ));
         let report = InFine::default()
             .discover(&db, &ViewSpec::base("t"))

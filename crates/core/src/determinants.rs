@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn result_is_an_antichain() {
         // a→x and ab→x (latter non-minimal): only {a} reported; also c,d→x.
-        let fds = FdSet::from_fds([
-            Fd::new(set(&[0]), 4),
-            Fd::new(set(&[2, 3]), 4),
-        ]);
+        let fds = FdSet::from_fds([Fd::new(set(&[0]), 4), Fd::new(set(&[2, 3]), 4)]);
         let dets = minimal_determinants(&fds, set(&[0, 1, 2, 3]), set(&[4]));
         assert_eq!(dets, vec![set(&[0]), set(&[2, 3])]);
         for i in 0..dets.len() {

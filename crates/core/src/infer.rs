@@ -49,13 +49,9 @@ pub fn infer_fds(
     let mut partial_rows = 0usize;
 
     // Direction: lhs ⊆ atts(L), rhs ∈ atts(R).
-    partial_rows += infer_direction(
-        l_rel, r_rel, op, on, dl, dr, known, nl, true, &mut out,
-    );
+    partial_rows += infer_direction(l_rel, r_rel, op, on, dl, dr, known, nl, true, &mut out);
     // Mirrored direction: lhs ⊆ atts(R), rhs ∈ atts(L).
-    partial_rows += infer_direction(
-        l_rel, r_rel, op, on, dl, dr, known, nl, false, &mut out,
-    );
+    partial_rows += infer_direction(l_rel, r_rel, op, on, dl, dr, known, nl, false, &mut out);
     (out, partial_rows)
 }
 
@@ -163,15 +159,13 @@ fn infer_direction(
             subsets.push(a_det);
             subsets.sort_by_key(|s| (s.len(), s.bits()));
             for cand in subsets {
-                let cand_join: AttrSet =
-                    cand.iter().map(|a| join_id(lhs_is_left, a)).collect();
+                let cand_join: AttrSet = cand.iter().map(|a| join_id(lhs_is_left, a)).collect();
                 if known.has_subset_lhs(cand_join, b_join)
                     || found.has_subset_lhs(cand_join, b_join)
                 {
                     continue;
                 }
-                let cand_partial: AttrSet =
-                    cand.iter().map(|a| pos(lhs_is_left, a)).collect();
+                let cand_partial: AttrSet = cand.iter().map(|a| pos(lhs_is_left, a)).collect();
                 if cand_partial.contains(b_partial) {
                     continue;
                 }
@@ -203,10 +197,26 @@ mod tests {
             "adm",
             &["subject_id", "insurance", "diagnosis"],
             &[
-                &[Value::Int(249), Value::str("Medicare"), Value::str("ANGINA")],
-                &[Value::Int(249), Value::str("Medicare"), Value::str("CHEST PAIN")],
-                &[Value::Int(250), Value::str("Self Pay"), Value::str("PNEUMONIA")],
-                &[Value::Int(251), Value::str("Private"), Value::str("HEAD BLEED")],
+                &[
+                    Value::Int(249),
+                    Value::str("Medicare"),
+                    Value::str("ANGINA"),
+                ],
+                &[
+                    Value::Int(249),
+                    Value::str("Medicare"),
+                    Value::str("CHEST PAIN"),
+                ],
+                &[
+                    Value::Int(250),
+                    Value::str("Self Pay"),
+                    Value::str("PNEUMONIA"),
+                ],
+                &[
+                    Value::Int(251),
+                    Value::str("Private"),
+                    Value::str("HEAD BLEED"),
+                ],
             ],
         );
         let pat = relation_from_rows(
@@ -278,9 +288,7 @@ mod tests {
             Fd::new(AttrSet::single(2), 0),
             Fd::new(AttrSet::single(2), 1),
         ]);
-        let dr = FdSet::from_fds([
-            Fd::new([0usize, 1].into_iter().collect::<AttrSet>(), 2),
-        ]);
+        let dr = FdSet::from_fds([Fd::new([0usize, 1].into_iter().collect::<AttrSet>(), 2)]);
         let (fds, _) = infer_fds(
             &l,
             &r,
@@ -327,15 +335,7 @@ mod tests {
         let mut known = FdSet::new();
         // already know subject_id→dob over join ids (0 → 4)
         known.insert_minimal(Fd::new(AttrSet::single(0), 4));
-        let (fds, _) = infer_fds(
-            &adm,
-            &pat,
-            JoinOp::Inner,
-            &[(0, 0)],
-            &dl,
-            &dr,
-            &known,
-        );
+        let (fds, _) = infer_fds(&adm, &pat, JoinOp::Inner, &[(0, 0)], &dl, &dr, &known);
         assert!(!fds.contains(&Fd::new(AttrSet::single(0), 4)));
     }
 }

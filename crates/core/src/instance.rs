@@ -93,7 +93,7 @@ fn gather_with_null_row(rel: &Relation, rows: &[u32]) -> Relation {
             Some(nc) => nc,
             None => {
                 let nc = dict.len() as u32;
-                dict.push(Value::Null);
+                std::sync::Arc::make_mut(&mut dict).push(Value::Null);
                 nc
             }
         };
@@ -179,11 +179,7 @@ mod tests {
 
     #[test]
     fn no_padding_when_other_side_has_no_dangling() {
-        let l = relation_from_rows(
-            "l",
-            &["k"],
-            &[&[Value::Int(1)], &[Value::Int(2)]],
-        );
+        let l = relation_from_rows("l", &["k"], &[&[Value::Int(1)], &[Value::Int(2)]]);
         let r = relation_from_rows(
             "r",
             &["k"],
@@ -212,7 +208,10 @@ mod tests {
         let l = relation_from_rows(
             "l",
             &["k", "x"],
-            &[&[Value::Int(1), Value::Null], &[Value::Int(7), Value::Int(5)]],
+            &[
+                &[Value::Int(1), Value::Null],
+                &[Value::Int(7), Value::Int(5)],
+            ],
         );
         let r = relation_from_rows("r", &["k"], &[&[Value::Int(1)], &[Value::Int(2)]]);
         // right outer: left padded (right k=2 dangles)

@@ -64,6 +64,9 @@ pub use determinants::minimal_determinants;
 pub use infer::infer_fds;
 pub use instance::{side_instance, SideInstance};
 pub use minefds::{mine_join_fds, mine_join_fds_with_options, MineOutcome};
-pub use restrict::restrict_triples;
-pub use pipeline::{InFine, InFineConfig, InFineError, InFineReport, PhaseTimings, PipelineStats};
+pub use pipeline::{
+    base_scopes, BaseFds, BaseScope, InFine, InFineConfig, InFineError, InFineReport, PhaseTimings,
+    PipelineStats,
+};
 pub use provenance::{FdKind, ProvenanceBuilder, ProvenanceTriple};
+pub use restrict::restrict_triples;

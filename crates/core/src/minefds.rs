@@ -88,11 +88,7 @@ pub fn mine_join_fds_with_options(
     // miss them; completeness (Theorem 5) requires including them here.
     let plausible = |side_fds: &FdSet, keys: AttrSet, atts: AttrSet| -> Vec<AttrId> {
         atts.iter()
-            .filter(|&b| {
-                side_fds
-                    .closure(keys.union(atts.without(b)))
-                    .contains(b)
-            })
+            .filter(|&b| side_fds.closure(keys.union(atts.without(b))).contains(b))
             .collect()
     };
     let (mask_l, mask_r) = rhs_mask.unwrap_or((l_rel.attr_set(), r_rel.attr_set()));
@@ -125,10 +121,7 @@ pub fn mine_join_fds_with_options(
     let mut validated = 0usize;
 
     // For each rhs, explore the mixed lattice.
-    let mut explore = |b_join: AttrId,
-                       own_is_left: bool,
-                       own_fds: &FdSet,
-                       own_keys: AttrSet| {
+    let mut explore = |b_join: AttrId, own_is_left: bool, own_fds: &FdSet, own_keys: AttrSet| {
         let to_join = |side_left: bool, id: AttrId| if side_left { id } else { nl + id };
         let b_own = if own_is_left { b_join } else { b_join - nl };
         // lhs universe over join ids: own side minus rhs, opposite side
@@ -156,10 +149,7 @@ pub fn mine_join_fds_with_options(
             )
             .collect();
         // Which join ids belong to the own (rhs's) side?
-        let own_mask: AttrSet = own_atts
-            .iter()
-            .map(|a| to_join(own_is_left, a))
-            .collect();
+        let own_mask: AttrSet = own_atts.iter().map(|a| to_join(own_is_left, a)).collect();
 
         let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
         let mut depth = 1usize;
@@ -176,11 +166,7 @@ pub fn mine_join_fds_with_options(
                     .iter()
                     .map(|j| if own_is_left { j } else { j - nl })
                     .collect();
-                if use_theorem4
-                    && !own_fds
-                        .closure(own_keys.union(a_prime_own))
-                        .contains(b_own)
-                {
+                if use_theorem4 && !own_fds.closure(own_keys.union(a_prime_own)).contains(b_own) {
                     pruned_by_theorem4 += 1;
                     extendable.push(cand);
                     continue;
@@ -264,19 +250,12 @@ mod tests {
         let dr = infine_discovery::mine_fds(&r, r.attr_set());
         // The paper states Y,A'→b and Y,b→A' hold on R: sanity-check.
         assert!(dl.is_empty(), "dl = {:?}", dl.to_sorted_vec());
-        assert!(dr.contains(&Fd::new(
-            [0usize, 1].into_iter().collect::<AttrSet>(),
-            2
-        )));
+        assert!(dr.contains(&Fd::new([0usize, 1].into_iter().collect::<AttrSet>(), 2)));
         let known = FdSet::new();
         let out = mine_join_fds(&l, &r, JoinOp::Inner, &[(0, 0)], &dl, &dr, &known, None);
         // join ids: x=0, a=1, y=2, ap=3, b=4. Expect a,ap→b.
         let expect = Fd::new([1usize, 3].into_iter().collect::<AttrSet>(), 4);
-        assert!(
-            out.fds.contains(&expect),
-            "missing AA'→b in {:?}",
-            out.fds
-        );
+        assert!(out.fds.contains(&expect), "missing AA'→b in {:?}", out.fds);
         assert!(out.join.is_some());
         assert!(out.partial_rows > 0);
     }
@@ -286,7 +265,16 @@ mod tests {
         let (l, r) = theorem3_sides();
         let dl = infine_discovery::mine_fds(&l, l.attr_set());
         let dr = infine_discovery::mine_fds(&r, r.attr_set());
-        let out = mine_join_fds(&l, &r, JoinOp::Inner, &[(0, 0)], &dl, &dr, &FdSet::new(), None);
+        let out = mine_join_fds(
+            &l,
+            &r,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+            None,
+        );
         assert!(
             out.pruned_by_theorem4 > 0,
             "expected some constraint pruning"
@@ -326,13 +314,29 @@ mod tests {
         // mineFDs skip the join entirely.
         let mask = (AttrSet::single(1), AttrSet::single(1)); // non-key attrs
         let out = mine_join_fds(
-            &l, &r, JoinOp::Inner, &[(0, 0)], &dl, &dr, &FdSet::new(), Some(mask),
+            &l,
+            &r,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+            Some(mask),
         );
         assert!(out.join.is_none(), "join should be skipped");
         assert!(out.fds.is_empty());
         assert_eq!(out.partial_rows, 0);
         // Unmasked, the key columns are plausible rhs and the join runs.
-        let out = mine_join_fds(&l, &r, JoinOp::Inner, &[(0, 0)], &dl, &dr, &FdSet::new(), None);
+        let out = mine_join_fds(
+            &l,
+            &r,
+            JoinOp::Inner,
+            &[(0, 0)],
+            &dl,
+            &dr,
+            &FdSet::new(),
+            None,
+        );
         assert!(out.join.is_some());
     }
 
@@ -346,6 +350,9 @@ mod tests {
         known.insert_minimal(Fd::new(AttrSet::single(1), 4));
         let out = mine_join_fds(&l, &r, JoinOp::Inner, &[(0, 0)], &dl, &dr, &known, None);
         let aap = Fd::new([1usize, 3].into_iter().collect::<AttrSet>(), 4);
-        assert!(!out.fds.contains(&aap), "superset of known should be pruned");
+        assert!(
+            !out.fds.contains(&aap),
+            "superset of known should be pruned"
+        );
     }
 }

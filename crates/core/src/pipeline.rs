@@ -24,14 +24,49 @@ use crate::minefds::mine_join_fds;
 use crate::provenance::{FdKind, ProvenanceBuilder, ProvenanceTriple};
 use crate::restrict::restrict_triples;
 use infine_algebra::{
-    derive_schema, join_relations, joined_schema, resolve, resolve_join_conditions,
-    select_rows, AlgebraError, JoinOp, ViewSpec,
+    derive_schema, join_relations, joined_schema, resolve, resolve_join_conditions, select_rows,
+    AlgebraError, JoinOp, ViewSpec,
 };
 use infine_discovery::{mine_new_fds, Algorithm, Fd, FdSet};
 use infine_partitions::PliCache;
 use infine_relation::{AttrId, AttrSet, Database, Origin, Relation, Schema};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
+
+/// Pre-computed minimal FD sets for (scoped) base relations, keyed by base
+/// label (alias when present, table name otherwise). The incremental
+/// entry point consumes these instead of re-mining — see
+/// [`InFine::discover_incremental`].
+///
+/// Each `FdSet` must be the complete minimal FD set of the corresponding
+/// scoped base relation (attribute ids as produced by [`base_scopes`]);
+/// the pipeline trusts it without re-validation.
+pub type BaseFds = HashMap<String, FdSet>;
+
+/// The attribute scope the pipeline mines for one base occurrence of a
+/// view: the base-table columns that survive Algorithm 1's projection
+/// push-down (the view's projected attributes plus every join key and
+/// selection attribute on the path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseScope {
+    /// Base label: alias when the occurrence is aliased, table name
+    /// otherwise. Unique per view (enforced like [`InFine::discover`]).
+    pub label: String,
+    /// Underlying base-table name in the database.
+    pub table: String,
+    /// Kept column ids of the base table, ascending. The scoped relation
+    /// is `table.project(&attrs)`; FD sets in [`BaseFds`] use ids into
+    /// this projection.
+    pub attrs: Vec<AttrId>,
+}
+
+impl BaseScope {
+    /// Materialize the scoped relation this scope describes.
+    pub fn project(&self, db: &Database) -> Relation {
+        db.expect(&self.table)
+            .project(&self.attrs, self.label.clone())
+    }
+}
 
 /// Errors from the pipeline.
 #[derive(Debug)]
@@ -212,10 +247,39 @@ impl InFine {
     }
 
     /// Discover the provenance-annotated FDs of `spec` over `db`.
-    pub fn discover(
+    pub fn discover(&self, db: &Database, spec: &ViewSpec) -> Result<InFineReport, InFineError> {
+        self.discover_inner(db, spec, None)
+    }
+
+    /// Incremental entry point: run the pipeline with step-1 base mining
+    /// replaced by the caller's maintained [`BaseFds`].
+    ///
+    /// This is the hinge the `infine-incremental` maintenance engine hangs
+    /// off: after a delta batch it revalidates each base table's FD set
+    /// against patched PLIs (instead of re-mining the lattice), then calls
+    /// here to rebuild the view-level provenance triples. Because the
+    /// complete minimal FD set of a relation is unique, supplying the
+    /// maintained sets yields a report identical to a full
+    /// [`InFine::discover`] on the updated database — at none of the base
+    /// mining cost, which dominates end-to-end re-discovery.
+    ///
+    /// Labels missing from `base_fds` fall back to full mining, so partial
+    /// overrides are fine. `timings.base_mining` counts only the fallback
+    /// mining actually performed.
+    pub fn discover_incremental(
         &self,
         db: &Database,
         spec: &ViewSpec,
+        base_fds: &BaseFds,
+    ) -> Result<InFineReport, InFineError> {
+        self.discover_inner(db, spec, Some(base_fds))
+    }
+
+    fn discover_inner(
+        &self,
+        db: &Database,
+        spec: &ViewSpec,
+        base_fds: Option<&BaseFds>,
     ) -> Result<InFineReport, InFineError> {
         validate_alias_uniqueness(spec)?;
         // AV — the projected attribute set of the whole view (Def. 3).
@@ -230,6 +294,7 @@ impl InFine {
             timings: PhaseTimings::default(),
             stats: PipelineStats::default(),
             final_av: needed.clone(),
+            base_fds,
         };
         let node = ctx.process(spec, &needed, true)?;
 
@@ -271,6 +336,9 @@ struct Ctx<'a> {
     /// Origins of the view's final projected attributes (AV); used to
     /// mask rhs candidates of `mineFDs` at the root join only.
     final_av: HashSet<OriginKey>,
+    /// Per-label base FD overrides for incremental runs (skip step-1
+    /// mining for labels present here).
+    base_fds: Option<&'a BaseFds>,
 }
 
 impl Ctx<'_> {
@@ -286,21 +354,19 @@ impl Ctx<'_> {
         {
             let t0 = Instant::now();
             let nl = left.ncols();
-            let (keep_left, keep_right): (Option<Vec<AttrId>>, Option<Vec<AttrId>>) =
-                match keep {
-                    None => (None, None),
-                    Some(ids) => {
-                        let l: Vec<AttrId> =
-                            ids.iter().copied().filter(|&i| i < nl).collect();
-                        let r: Vec<AttrId> = ids
-                            .iter()
-                            .copied()
-                            .filter(|&i| i >= nl)
-                            .map(|i| i - nl)
-                            .collect();
-                        (Some(l), Some(r))
-                    }
-                };
+            let (keep_left, keep_right): (Option<Vec<AttrId>>, Option<Vec<AttrId>>) = match keep {
+                None => (None, None),
+                Some(ids) => {
+                    let l: Vec<AttrId> = ids.iter().copied().filter(|&i| i < nl).collect();
+                    let r: Vec<AttrId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&i| i >= nl)
+                        .map(|i| i - nl)
+                        .collect();
+                    (Some(l), Some(r))
+                }
+            };
             let rel = join_relations(
                 left,
                 right,
@@ -356,8 +422,11 @@ impl Ctx<'_> {
         // tables like lineitem. The schema (with alias-adjusted origins)
         // is derived separately and only the scoped columns are copied.
         let full_schema = derive_schema(spec, self.db)?;
-        let table = match spec {
-            ViewSpec::Base { table, .. } => self.db.expect(table),
+        let (table, label) = match spec {
+            ViewSpec::Base { table, alias } => (
+                self.db.expect(table),
+                alias.as_deref().unwrap_or(table.as_str()),
+            ),
             _ => unreachable!("process_base called on a non-base spec"),
         };
         let scope: Vec<AttrId> = (0..full_schema.len())
@@ -378,9 +447,16 @@ impl Ctx<'_> {
         let rel = Relation::from_columns(spec.to_string(), schema, columns, table.nrows());
         self.timings.io += t0.elapsed();
 
-        let t1 = Instant::now();
-        let fds = self.algo.discover_restricted(&rel, rel.attr_set());
-        self.timings.base_mining += t1.elapsed();
+        // Incremental runs supply maintained base FD sets; mine otherwise.
+        let fds = match self.base_fds.and_then(|m| m.get(label)) {
+            Some(maintained) => maintained.clone(),
+            None => {
+                let t1 = Instant::now();
+                let fds = self.algo.discover_restricted(&rel, rel.attr_set());
+                self.timings.base_mining += t1.elapsed();
+                fds
+            }
+        };
 
         let subquery = spec.to_string();
         let triples = fds
@@ -417,9 +493,7 @@ impl Ctx<'_> {
         let (schema, triples) =
             restrict_triples(&child.triples, &child.schema, &keep, &spec.to_string());
         let rel = match child.rel {
-            NodeRel::Ready(r) => {
-                NodeRel::Ready(r.project(&keep, spec.to_string()))
-            }
+            NodeRel::Ready(r) => NodeRel::Ready(r.project(&keep, spec.to_string())),
             NodeRel::LazyJoin {
                 left,
                 right,
@@ -675,7 +749,11 @@ impl Ctx<'_> {
             infer_fds(&l_rel, &r_rel, op, &on_ids, &dl, &dr, &known_snapshot);
         self.stats.partial_join_rows += infer_rows;
         for fd in inferred {
-            builder.insert(ProvenanceTriple::new(fd, FdKind::Inferred, subquery.clone()));
+            builder.insert(ProvenanceTriple::new(
+                fd,
+                FdKind::Inferred,
+                subquery.clone(),
+            ));
         }
         self.timings.infer += t1.elapsed();
 
@@ -701,7 +779,16 @@ impl Ctx<'_> {
         } else {
             None
         };
-        let outcome = mine_join_fds(&l_rel, &r_rel, op, &on_ids, &dl, &dr, &known_snapshot, rhs_mask);
+        let outcome = mine_join_fds(
+            &l_rel,
+            &r_rel,
+            op,
+            &on_ids,
+            &dl,
+            &dr,
+            &known_snapshot,
+            rhs_mask,
+        );
         self.stats.partial_join_rows += outcome.partial_rows;
         self.stats.pruned_by_theorem4 += outcome.pruned_by_theorem4;
         self.stats.mine_validated += outcome.validated;
@@ -726,6 +813,109 @@ impl Ctx<'_> {
             rel,
             triples: builder.into_triples(),
         })
+    }
+}
+
+/// Compute the per-base attribute scopes of a view — the exact column
+/// subsets [`InFine::discover`] mines in step 1 (projection push-down of
+/// Algorithm 1 lines 3–5). The result is the contract between the
+/// maintenance engine's per-table FD state and
+/// [`InFine::discover_incremental`]'s [`BaseFds`] input: mine (or
+/// incrementally maintain) FDs on `scope.project(db)` and key them by
+/// `scope.label`.
+///
+/// Scopes are returned in base-occurrence order (left-to-right in the
+/// spec).
+pub fn base_scopes(db: &Database, spec: &ViewSpec) -> Result<Vec<BaseScope>, InFineError> {
+    validate_alias_uniqueness(spec)?;
+    let root_schema = derive_schema(spec, db)?;
+    let needed: HashSet<OriginKey> = root_schema
+        .iter()
+        .filter_map(|a| a.origin.as_ref().map(origin_key))
+        .collect();
+    let mut out = Vec::new();
+    collect_scopes(db, spec, &needed, &mut out)?;
+    Ok(out)
+}
+
+/// Recursive worker of [`base_scopes`], mirroring the needed-origin
+/// propagation of `Ctx::process` without touching any data.
+///
+/// COUPLING: this must stay in lockstep with the scoping decisions in
+/// `process_base` / `process_select` / `process_join` above — the
+/// incremental engine keys its trusted [`BaseFds`] to these scopes, so a
+/// divergence silently mines the wrong column subsets. Any change to the
+/// push-down there must be replicated here (the
+/// `discover_incremental_replays_discover_exactly` test plus the
+/// catalog-wide equivalence suite in `infine-incremental` guard this).
+fn collect_scopes(
+    db: &Database,
+    spec: &ViewSpec,
+    needed: &HashSet<OriginKey>,
+    out: &mut Vec<BaseScope>,
+) -> Result<(), InFineError> {
+    match spec {
+        ViewSpec::Base { table, alias } => {
+            let full_schema = derive_schema(spec, db)?;
+            let attrs: Vec<AttrId> = (0..full_schema.len())
+                .filter(|&i| {
+                    full_schema
+                        .attr(i)
+                        .origin
+                        .as_ref()
+                        .map(|o| needed.contains(&origin_key(o)))
+                        .unwrap_or(false)
+                })
+                .collect();
+            out.push(BaseScope {
+                label: alias.clone().unwrap_or_else(|| table.clone()),
+                table: table.clone(),
+                attrs,
+            });
+            Ok(())
+        }
+        ViewSpec::Project { input, .. } => collect_scopes(db, input, needed, out),
+        ViewSpec::Select { input, predicate } => {
+            let child_full = derive_schema(input, db)?;
+            let mut child_needed = needed.clone();
+            collect_predicate_origins(predicate, &child_full, &mut child_needed)?;
+            collect_scopes(db, input, &child_needed, out)
+        }
+        ViewSpec::Join {
+            left, right, on, ..
+        } => {
+            let ls_full = derive_schema(left, db)?;
+            let rs_full = derive_schema(right, db)?;
+            let on_full = resolve_join_conditions(&ls_full, &rs_full, on)?;
+            let left_origins: HashSet<OriginKey> = ls_full
+                .iter()
+                .filter_map(|a| a.origin.as_ref().map(origin_key))
+                .collect();
+            let right_origins: HashSet<OriginKey> = rs_full
+                .iter()
+                .filter_map(|a| a.origin.as_ref().map(origin_key))
+                .collect();
+            let mut needed_left: HashSet<OriginKey> = needed
+                .iter()
+                .filter(|o| left_origins.contains(*o))
+                .cloned()
+                .collect();
+            let mut needed_right: HashSet<OriginKey> = needed
+                .iter()
+                .filter(|o| right_origins.contains(*o))
+                .cloned()
+                .collect();
+            for &(l, r) in &on_full {
+                if let Some(o) = &ls_full.attr(l).origin {
+                    needed_left.insert(origin_key(o));
+                }
+                if let Some(o) = &rs_full.attr(r).origin {
+                    needed_right.insert(origin_key(o));
+                }
+            }
+            collect_scopes(db, left, &needed_left, out)?;
+            collect_scopes(db, right, &needed_right, out)
+        }
     }
 }
 
@@ -760,9 +950,15 @@ fn key_equivalence_validity(
     let lkeys: Vec<AttrId> = on_ids.iter().map(|&(a, _)| a).collect();
     let rkeys: Vec<AttrId> = on_ids.iter().map(|&(_, b)| b).collect();
 
-    let distinct_dangling = |rel: &Relation, other: &Relation, keys: &[AttrId], other_keys: &[AttrId], attr: AttrId| -> usize {
-        let matched: std::collections::HashSet<u32> =
-            matching_rows(rel, other, keys, other_keys).into_iter().collect();
+    let distinct_dangling = |rel: &Relation,
+                             other: &Relation,
+                             keys: &[AttrId],
+                             other_keys: &[AttrId],
+                             attr: AttrId|
+     -> usize {
+        let matched: std::collections::HashSet<u32> = matching_rows(rel, other, keys, other_keys)
+            .into_iter()
+            .collect();
         let mut codes: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for row in 0..rel.nrows() {
             if !matched.contains(&(row as u32)) {
@@ -822,9 +1018,7 @@ fn validate_alias_uniqueness(spec: &ViewSpec) -> Result<(), InFineError> {
             ViewSpec::Base { table, alias } => {
                 out.push(alias.as_deref().unwrap_or(table.as_str()));
             }
-            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => {
-                collect(input, out)
-            }
+            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => collect(input, out),
             ViewSpec::Join { left, right, .. } => {
                 collect(left, out);
                 collect(right, out);
@@ -854,27 +1048,134 @@ mod tests {
             "patient",
             &["subject_id", "gender", "dob", "dod", "expire_flag"],
             &[
-                &[Value::Int(249), Value::str("F"), Value::str("13/03/75"), Value::Null, Value::Int(0)],
-                &[Value::Int(250), Value::str("F"), Value::str("27/12/64"), Value::str("22/11/88"), Value::Int(1)],
-                &[Value::Int(251), Value::str("M"), Value::str("15/03/90"), Value::Null, Value::Int(0)],
-                &[Value::Int(252), Value::str("M"), Value::str("06/03/78"), Value::Null, Value::Int(0)],
-                &[Value::Int(257), Value::str("F"), Value::str("03/04/31"), Value::str("08/07/21"), Value::Int(1)],
+                &[
+                    Value::Int(249),
+                    Value::str("F"),
+                    Value::str("13/03/75"),
+                    Value::Null,
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(250),
+                    Value::str("F"),
+                    Value::str("27/12/64"),
+                    Value::str("22/11/88"),
+                    Value::Int(1),
+                ],
+                &[
+                    Value::Int(251),
+                    Value::str("M"),
+                    Value::str("15/03/90"),
+                    Value::Null,
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(252),
+                    Value::str("M"),
+                    Value::str("06/03/78"),
+                    Value::Null,
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(257),
+                    Value::str("F"),
+                    Value::str("03/04/31"),
+                    Value::str("08/07/21"),
+                    Value::Int(1),
+                ],
             ],
         );
         let admission = relation_from_rows(
             "admission",
-            &["subject_id", "admittime", "admission_location", "insurance", "diagnosis", "h_expire_flag"],
             &[
-                &[Value::Int(247), Value::str("03/08/56"), Value::str("CLINIC"), Value::str("UNOBTAINABLE"), Value::str("CHEST PAIN"), Value::Int(0)],
-                &[Value::Int(248), Value::str("19/10/42"), Value::str("EMERGENCY"), Value::str("Private"), Value::str("S/P MOTOR"), Value::Int(0)],
-                &[Value::Int(249), Value::str("17/12/49"), Value::str("EMERGENCY"), Value::str("Medicare"), Value::str("UNSTABLE ANGINA"), Value::Int(0)],
-                &[Value::Int(249), Value::str("03/02/55"), Value::str("EMERGENCY"), Value::str("Medicare"), Value::str("CHEST PAIN"), Value::Int(0)],
-                &[Value::Int(249), Value::str("27/04/56"), Value::str("PHYS REF"), Value::str("Medicare"), Value::str("GI BLEEDING"), Value::Int(0)],
-                &[Value::Int(250), Value::str("12/11/88"), Value::str("EMERGENCY"), Value::str("Self Pay"), Value::str("PNEUMONIA"), Value::Int(1)],
-                &[Value::Int(251), Value::str("27/07/10"), Value::str("EMERGENCY"), Value::str("Private"), Value::str("HEAD BLEED"), Value::Int(0)],
-                &[Value::Int(252), Value::str("31/03/33"), Value::str("EMERGENCY"), Value::str("Private"), Value::str("GI BLEED"), Value::Int(0)],
-                &[Value::Int(252), Value::str("15/08/33"), Value::str("EMERGENCY"), Value::str("Private"), Value::str("GI BLEED"), Value::Int(0)],
-                &[Value::Int(253), Value::str("21/01/74"), Value::str("TRANSFER"), Value::str("Medicare"), Value::str("HEART BLOCK"), Value::Int(0)],
+                "subject_id",
+                "admittime",
+                "admission_location",
+                "insurance",
+                "diagnosis",
+                "h_expire_flag",
+            ],
+            &[
+                &[
+                    Value::Int(247),
+                    Value::str("03/08/56"),
+                    Value::str("CLINIC"),
+                    Value::str("UNOBTAINABLE"),
+                    Value::str("CHEST PAIN"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(248),
+                    Value::str("19/10/42"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Private"),
+                    Value::str("S/P MOTOR"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(249),
+                    Value::str("17/12/49"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Medicare"),
+                    Value::str("UNSTABLE ANGINA"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(249),
+                    Value::str("03/02/55"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Medicare"),
+                    Value::str("CHEST PAIN"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(249),
+                    Value::str("27/04/56"),
+                    Value::str("PHYS REF"),
+                    Value::str("Medicare"),
+                    Value::str("GI BLEEDING"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(250),
+                    Value::str("12/11/88"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Self Pay"),
+                    Value::str("PNEUMONIA"),
+                    Value::Int(1),
+                ],
+                &[
+                    Value::Int(251),
+                    Value::str("27/07/10"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Private"),
+                    Value::str("HEAD BLEED"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(252),
+                    Value::str("31/03/33"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Private"),
+                    Value::str("GI BLEED"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(252),
+                    Value::str("15/08/33"),
+                    Value::str("EMERGENCY"),
+                    Value::str("Private"),
+                    Value::str("GI BLEED"),
+                    Value::Int(0),
+                ],
+                &[
+                    Value::Int(253),
+                    Value::str("21/01/74"),
+                    Value::str("TRANSFER"),
+                    Value::str("Medicare"),
+                    Value::str("HEART BLOCK"),
+                    Value::Int(0),
+                ],
             ],
         );
         let mut db = Database::new();
@@ -1007,12 +1308,11 @@ mod tests {
         let view = execute(&spec, &db).unwrap();
         let mut cache = PliCache::new(&view);
         for t in &report.triples {
-            let lhs: AttrSet = t
-                .fd
-                .lhs
-                .iter()
-                .map(|a| view.schema.expect_id(report.schema.name(a)))
-                .collect();
+            let lhs: AttrSet =
+                t.fd.lhs
+                    .iter()
+                    .map(|a| view.schema.expect_id(report.schema.name(a)))
+                    .collect();
             let rhs = view.schema.expect_id(report.schema.name(t.fd.rhs));
             let ok = if lhs.is_empty() {
                 view.distinct_count(rhs) <= 1
@@ -1037,8 +1337,11 @@ mod tests {
     #[test]
     fn duplicate_base_label_rejected() {
         let db = fig1_db();
-        let spec = ViewSpec::base("patient")
-            .join(ViewSpec::base("patient"), JoinOp::Inner, &[("gender", "gender")]);
+        let spec = ViewSpec::base("patient").join(
+            ViewSpec::base("patient"),
+            JoinOp::Inner,
+            &[("gender", "gender")],
+        );
         assert!(matches!(
             InFine::default().discover(&db, &spec),
             Err(InFineError::DuplicateBaseLabel(_))
@@ -1057,8 +1360,11 @@ mod tests {
                 &[Value::Int(3), Value::Int(1)],
             ],
         ));
-        let spec = ViewSpec::base_as("e", "w")
-            .join(ViewSpec::base_as("e", "m"), JoinOp::Inner, &[("boss", "id")]);
+        let spec = ViewSpec::base_as("e", "w").join(
+            ViewSpec::base_as("e", "m"),
+            JoinOp::Inner,
+            &[("boss", "id")],
+        );
         assert_matches_oracle(&db, &spec);
     }
 
@@ -1096,6 +1402,96 @@ mod tests {
         let (u, i, m) = report.phase_shares();
         assert!((u + i + m - 1.0).abs() < 1e-9);
         assert!(u > 0.0);
+    }
+
+    /// Mine every base scope the way the maintenance engine would.
+    fn mined_base_fds(db: &Database, spec: &ViewSpec) -> BaseFds {
+        base_scopes(db, spec)
+            .unwrap()
+            .into_iter()
+            .map(|s| {
+                let rel = s.project(db);
+                let fds = Algorithm::Levelwise.discover_restricted(&rel, rel.attr_set());
+                (s.label, fds)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn discover_incremental_replays_discover_exactly() {
+        let db = fig1_db();
+        for spec in [
+            fig1_view(),
+            fig1_view().project(&["gender", "diagnosis", "dob"]),
+            ViewSpec::base("patient")
+                .select(infine_algebra::Predicate::eq("expire_flag", 0i64))
+                .join(
+                    ViewSpec::base("admission"),
+                    JoinOp::LeftOuter,
+                    &[("subject_id", "subject_id")],
+                ),
+        ] {
+            let base_fds = mined_base_fds(&db, &spec);
+            let full = InFine::default().discover(&db, &spec).unwrap();
+            let inc = InFine::default()
+                .discover_incremental(&db, &spec, &base_fds)
+                .unwrap();
+            assert_eq!(full.triples, inc.triples, "spec {spec}");
+            // step-1 mining was skipped entirely
+            assert_eq!(inc.timings.base_mining, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn base_scopes_cover_aliased_tables_and_join_keys() {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "e",
+            &["id", "boss", "pay"],
+            &[
+                &[Value::Int(1), Value::Int(2), Value::Int(10)],
+                &[Value::Int(2), Value::Int(2), Value::Int(20)],
+            ],
+        ));
+        let spec = ViewSpec::base_as("e", "w")
+            .join(
+                ViewSpec::base_as("e", "m"),
+                JoinOp::Inner,
+                &[("boss", "id")],
+            )
+            .project(&["w.id", "m.pay"]);
+        let scopes = base_scopes(&db, &spec).unwrap();
+        assert_eq!(scopes.len(), 2);
+        let w = scopes.iter().find(|s| s.label == "w").unwrap();
+        let m = scopes.iter().find(|s| s.label == "m").unwrap();
+        assert_eq!(w.table, "e");
+        // w keeps id (projected) + boss (join key); pay is pruned
+        assert_eq!(w.attrs, vec![0, 1]);
+        // m keeps id (join key) + pay (projected)
+        assert_eq!(m.attrs, vec![0, 2]);
+        // overrides keyed by alias are honoured
+        let base_fds = mined_base_fds(&db, &spec);
+        let full = InFine::default().discover(&db, &spec).unwrap();
+        let inc = InFine::default()
+            .discover_incremental(&db, &spec, &base_fds)
+            .unwrap();
+        assert_eq!(full.triples, inc.triples);
+        assert_eq!(inc.timings.base_mining, Duration::ZERO);
+    }
+
+    #[test]
+    fn partial_base_fds_fall_back_to_mining() {
+        let db = fig1_db();
+        let spec = fig1_view();
+        let mut base_fds = mined_base_fds(&db, &spec);
+        base_fds.remove("admission");
+        let full = InFine::default().discover(&db, &spec).unwrap();
+        let inc = InFine::default()
+            .discover_incremental(&db, &spec, &base_fds)
+            .unwrap();
+        assert_eq!(full.triples, inc.triples);
+        // admission still mined
+        assert!(inc.timings.base_mining > Duration::ZERO);
     }
 
     #[test]

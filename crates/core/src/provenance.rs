@@ -85,7 +85,12 @@ impl ProvenanceTriple {
 
     /// Render with attribute names.
     pub fn render(&self, schema: &Schema) -> String {
-        format!("({}, \"{}\", {})", self.fd.render(schema), self.kind, self.subquery)
+        format!(
+            "({}, \"{}\", {})",
+            self.fd.render(schema),
+            self.kind,
+            self.subquery
+        )
     }
 }
 
@@ -116,9 +121,8 @@ impl ProvenanceBuilder {
             return false;
         }
         // evict stored supersets
-        self.triples.retain(|t| {
-            !(t.fd.rhs == triple.fd.rhs && triple.fd.lhs.is_subset(t.fd.lhs))
-        });
+        self.triples
+            .retain(|t| !(t.fd.rhs == triple.fd.rhs && triple.fd.lhs.is_subset(t.fd.lhs)));
         self.fds.insert_minimal(triple.fd);
         self.triples.push(triple);
         true
@@ -179,9 +183,17 @@ mod tests {
         let mut b = ProvenanceBuilder::new();
         assert!(b.insert(ProvenanceTriple::new(fd(&[0, 1], 2), FdKind::Base, "R")));
         // superset rejected
-        assert!(!b.insert(ProvenanceTriple::new(fd(&[0, 1, 3], 2), FdKind::JoinFd, "V")));
+        assert!(!b.insert(ProvenanceTriple::new(
+            fd(&[0, 1, 3], 2),
+            FdKind::JoinFd,
+            "V"
+        )));
         // subset evicts the incumbent triple
-        assert!(b.insert(ProvenanceTriple::new(fd(&[1], 2), FdKind::UpstagedRight, "V")));
+        assert!(b.insert(ProvenanceTriple::new(
+            fd(&[1], 2),
+            FdKind::UpstagedRight,
+            "V"
+        )));
         assert_eq!(b.len(), 1);
         assert_eq!(b.triples()[0].kind, FdKind::UpstagedRight);
         assert_eq!(b.count_kind(FdKind::Base), 0);

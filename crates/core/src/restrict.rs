@@ -51,13 +51,15 @@ pub fn restrict_triples(
         }
     }
     // 2. closure-derived FDs through dropped attributes
-    let all: FdSet = triples.iter().map(|t| t.fd).collect::<Vec<_>>().into_iter().fold(
-        FdSet::new(),
-        |mut s, fd| {
+    let all: FdSet = triples
+        .iter()
+        .map(|t| t.fd)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .fold(FdSet::new(), |mut s, fd| {
             s.insert_unchecked(fd);
             s
-        },
-    );
+        });
     for rhs in keep_set.iter() {
         let universe = keep_set.without(rhs);
         for lhs in minimal_determinants(&all, universe, AttrSet::single(rhs)) {
@@ -100,10 +102,7 @@ mod tests {
     fn chain_through_dropped_attr_is_derived() {
         // a→k, k→b ; drop k ⇒ a→b inferred.
         let schema = Schema::base("t", &["a", "k", "b"]);
-        let triples = vec![
-            triple(&[0], 1, FdKind::Base),
-            triple(&[1], 2, FdKind::Base),
-        ];
+        let triples = vec![triple(&[0], 1, FdKind::Base), triple(&[1], 2, FdKind::Base)];
         let (_, out) = restrict_triples(&triples, &schema, &[0, 2], "π[a,b]");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].fd, Fd::new(set(&[0]), 1)); // a→b in new ids

@@ -136,8 +136,13 @@ pub mod pools {
     /// TPC-H containers.
     pub const CONTAINERS: &[&str] = &["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
     /// TPC-H market segments.
-    pub const SEGMENTS: &[&str] =
-        &["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+    pub const SEGMENTS: &[&str] = &[
+        "BUILDING",
+        "AUTOMOBILE",
+        "MACHINERY",
+        "HOUSEHOLD",
+        "FURNITURE",
+    ];
     /// TPC-H nations (paper-size: 25) with region index.
     pub const NATIONS: &[(&str, usize)] = &[
         ("ALGERIA", 0),

@@ -1,0 +1,105 @@
+//! Random delta-batch generation for the incremental-maintenance tests
+//! and benches.
+//!
+//! Inserted rows are *perturbed copies* of existing rows: a random source
+//! row is cloned and a few of its cells are replaced with values drawn
+//! from the same column elsewhere in the table. That keeps every column
+//! inside its realistic domain (foreign keys keep joining, categorical
+//! pools stay closed) while still producing genuine FD violations — the
+//! interesting case for revalidation.
+
+use infine_relation::{DeltaBatch, DeltaRelation, Relation, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A random batch against `rel`: up to `deletes` distinct row deletions
+/// and exactly `inserts` perturbed-copy insertions (zero when the
+/// relation is empty).
+pub fn random_delta(
+    rng: &mut StdRng,
+    rel: &Relation,
+    deletes: usize,
+    inserts: usize,
+) -> DeltaBatch {
+    let mut batch = DeltaBatch::new();
+    let n = rel.nrows();
+    if n == 0 {
+        return batch;
+    }
+    let mut chosen: HashSet<u32> = HashSet::new();
+    for _ in 0..deletes.min(n) {
+        chosen.insert(rng.gen_range(0..n) as u32);
+    }
+    let mut deletes: Vec<u32> = chosen.into_iter().collect();
+    deletes.sort_unstable();
+    batch.deletes = deletes;
+
+    for _ in 0..inserts {
+        let src = rng.gen_range(0..n);
+        let mut row: Vec<Value> = rel.row(src);
+        // Perturb 1–2 cells with same-column values from other rows.
+        for _ in 0..rng.gen_range(1..=2usize) {
+            let col = rng.gen_range(0..rel.ncols());
+            let donor = rng.gen_range(0..n);
+            row[col] = rel.value(donor, col).clone();
+        }
+        batch.insert(row);
+    }
+    batch
+}
+
+/// A [`random_delta`] sized as a fraction of the relation's rows, split
+/// evenly between deletes and inserts (at least one change each when the
+/// fraction is non-zero; an empty batch when it is zero), addressed to
+/// the relation by name.
+pub fn random_churn(rng: &mut StdRng, rel: &Relation, fraction: f64) -> DeltaRelation {
+    if fraction <= 0.0 {
+        return DeltaRelation::new(rel.name.clone(), DeltaBatch::new());
+    }
+    let n = rel.nrows();
+    let changes = ((n as f64 * fraction) as usize).max(2);
+    let batch = random_delta(rng, rel, changes / 2, changes - changes / 2);
+    DeltaRelation::new(rel.name.clone(), batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_delta_applies_cleanly() {
+        let db = crate::tpch::generate(Scale::of(0.002));
+        let rel = db.expect("supplier");
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = random_delta(&mut rng, rel, 5, 5);
+        assert!(batch.num_deletes() <= 5);
+        assert_eq!(batch.num_inserts(), 5);
+        let (r2, applied) = rel.apply_delta(&batch, "supplier");
+        assert_eq!(r2.nrows(), rel.nrows() - applied.num_deleted() + 5);
+    }
+
+    #[test]
+    fn churn_scales_with_fraction() {
+        let db = crate::tpch::generate(Scale::of(0.002));
+        let rel = db.expect("partsupp");
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = random_churn(&mut rng, rel, 0.1);
+        assert_eq!(d.target, "partsupp");
+        let total = d.batch.num_deletes() + d.batch.num_inserts();
+        assert!(
+            total >= (rel.nrows() / 20).max(2),
+            "churn too small: {total}"
+        );
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_batch() {
+        use infine_relation::{relation_from_rows, Value as V};
+        let rel = relation_from_rows("e", &["a"], &[] as &[&[V]]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_delta(&mut rng, &rel, 3, 3).is_empty());
+    }
+}

@@ -11,6 +11,7 @@
 //! benches read `INFINE_SCALE` to trade fidelity for runtime.
 
 pub mod common;
+pub mod delta;
 pub mod mimic;
 pub mod ptc;
 pub mod pte;
@@ -18,4 +19,7 @@ pub mod queries;
 pub mod tpch;
 
 pub use common::Scale;
-pub use queries::{catalog, catalog_for, find, root_join_coverage, DatasetKind, PaperNumbers, QueryCase};
+pub use delta::{random_churn, random_delta};
+pub use queries::{
+    catalog, catalog_for, find, root_join_coverage, DatasetKind, PaperNumbers, QueryCase,
+};

@@ -168,7 +168,10 @@ pub fn generate(scale: Scale) -> Database {
     let mut rng = scale.rng(13);
     let mut b = RelationBuilder::new(
         "d_icd_diagnoses",
-        Schema::base("d_icd_diagnoses", &["icd9_code", "short_title", "long_title"]),
+        Schema::base(
+            "d_icd_diagnoses",
+            &["icd9_code", "short_title", "long_title"],
+        ),
     );
     for i in 0..n_icd {
         let code = format!("{:05}", i * 7 % 99_999);
@@ -187,7 +190,10 @@ pub fn generate(scale: Scale) -> Database {
     let mut rng = scale.rng(14);
     let mut b = RelationBuilder::new(
         "diagnoses_icd",
-        Schema::base("diagnoses_icd", &["row_id", "subject_id", "seq_num", "icd9_code"]),
+        Schema::base(
+            "diagnoses_icd",
+            &["row_id", "subject_id", "seq_num", "icd9_code"],
+        ),
     );
     for i in 0..n_diag {
         // heavy fan-out onto patients (paper coverage ≈ 7.5)
@@ -252,13 +258,16 @@ mod tests {
         // AFD on the base table (violated) …
         let holds_base = infine_partitions::fd_holds(adm, AttrSet::single(diag), disch);
         // … exact on the join (violators dangle).
-        let spec = ViewSpec::base("patients")
-            .inner_join(ViewSpec::base("admissions"), &["subject_id"]);
+        let spec =
+            ViewSpec::base("patients").inner_join(ViewSpec::base("admissions"), &["subject_id"]);
         let view = execute(&spec, &db).unwrap();
         let vdiag = view.schema.expect_id("diagnosis");
         let vdisch = view.schema.expect_id("discharge_location");
         let holds_view = infine_partitions::fd_holds(&view, AttrSet::single(vdiag), vdisch);
-        assert!(holds_view, "diagnosis → discharge_location must hold on the view");
+        assert!(
+            holds_view,
+            "diagnosis → discharge_location must hold on the view"
+        );
         // The base violation is probabilistic but near-certain at this
         // scale; assert only the upstaging direction.
         let _ = holds_base;
@@ -278,9 +287,6 @@ mod tests {
     fn deterministic_given_seed() {
         let a = generate(Scale::of(0.002));
         let b = generate(Scale::of(0.002));
-        assert_eq!(
-            a.expect("patients").row(5),
-            b.expect("patients").row(5)
-        );
+        assert_eq!(a.expect("patients").row(5), b.expect("patients").row(5));
     }
 }

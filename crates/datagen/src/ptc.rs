@@ -94,11 +94,7 @@ pub fn generate(scale: Scale) -> Database {
             Value::str(id2.clone()),
             Value::Int(i as i64),
         ]);
-        b.push_row(vec![
-            Value::str(id2),
-            Value::str(id1),
-            Value::Int(i as i64),
-        ]);
+        b.push_row(vec![Value::str(id2), Value::str(id1), Value::Int(i as i64)]);
     }
     db.insert(b.finish());
 

@@ -208,7 +208,13 @@ pub fn catalog() -> Vec<QueryCase> {
                 JoinOp::Inner,
                 &[("connected.bond_id", "bond.bond_id")],
             )
-            .project(&["atom_id1", "atom_id2", "connected.bond_id", "molecule_id", "btype"]),
+            .project(&[
+                "atom_id1",
+                "atom_id2",
+                "connected.bond_id",
+                "molecule_id",
+                "btype",
+            ]),
         paper: paper(5, 24_758, 8, 1.50, (0.625, 0.375, 0.0)),
     });
     out.push(QueryCase {
@@ -307,8 +313,7 @@ pub fn catalog() -> Vec<QueryCase> {
         dataset: Mimic,
         spec: ViewSpec::base("patients")
             .join(
-                ViewSpec::base("admissions")
-                    .select(Predicate::eq("insurance", "Medicare")),
+                ViewSpec::base("admissions").select(Predicate::eq("insurance", "Medicare")),
                 JoinOp::Inner,
                 &[("patients.subject_id", "admissions.subject_id")],
             )
@@ -375,14 +380,20 @@ pub fn catalog() -> Vec<QueryCase> {
         spec: ViewSpec::base("customer")
             .select(Predicate::eq("c_mktsegment", "BUILDING"))
             .join(
-                ViewSpec::base("orders")
-                    .select(Predicate::cmp("o_orderdate", CmpOp::Lt, infine_relation::Value::Date(1_200))),
+                ViewSpec::base("orders").select(Predicate::cmp(
+                    "o_orderdate",
+                    CmpOp::Lt,
+                    infine_relation::Value::Date(1_200),
+                )),
                 JoinOp::Inner,
                 &[("c_custkey", "o_custkey")],
             )
             .join(
-                ViewSpec::base("lineitem")
-                    .select(Predicate::cmp("l_shipdate", CmpOp::Gt, infine_relation::Value::Date(1_200))),
+                ViewSpec::base("lineitem").select(Predicate::cmp(
+                    "l_shipdate",
+                    CmpOp::Gt,
+                    infine_relation::Value::Date(1_200),
+                )),
                 JoinOp::Inner,
                 &[("o_orderkey", "l_orderkey")],
             )
@@ -532,13 +543,9 @@ mod tests {
         for ds in DatasetKind::ALL {
             let db = ds.generate(scale);
             for case in catalog_for(ds) {
-                let view = execute(&case.spec, &db)
-                    .unwrap_or_else(|e| panic!("{} failed: {e}", case.id));
-                assert!(
-                    view.ncols() > 0,
-                    "{} produced an empty schema",
-                    case.id
-                );
+                let view =
+                    execute(&case.spec, &db).unwrap_or_else(|e| panic!("{} failed: {e}", case.id));
+                assert!(view.ncols() > 0, "{} produced an empty schema", case.id);
             }
         }
     }

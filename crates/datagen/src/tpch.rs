@@ -55,7 +55,10 @@ pub fn generate(scale: Scale) -> Database {
     // ---- nation (4) ----
     let mut b = RelationBuilder::new(
         "nation",
-        Schema::base("nation", &["n_nationkey", "n_name", "n_regionkey", "n_comment"]),
+        Schema::base(
+            "nation",
+            &["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+        ),
     );
     for (i, (name, region)) in pools::NATIONS.iter().enumerate() {
         b.push_row(vec![
@@ -73,7 +76,15 @@ pub fn generate(scale: Scale) -> Database {
         "supplier",
         Schema::base(
             "supplier",
-            &["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"],
+            &[
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
+                "s_comment",
+            ],
         ),
     );
     for i in 0..n_supp {
@@ -102,7 +113,16 @@ pub fn generate(scale: Scale) -> Database {
         "customer",
         Schema::base(
             "customer",
-            &["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"],
+            &[
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
+                "c_mktsegment",
+                "c_comment",
+            ],
         ),
     );
     for i in 0..n_cust {
@@ -126,7 +146,15 @@ pub fn generate(scale: Scale) -> Database {
         "part",
         Schema::base(
             "part",
-            &["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container"],
+            &[
+                "p_partkey",
+                "p_name",
+                "p_mfgr",
+                "p_brand",
+                "p_type",
+                "p_size",
+                "p_container",
+            ],
         ),
     );
     for i in 0..n_part {
@@ -151,7 +179,13 @@ pub fn generate(scale: Scale) -> Database {
         "partsupp",
         Schema::base(
             "partsupp",
-            &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+            &[
+                "ps_partkey",
+                "ps_suppkey",
+                "ps_availqty",
+                "ps_supplycost",
+                "ps_comment",
+            ],
         ),
     );
     for p in 0..n_part {
@@ -174,7 +208,17 @@ pub fn generate(scale: Scale) -> Database {
         "orders",
         Schema::base(
             "orders",
-            &["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"],
+            &[
+                "o_orderkey",
+                "o_custkey",
+                "o_orderstatus",
+                "o_totalprice",
+                "o_orderdate",
+                "o_orderpriority",
+                "o_clerk",
+                "o_shippriority",
+                "o_comment",
+            ],
         ),
     );
     let mut order_dates = Vec::with_capacity(n_orders);
@@ -204,10 +248,22 @@ pub fn generate(scale: Scale) -> Database {
         Schema::base(
             "lineitem",
             &[
-                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
-                "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
-                "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
-                "l_shipmode", "l_comment",
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_linenumber",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_returnflag",
+                "l_linestatus",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+                "l_shipinstruct",
+                "l_shipmode",
+                "l_comment",
             ],
         ),
     );
@@ -229,7 +285,13 @@ pub fn generate(scale: Scale) -> Database {
                 Value::Int(rng.gen_range(1_000..100_000)),
                 Value::Int(rng.gen_range(0..=10)),
                 Value::Int(rng.gen_range(0..=8)),
-                Value::str(if status == "O" { "N" } else if rng.gen_bool(0.5) { "R" } else { "A" }),
+                Value::str(if status == "O" {
+                    "N"
+                } else if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }),
                 Value::str(status),
                 date(ship),
                 date(odate + rng.gen_range(30..91)),

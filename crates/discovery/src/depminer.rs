@@ -189,8 +189,12 @@ mod tests {
         let r = rel();
         let d = depminer(&r, r.attr_set());
         let t = tane(&r, r.attr_set());
-        assert!(same_fds(&d, &t), "\ndepminer: {:?}\ntane: {:?}",
-            d.to_sorted_vec(), t.to_sorted_vec());
+        assert!(
+            same_fds(&d, &t),
+            "\ndepminer: {:?}\ntane: {:?}",
+            d.to_sorted_vec(),
+            t.to_sorted_vec()
+        );
         assert!(same_fds(&d, &mine_fds_bruteforce(&r, r.attr_set())));
     }
 

@@ -36,14 +36,12 @@ pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
 
     let agree_sets = compute_agree_sets(rel, universe);
     // Difference sets: complements of agree sets within the universe.
-    let mut diff_sets: HashSet<AttrSet> = agree_sets
-        .iter()
-        .map(|&a| universe.difference(a))
-        .collect();
+    let mut diff_sets: HashSet<AttrSet> =
+        agree_sets.iter().map(|&a| universe.difference(a)).collect();
     diff_sets.remove(&AttrSet::EMPTY); // duplicate tuples: no constraint
-    // The full difference set R accounts for pairs agreeing nowhere. It is
-    // redundant unless no smaller difference set exists for some rhs, and
-    // harmless otherwise (every non-empty lhs covers R \ {a}).
+                                       // The full difference set R accounts for pairs agreeing nowhere. It is
+                                       // redundant unless no smaller difference set exists for some rhs, and
+                                       // harmless otherwise (every non-empty lhs covers R \ {a}).
     diff_sets.insert(universe);
 
     for rhs in universe.iter() {
@@ -65,12 +63,7 @@ pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
         }
         let mut covers = Vec::new();
         let order = order_by_coverage(&minimal_diffs, universe.without(rhs));
-        find_covers(
-            &minimal_diffs,
-            AttrSet::EMPTY,
-            &order,
-            &mut covers,
-        );
+        find_covers(&minimal_diffs, AttrSet::EMPTY, &order, &mut covers);
         for lhs in covers {
             result.insert_minimal(Fd::new(lhs, rhs));
         }
@@ -143,12 +136,7 @@ fn order_by_coverage(diffs: &[AttrSet], candidates: AttrSet) -> Vec<AttrId> {
 /// classic FastFDs enumeration, which visits every cover exactly once).
 /// Minimality of emitted covers is checked directly: every chosen
 /// attribute must uniquely cover some difference set.
-fn find_covers(
-    remaining: &[AttrSet],
-    path: AttrSet,
-    order: &[AttrId],
-    out: &mut Vec<AttrSet>,
-) {
+fn find_covers(remaining: &[AttrSet], path: AttrSet, order: &[AttrId], out: &mut Vec<AttrSet>) {
     if remaining.is_empty() {
         out.push(path);
         return;
@@ -210,8 +198,12 @@ mod tests {
         let r = rel();
         let f = fastfds(&r, r.attr_set());
         let t = tane(&r, r.attr_set());
-        assert!(same_fds(&f, &t), "\nfastfds: {:?}\ntane: {:?}",
-            f.to_sorted_vec(), t.to_sorted_vec());
+        assert!(
+            same_fds(&f, &t),
+            "\nfastfds: {:?}\ntane: {:?}",
+            f.to_sorted_vec(),
+            t.to_sorted_vec()
+        );
         assert!(same_fds(&f, &mine_fds_bruteforce(&r, r.attr_set())));
     }
 

@@ -395,7 +395,11 @@ mod tests {
         s.insert_unchecked(Fd::new(set(&[0]), 2));
         let cover = s.minimal_cover();
         assert!(cover.equivalent(&s));
-        assert!(cover.len() <= 2, "cover too large: {:?}", cover.to_sorted_vec());
+        assert!(
+            cover.len() <= 2,
+            "cover too large: {:?}",
+            cover.to_sorted_vec()
+        );
         assert!(cover.contains(&Fd::new(set(&[0]), 1)));
     }
 

@@ -145,8 +145,12 @@ mod tests {
         let f = fun(&r, r.attr_set());
         let t = tane(&r, r.attr_set());
         let b = mine_fds_bruteforce(&r, r.attr_set());
-        assert!(same_fds(&f, &t), "\nfun: {:?}\ntane: {:?}",
-            f.to_sorted_vec(), t.to_sorted_vec());
+        assert!(
+            same_fds(&f, &t),
+            "\nfun: {:?}\ntane: {:?}",
+            f.to_sorted_vec(),
+            t.to_sorted_vec()
+        );
         assert!(same_fds(&f, &b));
     }
 

@@ -39,9 +39,7 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
     }
 
     // ---- Phase 1: sampling ----
-    let mut negative: Vec<AttrSet> = sample_agree_sets(rel, universe)
-        .into_iter()
-        .collect();
+    let mut negative: Vec<AttrSet> = sample_agree_sets(rel, universe).into_iter().collect();
     // Larger agree sets first: they contradict more candidates at once.
     negative.sort_by(|a, b| b.len().cmp(&a.len()).then(a.bits().cmp(&b.bits())));
 
@@ -68,7 +66,12 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
             if fd.lhs.is_empty() {
                 // universe excludes constants, so ∅ → a is always false
                 new_violations.push(witness_agree_set(rel, &mut cache, fd, universe));
-                specialize_one(&mut cover, *fd, *new_violations.last().expect("pushed"), universe);
+                specialize_one(
+                    &mut cover,
+                    *fd,
+                    *new_violations.last().expect("pushed"),
+                    universe,
+                );
                 continue;
             }
             if !cache.fd_holds(fd.lhs, fd.rhs) {
@@ -214,8 +217,12 @@ mod tests {
         let r = rel();
         let h = hyfd(&r, r.attr_set());
         let t = tane(&r, r.attr_set());
-        assert!(same_fds(&h, &t), "\nhyfd: {:?}\ntane: {:?}",
-            h.to_sorted_vec(), t.to_sorted_vec());
+        assert!(
+            same_fds(&h, &t),
+            "\nhyfd: {:?}\ntane: {:?}",
+            h.to_sorted_vec(),
+            t.to_sorted_vec()
+        );
         assert!(same_fds(&h, &mine_fds_bruteforce(&r, r.attr_set())));
     }
 

@@ -214,8 +214,12 @@ mod tests {
         let r = rel();
         let fast = mine_fds(&r, r.attr_set());
         let slow = mine_fds_bruteforce(&r, r.attr_set());
-        assert!(same_fds(&fast, &slow), "\nfast: {:?}\nslow: {:?}",
-            fast.to_sorted_vec(), slow.to_sorted_vec());
+        assert!(
+            same_fds(&fast, &slow),
+            "\nfast: {:?}\nslow: {:?}",
+            fast.to_sorted_vec(),
+            slow.to_sorted_vec()
+        );
     }
 
     #[test]
@@ -240,7 +244,7 @@ mod tests {
         let r = rel();
         let fds = mine_fds(&r, r.attr_set());
         assert!(fds.contains(&Fd::new(AttrSet::single(1), 2))); // 10→0, 20→1, 30→0
-        // c does not determine b (c=0 maps to b∈{10,30})
+                                                                // c does not determine b (c=0 maps to b∈{10,30})
         assert!(!fds.contains(&Fd::new(AttrSet::single(2), 1)));
     }
 

@@ -130,9 +130,8 @@ fn generate_next_level(level: &[AttrSet]) -> Vec<AttrSet> {
         for i in 0..ms.len() {
             for j in (i + 1)..ms.len() {
                 let candidate = prefix.with(ms[i]).with(ms[j]);
-                let all_subsets_present = candidate
-                    .immediate_subsets()
-                    .all(|s| present.contains(&s));
+                let all_subsets_present =
+                    candidate.immediate_subsets().all(|s| present.contains(&s));
                 if all_subsets_present {
                     out.push(candidate);
                 }
@@ -170,8 +169,12 @@ mod tests {
         let t = tane(&r, r.attr_set());
         let l = mine_fds(&r, r.attr_set());
         let b = mine_fds_bruteforce(&r, r.attr_set());
-        assert!(same_fds(&t, &l), "\ntane: {:?}\nlevelwise: {:?}",
-            t.to_sorted_vec(), l.to_sorted_vec());
+        assert!(
+            same_fds(&t, &l),
+            "\ntane: {:?}\nlevelwise: {:?}",
+            t.to_sorted_vec(),
+            l.to_sorted_vec()
+        );
         assert!(same_fds(&t, &b));
     }
 
@@ -217,7 +220,10 @@ mod tests {
         let r = relation_from_rows(
             "t",
             &["a", "b"],
-            &[&[Value::Int(1), Value::Int(2)], &[Value::Int(1), Value::Int(2)]],
+            &[
+                &[Value::Int(1), Value::Int(2)],
+                &[Value::Int(1), Value::Int(2)],
+            ],
         );
         let t = tane(&r, r.attr_set());
         assert_eq!(t.len(), 2); // ∅→a, ∅→b

@@ -1,0 +1,409 @@
+//! Incremental maintenance of a relation's minimal FD cover.
+//!
+//! [`CoverState`] keeps, for one (possibly attribute-restricted) relation:
+//! the canonical minimal FD cover (every subset-minimal valid FD, as a
+//! complete level-wise miner would produce it) and the partitions backing
+//! it — all singletons plus `π_lhs` for every held FD.
+//!
+//! [`CoverState::maintain`] brings both across a
+//! [`Relation::apply_delta`](infine_relation::Relation::apply_delta)
+//! version change:
+//!
+//! * partitions are patched ([`rebase_plis`]), never rebuilt;
+//! * held FDs are revalidated only against the *dirty* classes of their
+//!   lhs partition, and only when the batch inserted rows (deletes can
+//!   never break an FD — validity is anti-monotone in rows);
+//! * FDs broken by inserts are replaced through a seeded upward lattice
+//!   walk ([`extend_broken`]) — after an insert-only batch every newly
+//!   minimal FD is a strict superset of a broken one;
+//! * FDs surfaced by deletes are recovered by the shared level-wise miner
+//!   with the surviving set as its pruning `known` input (the machinery
+//!   of the paper's Algorithm 2, reused verbatim).
+//!
+//! The same state machine serves the engine's per-base-table FD sets and
+//! the materialized-view cover of the fast path.
+
+use infine_discovery::{mine_new_fds_with, Algorithm, Fd, FdSet, Validity};
+use infine_partitions::{rebase_plis, Pli, PliCache};
+use infine_relation::{AppliedDelta, AttrSet, Relation};
+use std::collections::{HashMap, HashSet};
+
+/// Accounting for one [`CoverState::maintain`] round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverDeltaStats {
+    /// FDs held before the round.
+    pub held: usize,
+    /// Held FDs broken by inserted rows.
+    pub broken: usize,
+    /// Minimal FDs recovered by the seeded upward walk.
+    pub recovered: usize,
+    /// Minimal FDs surfaced by the delete-path miner.
+    pub surfaced: usize,
+    /// Partitions patched in place.
+    pub plis_patched: usize,
+    /// Partitions evicted (recomputed on demand later).
+    pub plis_evicted: usize,
+    /// Dirty equivalence classes across all patched partitions.
+    pub dirty_classes: usize,
+    /// Delete-path candidates rejected in O(1) by a surviving violation
+    /// witness (no partition work at all).
+    pub witness_hits: usize,
+    /// Delete-path candidates that needed real partition validation.
+    pub witness_misses: usize,
+}
+
+/// A maintained minimal FD cover over `attrs` of one relation.
+#[derive(Debug)]
+pub struct CoverState {
+    /// Attribute universe the cover ranges over (mining never leaves it).
+    pub attrs: AttrSet,
+    /// The canonical minimal cover: every subset-minimal valid FD.
+    pub fds: FdSet,
+    /// Maintained partitions: singletons plus `π_lhs` per held FD.
+    plis: HashMap<AttrSet, Pli>,
+    /// One violating row pair per known-invalid candidate. Surviving rows
+    /// keep their dictionary codes across deltas, so as long as both rows
+    /// are alive the pair still *proves* invalidity — which turns the
+    /// delete-path lattice walk's re-validations into O(1) lookups.
+    /// Remapped (and pruned) through every delete batch.
+    witnesses: HashMap<Fd, (u32, u32)>,
+}
+
+impl CoverState {
+    /// Mine the full cover from scratch and seed the partition state.
+    pub fn bootstrap(rel: &Relation, attrs: AttrSet, algorithm: Algorithm) -> CoverState {
+        let fds = algorithm.discover_restricted(rel, attrs);
+        let mut state = CoverState {
+            attrs,
+            fds,
+            plis: HashMap::new(),
+            witnesses: HashMap::new(),
+        };
+        state.settle(rel);
+        state
+    }
+
+    /// Bring the cover across `old relation → new_rel` as described by
+    /// `applied`. Returns the round's accounting.
+    pub fn maintain(&mut self, new_rel: &Relation, applied: &AppliedDelta) -> CoverDeltaStats {
+        let mut stats = CoverDeltaStats {
+            held: self.fds.len(),
+            ..CoverDeltaStats::default()
+        };
+
+        // Patch the partitions backing the held cover; evict the rest.
+        let held_lhs: HashSet<AttrSet> = self.fds.iter().map(|fd| fd.lhs).collect();
+        let (plis, dirty, rebase) =
+            rebase_plis(std::mem::take(&mut self.plis), new_rel, applied, |set| {
+                set.len() <= 1 || held_lhs.contains(&set)
+            });
+        stats.plis_patched = rebase.patched;
+        stats.plis_evicted = rebase.evicted;
+        stats.dirty_classes = rebase.dirty_classes;
+        let mut cache = PliCache::from_map(new_rel, plis);
+
+        // Carry violation witnesses across the version change: remap the
+        // row ids; pairs losing a row no longer prove anything.
+        if applied.num_deleted() > 0 {
+            self.witnesses.retain(|_, pair| {
+                match (
+                    applied.remap[pair.0 as usize],
+                    applied.remap[pair.1 as usize],
+                ) {
+                    (Some(a), Some(b)) => {
+                        *pair = (a, b);
+                        true
+                    }
+                    _ => false,
+                }
+            });
+        }
+
+        // Revalidate held FDs over dirty classes only (insert batches).
+        let mut survivors = FdSet::new();
+        let mut broken: Vec<Fd> = Vec::new();
+        if applied.num_inserted() == 0 {
+            survivors = self.fds.clone();
+        } else {
+            for fd in self.fds.iter() {
+                let ok = match dirty.get(&fd.lhs) {
+                    Some(d) => cache.get(fd.lhs).constant_on(new_rel, fd.rhs, d.risky()),
+                    // lhs partition was not maintained (defensive): full check.
+                    None => cache.get(fd.lhs).refines_attr(new_rel, fd.rhs),
+                };
+                if ok {
+                    survivors.insert_minimal(fd);
+                } else {
+                    // Record the violation so later delete rounds reject
+                    // this candidate in O(1).
+                    if let Some(pair) = find_violation(cache.get(fd.lhs), new_rel, fd.rhs) {
+                        self.witnesses.insert(fd, pair);
+                    }
+                    broken.push(fd);
+                }
+            }
+        }
+        stats.broken = broken.len();
+
+        // Targeted re-mining.
+        let mut fds = survivors.clone();
+        if !broken.is_empty() {
+            let recovered = {
+                let mut validity = WitnessValidity {
+                    cache: &mut cache,
+                    rel: new_rel,
+                    witnesses: &mut self.witnesses,
+                    hits: 0,
+                    misses: 0,
+                };
+                let found = extend_broken(&mut validity, self.attrs, &broken, &survivors);
+                stats.witness_hits += validity.hits;
+                stats.witness_misses += validity.misses;
+                found
+            };
+            stats.recovered = recovered.len();
+            fds.extend_minimal(&recovered);
+        }
+        if applied.num_deleted() > 0 {
+            // Delete path: new FDs can appear anywhere below the
+            // surviving frontier; reuse the level-wise miner with `fds`
+            // as its pruning `known` set. Candidates whose violation
+            // witness survived the batch are rejected without touching a
+            // partition, so the walk's cost tracks the delta, not the
+            // lattice.
+            let mut validity = WitnessValidity {
+                cache: &mut cache,
+                rel: new_rel,
+                witnesses: &mut self.witnesses,
+                hits: 0,
+                misses: 0,
+            };
+            let surfaced = mine_new_fds_with(&mut validity, new_rel, self.attrs, &fds, None);
+            stats.witness_hits += validity.hits;
+            stats.witness_misses += validity.misses;
+            stats.surfaced = surfaced.len();
+            fds.extend_minimal(&surfaced);
+        }
+
+        self.plis = cache.into_map();
+        self.fds = fds;
+        self.settle(new_rel);
+        stats
+    }
+
+    /// (Re)compute partitions for every held FD lhs and drop partitions
+    /// backing nothing — the eviction side of the cache contract.
+    fn settle(&mut self, rel: &Relation) {
+        let wanted: HashSet<AttrSet> = self.fds.iter().map(|fd| fd.lhs).collect();
+        let mut cache = PliCache::from_map(rel, std::mem::take(&mut self.plis));
+        for &set in &wanted {
+            cache.get(set);
+        }
+        let mut map = cache.into_map();
+        map.retain(|set, _| set.len() <= 1 || wanted.contains(set));
+        self.plis = map;
+    }
+}
+
+/// First violating pair of `X → attr` in `pli = π_X`: two rows of one
+/// class with different `attr` codes.
+fn find_violation(pli: &Pli, rel: &Relation, attr: usize) -> Option<(u32, u32)> {
+    for class in pli.classes() {
+        let c0 = rel.code(class[0] as usize, attr);
+        for &r in &class[1..] {
+            if rel.code(r as usize, attr) != c0 {
+                return Some((class[0], r));
+            }
+        }
+    }
+    None
+}
+
+/// Validity oracle that consults (and feeds) the violation-witness cache
+/// before doing any partition work.
+struct WitnessValidity<'a, 'r> {
+    cache: &'a mut PliCache<'r>,
+    rel: &'a Relation,
+    witnesses: &'a mut HashMap<Fd, (u32, u32)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl Validity for WitnessValidity<'_, '_> {
+    fn holds(&mut self, lhs: AttrSet, rhs: usize) -> bool {
+        let fd = Fd::new(lhs, rhs);
+        if self.witnesses.contains_key(&fd) {
+            self.hits += 1;
+            return false;
+        }
+        self.misses += 1;
+        match find_violation(self.cache.get(lhs), self.rel, rhs) {
+            Some(pair) => {
+                self.witnesses.insert(fd, pair);
+                false
+            }
+            None => true,
+        }
+    }
+}
+
+/// Seeded upward lattice walk: find the minimal valid supersets of the
+/// broken FDs, pruning against the surviving set — the "targeted lattice
+/// search" replacing a full re-mine on the insert path.
+///
+/// Completeness: after an insert-only batch every newly minimal FD
+/// `Y → a` was valid before the batch, so its pre-batch minimal subset
+/// either survived (then `Y` is not minimal) or broke — and the chain
+/// from that broken lhs up to `Y` consists of invalid sets (proper
+/// subsets of a minimal FD's lhs), which this walk extends one attribute
+/// at a time.
+fn extend_broken<V: Validity>(
+    validity: &mut V,
+    universe: AttrSet,
+    broken: &[Fd],
+    survivors: &FdSet,
+) -> FdSet {
+    let mut found = FdSet::new();
+    let mut by_rhs: HashMap<usize, Vec<AttrSet>> = HashMap::new();
+    for fd in broken {
+        by_rhs.entry(fd.rhs).or_default().push(fd.lhs);
+    }
+    for (rhs, seeds) in by_rhs {
+        let lhs_universe = universe.without(rhs);
+        let mut seen: HashSet<AttrSet> = HashSet::new();
+        let mut level: Vec<AttrSet> = seeds;
+        while !level.is_empty() {
+            let mut next: Vec<AttrSet> = Vec::new();
+            for &lhs in &level {
+                for b in lhs_universe.difference(lhs).iter() {
+                    let cand = lhs.with(b);
+                    if !seen.insert(cand) {
+                        continue;
+                    }
+                    if survivors.has_subset_lhs(cand, rhs) || found.has_subset_lhs(cand, rhs) {
+                        continue; // any validation would be non-minimal
+                    }
+                    if validity.holds(cand, rhs) {
+                        found.insert_minimal(Fd::new(cand, rhs));
+                    } else {
+                        next.push(cand);
+                    }
+                }
+            }
+            level = next;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_discovery::{mine_fds, same_fds};
+    use infine_relation::{relation_from_rows, DeltaBatch, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                &[Value::Int(1), Value::Int(10), Value::Int(0)],
+                &[Value::Int(2), Value::Int(10), Value::Int(0)],
+                &[Value::Int(3), Value::Int(20), Value::Int(1)],
+                &[Value::Int(4), Value::Int(20), Value::Int(1)],
+            ],
+        )
+    }
+
+    fn assert_cover_current(state: &CoverState, rel: &Relation) {
+        let fresh = mine_fds(rel, state.attrs);
+        assert!(
+            same_fds(&state.fds, &fresh),
+            "cover diverged:\n{:?}\nvs fresh\n{:?}",
+            state.fds.to_sorted_vec(),
+            fresh.to_sorted_vec()
+        );
+    }
+
+    #[test]
+    fn bootstrap_equals_full_mine() {
+        let r = rel();
+        let state = CoverState::bootstrap(&r, r.attr_set(), Algorithm::Levelwise);
+        assert_cover_current(&state, &r);
+    }
+
+    #[test]
+    fn inserts_break_and_recover() {
+        let r = rel();
+        let mut state = CoverState::bootstrap(&r, r.attr_set(), Algorithm::Levelwise);
+        // break b → c (and a stays a key)
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(5), Value::Int(10), Value::Int(7)]);
+        let (r2, applied) = r.apply_delta(&batch, "t");
+        let stats = state.maintain(&r2, &applied);
+        assert!(stats.broken > 0);
+        assert_cover_current(&state, &r2);
+    }
+
+    #[test]
+    fn deletes_surface_new_fds() {
+        let r = rel();
+        let mut state = CoverState::bootstrap(&r, r.attr_set(), Algorithm::Levelwise);
+        // delete the b=20 group: b,c become constants
+        let mut batch = DeltaBatch::new();
+        batch.delete(2).delete(3);
+        let (r2, applied) = r.apply_delta(&batch, "t");
+        let stats = state.maintain(&r2, &applied);
+        assert_eq!(stats.broken, 0);
+        assert!(stats.surfaced > 0);
+        assert_cover_current(&state, &r2);
+    }
+
+    #[test]
+    fn restricted_attrs_stay_restricted() {
+        let r = rel();
+        let attrs: AttrSet = [0usize, 1].into_iter().collect();
+        let mut state = CoverState::bootstrap(&r, attrs, Algorithm::Levelwise);
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(vec![Value::Int(1), Value::Int(30), Value::Int(9)])
+            .delete(0);
+        let (r2, applied) = r.apply_delta(&batch, "t");
+        state.maintain(&r2, &applied);
+        for fd in state.fds.iter() {
+            assert!(fd.attrs().is_subset(attrs));
+        }
+        assert_cover_current(&state, &r2);
+    }
+
+    #[test]
+    fn chained_random_rounds_stay_current() {
+        let mut r = rel();
+        let mut state = CoverState::bootstrap(&r, r.attr_set(), Algorithm::Levelwise);
+        let batches: Vec<DeltaBatch> = vec![
+            {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(9), Value::Int(20), Value::Int(0)]);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(0).delete(4);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(1)
+                    .insert(vec![Value::Int(2), Value::Int(20), Value::Int(1)])
+                    .insert(vec![Value::Int(2), Value::Int(10), Value::Int(1)]);
+                b
+            },
+        ];
+        for batch in batches {
+            let (r2, applied) = r.apply_delta(&batch, "t");
+            state.maintain(&r2, &applied);
+            assert_cover_current(&state, &r2);
+            r = r2;
+        }
+    }
+}

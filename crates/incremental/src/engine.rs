@@ -1,0 +1,1110 @@
+//! The maintenance engine: delta-in, report-out.
+//!
+//! [`MaintenanceEngine`] owns a database, a view specification, and the
+//! view's current provenance-annotated FD set. Feeding it
+//! [`DeltaRelation`] batches keeps that FD set current **without full
+//! re-discovery**, in one of two modes:
+//!
+//! * [`MaintenanceMode::ExactProvenance`] (default) — per-base-table FD
+//!   covers are maintained incrementally (patched PLIs, dirty-class
+//!   revalidation, targeted re-mining; see [`crate::cover`]), then the
+//!   view-level phases (upstage, infer, mine) are replayed through
+//!   [`InFine::discover_incremental`] with base mining skipped entirely.
+//!   The resulting report is *triple-for-triple identical* to a fresh
+//!   [`InFine::discover`] on the updated database.
+//! * [`MaintenanceMode::CoverOnly`] — for inner-join views, the
+//!   materialized view itself is maintained through delta joins with
+//!   row-id provenance (see [`crate::view`]) and the FD cover is
+//!   maintained directly on the patched view. No pipeline replay, no
+//!   base mining, no full joins: delta-sized work. The cover equals the
+//!   canonical minimal cover of the view (logically equivalent to the
+//!   exact mode's triple set); provenance *labels* of fresh FDs are not
+//!   re-derived until [`MaintenanceEngine::refresh_provenance`] is
+//!   called.
+//!
+//! Either way, each held FD is classified per round as *untouched*
+//! (provenance untouched by the delta), *revalidated* (provenance
+//! touched, FD still in the cover), or *invalidated* (no longer in the
+//! cover) — the provenance-guided revalidation the paper's triples make
+//! possible.
+
+use crate::cover::{CoverDeltaStats, CoverState};
+use crate::view::{self, ViewState};
+use infine_algebra::ViewSpec;
+use infine_core::{
+    base_scopes, BaseFds, BaseScope, FdKind, InFine, InFineError, InFineReport, ProvenanceTriple,
+};
+use infine_discovery::{Fd, FdSet};
+use infine_relation::{Database, DeltaBatch, DeltaRelation, DictIndexes, Relation, Schema};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors from the maintenance engine.
+#[derive(Debug)]
+pub enum MaintenanceError {
+    /// A delta targeted a relation the database does not contain.
+    UnknownTable(String),
+    /// One `apply` call carried two batches for the same table (batch row
+    /// ids are relative to one version; merge them before applying).
+    DuplicateTarget(String),
+    /// A batch is malformed (delete row id out of range, insert arity
+    /// mismatch). Rejected before any state is touched.
+    BadBatch(String),
+    /// Underlying pipeline failure.
+    Pipeline(InFineError),
+}
+
+impl From<InFineError> for MaintenanceError {
+    fn from(e: InFineError) -> Self {
+        MaintenanceError::Pipeline(e)
+    }
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceError::UnknownTable(t) => {
+                write!(f, "delta targets unknown relation {t:?}")
+            }
+            MaintenanceError::DuplicateTarget(t) => write!(
+                f,
+                "two delta batches for {t:?} in one apply call; merge them first"
+            ),
+            MaintenanceError::BadBatch(msg) => write!(f, "malformed delta batch: {msg}"),
+            MaintenanceError::Pipeline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// How the engine keeps the FD set current (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceMode {
+    /// Exact provenance triples every round (pipeline replay with base
+    /// mining skipped).
+    #[default]
+    ExactProvenance,
+    /// Delta-sized cover maintenance on the materialized view; provenance
+    /// labels refresh on demand. Falls back to exact-provenance rounds
+    /// when the spec has outer joins or repeated tables.
+    CoverOnly,
+}
+
+/// How one previously-held FD fared under a delta batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FdStatus {
+    /// No base table under the FD's justifying sub-query changed; the FD
+    /// is still valid with no data touched.
+    Untouched,
+    /// The provenance was touched, the FD was revalidated, and it is
+    /// still part of the minimal cover.
+    Revalidated,
+    /// The FD no longer belongs to the view's minimal cover (it broke, or
+    /// a newly valid smaller FD evicted it).
+    Invalidated,
+}
+
+impl FdStatus {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FdStatus::Untouched => "untouched",
+            FdStatus::Revalidated => "revalidated",
+            FdStatus::Invalidated => "invalidated",
+        }
+    }
+}
+
+/// Wall-clock breakdown of one [`MaintenanceEngine::apply`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MaintenanceTimings {
+    /// Applying delta batches to base tables and scoped projections.
+    pub delta_apply: Duration,
+    /// Per-base-table cover maintenance (PLI patching, revalidation,
+    /// targeted re-mining).
+    pub base_maintain: Duration,
+    /// View maintenance in cover-only mode (delta joins + view cover).
+    pub view_maintain: Duration,
+    /// View-level pipeline replay (`discover_incremental`), exact mode.
+    pub pipeline: Duration,
+}
+
+impl MaintenanceTimings {
+    /// Total maintenance wall-clock.
+    pub fn total(&self) -> Duration {
+        self.delta_apply + self.base_maintain + self.view_maintain + self.pipeline
+    }
+}
+
+/// Per-base-table accounting of one maintenance round.
+#[derive(Debug, Clone)]
+pub struct BaseMaintenance {
+    /// Base label (alias or table name).
+    pub label: String,
+    /// Underlying table.
+    pub table: String,
+    /// Scoped rows before the batch.
+    pub rows_before: usize,
+    /// Rows after.
+    pub rows_after: usize,
+    /// Rows deleted by the batch.
+    pub deleted: usize,
+    /// Rows inserted.
+    pub inserted: usize,
+    /// Cover maintenance accounting (held/broken/recovered/surfaced FDs,
+    /// PLI patch counters).
+    pub cover: CoverDeltaStats,
+}
+
+/// The result of one maintenance round — the incremental mirror of
+/// [`InFineReport`]: the new FD cover plus what the delta did to the
+/// previously held one.
+#[derive(Debug)]
+pub struct MaintenanceReport {
+    /// Schema of the view's projected output.
+    pub schema: Schema,
+    /// The current minimal FD cover of the view.
+    pub cover: FdSet,
+    /// Provenance triples. Exact mode: the complete post-batch set,
+    /// identical to a fresh [`InFine::discover`]. Cover-only mode: the
+    /// surviving triples with their last-known labels (fresh FDs appear
+    /// in [`MaintenanceReport::fresh`] until the next provenance
+    /// refresh).
+    pub triples: Vec<ProvenanceTriple>,
+    /// Classification of every FD held before the batch.
+    pub held: Vec<(ProvenanceTriple, FdStatus)>,
+    /// FDs in the new cover that were not held before.
+    pub fresh: Vec<Fd>,
+    /// Per-changed-table maintenance accounting.
+    pub base: Vec<BaseMaintenance>,
+    /// View-cover accounting (cover-only mode rounds).
+    pub view_cover: Option<CoverDeltaStats>,
+    /// True when `triples` carries exact, freshly derived provenance.
+    pub exact_provenance: bool,
+    /// Wall-clock breakdown.
+    pub timings: MaintenanceTimings,
+}
+
+impl MaintenanceReport {
+    /// The new FD cover as a set.
+    pub fn fd_set(&self) -> FdSet {
+        self.cover.clone()
+    }
+
+    /// Count held FDs with one status.
+    pub fn count_status(&self, status: FdStatus) -> usize {
+        self.held.iter().filter(|(_, s)| *s == status).count()
+    }
+
+    /// The invalidated triples.
+    pub fn invalidated(&self) -> impl Iterator<Item = &ProvenanceTriple> {
+        self.held
+            .iter()
+            .filter(|(_, s)| *s == FdStatus::Invalidated)
+            .map(|(t, _)| t)
+    }
+
+    /// Count triples of one provenance kind.
+    pub fn count_kind(&self, kind: FdKind) -> usize {
+        self.triples.iter().filter(|t| t.kind == kind).count()
+    }
+
+    /// One-line summary (status counts + timings).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} FDs ({} untouched, {} revalidated, {} invalidated, {} fresh) in {:.2?}",
+            self.cover.len(),
+            self.count_status(FdStatus::Untouched),
+            self.count_status(FdStatus::Revalidated),
+            self.count_status(FdStatus::Invalidated),
+            self.fresh.len(),
+            self.timings.total(),
+        )
+    }
+
+    /// Render the triples with attribute names.
+    pub fn render(&self) -> String {
+        self.triples
+            .iter()
+            .map(|t| t.render(&self.schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Maintained state for one base occurrence (label) of the view.
+struct BaseState {
+    scope: BaseScope,
+    /// Current scoped relation (the columns step 1 mines).
+    rel: Relation,
+    /// Maintained minimal FD cover of `rel` plus backing partitions.
+    cover: CoverState,
+    /// Persistent dictionary index of `rel` (delta-sized encoding).
+    dict_index: DictIndexes,
+}
+
+/// Stateful incremental FD maintenance over one view.
+///
+/// See the [module docs](self) for the algorithm; see
+/// [`MaintenanceEngine::apply`] for the per-batch contract.
+pub struct MaintenanceEngine {
+    infine: InFine,
+    spec: ViewSpec,
+    db: Database,
+    states: Vec<BaseState>,
+    mode: MaintenanceMode,
+    /// Fast-path view state (cover-only mode on supported specs).
+    view: Option<ViewState>,
+    /// Last exact pipeline report (stale in cover-only mode until
+    /// [`MaintenanceEngine::refresh_provenance`]).
+    report: InFineReport,
+    /// The current cover (exact mode: the report's triple set; cover-only
+    /// mode: the canonical minimal cover, densified to the view schema).
+    cover: FdSet,
+    /// Labels whose base-table FD state missed deltas (cover-only rounds
+    /// defer per-table maintenance; resynced on demand).
+    stale: HashSet<String>,
+    /// Persistent dictionary indexes of the stored base tables, built on
+    /// a table's first delta.
+    table_indexes: HashMap<String, DictIndexes>,
+    /// Rendered sub-query → base tables beneath it (provenance
+    /// classification index).
+    subquery_tables: HashMap<String, HashSet<String>>,
+}
+
+impl MaintenanceEngine {
+    /// Bootstrap: full discovery once, then per-table FD/PLI state.
+    pub fn new(
+        infine: InFine,
+        db: Database,
+        spec: ViewSpec,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        MaintenanceEngine::with_mode(infine, db, spec, MaintenanceMode::default())
+    }
+
+    /// Bootstrap with an explicit maintenance mode.
+    pub fn with_mode(
+        infine: InFine,
+        db: Database,
+        spec: ViewSpec,
+        mode: MaintenanceMode,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        let scopes = base_scopes(&db, &spec)?;
+        let algorithm = infine.config.base_algorithm;
+        let states: Vec<BaseState> = scopes
+            .into_iter()
+            .map(|scope| {
+                let rel = scope.project(&db);
+                let attrs = rel.attr_set();
+                let cover = CoverState::bootstrap(&rel, attrs, algorithm);
+                let dict_index = DictIndexes::build(&rel);
+                BaseState {
+                    scope,
+                    rel,
+                    cover,
+                    dict_index,
+                }
+            })
+            .collect();
+        let base_fds: BaseFds = states
+            .iter()
+            .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
+            .collect();
+        let report = infine.discover_incremental(&db, &spec, &base_fds)?;
+        let cover = report.fd_set();
+        let subquery_tables = subquery_table_index(&spec);
+        let view = if mode == MaintenanceMode::CoverOnly {
+            ViewState::bootstrap(&db, &spec, algorithm)
+        } else {
+            None
+        };
+        Ok(MaintenanceEngine {
+            infine,
+            spec,
+            db,
+            states,
+            mode,
+            view,
+            report,
+            cover,
+            stale: HashSet::new(),
+            table_indexes: HashMap::new(),
+            subquery_tables,
+        })
+    }
+
+    /// Bootstrap with the default pipeline configuration.
+    pub fn with_defaults(
+        db: Database,
+        spec: ViewSpec,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        MaintenanceEngine::new(InFine::default(), db, spec)
+    }
+
+    /// The maintained view specification.
+    pub fn spec(&self) -> &ViewSpec {
+        &self.spec
+    }
+
+    /// The current database (base tables after every applied batch).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The active maintenance mode.
+    pub fn mode(&self) -> MaintenanceMode {
+        self.mode
+    }
+
+    /// Does the spec support the cover-only fast path (inner joins, no
+    /// repeated base table)?
+    pub fn supports_cover_fast_path(&self) -> bool {
+        view::supports(&self.spec)
+    }
+
+    /// Switch modes. Entering cover-only mode (re)materializes the
+    /// augmented view; entering exact mode refreshes provenance so the
+    /// report is current again.
+    pub fn set_mode(&mut self, mode: MaintenanceMode) -> Result<(), MaintenanceError> {
+        if mode == self.mode {
+            return Ok(());
+        }
+        self.mode = mode;
+        match mode {
+            MaintenanceMode::CoverOnly => {
+                self.view =
+                    ViewState::bootstrap(&self.db, &self.spec, self.infine.config.base_algorithm);
+            }
+            MaintenanceMode::ExactProvenance => {
+                self.view = None;
+                self.refresh_provenance()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The last exact pipeline report. Current in exact mode; in
+    /// cover-only mode it reflects the last bootstrap/refresh (call
+    /// [`MaintenanceEngine::refresh_provenance`] to bring it current).
+    pub fn report(&self) -> &InFineReport {
+        &self.report
+    }
+
+    /// The current FD cover of the view.
+    pub fn fd_set(&self) -> FdSet {
+        self.cover.clone()
+    }
+
+    /// Re-derive exact provenance triples for the current database by
+    /// replaying the pipeline with the maintained base FD sets (base
+    /// mining skipped — except for tables whose per-table state went
+    /// stale during cover-only rounds, which are re-mined here once).
+    /// Updates [`MaintenanceEngine::report`].
+    pub fn refresh_provenance(&mut self) -> Result<&InFineReport, MaintenanceError> {
+        self.resync_stale_states();
+        let base_fds: BaseFds = self
+            .states
+            .iter()
+            .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
+            .collect();
+        self.report = self
+            .infine
+            .discover_incremental(&self.db, &self.spec, &base_fds)?;
+        if self.mode == MaintenanceMode::ExactProvenance {
+            self.cover = self.report.fd_set();
+        }
+        Ok(&self.report)
+    }
+
+    /// Apply one batch.
+    pub fn apply_one(
+        &mut self,
+        delta: &DeltaRelation,
+    ) -> Result<MaintenanceReport, MaintenanceError> {
+        self.apply(std::slice::from_ref(delta))
+    }
+
+    /// Apply a round of delta batches (at most one per base table) and
+    /// bring the FD set current.
+    ///
+    /// Row ids in each batch address the targeted table *as of the
+    /// previous round*. The returned report carries the new cover, the
+    /// per-FD classification, per-table accounting, and the timing
+    /// breakdown.
+    pub fn apply(
+        &mut self,
+        deltas: &[DeltaRelation],
+    ) -> Result<MaintenanceReport, MaintenanceError> {
+        let mut timings = MaintenanceTimings::default();
+        // Validate every batch before touching any state: a mid-round
+        // panic would leave the engine's db/view/cover inconsistent.
+        let mut seen: HashSet<&str> = HashSet::new();
+        for d in deltas {
+            let Some(table) = self.db.get(&d.target) else {
+                return Err(MaintenanceError::UnknownTable(d.target.clone()));
+            };
+            if !seen.insert(&d.target) {
+                return Err(MaintenanceError::DuplicateTarget(d.target.clone()));
+            }
+            if let Some(&row) = d
+                .batch
+                .deletes
+                .iter()
+                .find(|&&r| r as usize >= table.nrows())
+            {
+                return Err(MaintenanceError::BadBatch(format!(
+                    "delete of row {row} out of range for {:?} ({} rows)",
+                    d.target,
+                    table.nrows()
+                )));
+            }
+            if let Some(bad) = d.batch.inserts.iter().find(|r| r.len() != table.ncols()) {
+                return Err(MaintenanceError::BadBatch(format!(
+                    "insert arity {} does not match {:?} ({} columns)",
+                    bad.len(),
+                    d.target,
+                    table.ncols()
+                )));
+            }
+        }
+
+        let mut changed_tables: HashSet<String> = HashSet::new();
+        let mut base_reports: Vec<BaseMaintenance> = Vec::new();
+        let mut view_cover_stats: Option<CoverDeltaStats> = None;
+        let use_fast = self.mode == MaintenanceMode::CoverOnly && self.view.is_some();
+        if !use_fast {
+            // Defensive: per-table state that missed fast-round deltas
+            // must be current before it is maintained further or fed to
+            // the pipeline (mode switches already resync, so this is a
+            // no-op in practice).
+            self.resync_stale_states();
+        }
+
+        for delta in deltas {
+            if delta.batch.is_empty() {
+                continue;
+            }
+            changed_tables.insert(delta.target.clone());
+
+            // Fast path first: the view state needs the pre-batch table
+            // untouched only via its own caches, but run it before the
+            // db swap for clarity.
+            if use_fast {
+                let t0 = Instant::now();
+                if let Some(stats) = self
+                    .view
+                    .as_mut()
+                    .expect("use_fast checked")
+                    .apply_table(&delta.target, &delta.batch)
+                {
+                    let merged = view_cover_stats.get_or_insert_with(CoverDeltaStats::default);
+                    merged.held += stats.held;
+                    merged.broken += stats.broken;
+                    merged.recovered += stats.recovered;
+                    merged.surfaced += stats.surfaced;
+                    merged.plis_patched += stats.plis_patched;
+                    merged.plis_evicted += stats.plis_evicted;
+                    merged.dirty_classes += stats.dirty_classes;
+                }
+                timings.view_maintain += t0.elapsed();
+            }
+
+            // Patch the stored base table (taken out of the database so
+            // the dictionary Arcs are extended in place, not cloned).
+            let t0 = Instant::now();
+            let table = self.db.remove(&delta.target).expect("validated above");
+            let index = self
+                .table_indexes
+                .entry(delta.target.clone())
+                .or_insert_with(|| DictIndexes::build(&table));
+            let (new_table, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+            self.db.insert(new_table);
+            timings.delta_apply += t0.elapsed();
+
+            // Maintain every base occurrence of that table — or, in fast
+            // rounds, defer (the per-table state is only needed when
+            // provenance is refreshed).
+            if use_fast {
+                for state in self.states.iter() {
+                    if state.scope.table == delta.target {
+                        self.stale.insert(state.scope.label.clone());
+                    }
+                }
+            } else {
+                for state in self
+                    .states
+                    .iter_mut()
+                    .filter(|s| s.scope.table == delta.target)
+                {
+                    base_reports.push(maintain_base(state, &delta.batch, &mut timings));
+                }
+            }
+        }
+
+        // Snapshot the pre-batch provenance labels before the report is
+        // replaced — the held-FD classification reports them.
+        let old_triples: HashMap<Fd, ProvenanceTriple> = self
+            .report
+            .triples
+            .iter()
+            .map(|t| (t.fd, t.clone()))
+            .collect();
+
+        // Compute the new cover (and, in exact mode, the new triples).
+        let (new_cover, new_triples, exact) = if use_fast {
+            let view = self.view.as_ref().expect("use_fast checked");
+            let cover = view.dense_cover();
+            // Surviving triples keep their last-known labels.
+            let triples: Vec<ProvenanceTriple> = self
+                .report
+                .triples
+                .iter()
+                .filter(|t| cover.contains(&t.fd))
+                .cloned()
+                .collect();
+            (cover, triples, false)
+        } else {
+            let t0 = Instant::now();
+            let base_fds: BaseFds = self
+                .states
+                .iter()
+                .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
+                .collect();
+            let new_report = self
+                .infine
+                .discover_incremental(&self.db, &self.spec, &base_fds)?;
+            timings.pipeline += t0.elapsed();
+            let cover = new_report.fd_set();
+            let triples = new_report.triples.clone();
+            self.report = new_report;
+            (cover, triples, true)
+        };
+
+        // Provenance-guided classification of the previously held cover.
+        let old_cover = std::mem::replace(&mut self.cover, new_cover.clone());
+        let held = old_cover
+            .iter()
+            .map(|fd| {
+                // Use the best provenance label we have for the held FD;
+                // FDs without one (fresh under cover-only rounds, whose
+                // labels were never derived) get a synthetic one.
+                let triple = old_triples
+                    .get(&fd)
+                    .cloned()
+                    .unwrap_or_else(|| ProvenanceTriple::new(fd, FdKind::JoinFd, "Δ-maintained"));
+                let status = if !new_cover.contains(&fd) {
+                    FdStatus::Invalidated
+                } else if self.provenance_touched(&triple, &changed_tables) {
+                    FdStatus::Revalidated
+                } else {
+                    FdStatus::Untouched
+                };
+                (triple, status)
+            })
+            .collect();
+        let fresh: Vec<Fd> = new_cover
+            .iter()
+            .filter(|fd| !old_cover.contains(fd))
+            .collect();
+
+        let schema = if exact {
+            self.report.schema.clone()
+        } else {
+            self.view
+                .as_ref()
+                .map(|v| v.dense_schema())
+                .unwrap_or_else(|| self.report.schema.clone())
+        };
+        Ok(MaintenanceReport {
+            schema,
+            cover: new_cover,
+            triples: new_triples,
+            held,
+            fresh,
+            base: base_reports,
+            view_cover: view_cover_stats,
+            exact_provenance: exact,
+            timings,
+        })
+    }
+
+    /// Does the triple's justifying sub-query sit above a changed table?
+    /// Unknown sub-query strings (defensive) count as touched.
+    fn provenance_touched(&self, t: &ProvenanceTriple, changed: &HashSet<String>) -> bool {
+        match self.subquery_tables.get(&t.subquery) {
+            Some(tables) => tables.iter().any(|tb| changed.contains(tb)),
+            None => !changed.is_empty(),
+        }
+    }
+}
+
+impl MaintenanceEngine {
+    /// Rebuild per-table FD state for every label that missed deltas
+    /// during cover-only rounds.
+    fn resync_stale_states(&mut self) {
+        if self.stale.is_empty() {
+            return;
+        }
+        let algorithm = self.infine.config.base_algorithm;
+        for state in self.states.iter_mut() {
+            if self.stale.remove(&state.scope.label) {
+                resync_state(state, &self.db, algorithm);
+            }
+        }
+        self.stale.clear();
+    }
+}
+
+/// Recompute a base state's scoped relation and cover from the current
+/// database (used when the incremental history was skipped).
+fn resync_state(state: &mut BaseState, db: &Database, algorithm: infine_discovery::Algorithm) {
+    state.rel = state.scope.project(db);
+    let attrs = state.rel.attr_set();
+    state.cover = CoverState::bootstrap(&state.rel, attrs, algorithm);
+    state.dict_index = DictIndexes::build(&state.rel);
+}
+
+/// Maintain one base occurrence through a batch; returns the accounting.
+fn maintain_base(
+    state: &mut BaseState,
+    batch: &DeltaBatch,
+    timings: &mut MaintenanceTimings,
+) -> BaseMaintenance {
+    let t0 = Instant::now();
+    let scoped_batch = batch.project(&state.scope.attrs);
+    let name = state.rel.name.clone();
+    let old = std::mem::replace(&mut state.rel, Relation::empty("", Schema::new()));
+    let (new_rel, applied) = old.apply_delta_owned(&scoped_batch, name, &mut state.dict_index);
+    timings.delta_apply += t0.elapsed();
+
+    let t1 = Instant::now();
+    let stats = state.cover.maintain(&new_rel, &applied);
+    timings.base_maintain += t1.elapsed();
+
+    let out = BaseMaintenance {
+        label: state.scope.label.clone(),
+        table: state.scope.table.clone(),
+        rows_before: applied.old_nrows,
+        rows_after: applied.new_nrows,
+        deleted: applied.num_deleted(),
+        inserted: applied.num_inserted(),
+        cover: stats,
+    };
+    state.rel = new_rel;
+    out
+}
+
+/// Rendered sub-query → base tables beneath it, for every node of the
+/// spec (plus the root-projection label `π(spec)` the pipeline emits when
+/// it restricts to the final attribute set).
+fn subquery_table_index(spec: &ViewSpec) -> HashMap<String, HashSet<String>> {
+    fn walk(spec: &ViewSpec, out: &mut HashMap<String, HashSet<String>>) -> HashSet<String> {
+        let tables: HashSet<String> = match spec {
+            ViewSpec::Base { table, .. } => [table.clone()].into_iter().collect(),
+            ViewSpec::Project { input, .. } | ViewSpec::Select { input, .. } => walk(input, out),
+            ViewSpec::Join { left, right, .. } => {
+                let mut t = walk(left, out);
+                t.extend(walk(right, out));
+                t
+            }
+        };
+        out.insert(spec.to_string(), tables.clone());
+        tables
+    }
+    let mut out = HashMap::new();
+    let all = walk(spec, &mut out);
+    out.insert(format!("π({spec})"), all);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_algebra::execute;
+    use infine_discovery::{same_fds, tane};
+    use infine_relation::{relation_from_rows, AttrSet, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "p",
+            &["pid", "grp", "flag"],
+            &[
+                &[Value::Int(1), Value::str("a"), Value::Int(0)],
+                &[Value::Int(2), Value::str("a"), Value::Int(0)],
+                &[Value::Int(3), Value::str("b"), Value::Int(1)],
+                &[Value::Int(4), Value::str("b"), Value::Int(1)],
+            ],
+        ));
+        db.insert(relation_from_rows(
+            "q",
+            &["pid", "site"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("x")],
+                &[Value::Int(3), Value::str("y")],
+                &[Value::Int(3), Value::str("y")],
+            ],
+        ));
+        db
+    }
+
+    fn view() -> ViewSpec {
+        ViewSpec::base("p").inner_join(ViewSpec::base("q"), &["pid"])
+    }
+
+    fn assert_current(engine: &MaintenanceEngine) {
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(
+            engine.report().triples,
+            fresh.triples,
+            "engine state diverged from full re-discovery"
+        );
+    }
+
+    /// Cover-only invariant: the engine's cover is the canonical minimal
+    /// cover of the materialized view (name-aligned).
+    fn assert_cover_current(engine: &MaintenanceEngine, schema: &Schema) {
+        let real = execute(engine.spec(), engine.database()).unwrap();
+        let canonical = tane(&real, real.attr_set());
+        let map: Vec<usize> = (0..schema.len())
+            .map(|i| real.schema.expect_id(schema.name(i)))
+            .collect();
+        let remapped = engine
+            .fd_set()
+            .iter()
+            .map(|fd| {
+                Fd::new(
+                    fd.lhs.iter().map(|a| map[a]).collect::<AttrSet>(),
+                    map[fd.rhs],
+                )
+            })
+            .fold(FdSet::new(), |mut s, fd| {
+                s.insert_minimal(fd);
+                s
+            });
+        assert!(
+            same_fds(&remapped, &canonical),
+            "cover diverged from canonical:\n{:?}\nvs\n{:?}",
+            remapped.to_sorted_vec(),
+            canonical.to_sorted_vec()
+        );
+    }
+
+    #[test]
+    fn bootstrap_matches_full_discovery() {
+        let engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn insert_breaking_an_fd_is_tracked() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        // grp → flag holds on p; break it with a row that joins (pid 2
+        // matches q), so the violation reaches the view.
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
+        let report = engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        assert!(
+            report.count_status(FdStatus::Invalidated) > 0,
+            "{}",
+            report.summary()
+        );
+        assert!(report.base[0].cover.broken > 0);
+        assert!(report.exact_provenance);
+        // Held FDs are classified with their real pre-batch provenance
+        // labels, never the synthetic cover-only placeholder.
+        assert!(report
+            .held
+            .iter()
+            .all(|(t, _)| t.subquery != "Δ-maintained"));
+        assert_current(&engine);
+        assert!(same_fds(&engine.fd_set(), &report.fd_set()));
+    }
+
+    #[test]
+    fn dangling_insert_upstages_instead_of_invalidating() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        // pid 5 has no partner in q: the base FD grp → flag breaks on p
+        // but the violating row dangles out of the inner join, so the
+        // view cover is unchanged — the FD merely changes provenance.
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(5), Value::str("a"), Value::Int(9)]);
+        let report = engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        assert!(report.base[0].cover.broken > 0);
+        assert_eq!(report.count_status(FdStatus::Invalidated), 0);
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn delete_surfacing_an_fd_is_tracked() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.delete(2).delete(3);
+        let report = engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        assert_eq!(report.base[0].deleted, 2);
+        assert_current(&engine);
+        // deletes alone never require revalidation of base FDs
+        assert_eq!(report.base[0].cover.broken, 0);
+    }
+
+    #[test]
+    fn untouched_tables_leave_fds_untouched() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(9), Value::str("z")]);
+        let report = engine.apply_one(&DeltaRelation::new("q", batch)).unwrap();
+        // base-only FDs justified by p alone are untouched
+        let untouched_from_p = report
+            .held
+            .iter()
+            .filter(|(t, s)| *s == FdStatus::Untouched && t.subquery == "p")
+            .count();
+        assert!(untouched_from_p > 0, "{}", report.summary());
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn mixed_rounds_stay_equivalent() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let rounds: Vec<(&str, DeltaBatch)> = vec![
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.delete(0)
+                    .insert(vec![Value::Int(7), Value::str("b"), Value::Int(0)]);
+                b
+            }),
+            ("q", {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(7), Value::str("x")])
+                    .insert(vec![Value::Int(4), Value::str("y")])
+                    .delete(1);
+                b
+            }),
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(8), Value::str("c"), Value::Int(2)])
+                    .insert(vec![Value::Int(9), Value::str("c"), Value::Int(2)]);
+                b
+            }),
+        ];
+        for (target, batch) in rounds {
+            engine
+                .apply_one(&DeltaRelation::new(target, batch))
+                .unwrap();
+            assert_current(&engine);
+        }
+    }
+
+    #[test]
+    fn cover_only_mode_maintains_canonical_cover() {
+        let mut engine = MaintenanceEngine::with_mode(
+            InFine::default(),
+            db(),
+            view(),
+            MaintenanceMode::CoverOnly,
+        )
+        .unwrap();
+        assert!(engine.supports_cover_fast_path());
+        let rounds: Vec<(&str, DeltaBatch)> = vec![
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
+                b
+            }),
+            ("q", {
+                let mut b = DeltaBatch::new();
+                b.delete(0).insert(vec![Value::Int(4), Value::str("w")]);
+                b
+            }),
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.delete(1).delete(2);
+                b
+            }),
+        ];
+        for (target, batch) in rounds {
+            let report = engine
+                .apply_one(&DeltaRelation::new(target, batch))
+                .unwrap();
+            assert!(!report.exact_provenance);
+            assert!(report.view_cover.is_some());
+            assert_cover_current(&engine, &report.schema);
+        }
+        // provenance refresh brings exact triples back, with no base
+        // mining, and the pipeline cover is logically the canonical one
+        // (id spaces aligned by name first).
+        let canonical = engine.fd_set();
+        let view_schema = engine
+            .view
+            .as_ref()
+            .map(|v| v.dense_schema())
+            .expect("cover-only mode keeps the view");
+        let report = engine.refresh_provenance().unwrap();
+        assert_eq!(report.timings.base_mining, Duration::ZERO);
+        let map: Vec<usize> = (0..view_schema.len())
+            .map(|i| report.schema.expect_id(view_schema.name(i)))
+            .collect();
+        let remapped = canonical
+            .iter()
+            .map(|fd| {
+                Fd::new(
+                    fd.lhs.iter().map(|a| map[a]).collect::<AttrSet>(),
+                    map[fd.rhs],
+                )
+            })
+            .fold(FdSet::new(), |mut s, fd| {
+                s.insert_unchecked(fd);
+                s
+            });
+        assert!(report.fd_set().equivalent(&remapped));
+    }
+
+    #[test]
+    fn cover_only_falls_back_on_outer_joins() {
+        let spec = ViewSpec::base("p").join(
+            ViewSpec::base("q"),
+            infine_algebra::JoinOp::LeftOuter,
+            &[("pid", "pid")],
+        );
+        let mut engine =
+            MaintenanceEngine::with_mode(InFine::default(), db(), spec, MaintenanceMode::CoverOnly)
+                .unwrap();
+        assert!(!engine.supports_cover_fast_path());
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(9), Value::str("c"), Value::Int(1)]);
+        let report = engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        // fell back to the exact path
+        assert!(report.exact_provenance);
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn mode_switching_round_trips() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        engine.set_mode(MaintenanceMode::CoverOnly).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(1), Value::str("b"), Value::Int(4)]);
+        let report = engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        assert!(!report.exact_provenance);
+        engine.set_mode(MaintenanceMode::ExactProvenance).unwrap();
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn batches_to_both_tables_in_one_round() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let mut bp = DeltaBatch::new();
+        bp.insert(vec![Value::Int(5), Value::str("a"), Value::Int(0)]);
+        let mut bq = DeltaBatch::new();
+        bq.delete(3);
+        let report = engine
+            .apply(&[DeltaRelation::new("p", bp), DeltaRelation::new("q", bq)])
+            .unwrap();
+        assert_eq!(report.base.len(), 2);
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn empty_round_is_all_untouched() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let held_before = engine.fd_set().len();
+        let report = engine.apply(&[]).unwrap();
+        assert_eq!(report.count_status(FdStatus::Untouched), held_before);
+        assert!(report.fresh.is_empty());
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn unknown_target_is_rejected() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let err = engine
+            .apply_one(&DeltaRelation::new("nope", DeltaBatch::new()))
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_atomically() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let before = engine.fd_set();
+        let rows_before = engine.database().expect("p").nrows();
+
+        // First batch is fine, second is out of range: nothing may apply.
+        let mut ok = DeltaBatch::new();
+        ok.insert(vec![Value::Int(5), Value::str("a"), Value::Int(0)]);
+        let mut bad = DeltaBatch::new();
+        bad.delete(99);
+        let err = engine
+            .apply(&[DeltaRelation::new("p", ok), DeltaRelation::new("q", bad)])
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::BadBatch(_)));
+        assert_eq!(engine.database().expect("p").nrows(), rows_before);
+        assert!(same_fds(&engine.fd_set(), &before));
+
+        // Wrong arity is rejected the same way.
+        let mut bad = DeltaBatch::new();
+        bad.insert(vec![Value::Int(1)]);
+        let err = engine.apply_one(&DeltaRelation::new("p", bad)).unwrap_err();
+        assert!(matches!(err, MaintenanceError::BadBatch(_)));
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn duplicate_target_is_rejected() {
+        let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let err = engine
+            .apply(&[
+                DeltaRelation::new("p", DeltaBatch::new()),
+                DeltaRelation::new("p", DeltaBatch::new()),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, MaintenanceError::DuplicateTarget(_)));
+    }
+
+    #[test]
+    fn aliased_self_join_maintains_both_occurrences() {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "e",
+            &["id", "boss"],
+            &[
+                &[Value::Int(1), Value::Int(2)],
+                &[Value::Int(2), Value::Int(2)],
+                &[Value::Int(3), Value::Int(1)],
+            ],
+        ));
+        let spec = ViewSpec::base_as("e", "w").join(
+            ViewSpec::base_as("e", "m"),
+            infine_algebra::JoinOp::Inner,
+            &[("boss", "id")],
+        );
+        let mut engine = MaintenanceEngine::with_defaults(db, spec).unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert(vec![Value::Int(4), Value::Int(1)]).delete(0);
+        let report = engine.apply_one(&DeltaRelation::new("e", batch)).unwrap();
+        assert_eq!(report.base.len(), 2); // both w and m maintained
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn selection_view_stays_equivalent() {
+        let mut engine = MaintenanceEngine::with_defaults(
+            db(),
+            ViewSpec::base("p")
+                .select(infine_algebra::Predicate::eq("flag", 0i64))
+                .inner_join(ViewSpec::base("q"), &["pid"]),
+        )
+        .unwrap();
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(vec![Value::Int(6), Value::str("b"), Value::Int(0)])
+            .delete(1);
+        engine.apply_one(&DeltaRelation::new("p", batch)).unwrap();
+        assert_current(&engine);
+    }
+}

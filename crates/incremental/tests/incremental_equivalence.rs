@@ -1,0 +1,199 @@
+//! Equivalence (satellite of the incremental-maintenance PR): after N
+//! random delta rounds, the maintenance engine's FD cover must equal what
+//! a full `InFine::discover` finds on the materialized final database —
+//! not just logically, but triple-for-triple — across the TPC-H and
+//! PTC/PTE catalog views.
+
+use infine_algebra::execute;
+use infine_core::InFine;
+use infine_datagen::{catalog_for, random_churn, DatasetKind, Scale};
+use infine_discovery::{same_fds, tane, Fd, FdSet};
+use infine_incremental::{MaintenanceEngine, MaintenanceMode};
+use infine_relation::AttrSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 3;
+const CHURN: f64 = 0.05;
+
+fn run_dataset(kind: DatasetKind, seed: u64) {
+    let scale = Scale::of(0.003);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in catalog_for(kind) {
+        let db = kind.generate(scale);
+        let mut engine = match MaintenanceEngine::new(InFine::default(), db, case.spec.clone()) {
+            Ok(e) => e,
+            Err(e) => panic!("{}: engine bootstrap failed: {e}", case.id),
+        };
+        let tables: Vec<String> = case
+            .spec
+            .base_tables()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut last_fd_set = None;
+        for round in 0..ROUNDS {
+            let target = &tables[round % tables.len()];
+            let delta = random_churn(&mut rng, engine.database().expect(target), CHURN);
+            let report = engine
+                .apply_one(&delta)
+                .unwrap_or_else(|e| panic!("{}: apply {round} failed: {e}", case.id));
+            // Bookkeeping invariants: every held FD got a status, and
+            // fresh + surviving = new cover.
+            let surviving = report
+                .held
+                .iter()
+                .filter(|(_, s)| *s != infine_incremental::FdStatus::Invalidated)
+                .count();
+            assert_eq!(surviving + report.fresh.len(), report.cover.len());
+            assert!(report.exact_provenance);
+            last_fd_set = Some(report.fd_set());
+        }
+
+        // After N rounds of maintenance the engine's cover equals full
+        // re-discovery on the final database — triple-for-triple, not
+        // just up to implication.
+        let full = InFine::default()
+            .discover(engine.database(), &case.spec)
+            .unwrap_or_else(|e| panic!("{}: full discover failed: {e}", case.id));
+        assert_eq!(
+            engine.report().triples,
+            full.triples,
+            "{}: incremental ≠ full re-discovery after {ROUNDS} rounds",
+            case.id
+        );
+        assert!(
+            same_fds(&last_fd_set.expect("ROUNDS > 0"), &full.fd_set()),
+            "{}: minimal covers differ",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn tpch_views_stay_equivalent_under_deltas() {
+    run_dataset(DatasetKind::Tpch, 0x7C_0001);
+}
+
+#[test]
+fn ptc_views_stay_equivalent_under_deltas() {
+    run_dataset(DatasetKind::Ptc, 0x7C_0002);
+}
+
+#[test]
+fn pte_views_stay_equivalent_under_deltas() {
+    run_dataset(DatasetKind::Pte, 0x7C_0003);
+}
+
+#[test]
+fn mimic_view_stays_equivalent_under_deltas() {
+    // Not required by the satellite, but MIMIC exercises selections and
+    // outer joins in the catalog; keep it covered at a smaller scale.
+    run_dataset(DatasetKind::Mimic, 0x7C_0004);
+}
+
+/// Cover-only fast path: after N random delta rounds on every
+/// fast-path-capable catalog view, the maintained cover must equal the
+/// *canonical* minimal cover of the materialized final view (TANE
+/// oracle), exactly — and be logically equivalent to a full
+/// `InFine::discover`.
+fn run_dataset_cover_only(kind: DatasetKind, seed: u64) {
+    let scale = Scale::of(0.003);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case in catalog_for(kind) {
+        let db = kind.generate(scale);
+        let mut engine = MaintenanceEngine::with_mode(
+            InFine::default(),
+            db,
+            case.spec.clone(),
+            MaintenanceMode::CoverOnly,
+        )
+        .unwrap_or_else(|e| panic!("{}: bootstrap failed: {e}", case.id));
+        if !engine.supports_cover_fast_path() {
+            continue; // outer joins / repeated tables fall back (covered above)
+        }
+        let tables: Vec<String> = case
+            .spec
+            .base_tables()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut schema = None;
+        for round in 0..ROUNDS {
+            let target = &tables[round % tables.len()];
+            let delta = random_churn(&mut rng, engine.database().expect(target), CHURN);
+            let report = engine
+                .apply_one(&delta)
+                .unwrap_or_else(|e| panic!("{}: apply {round} failed: {e}", case.id));
+            assert!(!report.exact_provenance);
+            schema = Some(report.schema);
+        }
+        let schema = schema.expect("ROUNDS > 0");
+
+        // Canonical-cover oracle on the materialized final view.
+        let view = execute(&case.spec, engine.database())
+            .unwrap_or_else(|e| panic!("{}: view execution failed: {e}", case.id));
+        let canonical = tane(&view, view.attr_set());
+        let map: Vec<usize> = (0..schema.len())
+            .map(|i| view.schema.expect_id(schema.name(i)))
+            .collect();
+        let remapped = engine
+            .fd_set()
+            .iter()
+            .map(|fd| {
+                Fd::new(
+                    fd.lhs.iter().map(|a| map[a]).collect::<AttrSet>(),
+                    map[fd.rhs],
+                )
+            })
+            .fold(FdSet::new(), |mut s, fd| {
+                s.insert_minimal(fd);
+                s
+            });
+        assert!(
+            same_fds(&remapped, &canonical),
+            "{}: fast-path cover ≠ canonical cover of the final view",
+            case.id
+        );
+        // ... and logically equivalent to full pipeline re-discovery.
+        let full = InFine::default()
+            .discover(engine.database(), &case.spec)
+            .unwrap();
+        let full_map: Vec<usize> = (0..schema.len())
+            .map(|i| full.schema.expect_id(schema.name(i)))
+            .collect();
+        let full_aligned = engine
+            .fd_set()
+            .iter()
+            .map(|fd| {
+                Fd::new(
+                    fd.lhs.iter().map(|a| full_map[a]).collect::<AttrSet>(),
+                    full_map[fd.rhs],
+                )
+            })
+            .fold(FdSet::new(), |mut s, fd| {
+                s.insert_unchecked(fd);
+                s
+            });
+        assert!(
+            full_aligned.equivalent(&full.fd_set()),
+            "{}: fast-path cover not equivalent to full re-discovery",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn tpch_cover_only_matches_canonical() {
+    run_dataset_cover_only(DatasetKind::Tpch, 0x7C_0011);
+}
+
+#[test]
+fn ptc_cover_only_matches_canonical() {
+    run_dataset_cover_only(DatasetKind::Ptc, 0x7C_0012);
+}
+
+#[test]
+fn pte_cover_only_matches_canonical() {
+    run_dataset_cover_only(DatasetKind::Pte, 0x7C_0013);
+}

@@ -116,8 +116,48 @@ impl<'a> PliCache<'a> {
     /// Evict entries whose attribute-set size is strictly below `level`,
     /// keeping singletons (cheap to retain, expensive to recompute).
     pub fn retain_levels(&mut self, level: usize) {
+        self.cache.retain(|k, _| k.len() >= level || k.len() <= 1);
+    }
+
+    /// Insert a partition computed elsewhere (e.g. patched by
+    /// [`Pli::apply_delta`]) so later [`PliCache::get`] calls reuse it.
+    pub fn seed(&mut self, set: AttrSet, pli: Pli) {
+        debug_assert_eq!(pli.nrows(), self.rel.nrows(), "seeded PLI row mismatch");
+        self.cache.insert(set, pli);
+    }
+
+    /// True iff `set`'s partition is cached.
+    pub fn contains(&self, set: AttrSet) -> bool {
+        self.cache.contains_key(&set)
+    }
+
+    /// Tear down the cache, keeping the computed partitions. Together with
+    /// [`PliCache::from_map`] this lets owners persist partitions across
+    /// relation versions (the cache itself borrows one relation).
+    pub fn into_map(self) -> HashMap<AttrSet, Pli> {
         self.cache
-            .retain(|k, _| k.len() >= level || k.len() <= 1);
+    }
+
+    /// Rebuild a cache around previously extracted partitions. Partitions
+    /// must describe `rel` (same row count) — patch them through
+    /// [`crate::delta::rebase_plis`] when the relation has moved on.
+    pub fn from_map(rel: &'a Relation, map: HashMap<AttrSet, Pli>) -> Self {
+        debug_assert!(map.values().all(|p| p.nrows() == rel.nrows()));
+        let mut cache = PliCache {
+            rel,
+            cache: map,
+            hits: 0,
+            misses: 0,
+        };
+        // Singletons are the seeds every derived partition needs; make
+        // sure they exist even if the caller's map was filtered down.
+        for a in 0..rel.ncols() {
+            cache
+                .cache
+                .entry(AttrSet::single(a))
+                .or_insert_with(|| Pli::for_attr(rel, a));
+        }
+        cache
     }
 
     /// Number of cached partitions.
@@ -186,6 +226,22 @@ mod tests {
         let (hits2, misses2) = cache.stats();
         assert_eq!(misses1, misses2);
         assert!(hits2 >= 1);
+    }
+
+    #[test]
+    fn seed_and_contains_bypass_compute() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        let set: AttrSet = [0usize, 1].into_iter().collect();
+        assert!(!cache.contains(set));
+        cache.seed(set, Pli::for_set(&r, set));
+        assert!(cache.contains(set));
+        let (_, misses_before) = cache.stats();
+        assert_eq!(
+            cache.get(set).distinct_count(),
+            Pli::for_set(&r, set).distinct_count()
+        );
+        assert_eq!(cache.stats().1, misses_before); // served from the seed
     }
 
     #[test]

@@ -1,0 +1,526 @@
+//! Incremental PLI maintenance.
+//!
+//! Given `π_X` over a relation and the [`AppliedDelta`] of a
+//! [`DeltaBatch`](infine_relation::DeltaBatch), [`Pli::apply_delta`]
+//! patches the partition instead of regrouping every row:
+//!
+//! * **Deletes** are a pure remap: each class drops its dead members and
+//!   classes collapsing below size 2 are stripped. No hashing happens.
+//! * **Inserts** hash only the *delta* rows, then look for partners among
+//!   existing classes (one representative key each), rows loosened from
+//!   collapsed classes, and surviving old singletons. Because surviving
+//!   rows keep their dictionary codes, all keys are read off the new
+//!   relation directly.
+//!
+//! Cost: `O(old_rows)` for the remap plus `O((|Δ| + classes + singletons)
+//! · |X|)` hashing — but the singleton scan runs *only when the batch
+//! inserts rows* (deletes can never merge two old rows into one class:
+//! their keys were distinct before and codes never change). A full
+//! rebuild by [`Pli::for_set`] hashes all rows unconditionally.
+//!
+//! The returned [`DirtyClasses`] names the classes of the *new* partition
+//! that the delta touched. Downstream FD revalidation exploits it: an FD
+//! `X → a` valid before the batch can only break inside a dirty class of
+//! `π_X`, so checking constancy of `a` over the dirty classes alone is a
+//! complete validity test (see [`Pli::constant_on`]).
+
+use crate::pli::Pli;
+use infine_relation::{AppliedDelta, AttrId, AttrSet, Relation};
+use std::collections::HashMap;
+
+/// Which classes of a patched partition the delta touched, plus patch
+/// accounting — the "dirty-class tracker" consumed by revalidation and
+/// surfaced in maintenance reports.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyClasses {
+    /// Indices (into the new partition's classes) of classes whose
+    /// membership changed: shrunk survivors, insert-grown classes, and
+    /// classes created by inserts.
+    pub dirty: Vec<usize>,
+    /// Classes that survived with some members deleted.
+    pub shrunk: usize,
+    /// Classes extended with inserted rows.
+    pub grown: usize,
+    /// Classes newly created by inserts (including singleton promotions).
+    pub created: usize,
+    /// Old classes that vanished (collapsed below two members).
+    pub dropped: usize,
+}
+
+impl DirtyClasses {
+    /// Indices of classes where an FD valid before the batch could have
+    /// broken. This is a conservative superset — all touched classes,
+    /// including shrunk ones (which can only *lose* violations) — so a
+    /// revalidation restricted to it is complete, at the price of
+    /// rescanning shrunk classes on mixed batches.
+    pub fn risky(&self) -> &[usize] {
+        &self.dirty
+    }
+
+    /// Total classes touched.
+    pub fn touched(&self) -> usize {
+        self.dirty.len()
+    }
+}
+
+impl Pli {
+    /// Patch `self = π_set` (over the pre-batch relation) into the
+    /// partition over `new_rel`, the relation produced by
+    /// [`Relation::apply_delta`](infine_relation::Relation::apply_delta).
+    ///
+    /// Equivalent to `Pli::for_set(new_rel, set)` — the property tests
+    /// assert exact equality including class order — but does delta-local
+    /// work instead of regrouping every row. Repeated callers should use
+    /// the consuming [`Pli::apply_delta_owned`] (as [`rebase_plis`] does),
+    /// which patches class vectors in place instead of reallocating them.
+    pub fn apply_delta(&self, new_rel: &Relation, set: AttrSet, applied: &AppliedDelta) -> Pli {
+        self.clone().apply_delta_owned(new_rel, set, applied).0
+    }
+
+    /// [`Pli::apply_delta`] variant also reporting which classes changed.
+    pub fn apply_delta_tracked(
+        &self,
+        new_rel: &Relation,
+        set: AttrSet,
+        applied: &AppliedDelta,
+    ) -> (Pli, DirtyClasses) {
+        self.clone().apply_delta_owned(new_rel, set, applied)
+    }
+
+    /// Consuming patch: class vectors are remapped in place (the row-id
+    /// remap is monotone, so ascending member order survives without
+    /// re-sorting), and delete-free batches skip the remap pass entirely.
+    pub fn apply_delta_owned(
+        self,
+        new_rel: &Relation,
+        set: AttrSet,
+        applied: &AppliedDelta,
+    ) -> (Pli, DirtyClasses) {
+        debug_assert_eq!(self.nrows(), applied.old_nrows, "PLI/delta row mismatch");
+
+        // π_∅ is a single class of all rows; patching it is just resizing.
+        if set.is_empty() {
+            let mut stats = DirtyClasses::default();
+            let pli = Pli::for_set_of_empty(applied.new_nrows);
+            let changed = applied.num_deleted() > 0 || applied.num_inserted() > 0;
+            if changed && !pli.classes().is_empty() {
+                stats.dirty.push(0);
+                stats.grown += usize::from(applied.num_inserted() > 0);
+                stats.shrunk += usize::from(applied.num_deleted() > 0);
+            }
+            return (pli, stats);
+        }
+
+        if set.len() == 1 {
+            let attr = set.first().expect("len 1");
+            let codes = &new_rel.column(attr).codes;
+            patch_classes(self, applied, |row| codes[row as usize])
+        } else {
+            let attrs: Vec<AttrId> = set.iter().collect();
+            patch_classes(self, applied, |row| {
+                attrs
+                    .iter()
+                    .map(|&a| new_rel.code(row as usize, a))
+                    .collect::<Vec<u32>>()
+            })
+        }
+    }
+
+    /// Is `attr` constant within every listed class? With `classes` = the
+    /// dirty classes of a patched `π_X`, this is a complete validity check
+    /// for an FD `X → attr` that held before the batch (violations can
+    /// only appear where rows were added).
+    pub fn constant_on(&self, rel: &Relation, attr: AttrId, classes: &[usize]) -> bool {
+        classes.iter().all(|&ci| {
+            let class = &self.classes()[ci];
+            let code = rel.code(class[0] as usize, attr);
+            class[1..]
+                .iter()
+                .all(|&row| rel.code(row as usize, attr) == code)
+        })
+    }
+
+    /// Is `attr` constant within every class (full validity check for
+    /// `X → attr` given `self = π_X`, without building `π_{X∪attr}`)?
+    pub fn refines_attr(&self, rel: &Relation, attr: AttrId) -> bool {
+        let all: Vec<usize> = (0..self.num_classes()).collect();
+        self.constant_on(rel, attr, &all)
+    }
+}
+
+/// Shared patching core, generic over the row-key type (a bare `u32`
+/// dictionary code for single attributes, a code vector otherwise).
+///
+/// Deletes are an in-place `retain_mut` remap per class — the remap is
+/// monotone, so member order survives. Inserts hash only the delta rows;
+/// partners among existing classes are found via one representative key
+/// per class, and the surviving-singleton scan (the only whole-relation
+/// key pass) runs just when unmatched insert groups remain.
+fn patch_classes<K: std::hash::Hash + Eq>(
+    pli: Pli,
+    applied: &AppliedDelta,
+    key_of: impl Fn(u32) -> K,
+) -> (Pli, DirtyClasses) {
+    let mut stats = DirtyClasses::default();
+    let has_deletes = applied.num_deleted() > 0;
+    let has_inserts = applied.num_inserted() > 0;
+    let old_nrows = applied.old_nrows;
+
+    // Only the singleton-partner search needs to know which old rows sat
+    // in classes; skip the bookkeeping otherwise.
+    let mut in_class = if has_inserts {
+        Some(vec![false; old_nrows])
+    } else {
+        None
+    };
+
+    let mut patched: Vec<(Vec<u32>, bool)> = Vec::with_capacity(pli.num_classes());
+    let mut loose: Vec<u32> = Vec::new();
+    for mut class in pli.into_classes() {
+        if let Some(ic) = in_class.as_mut() {
+            for &row in &class {
+                ic[row as usize] = true;
+            }
+        }
+        let changed = if has_deletes {
+            let before = class.len();
+            class.retain_mut(|row| match applied.remap[*row as usize] {
+                Some(new_id) => {
+                    *row = new_id;
+                    true
+                }
+                None => false,
+            });
+            class.len() != before
+        } else {
+            false
+        };
+        match class.len() {
+            0 => stats.dropped += 1,
+            1 => {
+                stats.dropped += 1;
+                loose.push(class[0]);
+            }
+            _ => {
+                if changed {
+                    stats.shrunk += 1;
+                }
+                patched.push((class, changed));
+            }
+        }
+    }
+
+    let mut created_any = false;
+    if has_inserts {
+        let mut groups: HashMap<K, Vec<u32>> = HashMap::new();
+        for new_id in applied.first_inserted..applied.new_nrows as u32 {
+            groups.entry(key_of(new_id)).or_default().push(new_id);
+        }
+        for (members, changed) in patched.iter_mut() {
+            if groups.is_empty() {
+                break;
+            }
+            if let Some(mut extra) = groups.remove(&key_of(members[0])) {
+                // Inserted ids exceed every survivor id and arrive in
+                // ascending order, so appending keeps the class sorted.
+                members.append(&mut extra);
+                *changed = true;
+                stats.grown += 1;
+            }
+        }
+        if !groups.is_empty() {
+            // Surviving rows outside every class have pairwise-distinct
+            // keys (they were singletons, or sole survivors of distinct
+            // classes), so each can join at most one insert group.
+            let in_class = in_class.as_ref().expect("built when inserts exist");
+            let singleton_partners =
+                loose
+                    .iter()
+                    .copied()
+                    .chain((0..old_nrows).filter_map(|old| {
+                        if in_class[old] {
+                            None
+                        } else {
+                            applied.remap[old]
+                        }
+                    }));
+            for row in singleton_partners {
+                if groups.is_empty() {
+                    break;
+                }
+                if let Some(members) = groups.get_mut(&key_of(row)) {
+                    members.push(row);
+                }
+            }
+            for (_, mut members) in groups.drain() {
+                if members.len() >= 2 {
+                    stats.created += 1;
+                    created_any = true;
+                    // A singleton partner (an old row id) was pushed last;
+                    // restore ascending order.
+                    members.sort_unstable();
+                    patched.push((members, true));
+                }
+            }
+        }
+    }
+
+    // Canonical class order is by first member. Growth never changes a
+    // class's first member, so a re-sort is only needed when deletes may
+    // have removed first members or fresh classes were appended.
+    if has_deletes || created_any {
+        patched.sort_unstable_by_key(|(members, _)| members[0]);
+    }
+    stats.dirty = patched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (_, changed))| changed.then_some(i))
+        .collect();
+    let classes: Vec<Vec<u32>> = patched.into_iter().map(|(m, _)| m).collect();
+    (Pli::from_raw(classes, applied.new_nrows), stats)
+}
+
+/// Accounting for one [`rebase_plis`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebaseStats {
+    /// Partitions patched through [`Pli::apply_delta`].
+    pub patched: usize,
+    /// Partitions evicted by the keep predicate (they will be recomputed
+    /// on demand from the patched singletons).
+    pub evicted: usize,
+    /// Sum of dirty classes across all patched partitions.
+    pub dirty_classes: usize,
+}
+
+/// Carry a set of cached partitions across a relation version change:
+/// entries passing `keep` are patched via [`Pli::apply_delta_tracked`],
+/// the rest are evicted. This is the cache eviction hook the maintenance
+/// engine drives between delta batches — pair with
+/// [`PliCache::into_map`](crate::PliCache::into_map) /
+/// [`PliCache::from_map`](crate::PliCache::from_map).
+pub fn rebase_plis(
+    plis: HashMap<AttrSet, Pli>,
+    new_rel: &Relation,
+    applied: &AppliedDelta,
+    mut keep: impl FnMut(AttrSet) -> bool,
+) -> (
+    HashMap<AttrSet, Pli>,
+    HashMap<AttrSet, DirtyClasses>,
+    RebaseStats,
+) {
+    let mut out = HashMap::with_capacity(plis.len());
+    let mut dirty = HashMap::new();
+    let mut stats = RebaseStats::default();
+    for (set, pli) in plis {
+        if keep(set) {
+            let (patched, d) = pli.apply_delta_owned(new_rel, set, applied);
+            stats.patched += 1;
+            stats.dirty_classes += d.touched();
+            dirty.insert(set, d);
+            out.insert(set, patched);
+        } else {
+            stats.evicted += 1;
+        }
+    }
+    (out, dirty, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::{relation_from_rows, DeltaBatch, Value};
+
+    fn rel() -> Relation {
+        // a b
+        // 1 x
+        // 1 x
+        // 2 y
+        // 2 z
+        // 3 z
+        // 4 w
+        relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("y")],
+                &[Value::Int(2), Value::str("z")],
+                &[Value::Int(3), Value::str("z")],
+                &[Value::Int(4), Value::str("w")],
+            ],
+        )
+    }
+
+    fn check(set: AttrSet, batch: &DeltaBatch) -> DirtyClasses {
+        let r = rel();
+        let before = Pli::for_set(&r, set);
+        let (r2, applied) = r.apply_delta(batch, "t'");
+        let (patched, dirty) = before.apply_delta_tracked(&r2, set, &applied);
+        let rebuilt = Pli::for_set(&r2, set);
+        assert_eq!(patched, rebuilt, "patched ≠ rebuilt for {set:?}");
+        assert_eq!(patched.distinct_count(), rebuilt.distinct_count());
+        assert_eq!(patched.key_error(), rebuilt.key_error());
+        dirty
+    }
+
+    #[test]
+    fn delete_shrinks_and_collapses_classes() {
+        let mut b = DeltaBatch::new();
+        b.delete(0).delete(3);
+        // a: {0,1} loses 0 → collapses; {2,3} loses 3 → collapses
+        let d = check(AttrSet::single(0), &b);
+        assert_eq!(d.dropped, 2);
+        assert_eq!(d.touched(), 0);
+    }
+
+    #[test]
+    fn insert_grows_existing_class() {
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(1), Value::str("q")]);
+        let d = check(AttrSet::single(0), &b);
+        assert_eq!(d.grown, 1);
+        assert_eq!(d.created, 0);
+        assert_eq!(d.touched(), 1);
+    }
+
+    #[test]
+    fn insert_promotes_singleton_to_class() {
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(3), Value::str("q")]); // row 4 was a singleton on a
+        let d = check(AttrSet::single(0), &b);
+        assert_eq!(d.created, 1);
+    }
+
+    #[test]
+    fn insert_pairs_with_loosened_row() {
+        let mut b = DeltaBatch::new();
+        // collapse {0,1} to row 1, then re-pair row 1 with an insert
+        b.delete(0).insert(vec![Value::Int(1), Value::str("k")]);
+        let d = check(AttrSet::single(0), &b);
+        assert!(d.created >= 1);
+    }
+
+    #[test]
+    fn fresh_value_forms_new_class_only_among_inserts() {
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(9), Value::str("n")]);
+        b.insert(vec![Value::Int(9), Value::str("m")]);
+        let d = check(AttrSet::single(0), &b);
+        assert_eq!(d.created, 1);
+    }
+
+    #[test]
+    fn composite_set_patches_exactly() {
+        let mut b = DeltaBatch::new();
+        b.delete(2)
+            .insert(vec![Value::Int(2), Value::str("z")])
+            .insert(vec![Value::Int(1), Value::str("x")]);
+        check([0usize, 1].into_iter().collect(), &b);
+    }
+
+    #[test]
+    fn empty_set_partition_resizes() {
+        let mut b = DeltaBatch::new();
+        b.delete(0).insert(vec![Value::Int(8), Value::str("u")]);
+        check(AttrSet::EMPTY, &b);
+    }
+
+    #[test]
+    fn chained_batches_stay_exact() {
+        let mut r = rel();
+        let set: AttrSet = [0usize, 1].into_iter().collect();
+        let mut pli = Pli::for_set(&r, set);
+        let batches = [
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(1).insert(vec![Value::Int(5), Value::str("x")]);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(5), Value::str("x")]).delete(0);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(0).delete(1).delete(2);
+                b
+            },
+        ];
+        for batch in batches {
+            let (r2, applied) = r.apply_delta(&batch, "t'");
+            pli = pli.apply_delta(&r2, set, &applied);
+            assert_eq!(pli, Pli::for_set(&r2, set));
+            r = r2;
+        }
+    }
+
+    #[test]
+    fn constant_on_detects_violations_in_dirty_classes() {
+        let r = rel();
+        let pa = Pli::for_attr(&r, 0);
+        // b is constant within a=1's class {0,1} (both "x"), not within
+        // a=2's class {2,3} ("y" vs "z").
+        assert!(pa.constant_on(&r, 1, &[0]));
+        assert!(!pa.constant_on(&r, 1, &[1]));
+        assert!(!pa.refines_attr(&r, 1));
+    }
+
+    #[test]
+    fn refines_attr_agrees_with_distinct_count_check() {
+        let r = rel();
+        for lhs in 0..2usize {
+            for rhs in 0..2usize {
+                if lhs == rhs {
+                    continue;
+                }
+                let p = Pli::for_attr(&r, lhs);
+                let both = Pli::for_set(&r, [lhs, rhs].into_iter().collect());
+                assert_eq!(p.refines_attr(&r, rhs), p.refines_to(&both));
+            }
+        }
+    }
+
+    #[test]
+    fn rebase_patches_kept_and_evicts_rest() {
+        use crate::PliCache;
+        let r = rel();
+        let keep_set: AttrSet = [0usize, 1].into_iter().collect();
+        let mut cache = PliCache::new(&r);
+        cache.get(keep_set);
+        cache.get(AttrSet::single(0).with(1).without(1)); // a (already seeded)
+        let map = cache.into_map();
+
+        let mut b = DeltaBatch::new();
+        b.delete(4).insert(vec![Value::Int(2), Value::str("z")]);
+        let (r2, applied) = r.apply_delta(&b, "t'");
+        let (map2, dirty, stats) =
+            rebase_plis(map, &r2, &applied, |s| s.len() <= 1 || s == keep_set);
+        assert!(stats.patched >= 3); // two singles + the pair
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(map2[&keep_set], Pli::for_set(&r2, keep_set));
+        assert!(dirty.contains_key(&keep_set));
+
+        // The rebuilt cache serves patched partitions without recompute.
+        let mut cache2 = PliCache::from_map(&r2, map2);
+        let before_misses = cache2.stats().1;
+        cache2.get(keep_set);
+        assert_eq!(cache2.stats().1, before_misses);
+
+        // Eviction path: drop everything non-singleton.
+        let (map3, _, stats3) =
+            rebase_plis(cache2.into_map(), &r2, &applied_noop(&r2), |s| s.len() <= 1);
+        assert!(stats3.evicted >= 1);
+        assert!(map3.keys().all(|s| s.len() <= 1));
+    }
+
+    fn applied_noop(rel: &Relation) -> AppliedDelta {
+        AppliedDelta {
+            old_nrows: rel.nrows(),
+            new_nrows: rel.nrows(),
+            remap: (0..rel.nrows() as u32).map(Some).collect(),
+            first_inserted: rel.nrows() as u32,
+        }
+    }
+}

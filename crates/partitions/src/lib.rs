@@ -6,7 +6,9 @@
 //! memoizing per-relation partition cache.
 
 pub mod cache;
+pub mod delta;
 pub mod pli;
 
 pub use cache::PliCache;
+pub use delta::{rebase_plis, DirtyClasses, RebaseStats};
 pub use pli::{fd_holds, fd_holds_bruteforce, Pli};

@@ -31,7 +31,13 @@ impl Pli {
         for (row, &code) in col.codes.iter().enumerate() {
             buckets[code as usize].push(row as u32);
         }
-        let classes = buckets.into_iter().filter(|c| c.len() >= 2).collect();
+        let mut classes: Vec<Vec<u32>> = buckets.into_iter().filter(|c| c.len() >= 2).collect();
+        // Canonical class order is by first member, like every other
+        // constructor. Code order only coincides with it until a delta
+        // removes a value's first occurrence (dictionaries are append-only
+        // across `Relation::apply_delta`), so normalize here — the sort is
+        // adaptive and near-free on freshly encoded relations.
+        classes.sort_unstable_by_key(|c| c[0]);
         Pli {
             classes,
             nrows: rel.nrows(),
@@ -46,7 +52,11 @@ impl Pli {
         if attrs.is_empty() {
             // π_∅ has a single class containing every row.
             let all: Vec<u32> = (0..rel.nrows() as u32).collect();
-            let classes = if all.len() >= 2 { vec![all] } else { Vec::new() };
+            let classes = if all.len() >= 2 {
+                vec![all]
+            } else {
+                Vec::new()
+            };
             return Pli {
                 classes,
                 nrows: rel.nrows(),
@@ -60,8 +70,7 @@ impl Pli {
             let key: Vec<u32> = attrs.iter().map(|&a| rel.code(row, a)).collect();
             groups.entry(key).or_default().push(row as u32);
         }
-        let mut classes: Vec<Vec<u32>> =
-            groups.into_values().filter(|c| c.len() >= 2).collect();
+        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
         classes.sort_by_key(|c| c[0]); // deterministic order
         Pli {
             classes,
@@ -72,6 +81,27 @@ impl Pli {
     /// Construct from explicit classes (tests, synthetic partitions).
     pub fn from_classes(classes: Vec<Vec<u32>>, nrows: usize) -> Pli {
         let classes = classes.into_iter().filter(|c| c.len() >= 2).collect();
+        Pli { classes, nrows }
+    }
+
+    /// Construct trusting the caller's invariants: every class has ≥ 2
+    /// ascending row ids and classes are sorted by first row. Used by the
+    /// delta-patching path, which maintains canonical form itself.
+    pub(crate) fn from_raw(classes: Vec<Vec<u32>>, nrows: usize) -> Pli {
+        debug_assert!(classes.iter().all(|c| c.len() >= 2));
+        debug_assert!(classes.windows(2).all(|w| w[0][0] < w[1][0]));
+        Pli { classes, nrows }
+    }
+
+    /// `π_∅` over `nrows` rows: one class holding every row (stripped away
+    /// below two rows).
+    pub(crate) fn for_set_of_empty(nrows: usize) -> Pli {
+        let all: Vec<u32> = (0..nrows as u32).collect();
+        let classes = if all.len() >= 2 {
+            vec![all]
+        } else {
+            Vec::new()
+        };
         Pli { classes, nrows }
     }
 
@@ -93,6 +123,12 @@ impl Pli {
     /// The classes themselves.
     pub fn classes(&self) -> &[Vec<u32>] {
         &self.classes
+    }
+
+    /// Consume the partition, yielding its class vectors (the in-place
+    /// delta-patching path reuses their allocations).
+    pub fn into_classes(self) -> Vec<Vec<u32>> {
+        self.classes
     }
 
     /// Number of distinct value combinations over the rows

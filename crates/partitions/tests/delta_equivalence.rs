@@ -1,0 +1,132 @@
+//! Property test (satellite of the incremental-maintenance PR): for
+//! randomized delta batches against datagen tables, the patched partition
+//! [`Pli::apply_delta`] must equal [`Pli::for_set`] rebuilt from scratch —
+//! classes (including order), `distinct_count`, and `key_error` — across
+//! single attributes, composite sets, the empty set, and chained batches.
+
+use infine_datagen::{random_delta, DatasetKind, Scale};
+use infine_partitions::Pli;
+use infine_relation::{AttrSet, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute sets probed per table: ∅, every singleton, a few random
+/// pairs and triples.
+fn probe_sets(rng: &mut StdRng, rel: &Relation) -> Vec<AttrSet> {
+    let n = rel.ncols();
+    let mut sets = vec![AttrSet::EMPTY];
+    sets.extend((0..n).map(AttrSet::single));
+    for _ in 0..4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b));
+    }
+    for _ in 0..3 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b).with(c));
+    }
+    sets.dedup();
+    sets
+}
+
+fn assert_patched_equals_rebuilt(rel: &Relation, rng: &mut StdRng, rounds: usize) {
+    let sets = probe_sets(rng, rel);
+    let mut current = rel.clone();
+    let mut plis: Vec<Pli> = sets.iter().map(|&s| Pli::for_set(&current, s)).collect();
+    for round in 0..rounds {
+        let n = current.nrows();
+        let deletes = rng.gen_range(0..=(n / 10).max(1));
+        let inserts = rng.gen_range(0..=(n / 10).max(2));
+        let batch = random_delta(rng, &current, deletes, inserts);
+        let (next, applied) = current.apply_delta(&batch, current.name.clone());
+        for (i, &set) in sets.iter().enumerate() {
+            let (patched, dirty) = plis[i].apply_delta_tracked(&next, set, &applied);
+            let rebuilt = Pli::for_set(&next, set);
+            assert_eq!(
+                patched, rebuilt,
+                "{}: patched ≠ rebuilt for {set:?} at round {round}",
+                rel.name
+            );
+            assert_eq!(patched.distinct_count(), rebuilt.distinct_count());
+            assert_eq!(patched.key_error(), rebuilt.key_error());
+            // every dirty index addresses a real class
+            for &ci in dirty.risky() {
+                assert!(ci < patched.num_classes());
+            }
+            plis[i] = patched;
+        }
+        current = next;
+    }
+}
+
+fn run_dataset(kind: DatasetKind, seed: u64) {
+    let db = kind.generate(Scale::of(0.005));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut names: Vec<&str> = db.names().collect();
+    names.sort_unstable();
+    for name in names {
+        let rel = db.expect(name);
+        if rel.nrows() == 0 {
+            continue;
+        }
+        assert_patched_equals_rebuilt(rel, &mut rng, 3);
+    }
+}
+
+#[test]
+fn tpch_tables_patch_exactly() {
+    run_dataset(DatasetKind::Tpch, 0xA11CE);
+}
+
+#[test]
+fn mimic_tables_patch_exactly() {
+    run_dataset(DatasetKind::Mimic, 0xB0B);
+}
+
+#[test]
+fn pte_tables_patch_exactly() {
+    run_dataset(DatasetKind::Pte, 0xCAFE);
+}
+
+#[test]
+fn ptc_tables_patch_exactly() {
+    run_dataset(DatasetKind::Ptc, 0xD00D);
+}
+
+#[test]
+fn delete_only_and_insert_only_extremes() {
+    let db = DatasetKind::Tpch.generate(Scale::of(0.003));
+    let rel = db.expect("nation");
+    let mut rng = StdRng::seed_from_u64(42);
+    let set: AttrSet = [0usize, 2].into_iter().collect();
+    let before = Pli::for_set(rel, set);
+
+    // delete-only
+    let mut batch = random_delta(&mut rng, rel, rel.nrows() / 3, 0);
+    batch.inserts.clear();
+    let (after, applied) = rel.apply_delta(&batch, "nation");
+    assert_eq!(
+        before.apply_delta(&after, set, &applied),
+        Pli::for_set(&after, set)
+    );
+
+    // insert-only
+    let batch = random_delta(&mut rng, rel, 0, rel.nrows() / 2);
+    let (after, applied) = rel.apply_delta(&batch, "nation");
+    assert_eq!(
+        before.apply_delta(&after, set, &applied),
+        Pli::for_set(&after, set)
+    );
+
+    // delete everything
+    let mut batch = infine_relation::DeltaBatch::new();
+    for r in 0..rel.nrows() as u32 {
+        batch.delete(r);
+    }
+    let (after, applied) = rel.apply_delta(&batch, "nation");
+    let patched = before.apply_delta(&after, set, &applied);
+    assert_eq!(patched, Pli::for_set(&after, set));
+    assert_eq!(patched.num_classes(), 0);
+}

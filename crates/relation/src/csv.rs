@@ -92,11 +92,7 @@ fn record_is_open(line: &str) -> bool {
 
 /// Read a relation from CSV with a header row of attribute names. The
 /// relation is named `name` and its attributes get lineage `name.attr`.
-pub fn read_csv<R: Read>(
-    name: &str,
-    reader: R,
-    inference: TypeInference,
-) -> io::Result<Relation> {
+pub fn read_csv<R: Read>(name: &str, reader: R, inference: TypeInference) -> io::Result<Relation> {
     let mut lines = BufReader::new(reader).lines();
     let header = match lines.next() {
         Some(h) => h?,

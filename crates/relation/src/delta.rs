@@ -1,0 +1,413 @@
+//! Delta batches: inserts and deletes against a [`Relation`].
+//!
+//! The incremental-maintenance layer (`infine-partitions::delta`,
+//! `infine-incremental`) consumes base-table change feeds expressed as
+//! [`DeltaBatch`]es. Applying a batch produces a new relation plus an
+//! [`AppliedDelta`] — the row-id remapping that downstream structures
+//! (PLIs, caches) need to patch themselves instead of rebuilding.
+//!
+//! Conventions:
+//!
+//! * Deletes address rows of the relation *before* the batch; duplicates
+//!   are tolerated (deduplicated on application), out-of-range ids panic.
+//! * Surviving rows keep their relative order and are compacted to the
+//!   front; inserted rows are appended afterwards in batch order. Column
+//!   dictionaries are append-only, so every surviving row keeps its
+//!   dictionary codes — the invariant that makes PLI patching sound.
+
+use crate::relation::{Column, Relation};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A set of row deletions and insertions against one relation instance.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    /// Row ids (in the pre-batch relation) to delete.
+    pub deletes: Vec<u32>,
+    /// Rows to append; each must match the relation's arity.
+    pub inserts: Vec<Vec<Value>>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    /// Queue a row deletion (pre-batch row id).
+    pub fn delete(&mut self, row: u32) -> &mut Self {
+        self.deletes.push(row);
+        self
+    }
+
+    /// Queue a row insertion.
+    pub fn insert(&mut self, row: Vec<Value>) -> &mut Self {
+        self.inserts.push(row);
+        self
+    }
+
+    /// True iff the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.deletes.is_empty() && self.inserts.is_empty()
+    }
+
+    /// Number of queued deletes (before deduplication).
+    pub fn num_deletes(&self) -> usize {
+        self.deletes.len()
+    }
+
+    /// Number of queued inserts.
+    pub fn num_inserts(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Project the insert rows onto a column subset (the scoped-relation
+    /// mirror of [`Relation::project`]); deletes are shared because row
+    /// ids are position-stable across projection.
+    pub fn project(&self, attrs: &[usize]) -> DeltaBatch {
+        DeltaBatch {
+            deletes: self.deletes.clone(),
+            inserts: self
+                .inserts
+                .iter()
+                .map(|row| attrs.iter().map(|&a| row[a].clone()).collect())
+                .collect(),
+        }
+    }
+}
+
+/// A [`DeltaBatch`] addressed to a named base relation — the unit the
+/// maintenance engine ingests.
+#[derive(Debug, Clone)]
+pub struct DeltaRelation {
+    /// Name of the base relation the batch applies to.
+    pub target: String,
+    /// The changes.
+    pub batch: DeltaBatch,
+}
+
+impl DeltaRelation {
+    /// Address `batch` to the base relation `target`.
+    pub fn new(target: impl Into<String>, batch: DeltaBatch) -> Self {
+        DeltaRelation {
+            target: target.into(),
+            batch,
+        }
+    }
+}
+
+/// The row-id bookkeeping produced by [`Relation::apply_delta`]: how the
+/// old instance's rows map into the new one, and where inserts start.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// Rows of the relation before the batch.
+    pub old_nrows: usize,
+    /// Rows after the batch.
+    pub new_nrows: usize,
+    /// Old row id → new row id (`None` = deleted). Surviving rows are
+    /// compacted in order, so the mapped ids are strictly increasing.
+    pub remap: Vec<Option<u32>>,
+    /// New row ids `>= first_inserted` are the batch's inserted rows, in
+    /// batch order.
+    pub first_inserted: u32,
+}
+
+impl AppliedDelta {
+    /// Number of rows actually deleted (after deduplication).
+    pub fn num_deleted(&self) -> usize {
+        self.remap.iter().filter(|m| m.is_none()).count()
+    }
+
+    /// Number of rows inserted.
+    pub fn num_inserted(&self) -> usize {
+        self.new_nrows - (self.first_inserted as usize)
+    }
+
+    /// True iff the batch changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.num_deleted() == 0 && self.num_inserted() == 0
+    }
+}
+
+/// Persistent value → dictionary-code indexes for one relation lineage.
+///
+/// [`Relation::apply_delta`] must look inserted values up in each
+/// column's dictionary; rebuilding that lookup per batch costs a full
+/// dictionary hash pass. Because dictionaries are append-only across
+/// delta application, the index stays valid forever — callers applying
+/// many batches (the maintenance engine) build it once and thread it
+/// through [`Relation::apply_delta_indexed`], paying only `O(|batch|)`
+/// hashing per round.
+#[derive(Debug, Default, Clone)]
+pub struct DictIndexes {
+    per_column: Vec<HashMap<Value, u32>>,
+}
+
+impl DictIndexes {
+    /// Build from a relation's current dictionaries.
+    pub fn build(rel: &Relation) -> DictIndexes {
+        DictIndexes {
+            per_column: (0..rel.ncols())
+                .map(|c| {
+                    rel.column(c)
+                        .dict
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (v.clone(), i as u32))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Relation {
+    /// Apply a delta batch, producing the post-batch relation and the
+    /// row-id remapping.
+    ///
+    /// Surviving rows keep their dictionary codes (dictionaries are
+    /// append-only); inserted values reuse existing codes where the value
+    /// is already in the dictionary and extend it otherwise. Cost is
+    /// `O(nrows + dict + |batch| · ncols)`; repeated callers should hold
+    /// a [`DictIndexes`] and use [`Relation::apply_delta_indexed`] to
+    /// drop the per-batch dictionary pass.
+    pub fn apply_delta(
+        &self,
+        batch: &DeltaBatch,
+        name: impl Into<String>,
+    ) -> (Relation, AppliedDelta) {
+        let mut index = if batch.inserts.is_empty() {
+            DictIndexes::default()
+        } else {
+            DictIndexes::build(self)
+        };
+        self.apply_delta_indexed(batch, name, &mut index)
+    }
+
+    /// [`Relation::apply_delta`] with a caller-maintained dictionary
+    /// index (extended in place as fresh values appear).
+    pub fn apply_delta_indexed(
+        &self,
+        batch: &DeltaBatch,
+        name: impl Into<String>,
+        index: &mut DictIndexes,
+    ) -> (Relation, AppliedDelta) {
+        self.clone().apply_delta_owned(batch, name, index)
+    }
+
+    /// Consuming variant of [`Relation::apply_delta_indexed`] — the
+    /// maintenance-loop workhorse. Owning `self` lets dictionary
+    /// extension reuse the (now unique) `Arc` in place instead of
+    /// deep-cloning a whole dictionary the first time a batch brings a
+    /// fresh value, and delete-free batches keep the code vectors as-is
+    /// (pure append, no compaction copy).
+    pub fn apply_delta_owned(
+        self,
+        batch: &DeltaBatch,
+        name: impl Into<String>,
+        index: &mut DictIndexes,
+    ) -> (Relation, AppliedDelta) {
+        let old_nrows = self.nrows();
+        let ncols = self.ncols();
+        let mut deleted = vec![false; old_nrows];
+        for &d in &batch.deletes {
+            let d = d as usize;
+            assert!(
+                d < old_nrows,
+                "delete of row {d} out of range (relation has {old_nrows} rows)"
+            );
+            deleted[d] = true;
+        }
+        for row in &batch.inserts {
+            assert_eq!(row.len(), ncols, "insert arity mismatch");
+        }
+
+        let mut remap: Vec<Option<u32>> = Vec::with_capacity(old_nrows);
+        let mut survivors: Vec<u32> = Vec::with_capacity(old_nrows);
+        for (row, &dead) in deleted.iter().enumerate() {
+            if dead {
+                remap.push(None);
+            } else {
+                remap.push(Some(survivors.len() as u32));
+                survivors.push(row as u32);
+            }
+        }
+        let first_inserted = survivors.len() as u32;
+        let new_nrows = survivors.len() + batch.inserts.len();
+        let has_deletes = survivors.len() < old_nrows;
+
+        let schema = self.schema.clone();
+        let mut columns: Vec<Column> = self
+            .into_columns()
+            .into_iter()
+            .map(|mut col| {
+                if has_deletes {
+                    col.codes = survivors.iter().map(|&r| col.codes[r as usize]).collect();
+                }
+                col
+            })
+            .collect();
+
+        if !batch.inserts.is_empty() {
+            assert_eq!(
+                index.per_column.len(),
+                ncols,
+                "dictionary index arity mismatch (build it from this relation lineage)"
+            );
+            for row in &batch.inserts {
+                for (c, v) in row.iter().enumerate() {
+                    let col = &mut columns[c];
+                    let idx = &mut index.per_column[c];
+                    let code = match idx.get(v) {
+                        Some(&code) => code,
+                        None => {
+                            let code = col.dict.len() as u32;
+                            if v.is_null() {
+                                col.null_code = Some(code);
+                            }
+                            std::sync::Arc::make_mut(&mut col.dict).push(v.clone());
+                            idx.insert(v.clone(), code);
+                            code
+                        }
+                    };
+                    col.codes.push(code);
+                }
+            }
+        }
+
+        let rel = Relation::from_columns(name, schema, columns, new_nrows);
+        (
+            rel,
+            AppliedDelta {
+                old_nrows,
+                new_nrows,
+                remap,
+                first_inserted,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_from_rows;
+
+    fn sample() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("y")],
+                &[Value::Int(1), Value::Null],
+                &[Value::Int(3), Value::str("y")],
+            ],
+        )
+    }
+
+    #[test]
+    fn deletes_compact_and_remap() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.delete(1).delete(1).delete(3);
+        let (r2, ad) = r.apply_delta(&b, "t'");
+        assert_eq!(r2.nrows(), 2);
+        assert_eq!(ad.num_deleted(), 2);
+        assert_eq!(ad.remap, vec![Some(0), None, Some(1), None]);
+        assert_eq!(r2.value(0, 0), &Value::Int(1));
+        assert_eq!(r2.value(1, 1), &Value::Null);
+        // codes survive compaction
+        assert_eq!(r2.code(0, 0), r.code(0, 0));
+        assert_eq!(r2.code(1, 0), r.code(2, 0));
+    }
+
+    #[test]
+    fn inserts_reuse_and_extend_dictionaries() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(2), Value::str("z")]); // 2 reused, z fresh
+        b.insert(vec![Value::Int(9), Value::str("z")]); // 9 fresh, z reused
+        let (r2, ad) = r.apply_delta(&b, "t'");
+        assert_eq!(r2.nrows(), 6);
+        assert_eq!(ad.first_inserted, 4);
+        assert_eq!(ad.num_inserted(), 2);
+        assert_eq!(r2.code(4, 0), r.code(1, 0)); // Int(2) reused
+        assert_eq!(r2.code(4, 1), r2.code(5, 1)); // z shares a fresh code
+        assert_eq!(r2.value(5, 0), &Value::Int(9));
+        assert_eq!(r2.distinct_count(0), 4); // 1,2,3,9 (after batch)
+    }
+
+    #[test]
+    fn inserted_null_registers_null_code() {
+        let r = relation_from_rows("t", &["a"], &[&[Value::Int(1)]]);
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Null]);
+        let (r2, _) = r.apply_delta(&b, "t'");
+        assert!(r2.is_null(1, 0));
+        assert!(!r2.is_null(0, 0));
+    }
+
+    #[test]
+    fn mixed_batch_roundtrip_matches_rebuild() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.delete(0).insert(vec![Value::Int(7), Value::Null]);
+        let (r2, _) = r.apply_delta(&b, "t'");
+        let rebuilt = relation_from_rows(
+            "t'",
+            &["a", "b"],
+            &[
+                &[Value::Int(2), Value::str("y")],
+                &[Value::Int(1), Value::Null],
+                &[Value::Int(3), Value::str("y")],
+                &[Value::Int(7), Value::Null],
+            ],
+        );
+        assert_eq!(r2.nrows(), rebuilt.nrows());
+        for row in 0..r2.nrows() {
+            assert_eq!(r2.row(row), rebuilt.row(row));
+        }
+    }
+
+    #[test]
+    fn projected_batch_mirrors_full_batch() {
+        let r = sample();
+        let p = r.project(&[1], "p");
+        let mut b = DeltaBatch::new();
+        b.delete(2).insert(vec![Value::Int(5), Value::str("w")]);
+        let (r2, ad_full) = r.apply_delta(&b, "r'");
+        let (p2, ad_proj) = p.apply_delta(&b.project(&[1]), "p'");
+        assert_eq!(ad_full.remap, ad_proj.remap);
+        for row in 0..p2.nrows() {
+            assert_eq!(p2.value(row, 0), r2.value(row, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_delete_panics() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.delete(99);
+        r.apply_delta(&b, "t'");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_insert_panics() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(1)]);
+        r.apply_delta(&b, "t'");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let r = sample();
+        let (r2, ad) = r.apply_delta(&DeltaBatch::new(), "t'");
+        assert!(ad.is_noop());
+        assert_eq!(r2.nrows(), r.nrows());
+        assert_eq!(ad.first_inserted as usize, r.nrows());
+    }
+}

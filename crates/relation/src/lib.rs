@@ -21,12 +21,14 @@
 
 pub mod attrs;
 pub mod csv;
+pub mod delta;
 pub mod relation;
 pub mod schema;
 pub mod value;
 
 pub use attrs::{AttrId, AttrSet, AttrSetIter};
 pub use csv::{read_csv, write_csv, TypeInference};
+pub use delta::{AppliedDelta, DeltaBatch, DeltaRelation, DictIndexes};
 pub use relation::{relation_from_rows, Column, Database, Relation, RelationBuilder};
 pub use schema::{Attribute, Origin, Schema};
 pub use value::Value;

@@ -12,14 +12,21 @@ use crate::attrs::{AttrId, AttrSet};
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One dictionary-encoded column.
+///
+/// The dictionary is behind an [`Arc`]: row-level operations (`gather`,
+/// `project`, delta application) share it copy-on-write instead of
+/// cloning every value — which makes derived relations and incremental
+/// maintenance cheap. Mutating constructors extend it through
+/// [`Arc::make_mut`], so sharing is transparent to callers.
 #[derive(Debug, Clone, Default)]
 pub struct Column {
     /// Per-row dictionary codes.
     pub codes: Vec<u32>,
     /// Code → value. Codes are assigned in first-appearance order.
-    pub dict: Vec<Value>,
+    pub dict: Arc<Vec<Value>>,
     /// The code assigned to `Value::Null`, if any null was seen.
     pub null_code: Option<u32>,
 }
@@ -88,6 +95,12 @@ impl Relation {
         &self.columns[attr]
     }
 
+    /// Consume the relation, yielding its columns (delta application
+    /// reuses their allocations and dictionary `Arc`s).
+    pub fn into_columns(self) -> Vec<Column> {
+        self.columns
+    }
+
     /// Dictionary code at (row, attr).
     #[inline]
     pub fn code(&self, row: usize, attr: AttrId) -> u32 {
@@ -111,7 +124,9 @@ impl Relation {
 
     /// Materialize one row as owned values (diagnostics, CSV export).
     pub fn row(&self, row: usize) -> Vec<Value> {
-        (0..self.ncols()).map(|c| self.value(row, c).clone()).collect()
+        (0..self.ncols())
+            .map(|c| self.value(row, c).clone())
+            .collect()
     }
 
     /// Exact number of distinct values (codes) appearing in the rows of a
@@ -235,7 +250,7 @@ impl RelationBuilder {
                     if v.is_null() {
                         col.null_code = Some(code);
                     }
-                    col.dict.push(v.clone());
+                    Arc::make_mut(&mut col.dict).push(v.clone());
                     idx.insert(v, code);
                     code
                 }
@@ -287,6 +302,12 @@ impl Database {
         self.relations.get(name)
     }
 
+    /// Take a relation out of the database (owners patching a table in
+    /// place remove, apply the delta, and re-insert).
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
     /// Look up a relation, panicking with a clear message when absent.
     pub fn expect(&self, name: &str) -> &Relation {
         self.get(name).unwrap_or_else(|| {
@@ -316,11 +337,7 @@ impl Database {
 
 /// Convenience macro-free helper to build a small relation from literal
 /// rows, heavily used by tests and examples.
-pub fn relation_from_rows(
-    name: &str,
-    attrs: &[&str],
-    rows: &[&[Value]],
-) -> Relation {
+pub fn relation_from_rows(name: &str, attrs: &[&str], rows: &[&[Value]]) -> Relation {
     let mut b = RelationBuilder::new(name, Schema::base(name, attrs));
     for r in rows {
         b.push_row(r.to_vec());

@@ -198,10 +198,7 @@ mod tests {
         let s = Schema::base("patient", &["subject_id", "gender"]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.name(0), "subject_id");
-        assert_eq!(
-            s.attr(1).origin,
-            Some(Origin::new("patient", "gender"))
-        );
+        assert_eq!(s.attr(1).origin, Some(Origin::new("patient", "gender")));
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so the workspace's
+//! criterion benches compile against this minimal harness instead. It
+//! keeps the same structure (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `Bencher::iter`) but replaces statistical sampling
+//! with a plain mean over `sample_size` timed iterations (after one
+//! warm-up), printed to stdout. Good enough to run the benches and read
+//! relative numbers; not a statistics engine.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier `function/parameter` for one measurement.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter rendering.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing callback handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean seconds per iteration of the last `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Time `f` over `sample_size` iterations (plus one warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, excluded
+        let t0 = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.last_mean = t0.elapsed().as_secs_f64() / self.sample_size as f64;
+    }
+}
+
+/// A named group of measurements.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per bench (criterion's minimum
+    /// is 10; any positive value is accepted here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one closure and print its mean iteration time.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{}: {:.6} s/iter (mean of {})",
+            self.name, id, b.last_mean, self.sample_size
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 {
+            10
+        } else {
+            self.default_sample_size
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Measure a stand-alone closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        drop(g);
+        self
+    }
+}
+
+/// Declare a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_prints() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+    }
+}

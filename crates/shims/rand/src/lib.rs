@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no vendored registry,
+//! so this workspace ships a minimal, self-contained implementation of the
+//! exact API surface it consumes: [`rngs::StdRng`] (xoshiro256++ seeded by
+//! SplitMix64), [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_range`, and `gen_bool`.
+//!
+//! Determinism is the only hard requirement for the datagen crate (same
+//! seed → same synthetic database across runs and platforms); statistical
+//! quality is provided by xoshiro256++, which passes BigCrush. The stream
+//! is *not* compatible with the real `rand` crate — all consumers in this
+//! workspace only rely on determinism, never on specific draws.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of 64 random bits.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be drawn uniformly from their full domain (the `rand`
+/// `Standard` distribution, collapsed into a trait).
+pub trait Standard: Sized {
+    /// Draw a value.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types supporting uniform range sampling.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `lo < hi` must hold.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// Uniform draw from `[lo, hi]`; `lo <= hi` must hold.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                // Modulo bias is below 2^-64 for every span this workspace
+                // draws; accepted for a shim.
+                let off = (rng.next_u64() as u128) % span;
+                ((lo as i128) + off as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128) + 1;
+                let off = (rng.next_u64() as u128) % span;
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The user-facing random-value API (blanket-implemented for every
+/// [`RngCore`], mirroring `rand`).
+pub trait Rng: RngCore {
+    /// Draw a value of type `T` from its standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draw uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        <f64 as Standard>::draw(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: u64 = StdRng::seed_from_u64(7).gen();
+        let b: u64 = StdRng::seed_from_u64(7).gen();
+        let c: u64 = StdRng::seed_from_u64(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&x));
+            let y = rng.gen_range(3usize..=7);
+            assert!((3..=7).contains(&y));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn full_domain_ints_hit_negatives() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_negative = false;
+        for _ in 0..64 {
+            if rng.gen::<i64>() < 0 {
+                saw_negative = true;
+            }
+        }
+        assert!(saw_negative);
+    }
+}

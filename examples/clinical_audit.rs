@@ -22,11 +22,41 @@ fn fig1_database() -> Database {
         "patient",
         &["subject_id", "gender", "dob", "dod", "expire_flag"],
         &[
-            &[Value::Int(249), Value::str("F"), Value::str("13/03/75"), Value::Null, Value::Int(0)],
-            &[Value::Int(250), Value::str("F"), Value::str("27/12/64"), Value::str("22/11/88 00:00"), Value::Int(1)],
-            &[Value::Int(251), Value::str("M"), Value::str("15/03/90"), Value::Null, Value::Int(0)],
-            &[Value::Int(252), Value::str("M"), Value::str("06/03/78"), Value::Null, Value::Int(0)],
-            &[Value::Int(257), Value::str("F"), Value::str("03/04/31"), Value::str("08/07/21 00:00"), Value::Int(1)],
+            &[
+                Value::Int(249),
+                Value::str("F"),
+                Value::str("13/03/75"),
+                Value::Null,
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(250),
+                Value::str("F"),
+                Value::str("27/12/64"),
+                Value::str("22/11/88 00:00"),
+                Value::Int(1),
+            ],
+            &[
+                Value::Int(251),
+                Value::str("M"),
+                Value::str("15/03/90"),
+                Value::Null,
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(252),
+                Value::str("M"),
+                Value::str("06/03/78"),
+                Value::Null,
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(257),
+                Value::str("F"),
+                Value::str("03/04/31"),
+                Value::str("08/07/21 00:00"),
+                Value::Int(1),
+            ],
         ],
     );
     let admission = relation_from_rows(
@@ -40,16 +70,86 @@ fn fig1_database() -> Database {
             "h_expire_flag",
         ],
         &[
-            &[Value::Int(247), Value::str("03/08/56 20:35"), Value::str("CLINIC REFERRAL/PREMATURE"), Value::str("UNOBTAINABLE"), Value::str("CHEST PAIN"), Value::Int(0)],
-            &[Value::Int(248), Value::str("19/10/42 16:30"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Private"), Value::str("S/P MOTOR ROLLOR"), Value::Int(0)],
-            &[Value::Int(249), Value::str("17/12/49 20:41"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Medicare"), Value::str("UNSTABLE ANGINA ASTHMA BRONCHITIS"), Value::Int(0)],
-            &[Value::Int(249), Value::str("03/02/55 20:16"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Medicare"), Value::str("CHEST PAIN"), Value::Int(0)],
-            &[Value::Int(249), Value::str("27/04/56 15:33"), Value::str("PHYS REFERRAL/NORMAL DELI"), Value::str("Medicare"), Value::str("GI BLEEDING\\COLONOSCOPY"), Value::Int(0)],
-            &[Value::Int(250), Value::str("12/11/88 09:22"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Self Pay"), Value::str("PNEUMONIA R/O TB"), Value::Int(1)],
-            &[Value::Int(251), Value::str("27/07/10 06:46"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Private"), Value::str("INTRACRANIAL HEAD BLEED"), Value::Int(0)],
-            &[Value::Int(252), Value::str("31/03/33 04:24"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Private"), Value::str("GASTROINTESTINAL BLEED"), Value::Int(0)],
-            &[Value::Int(252), Value::str("15/08/33 04:23"), Value::str("EMERGENCY ROOM ADMIT"), Value::str("Private"), Value::str("GASTROINTESTINAL BLEED"), Value::Int(0)],
-            &[Value::Int(253), Value::str("21/01/74 20:58"), Value::str("TRANSFER FROM HOSP/EXTRAM"), Value::str("Medicare"), Value::str("COMPLETE HEART BLOCK\\PACEMAKER IMPLANT"), Value::Int(0)],
+            &[
+                Value::Int(247),
+                Value::str("03/08/56 20:35"),
+                Value::str("CLINIC REFERRAL/PREMATURE"),
+                Value::str("UNOBTAINABLE"),
+                Value::str("CHEST PAIN"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(248),
+                Value::str("19/10/42 16:30"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Private"),
+                Value::str("S/P MOTOR ROLLOR"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(249),
+                Value::str("17/12/49 20:41"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Medicare"),
+                Value::str("UNSTABLE ANGINA ASTHMA BRONCHITIS"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(249),
+                Value::str("03/02/55 20:16"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Medicare"),
+                Value::str("CHEST PAIN"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(249),
+                Value::str("27/04/56 15:33"),
+                Value::str("PHYS REFERRAL/NORMAL DELI"),
+                Value::str("Medicare"),
+                Value::str("GI BLEEDING\\COLONOSCOPY"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(250),
+                Value::str("12/11/88 09:22"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Self Pay"),
+                Value::str("PNEUMONIA R/O TB"),
+                Value::Int(1),
+            ],
+            &[
+                Value::Int(251),
+                Value::str("27/07/10 06:46"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Private"),
+                Value::str("INTRACRANIAL HEAD BLEED"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(252),
+                Value::str("31/03/33 04:24"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Private"),
+                Value::str("GASTROINTESTINAL BLEED"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(252),
+                Value::str("15/08/33 04:23"),
+                Value::str("EMERGENCY ROOM ADMIT"),
+                Value::str("Private"),
+                Value::str("GASTROINTESTINAL BLEED"),
+                Value::Int(0),
+            ],
+            &[
+                Value::Int(253),
+                Value::str("21/01/74 20:58"),
+                Value::str("TRANSFER FROM HOSP/EXTRAM"),
+                Value::str("Medicare"),
+                Value::str("COMPLETE HEART BLOCK\\PACEMAKER IMPLANT"),
+                Value::Int(0),
+            ],
         ],
     );
     let mut db = Database::new();
@@ -60,8 +160,7 @@ fn fig1_database() -> Database {
 
 fn main() {
     let db = fig1_database();
-    let view = ViewSpec::base("patient")
-        .inner_join(ViewSpec::base("admission"), &["subject_id"]);
+    let view = ViewSpec::base("patient").inner_join(ViewSpec::base("admission"), &["subject_id"]);
     let report = InFine::default().discover(&db, &view).expect("pipeline");
 
     println!("V: SELECT * FROM patient ⋈ admission ON subject_id\n");
@@ -91,9 +190,10 @@ fn main() {
     // #257 has no admissions and disappears from the join.
     let ef = report.schema.expect_id("expire_flag");
     let dod = report.schema.expect_id("dod");
-    let upstaged = report.triples.iter().find(|t| {
-        t.fd.rhs == dod && t.fd.lhs == infine_relation::AttrSet::single(ef)
-    });
+    let upstaged = report
+        .triples
+        .iter()
+        .find(|t| t.fd.rhs == dod && t.fd.lhs == infine_relation::AttrSet::single(ef));
     match upstaged {
         Some(t) => println!(
             "✔ expire_flag → dod became exact via the join (kind: {}, sub-query: {})",

@@ -21,13 +21,43 @@ fn main() {
         "readings",
         &["sensor", "unit", "value", "status"],
         &[
-            &[Value::str("s1"), Value::str("°C"), Value::float(21.5), Value::str("ok")],
-            &[Value::str("s1"), Value::str("°C"), Value::float(22.0), Value::str("ok")],
+            &[
+                Value::str("s1"),
+                Value::str("°C"),
+                Value::float(21.5),
+                Value::str("ok"),
+            ],
+            &[
+                Value::str("s1"),
+                Value::str("°C"),
+                Value::float(22.0),
+                Value::str("ok"),
+            ],
             // calibration error: s1 suddenly reports Fahrenheit
-            &[Value::str("s1"), Value::str("°F"), Value::float(71.2), Value::str("cal-error")],
-            &[Value::str("s2"), Value::str("hPa"), Value::float(1013.0), Value::str("ok")],
-            &[Value::str("s2"), Value::str("hPa"), Value::float(1009.2), Value::str("ok")],
-            &[Value::str("s3"), Value::str("%"), Value::float(45.0), Value::str("ok")],
+            &[
+                Value::str("s1"),
+                Value::str("°F"),
+                Value::float(71.2),
+                Value::str("cal-error"),
+            ],
+            &[
+                Value::str("s2"),
+                Value::str("hPa"),
+                Value::float(1013.0),
+                Value::str("ok"),
+            ],
+            &[
+                Value::str("s2"),
+                Value::str("hPa"),
+                Value::float(1009.2),
+                Value::str("ok"),
+            ],
+            &[
+                Value::str("s3"),
+                Value::str("%"),
+                Value::float(45.0),
+                Value::str("ok"),
+            ],
         ],
     ));
 
@@ -35,13 +65,20 @@ fn main() {
     let raw = ViewSpec::base("readings");
     let raw_report = InFine::default().discover(&db, &raw).expect("raw");
     let has_fd = |report: &infine_core::InFineReport| {
-        report.triples.iter().find(|t| {
-            report.schema.name(t.fd.rhs) == "unit"
-                && t.fd.lhs.len() == 1
-                && t.fd.lhs.iter().all(|a| report.schema.name(a) == "sensor")
-        }).cloned()
+        report
+            .triples
+            .iter()
+            .find(|t| {
+                report.schema.name(t.fd.rhs) == "unit"
+                    && t.fd.lhs.len() == 1
+                    && t.fd.lhs.iter().all(|a| report.schema.name(a) == "sensor")
+            })
+            .cloned()
     };
-    println!("raw feed: sensor → unit discovered? {}", has_fd(&raw_report).is_some());
+    println!(
+        "raw feed: sensor → unit discovered? {}",
+        has_fd(&raw_report).is_some()
+    );
 
     // After filtering the flagged rows, the FD upstages to exact:
     let clean = ViewSpec::base("readings").select(Predicate::eq("status", "ok"));

@@ -32,8 +32,7 @@ fn main() {
     ));
 
     // 2. An SPJ view: employees ⋈ departments.
-    let view = ViewSpec::base("employees")
-        .inner_join(ViewSpec::base("departments"), &["dept_id"]);
+    let view = ViewSpec::base("employees").inner_join(ViewSpec::base("departments"), &["dept_id"]);
 
     // 3. Run InFine: FDs of the view, each with its provenance triple,
     //    *without* materializing the full view.

@@ -74,7 +74,12 @@ fn main() {
     for t in report
         .triples
         .iter()
-        .filter(|t| matches!(t.kind, FdKind::JoinFd | FdKind::UpstagedLeft | FdKind::UpstagedRight))
+        .filter(|t| {
+            matches!(
+                t.kind,
+                FdKind::JoinFd | FdKind::UpstagedLeft | FdKind::UpstagedRight
+            )
+        })
         .take(5)
     {
         println!("  [{}] {}", t.kind.label(), t.fd.render(&report.schema));

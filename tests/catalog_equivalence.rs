@@ -61,8 +61,8 @@ fn all_sixteen_views_match_the_oracle() {
     let scale = Scale::of(0.003);
     for case in catalog() {
         let db = case.dataset.generate(scale);
-        let view = execute(&case.spec, &db)
-            .unwrap_or_else(|e| panic!("{}: view failed: {e}", case.id));
+        let view =
+            execute(&case.spec, &db).unwrap_or_else(|e| panic!("{}: view failed: {e}", case.id));
         check_case(&case, &view, scale);
     }
 }

@@ -59,8 +59,11 @@ fn duplicate_unaliased_table_rejected_but_aliased_accepted() {
         InFine::default().discover(&db(), &spec),
         Err(InFineError::DuplicateBaseLabel(_))
     ));
-    let spec = ViewSpec::base_as("t", "t1")
-        .join(ViewSpec::base_as("t", "t2"), JoinOp::Inner, &[("a", "a")]);
+    let spec = ViewSpec::base_as("t", "t1").join(
+        ViewSpec::base_as("t", "t2"),
+        JoinOp::Inner,
+        &[("a", "a")],
+    );
     assert!(InFine::default().discover(&db(), &spec).is_ok());
 }
 
@@ -166,7 +169,11 @@ fn all_baselines_handle_degenerate_tables() {
 #[test]
 fn cross_join_with_empty_condition_works() {
     let mut d = Database::new();
-    d.insert(relation_from_rows("l", &["a"], &[&[Value::Int(1)], &[Value::Int(2)]]));
+    d.insert(relation_from_rows(
+        "l",
+        &["a"],
+        &[&[Value::Int(1)], &[Value::Int(2)]],
+    ));
     d.insert(relation_from_rows("r", &["b"], &[&[Value::Int(7)]]));
     let spec = ViewSpec::base("l").join(ViewSpec::base("r"), JoinOp::Inner, &[]);
     let view = execute(&spec, &d).unwrap();

@@ -17,10 +17,7 @@ use proptest::prelude::*;
 fn arb_relation() -> impl Strategy<Value = Relation> {
     (2usize..=4, 0usize..=12)
         .prop_flat_map(|(ncols, nrows)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0i64..4, ncols),
-                nrows..=nrows,
-            )
+            proptest::collection::vec(proptest::collection::vec(0i64..4, ncols), nrows..=nrows)
         })
         .prop_map(|rows| {
             let ncols = rows.first().map(Vec::len).unwrap_or(2);

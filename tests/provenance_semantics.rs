@@ -79,15 +79,29 @@ fn upstaged_left_and_right_depend_on_which_side_dangles() {
             .find(|t| t.fd == Fd::new(AttrSet::single(lhs), rhs))
             .map(|t| t.kind)
     };
-    assert_eq!(kind_of(a, b), Some(FdKind::UpstagedLeft), "{}", report.render());
-    assert_eq!(kind_of(c, d), Some(FdKind::UpstagedRight), "{}", report.render());
+    assert_eq!(
+        kind_of(a, b),
+        Some(FdKind::UpstagedLeft),
+        "{}",
+        report.render()
+    );
+    assert_eq!(
+        kind_of(c, d),
+        Some(FdKind::UpstagedRight),
+        "{}",
+        report.render()
+    );
 }
 
 #[test]
 fn inferred_fd_composes_through_join_keys() {
     let mut db = Database::new();
     // a → k in l, k → b in r ⇒ a → b inferred on the join.
-    db.insert(int_rows("l", &["k", "a"], &[&[1, 100], &[2, 200], &[1, 100]]));
+    db.insert(int_rows(
+        "l",
+        &["k", "a"],
+        &[&[1, 100], &[2, 200], &[1, 100]],
+    ));
     db.insert(int_rows("r", &["k", "b"], &[&[1, 11], &[2, 22]]));
     let spec = ViewSpec::base("l").inner_join(ViewSpec::base("r"), &["k"]);
     let report = InFine::default().discover(&db, &spec).unwrap();
@@ -107,7 +121,11 @@ fn theorem3_fd_is_classified_as_join_fd() {
     // The appendix counterexample: AA' → b holds on the join but cannot
     // be inferred from the side FD sets.
     let mut db = Database::new();
-    db.insert(int_rows("l", &["x", "a"], &[&[0, 0], &[1, 0], &[1, 1], &[2, 2]]));
+    db.insert(int_rows(
+        "l",
+        &["x", "a"],
+        &[&[0, 0], &[1, 0], &[1, 1], &[2, 2]],
+    ));
     db.insert(int_rows(
         "r",
         &["y", "ap", "b"],
@@ -209,20 +227,13 @@ fn semi_join_discards_other_side_and_mixed_kinds() {
     let mut db = Database::new();
     db.insert(int_rows("l", &["k", "a"], &[&[1, 0], &[2, 0], &[9, 1]]));
     db.insert(int_rows("r", &["k", "b"], &[&[1, 0], &[2, 1]]));
-    let spec = ViewSpec::base("l").join(
-        ViewSpec::base("r"),
-        JoinOp::LeftSemi,
-        &[("k", "k")],
-    );
+    let spec = ViewSpec::base("l").join(ViewSpec::base("r"), JoinOp::LeftSemi, &[("k", "k")]);
     let report = InFine::default().discover(&db, &spec).unwrap();
     // only left attributes in the schema
     assert!(report.schema.id_of("b").is_none());
     // no inferred / joinFD kinds possible
     for t in &report.triples {
-        assert!(matches!(
-            t.kind,
-            FdKind::Base | FdKind::UpstagedLeft
-        ));
+        assert!(matches!(t.kind, FdKind::Base | FdKind::UpstagedLeft));
     }
     // ∅ → a upstaged (k=9 dropped, a becomes constant)
     let a = report.schema.expect_id("a");
