@@ -1,0 +1,64 @@
+//! Criterion-sampled maintenance benchmarks — the statistically sampled
+//! companion to the single-shot `incremental_bench` binary (ROADMAP open
+//! item).
+//!
+//! One group per representative catalog view; within each group, the
+//! exact-provenance engine is benchmarked under *churn* (half deletes,
+//! half perturbed-copy inserts) and *append* (inserts only) deltas at 1%
+//! and 5% of the target table. Each timed iteration applies one fresh
+//! random batch to a persistent engine, so the measurement is
+//! steady-state maintenance cost, not bootstrap.
+//!
+//! Scale defaults to 0.01 (`INFINE_SCALE` overrides); the CI smoke job
+//! runs it at a tiny scale just to keep the harness compiling and
+//! running.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infine_bench::runner::bench_scale;
+use infine_core::InFine;
+use infine_datagen::{find, random_churn};
+use infine_incremental::MaintenanceEngine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SCENARIOS: &[(&str, &str)] = &[
+    ("tpch_q2", "supplier"),
+    ("mimic_q_patients_admissions", "patients"),
+];
+
+const FRACTIONS: &[f64] = &[0.01, 0.05];
+
+fn maintenance(c: &mut Criterion) {
+    let scale = bench_scale();
+    for &(case_id, target) in SCENARIOS {
+        let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+        let db = case.dataset.generate(scale);
+        let mut group = c.benchmark_group(format!("maintenance/{case_id}"));
+        group.sample_size(10);
+        for workload in ["churn", "append"] {
+            for &fraction in FRACTIONS {
+                let mut engine =
+                    MaintenanceEngine::new(InFine::default(), db.clone(), case.spec.clone())
+                        .unwrap_or_else(|e| panic!("{case_id}: bootstrap failed: {e}"));
+                let mut rng = StdRng::seed_from_u64(0xBE9C4);
+                group.bench_function(
+                    BenchmarkId::new(workload, format!("{}%", fraction * 100.0)),
+                    |b| {
+                        b.iter(|| {
+                            let rel = engine.database().expect(target);
+                            let mut delta = random_churn(&mut rng, rel, fraction);
+                            if workload == "append" {
+                                delta.batch.deletes.clear();
+                            }
+                            engine.apply_one(&delta).expect("maintenance apply")
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, maintenance);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Full-discovery wall-clock tracking across PRs (`BENCH_discovery.json`).
+//!
+//! Runs `InFine::discover` (base mining included — the quantity a user
+//! pays end-to-end) `INFINE_BENCH_RUNS` times (default 5) per catalog
+//! scenario and records the median to `BENCH_discovery.json` at the repo
+//! root. A previously recorded file supplies each scenario's `baseline`
+//! median (the pre-PR number), so the emitted report carries the speedup
+//! of the current tree against it; pass `INFINE_BENCH_RECORD_BASELINE=1`
+//! to (re)pin the baseline to this run instead.
+//!
+//! The headline figure is the median speedup across the TPC-H views —
+//! the acceptance metric the perf PRs track. `INFINE_SCALE` scales the
+//! data (default 0.01); baseline and current must be recorded at the
+//! same scale to be comparable (the tool refuses to mix scales).
+
+use infine_bench::json::{self, Obj};
+use infine_bench::runner::bench_scale;
+use infine_core::InFine;
+use infine_datagen::find;
+use std::time::Instant;
+
+const SCENARIOS: &[&str] = &[
+    "tpch_q2",
+    "tpch_q3",
+    "tpch_q9",
+    "tpch_q11",
+    "mimic_q_patients_admissions",
+    "ptc_connected_bond",
+    "pte_atm_drug",
+];
+
+fn main() {
+    let scale = bench_scale();
+    let runs: usize = std::env::var("INFINE_BENCH_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    // Only the documented value "1" re-pins; "0"/"" must not silently
+    // destroy the recorded trajectory.
+    let record_baseline =
+        std::env::var("INFINE_BENCH_RECORD_BASELINE").is_ok_and(|v| v.trim() == "1");
+    let out_path =
+        std::env::var("INFINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_discovery.json".to_string());
+
+    // Previous report: per-scenario baseline medians. Baselines are only
+    // comparable at the scale they were recorded at, so a mismatched run
+    // is refused outright — overwriting the file here would silently
+    // destroy the cross-PR perf trajectory. Point INFINE_BENCH_OUT at a
+    // scratch path (or re-pin with INFINE_BENCH_RECORD_BASELINE=1) to
+    // run at a different scale.
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let prev_scale = previous.lines().find_map(|l| json::extract_num(l, "scale"));
+    if let Some(prev) = prev_scale {
+        if (prev - scale.factor).abs() >= 1e-12 && !record_baseline {
+            eprintln!(
+                "error: {out_path} holds a baseline recorded at scale {prev}, but this run \
+                 uses scale {}; refusing to mix scales.\n\
+                 Either run with INFINE_SCALE={prev}, write elsewhere via INFINE_BENCH_OUT, \
+                 or re-pin with INFINE_BENCH_RECORD_BASELINE=1.",
+                scale.factor
+            );
+            std::process::exit(2);
+        }
+    }
+    let baseline_of = |id: &str| -> Option<f64> {
+        previous
+            .lines()
+            .find(|l| json::extract_str(l, "id") == Some(id))
+            .and_then(|l| json::extract_num(l, "baseline_median_s"))
+    };
+
+    let engine = InFine::default();
+    let mut scenario_objs: Vec<Obj> = Vec::new();
+    let mut tpch_speedups: Vec<f64> = Vec::new();
+    for &id in SCENARIOS {
+        let case = find(id).unwrap_or_else(|| panic!("unknown case {id}"));
+        let db = case.dataset.generate(scale);
+        // Warm-up run (dictionaries, page cache), then timed runs.
+        let report = engine.discover(&db, &case.spec).expect("pipeline");
+        let fds = report.triples.len();
+        let mut samples = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let t0 = Instant::now();
+            let r = engine.discover(&db, &case.spec).expect("pipeline");
+            samples.push(t0.elapsed().as_secs_f64());
+            assert_eq!(r.triples.len(), fds, "{id}: nondeterministic FD count");
+        }
+        let median = json::median(&samples);
+        let baseline = if record_baseline {
+            median
+        } else {
+            baseline_of(id).unwrap_or(median)
+        };
+        let speedup = baseline / median.max(1e-12);
+        eprintln!(
+            "# {id}: median {median:.4} s over {runs} runs ({fds} FDs), \
+             baseline {baseline:.4} s → {speedup:.2}x"
+        );
+        if id.starts_with("tpch") {
+            tpch_speedups.push(speedup);
+        }
+        scenario_objs.push(
+            Obj::new()
+                .str("id", id)
+                .num("median_s", median)
+                .num("baseline_median_s", baseline)
+                .num("speedup_vs_baseline", speedup)
+                .int("fds", fds as i64)
+                .int("runs", runs as i64),
+        );
+    }
+
+    let headline = json::median(&tpch_speedups);
+    let header = Obj::new()
+        .str(
+            "benchmark",
+            "full InFine discovery wall-clock (median seconds; base mining included)",
+        )
+        .num("scale", scale.factor)
+        .int("threads", infine_exec::parallelism() as i64)
+        .num("tpch_median_speedup_vs_baseline", headline);
+    std::fs::write(&out_path, json::render_report(header, &scenario_objs))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!(
+        "# wrote {out_path}; TPC-H median speedup vs recorded baseline: {headline:.2}x{}",
+        if record_baseline {
+            " (baseline re-pinned to this run)"
+        } else {
+            ""
+        }
+    );
+}

@@ -18,6 +18,7 @@
 #[global_allocator]
 static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
 
+use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
     bench_scale, mib, run_baseline, run_full_rediscovery, run_maintenance, secs, TextTable,
 };
@@ -87,6 +88,7 @@ fn main() {
     }
     let mut table = TextTable::new(&headers);
     let mut one_percent: Vec<(Workload, String, f64)> = Vec::new();
+    let mut json_rows: Vec<Obj> = Vec::new();
 
     for workload in [Workload::Churn, Workload::Append] {
         let mut rng = StdRng::seed_from_u64(0xDE17A);
@@ -133,6 +135,20 @@ fn main() {
                     one_percent.push((workload, format!("{case_id}/{target}"), speedup_cover));
                 }
 
+                json_rows.push(
+                    Obj::new()
+                        .str("workload", workload.label())
+                        .str("view", case_id)
+                        .str("delta_table", target)
+                        .num("delta_fraction", fraction)
+                        .int("delta_rows", delta_rows as i64)
+                        .int("fds", fast_run.report.cover.len() as i64)
+                        .num("cover_s", fast_run.total.as_secs_f64())
+                        .num("exact_s", exact_run.total.as_secs_f64())
+                        .num("full_s", t_full.as_secs_f64())
+                        .num("speedup_cover", speedup_cover)
+                        .num("speedup_exact", speedup_exact),
+                );
                 let mut row = vec![
                     workload.label().to_string(),
                     case_id.to_string(),
@@ -191,6 +207,23 @@ fn main() {
          (acceptance threshold: 5x) — {}",
         if headline >= 5.0 { "PASS" } else { "MISS" }
     );
+
+    // Machine-readable mirror of the run (per-scenario rows + headline),
+    // tracked across PRs like BENCH_discovery.json.
+    let out_path =
+        std::env::var("INFINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_incremental.json".to_string());
+    let header = Obj::new()
+        .str(
+            "benchmark",
+            "incremental maintenance vs full re-discovery (single-shot wall-clock seconds)",
+        )
+        .num("scale", scale.factor)
+        .num("churn_1pct_geomean_speedup_cover", geomeans[0])
+        .num("append_1pct_geomean_speedup_cover", geomeans[1])
+        .num("headline_min_geomean", headline);
+    std::fs::write(&out_path, json::render_report(header, &json_rows))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("# wrote {out_path}");
 }
 
 /// The fast engine's canonical cover must be logically equivalent to the

@@ -1,0 +1,190 @@
+//! Minimal JSON emission/extraction for the machine-readable bench
+//! reports (`BENCH_discovery.json`, `BENCH_incremental.json`).
+//!
+//! The build environment is offline (no serde), and the reports are flat:
+//! one object per scenario with string/number fields. Writing is a small
+//! builder; reading is a line-oriented field extractor — the writer emits
+//! one scenario object per line precisely so the reader can stay this
+//! simple. Perf numbers recorded by a previous PR's run are re-read as
+//! the `baseline` each scenario's speedup is computed against, which is
+//! how the perf trajectory is tracked across PRs.
+
+/// Format a float with enough precision for timings, no trailing noise.
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escape a string for a JSON literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One flat JSON object, built field by field, rendered on a single line.
+#[derive(Default, Clone)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Obj {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(mut self, key: &str, value: f64) -> Obj {
+        self.fields.push((key.to_string(), num(value)));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, key: &str, value: i64) -> Obj {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add a pre-rendered raw value (array, nested object).
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Obj {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Render as `{"k": v, ...}` on one line.
+    pub fn render(&self) -> String {
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", escape(k)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{body}}}")
+    }
+}
+
+/// Render a top-level report: scalar header fields plus a `scenarios`
+/// array with one object per line (the layout the extractor relies on).
+pub fn render_report(header: Obj, scenarios: &[Obj]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in &header.fields {
+        out.push_str(&format!("  \"{}\": {v},\n", escape(k)));
+    }
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let comma = if i + 1 < scenarios.len() { "," } else { "" };
+        out.push_str(&format!("    {}{comma}\n", s.render()));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract a string field from a single-line JSON object.
+pub fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extract a numeric field from a single-line JSON object.
+pub fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Median of a slice (empty → 0). Sorts a copy.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obj_round_trips_through_extractors() {
+        let o = Obj::new()
+            .str("id", "tpch_q2")
+            .num("median_s", 0.125)
+            .int("runs", 5);
+        let line = o.render();
+        assert_eq!(extract_str(&line, "id"), Some("tpch_q2"));
+        assert_eq!(extract_num(&line, "median_s"), Some(0.125));
+        assert_eq!(extract_num(&line, "runs"), Some(5.0));
+        assert_eq!(extract_num(&line, "missing"), None);
+    }
+
+    #[test]
+    fn report_layout_is_line_oriented() {
+        let report = render_report(
+            Obj::new().str("benchmark", "x").num("scale", 0.01),
+            &[Obj::new().str("id", "a"), Obj::new().str("id", "b")],
+        );
+        let scenario_lines: Vec<&str> = report
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\""))
+            .collect();
+        assert_eq!(scenario_lines.len(), 2);
+        assert_eq!(extract_str(scenario_lines[1], "id"), Some("b"));
+    }
+
+    #[test]
+    fn num_formatting_trims() {
+        assert_eq!(num(0.5), "0.5");
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn median_of_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

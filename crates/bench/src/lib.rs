@@ -18,10 +18,19 @@
 //! Criterion benches `fd_discovery` and `ablation` provide statistically
 //! sampled versions of the Fig. 3 comparison and the design-choice
 //! ablations (Theorem-4 pruning on/off, semi-join vs full-join upstage
-//! checks).
+//! checks); `maintenance` samples the incremental engine under churn and
+//! append deltas at 1 % / 5 %.
+//!
+//! Perf trajectory: `discovery_bench` and `incremental_bench` emit
+//! machine-readable `BENCH_discovery.json` / `BENCH_incremental.json`
+//! at the repo root ([`json`] module) — each scenario's median
+//! wall-clock plus its speedup against the baseline recorded by a
+//! previous PR's run, which is how perf changes are tracked across the
+//! PR stack (`INFINE_BENCH_RECORD_BASELINE=1` re-pins the baseline).
 //!
 //! Scale: all binaries honour `INFINE_SCALE` (fraction of the paper's
 //! published row counts; default 0.01).
 
 pub mod alloc;
+pub mod json;
 pub mod runner;

@@ -288,13 +288,54 @@ impl InFine {
             .iter()
             .filter_map(|a| a.origin.as_ref().map(origin_key))
             .collect();
+
+        // Step 1, hoisted and parallel: when the pool can actually fan
+        // out, mine every base scope the caller did not supply *before*
+        // the sequential tree walk — one pool task per base occurrence.
+        // The scopes here are by construction the same column subsets
+        // `process_base` would mine (see the COUPLING note on
+        // `collect_scopes`), and the minimal FD set of a relation is
+        // unique, so `process_base` consuming these sets produces triples
+        // byte-identical to mining inline. The scoped projection is
+        // materialized once more inside `process_base` (counted as io
+        // there); that duplicated column clone is noise next to mining —
+        // but it is not free, so with a sequential pool (or fewer than
+        // two scopes to mine) the hoist is skipped entirely and
+        // `process_base` mines inline exactly as before.
+        let mut scopes: Vec<BaseScope> = Vec::new();
+        collect_scopes(db, spec, &needed, &mut scopes)?;
+        let to_mine: Vec<BaseScope> = scopes
+            .into_iter()
+            .filter(|s| base_fds.is_none_or(|m| !m.contains_key(&s.label)))
+            .collect();
+        let mut premine_time = Duration::ZERO;
+        let hoisted: Option<BaseFds> = if to_mine.len() >= 2 && !infine_exec::sequential() {
+            let algo = self.config.base_algorithm;
+            let t0 = Instant::now();
+            let mined = infine_exec::par_map(&to_mine, |_, scope| {
+                let rel = scope.project(db);
+                algo.discover_restricted(&rel, rel.attr_set())
+            });
+            premine_time = t0.elapsed();
+            let mut effective: BaseFds = base_fds.cloned().unwrap_or_default();
+            for (scope, fds) in to_mine.into_iter().zip(mined) {
+                effective.insert(scope.label, fds);
+            }
+            Some(effective)
+        } else {
+            None
+        };
+
         let mut ctx = Ctx {
             db,
             algo: self.config.base_algorithm,
-            timings: PhaseTimings::default(),
+            timings: PhaseTimings {
+                base_mining: premine_time,
+                ..PhaseTimings::default()
+            },
             stats: PipelineStats::default(),
             final_av: needed.clone(),
-            base_fds,
+            base_fds: hoisted.as_ref().or(base_fds),
         };
         let node = ctx.process(spec, &needed, true)?;
 

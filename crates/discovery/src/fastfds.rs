@@ -77,6 +77,12 @@ fn compute_agree_sets(rel: &Relation, universe: AttrSet) -> Vec<AttrSet> {
     let mut seen_pairs: HashSet<(u32, u32)> = HashSet::new();
     let mut agree: HashSet<AttrSet> = HashSet::new();
     let attrs: Vec<AttrId> = universe.iter().collect();
+    // Hoisted code columns: the pair loop is O(pairs · |attrs|) cell
+    // reads, and slice indexing beats per-cell column lookup.
+    let cols: Vec<&[u32]> = attrs
+        .iter()
+        .map(|&a| rel.column(a).codes.as_slice())
+        .collect();
     for &a in &attrs {
         let pli = Pli::for_attr(rel, a);
         for class in pli.classes() {
@@ -87,8 +93,8 @@ fn compute_agree_sets(rel: &Relation, universe: AttrSet) -> Vec<AttrSet> {
                         continue;
                     }
                     let mut ag = AttrSet::EMPTY;
-                    for &b in &attrs {
-                        if rel.code(pair.0 as usize, b) == rel.code(pair.1 as usize, b) {
+                    for (bi, &b) in attrs.iter().enumerate() {
+                        if cols[bi][pair.0 as usize] == cols[bi][pair.1 as usize] {
                             ag = ag.with(b);
                         }
                     }

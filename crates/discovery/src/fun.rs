@@ -42,6 +42,29 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
     }
 
     while !free_level.is_empty() {
+        // Prefetch the `X ∪ {a}` partitions this level's cardinality
+        // checks will need. The pruning predicate is stable across the
+        // level (an FD found here has a lhs of the same size as every
+        // free set, so it can only shadow its own exact candidate), so
+        // the list computed up front is exactly what the loop will query.
+        if !infine_exec::sequential() {
+            let result_ref = &result;
+            let to_card: Vec<AttrSet> = free_level
+                .iter()
+                .copied()
+                .filter(|x| card[x] != nrows)
+                .flat_map(|x| {
+                    universe
+                        .difference(x)
+                        .iter()
+                        .filter(move |&a| !result_ref.has_subset_lhs(x, a))
+                        .map(move |a| x.with(a))
+                })
+                .filter(|xa| !card.contains_key(xa))
+                .collect();
+            cache.prefetch(&to_card);
+        }
+
         // Emit FDs: for each free X and attribute a outside X, the FD
         // X → a holds iff adding a does not increase the cardinality.
         // Minimality is guaranteed by free-set pruning plus the subset
@@ -89,29 +112,42 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
             let max = x.iter().last().expect("nonempty");
             by_prefix.entry(x.without(max)).or_default().push(max);
         }
-        let mut next: Vec<AttrSet> = Vec::new();
+        // Candidate generation is pure set logic; settle the list first so
+        // the cardinality partitions can be prefetched in one batch.
+        let mut cands: Vec<AttrSet> = Vec::new();
         for (prefix, maxes) in &by_prefix {
             let mut ms = maxes.clone();
             ms.sort_unstable();
             for i in 0..ms.len() {
                 for j in (i + 1)..ms.len() {
                     let cand = prefix.with(ms[i]).with(ms[j]);
-                    if !cand.immediate_subsets().all(|s| present.contains(&s)) {
-                        continue;
-                    }
-                    let c = *card
-                        .entry(cand)
-                        .or_insert_with(|| cache.get(cand).distinct_count());
-                    // free ⇔ strictly larger than every immediate subset
-                    let is_free = cand.immediate_subsets().all(|s| card[&s] < c);
-                    if is_free {
-                        next.push(cand);
+                    if cand.immediate_subsets().all(|s| present.contains(&s)) {
+                        cands.push(cand);
                     }
                 }
             }
         }
-        next.sort_by_key(|s| s.bits());
-        next.dedup();
+        cands.sort_by_key(|s| s.bits());
+        cands.dedup();
+        if !infine_exec::sequential() {
+            let uncarded: Vec<AttrSet> = cands
+                .iter()
+                .copied()
+                .filter(|c| !card.contains_key(c))
+                .collect();
+            cache.prefetch(&uncarded);
+        }
+        let mut next: Vec<AttrSet> = Vec::new();
+        for cand in cands {
+            let c = *card
+                .entry(cand)
+                .or_insert_with(|| cache.get(cand).distinct_count());
+            // free ⇔ strictly larger than every immediate subset
+            let is_free = cand.immediate_subsets().all(|s| card[&s] < c);
+            if is_free {
+                next.push(cand);
+            }
+        }
         free_level = next;
     }
     result

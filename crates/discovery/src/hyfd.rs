@@ -58,6 +58,17 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
         // Validate in ascending lhs size so subsets are settled first.
         let mut candidates = cover.to_sorted_vec();
         candidates.sort_by_key(|fd| (fd.lhs.len(), fd.lhs.bits(), fd.rhs));
+        // Batch-compute the partitions this round's checks will touch (a
+        // few are wasted when an early specialization evicts a later
+        // candidate, but the verdicts — and the output — are unchanged).
+        if !infine_exec::sequential() {
+            let round_sets: Vec<AttrSet> = candidates
+                .iter()
+                .filter(|fd| !fd.lhs.is_empty())
+                .flat_map(|fd| [fd.lhs, fd.lhs.with(fd.rhs)])
+                .collect();
+            cache.prefetch(&round_sets);
+        }
         let mut new_violations: Vec<AttrSet> = Vec::new();
         for fd in &candidates {
             if !cover.contains(fd) {
@@ -95,6 +106,12 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
 /// single-attribute partition, compare adjacent rows and rows at stride 2.
 fn sample_agree_sets(rel: &Relation, universe: AttrSet) -> HashSet<AttrSet> {
     let attrs: Vec<AttrId> = universe.iter().collect();
+    // Hoist the code columns: the pair loop reads O(pairs · |attrs|)
+    // cells, and direct slice indexing beats per-cell column lookup.
+    let cols: Vec<&[u32]> = attrs
+        .iter()
+        .map(|&a| rel.column(a).codes.as_slice())
+        .collect();
     let mut agree: HashSet<AttrSet> = HashSet::new();
     for &a in &attrs {
         let pli = infine_partitions::Pli::for_attr(rel, a);
@@ -103,8 +120,8 @@ fn sample_agree_sets(rel: &Relation, universe: AttrSet) -> HashSet<AttrSet> {
                 for i in w..class.len() {
                     let (r1, r2) = (class[i - w] as usize, class[i] as usize);
                     let mut ag = AttrSet::EMPTY;
-                    for &b in &attrs {
-                        if rel.code(r1, b) == rel.code(r2, b) {
+                    for (bi, &b) in attrs.iter().enumerate() {
+                        if cols[bi][r1] == cols[bi][r2] {
                             ag = ag.with(b);
                         }
                     }
@@ -142,8 +159,7 @@ fn witness_agree_set(
     } else {
         let pli = cache.get(fd.lhs);
         pli.classes()
-            .iter()
-            .find_map(|c| find_pair(c))
+            .find_map(find_pair)
             .expect("violated FD must have a witnessing class")
     };
     let mut ag = AttrSet::EMPTY;

@@ -35,6 +35,12 @@ pub fn constant_attrs(rel: &Relation, attrs: AttrSet) -> AttrSet {
 pub trait Validity {
     /// Does `lhs → rhs` hold (for this oracle's notion of "hold")?
     fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool;
+
+    /// Hint that every listed candidate is about to be checked. Oracles
+    /// backed by a [`PliCache`] compute the partitions those checks will
+    /// need in parallel (see [`PliCache::prefetch`]); the default is a
+    /// no-op. Must not change any verdict — only when work happens.
+    fn prefetch(&mut self, _candidates: &[(AttrSet, AttrId)]) {}
 }
 
 /// Exact validity through a [`PliCache`].
@@ -43,6 +49,15 @@ pub struct ExactValidity<'a, 'r>(pub &'a mut PliCache<'r>);
 impl Validity for ExactValidity<'_, '_> {
     fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
         self.0.fd_holds(lhs, rhs)
+    }
+
+    fn prefetch(&mut self, candidates: &[(AttrSet, AttrId)]) {
+        let mut sets = Vec::with_capacity(candidates.len() * 2);
+        for &(lhs, rhs) in candidates {
+            sets.push(lhs);
+            sets.push(lhs.with(rhs));
+        }
+        self.0.prefetch(&sets);
     }
 }
 
@@ -57,6 +72,12 @@ pub struct ApproxValidity<'a, 'r> {
 impl Validity for ApproxValidity<'_, '_> {
     fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
         self.cache.g3(lhs, rhs) <= self.epsilon
+    }
+
+    fn prefetch(&mut self, candidates: &[(AttrSet, AttrId)]) {
+        // g3 needs the lhs partition only (the rhs enters via its codes).
+        let sets: Vec<AttrSet> = candidates.iter().map(|&(lhs, _)| lhs).collect();
+        self.cache.prefetch(&sets);
     }
 }
 
@@ -99,11 +120,25 @@ pub fn mine_new_fds_with<V: Validity>(
         let mut level: Vec<AttrSet> = lhs_universe.iter().map(AttrSet::single).collect();
         let mut depth = 1usize;
         while !level.is_empty() && depth <= max_lhs {
+            // The subset-pruning outcome is fixed before any validation of
+            // this level runs: an FD found *at* this level has a lhs of the
+            // same size as every candidate, so it can only "prune" the
+            // identical candidate (which is never revisited). Settling the
+            // survivor list up front is therefore behavior-preserving, and
+            // lets the oracle prefetch the whole level's partitions in one
+            // parallel batch.
+            let survivors: Vec<AttrSet> = level
+                .iter()
+                .copied()
+                .filter(|&lhs| !known.has_subset_lhs(lhs, rhs) && !found.has_subset_lhs(lhs, rhs))
+                .collect();
+            if !infine_exec::sequential() {
+                let candidates: Vec<(AttrSet, AttrId)> =
+                    survivors.iter().map(|&lhs| (lhs, rhs)).collect();
+                validity.prefetch(&candidates);
+            }
             let mut extendable: Vec<AttrSet> = Vec::new();
-            for &lhs in &level {
-                if known.has_subset_lhs(lhs, rhs) || found.has_subset_lhs(lhs, rhs) {
-                    continue; // non-minimal: a valid subset FD exists
-                }
+            for &lhs in &survivors {
                 if validity.holds(lhs, rhs) {
                     found.insert_minimal(Fd::new(lhs, rhs));
                 } else {

@@ -34,6 +34,13 @@ pub fn tane(rel: &Relation, attrs: AttrSet) -> FdSet {
 
     let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
     while !level.is_empty() {
+        // Materialize the whole level's partitions up front (in parallel
+        // when the pool is active): each node refines a cached partition
+        // from the previous level, so every subsequent `get` below is a
+        // hit. Partitions are pure functions of (relation, set) — the FD
+        // decisions, and hence the output, are identical either way.
+        cache.prefetch(&level);
+
         // ---- compute dependencies ----
         for &x in &level {
             let mut cp = x

@@ -1,0 +1,272 @@
+//! # infine-exec
+//!
+//! A scoped, work-stealing fork-join pool for the discovery pipeline's
+//! embarrassingly parallel loops — hand-rolled on `std::thread` because
+//! the build environment is offline (no rayon).
+//!
+//! Design:
+//!
+//! * **Scoped**: every [`par_map`] / [`par_map_with`] call spawns its
+//!   workers inside a [`std::thread::scope`], so borrowed inputs
+//!   (`&Relation`, `&PliCache` internals) flow in without `'static`
+//!   bounds and all workers are joined before the call returns.
+//! * **Work-stealing**: item indices are dealt to per-worker deques in
+//!   contiguous chunks; a worker drains its own deque from the front
+//!   (preserving chunk locality) and steals from the back of a victim's
+//!   deque when empty. Coarse tasks (a partition product, a base-table
+//!   mine, an FD revalidation) make a mutex-guarded deque entirely
+//!   adequate — contention is one lock op per task.
+//! * **Deterministic output**: results are written back by item index, so
+//!   the returned `Vec` is ordered exactly as the input regardless of
+//!   which worker ran what. Callers get byte-identical results to the
+//!   sequential path as long as each task is a pure function of its item.
+//! * **Nesting-safe**: a task that itself calls `par_map` runs the inner
+//!   call inline (a thread-local marks pool workers), so parallel step-1
+//!   base mining does not multiply threads with the per-level parallelism
+//!   inside each miner.
+//!
+//! Thread count: `INFINE_THREADS` env var when set, else
+//! [`std::thread::available_parallelism`]; [`set_parallelism`] overrides
+//! both at runtime (used by the sequential-vs-parallel equivalence
+//! tests). With one thread every entry point degrades to an inline loop —
+//! no threads are spawned at all.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runtime override for the worker count (0 = not set).
+static PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is a pool worker (nested calls run
+    /// inline instead of spawning a second tier of threads).
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The number of worker threads parallel entry points will use.
+///
+/// Resolution order: [`set_parallelism`] override, `INFINE_THREADS` env
+/// var, [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn parallelism() -> usize {
+    let o = PARALLELISM_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("INFINE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Override the worker count process-wide (1 forces the sequential path;
+/// 0 clears the override). Intended for tests and benches.
+pub fn set_parallelism(n: usize) {
+    PARALLELISM_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Is the current thread already running inside a pool worker?
+pub fn in_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// True when a parallel entry point called *now* would run inline: the
+/// pool has a single worker, or the caller is itself a pool worker.
+/// Optimization hints (batch prefetches, hoisted fan-outs) should no-op
+/// in this state rather than pay their batching overhead for nothing.
+pub fn sequential() -> bool {
+    in_worker() || parallelism() <= 1
+}
+
+/// Parallel indexed map with per-worker state: `init` runs once per
+/// worker (scratch buffers), `f` once per item. Results come back in
+/// input order. Falls back to an inline loop when the pool would have a
+/// single worker, the input is tiny, or the caller is itself a pool
+/// worker.
+pub fn par_map_with<T, S, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = parallelism().min(items.len());
+    if workers <= 1 || in_worker() {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+
+    // Deal contiguous index chunks to per-worker deques.
+    let n = items.len();
+    let chunk = n.div_ceil(workers);
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let f = &f;
+                let init = &init;
+                scope.spawn(move || {
+                    IN_POOL.with(|flag| flag.set(true));
+                    let mut state = init();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Own work first (front: chunk order), then steal
+                        // from the back of the first non-empty victim.
+                        let job = deques[w].lock().expect("pool poisoned").pop_front();
+                        let job = job.or_else(|| {
+                            (1..workers).find_map(|d| {
+                                deques[(w + d) % workers]
+                                    .lock()
+                                    .expect("pool poisoned")
+                                    .pop_back()
+                            })
+                        });
+                        // Jobs are only ever removed, never refilled: an
+                        // empty scan means every index is claimed, so the
+                        // worker retires instead of spinning against the
+                        // stragglers still executing theirs.
+                        let Some(i) = job else { break };
+                        out.push((i, f(&mut state, i, &items[i])));
+                    }
+                    IN_POOL.with(|flag| flag.set(false));
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    });
+    for (i, r) in partials.drain(..).flatten() {
+        debug_assert!(slots[i].is_none(), "item {i} executed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("item never executed"))
+        .collect()
+}
+
+/// Parallel map without per-worker state. Results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, || (), |(), i, t| f(i, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// `PARALLELISM_OVERRIDE` is process-global and libtest runs tests
+    /// concurrently — every test that sets or observes it serializes
+    /// here (same pattern as `tests/parallel_equivalence.rs`).
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_override<R>(n: usize, run: impl FnOnce() -> R) -> R {
+        let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_parallelism(n);
+        let out = run();
+        set_parallelism(0);
+        out
+    }
+
+    #[test]
+    fn results_are_input_ordered() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..257).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..hits.len()).collect();
+        par_map(&items, |_, &x| hits[x].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        // The init counter ≤ worker count regardless of item count.
+        with_override(4, || {
+            let inits = AtomicU32::new(0);
+            let items: Vec<u32> = (0..100).collect();
+            let out = par_map_with(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u32
+                },
+                |scratch, _, &x| {
+                    *scratch += 1;
+                    x
+                },
+            );
+            assert_eq!(out, items);
+            assert!(inits.load(Ordering::Relaxed) <= 4);
+        });
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let out = with_override(4, || {
+            let items: Vec<usize> = (0..8).collect();
+            par_map(&items, |_, &x| {
+                let inner: Vec<usize> = (0..4).collect();
+                // If this spawned threads per outer item we would see
+                // in_worker() == false inside; instead it must run inline.
+                let inner_out = par_map(&inner, |_, &y| {
+                    assert!(in_worker());
+                    y + x
+                });
+                inner_out.iter().sum::<usize>()
+            })
+        });
+        let expected = (0..4).map(|y| y + 1).sum::<usize>();
+        assert_eq!(out[1], expected);
+    }
+
+    #[test]
+    fn sequential_override_spawns_nothing() {
+        let out = with_override(1, || {
+            par_map(&[1, 2, 3], |_, &x| {
+                assert!(!in_worker());
+                x
+            })
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -120,23 +120,46 @@ impl CoverState {
         }
 
         // Revalidate held FDs over dirty classes only (insert batches).
+        // Each check reads a patched lhs partition plus the new relation —
+        // no shared mutable state — so the held set fans out over the
+        // `infine-exec` pool, one task per FD, with verdicts collected in
+        // canonical FD order (the sequential path sees the exact same
+        // verdicts, so survivors, witnesses, and the final cover are
+        // identical).
         let mut survivors = FdSet::new();
         let mut broken: Vec<Fd> = Vec::new();
         if applied.num_inserted() == 0 {
             survivors = self.fds.clone();
         } else {
-            for fd in self.fds.iter() {
+            let held: Vec<Fd> = self.fds.to_sorted_vec();
+            // The rebase predicate kept every held lhs partition; compute
+            // any defensively-missing one here so the parallel region is
+            // read-only on the cache.
+            for fd in &held {
+                cache.get(fd.lhs);
+            }
+            let cache_ref = &cache;
+            let verdicts: Vec<(bool, Option<(u32, u32)>)> = infine_exec::par_map(&held, |_, fd| {
+                let pli = cache_ref.peek(fd.lhs).expect("made resident above");
                 let ok = match dirty.get(&fd.lhs) {
-                    Some(d) => cache.get(fd.lhs).constant_on(new_rel, fd.rhs, d.risky()),
+                    Some(d) => pli.constant_on(new_rel, fd.rhs, d.risky()),
                     // lhs partition was not maintained (defensive): full check.
-                    None => cache.get(fd.lhs).refines_attr(new_rel, fd.rhs),
+                    None => pli.refines_attr(new_rel, fd.rhs),
                 };
+                // Violating pair for broken FDs, so later delete
+                // rounds reject the candidate in O(1).
+                let witness = if ok {
+                    None
+                } else {
+                    find_violation(pli, new_rel, fd.rhs)
+                };
+                (ok, witness)
+            });
+            for (&fd, (ok, witness)) in held.iter().zip(verdicts) {
                 if ok {
                     survivors.insert_minimal(fd);
                 } else {
-                    // Record the violation so later delete rounds reject
-                    // this candidate in O(1).
-                    if let Some(pair) = find_violation(cache.get(fd.lhs), new_rel, fd.rhs) {
+                    if let Some(pair) = witness {
                         self.witnesses.insert(fd, pair);
                     }
                     broken.push(fd);

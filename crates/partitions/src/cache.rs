@@ -5,11 +5,24 @@
 //! available route: a cached subset of size `|X| - 1` intersected with a
 //! single-attribute seed, falling back to direct grouping.
 //!
+//! Every derivation runs through the cache's resident
+//! [`IntersectScratch`], so a whole mining run performs its partition
+//! products without per-call temporary allocations (the scratch-reuse
+//! contract of `infine-partitions`; see the crate docs).
+//!
+//! [`PliCache::prefetch`] computes a batch of missing partitions in
+//! parallel on the `infine-exec` pool — the level-wise miners hand it a
+//! whole lattice level at once. Each worker derives with its own scratch
+//! from the already-cached subsets; because a partition is a pure
+//! function of the relation and the attribute set, the cache contents
+//! (and every downstream FD decision) are byte-identical to the
+//! sequential path.
+//!
 //! Memory discipline follows the paper's observation that level-wise
 //! algorithms need only two lattice levels at a time: [`PliCache::retain_levels`]
 //! lets callers evict everything below the previous level.
 
-use crate::pli::Pli;
+use crate::pli::{IntersectScratch, Pli};
 use infine_relation::{AttrId, AttrSet, Relation};
 use std::collections::HashMap;
 
@@ -17,6 +30,7 @@ use std::collections::HashMap;
 pub struct PliCache<'a> {
     rel: &'a Relation,
     cache: HashMap<AttrSet, Pli>,
+    scratch: IntersectScratch,
     hits: usize,
     misses: usize,
 }
@@ -24,16 +38,7 @@ pub struct PliCache<'a> {
 impl<'a> PliCache<'a> {
     /// Create a cache seeded with all single-attribute partitions.
     pub fn new(rel: &'a Relation) -> Self {
-        let mut cache = HashMap::new();
-        for a in 0..rel.ncols() {
-            cache.insert(AttrSet::single(a), Pli::for_attr(rel, a));
-        }
-        PliCache {
-            rel,
-            cache,
-            hits: 0,
-            misses: 0,
-        }
+        PliCache::with_attrs(rel, rel.attr_set())
     }
 
     /// Create a cache restricted to the given attributes (others are never
@@ -46,6 +51,7 @@ impl<'a> PliCache<'a> {
         PliCache {
             rel,
             cache,
+            scratch: IntersectScratch::new(),
             hits: 0,
             misses: 0,
         }
@@ -72,29 +78,102 @@ impl<'a> PliCache<'a> {
         self.cache.entry(set).or_insert(pli)
     }
 
-    fn compute(&mut self, set: AttrSet) -> Pli {
-        if set.is_empty() {
-            return Pli::for_set(self.rel, set);
-        }
-        if set.len() == 1 {
-            return Pli::for_attr(self.rel, set.first().expect("non-empty"));
-        }
-        // Find a cached immediate subset to refine.
+    /// The cached partition, if present — no computation, no stats. Read
+    /// path for parallel revalidation (workers share `&PliCache`).
+    pub fn peek(&self, set: AttrSet) -> Option<&Pli> {
+        self.cache.get(&set)
+    }
+
+    /// The derivation `compute` would use for a missing `set`: a cached
+    /// immediate subset intersected with a singleton, or direct grouping.
+    /// Singleton seeds are inserted here so the plan is executable from a
+    /// shared reference.
+    fn plan(&mut self, set: AttrSet) -> Option<(AttrSet, AttrSet)> {
         for a in set.iter() {
             let sub = set.without(a);
             if self.cache.contains_key(&sub) {
                 let single = AttrSet::single(a);
-                if !self.cache.contains_key(&single) {
-                    let p = Pli::for_attr(self.rel, a);
-                    self.cache.insert(single, p);
-                }
-                let sub_pli = &self.cache[&sub];
-                let single_pli = &self.cache[&single];
-                return sub_pli.intersect(single_pli);
+                self.cache
+                    .entry(single)
+                    .or_insert_with(|| Pli::for_attr(self.rel, a));
+                return Some((sub, single));
             }
         }
-        // No subset cached: direct grouping.
-        Pli::for_set(self.rel, set)
+        None
+    }
+
+    fn compute(&mut self, set: AttrSet) -> Pli {
+        if set.is_empty() || set.len() == 1 {
+            return Pli::for_set_with(self.rel, set, &mut self.scratch);
+        }
+        match self.plan(set) {
+            Some((sub, single)) => {
+                // Disjoint field borrows: partitions from `cache`, buffers
+                // from `scratch`.
+                let sub_pli = &self.cache[&sub];
+                let single_pli = &self.cache[&single];
+                sub_pli.intersect_with(single_pli, &mut self.scratch)
+            }
+            // No subset cached: direct grouping.
+            None => Pli::for_set_with(self.rel, set, &mut self.scratch),
+        }
+    }
+
+    /// Compute and memoize every missing partition among `sets` in
+    /// parallel on the `infine-exec` pool.
+    ///
+    /// Level-wise miners call this with a whole lattice level before
+    /// their sequential candidate walk; each partition is then a cache
+    /// hit. This is strictly a *hint*: when the pool would run inline
+    /// (one worker, or already inside a worker) it does nothing at all —
+    /// the lazy `get` path computes on demand with zero batching
+    /// overhead, and a batch may include sets the walk would end up
+    /// skipping. Either way the cached partitions are pure functions of
+    /// `(relation, set)`, so parallel and sequential runs produce
+    /// byte-identical discovery output.
+    pub fn prefetch(&mut self, sets: &[AttrSet]) {
+        if infine_exec::sequential() {
+            return;
+        }
+        let mut missing: Vec<AttrSet> = sets
+            .iter()
+            .copied()
+            .filter(|s| !self.cache.contains_key(s))
+            .collect();
+        missing.sort_unstable_by_key(|s| s.bits());
+        missing.dedup();
+        if missing.is_empty() {
+            return;
+        }
+        if missing.len() == 1 {
+            self.misses += 1;
+            let set = missing[0];
+            let pli = self.compute(set);
+            self.cache.insert(set, pli);
+            return;
+        }
+        // Resolve derivation plans (and seed their singletons) up front so
+        // the parallel region only reads the cache.
+        let plans: Vec<(AttrSet, Option<(AttrSet, AttrSet)>)> = missing
+            .iter()
+            .map(|&set| {
+                let plan = if set.len() >= 2 { self.plan(set) } else { None };
+                (set, plan)
+            })
+            .collect();
+        let rel = self.rel;
+        let cache = &self.cache;
+        let computed: Vec<Pli> =
+            infine_exec::par_map_with(&plans, IntersectScratch::new, |scratch, _, &(set, plan)| {
+                match plan {
+                    Some((sub, single)) => cache[&sub].intersect_with(&cache[&single], scratch),
+                    None => Pli::for_set_with(rel, set, scratch),
+                }
+            });
+        self.misses += plans.len();
+        for ((set, _), pli) in plans.into_iter().zip(computed) {
+            self.cache.insert(set, pli);
+        }
     }
 
     /// Exact FD check `lhs → rhs` through the cache.
@@ -146,6 +225,7 @@ impl<'a> PliCache<'a> {
         let mut cache = PliCache {
             rel,
             cache: map,
+            scratch: IntersectScratch::new(),
             hits: 0,
             misses: 0,
         };
@@ -274,5 +354,46 @@ mod tests {
         // a → c: class a=1 rows {0,1} differ on c → violations ≥ 1
         assert!(!cache.fd_holds(AttrSet::single(0), 2));
         assert!(cache.g3(AttrSet::single(0), 2) > 0.0);
+    }
+
+    #[test]
+    fn prefetch_matches_on_demand_compute() {
+        let r = rel();
+        let sets: Vec<AttrSet> = (1u64..16)
+            .map(AttrSet::from_bits)
+            .filter(|s| s.len() >= 2)
+            .collect();
+        infine_exec::set_parallelism(4);
+        let mut pre = PliCache::new(&r);
+        pre.prefetch(&sets);
+        let mut lazy = PliCache::new(&r);
+        for &s in &sets {
+            assert_eq!(pre.peek(s).expect("prefetched"), lazy.get(s), "set {s:?}");
+        }
+        // prefetched entries are hits now
+        let misses_before = pre.stats().1;
+        for &s in &sets {
+            pre.get(s);
+        }
+        assert_eq!(pre.stats().1, misses_before);
+
+        // With a sequential pool the hint is a no-op: nothing is computed
+        // eagerly, the lazy path still serves everything.
+        infine_exec::set_parallelism(1);
+        let mut noop = PliCache::new(&r);
+        noop.prefetch(&sets);
+        assert!(sets.iter().all(|&s| noop.peek(s).is_none()));
+        for &s in &sets {
+            assert_eq!(noop.get(s), lazy.peek(s).expect("computed above"));
+        }
+        infine_exec::set_parallelism(0);
+    }
+
+    #[test]
+    fn peek_never_computes() {
+        let r = rel();
+        let cache = PliCache::new(&r);
+        assert!(cache.peek([0usize, 1].into_iter().collect()).is_none());
+        assert!(cache.peek(AttrSet::single(0)).is_some());
     }
 }

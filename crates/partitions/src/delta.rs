@@ -72,7 +72,8 @@ impl Pli {
     /// assert exact equality including class order — but does delta-local
     /// work instead of regrouping every row. Repeated callers should use
     /// the consuming [`Pli::apply_delta_owned`] (as [`rebase_plis`] does),
-    /// which patches class vectors in place instead of reallocating them.
+    /// which compacts the flat CSR row buffer in place instead of cloning
+    /// it first.
     pub fn apply_delta(&self, new_rel: &Relation, set: AttrSet, applied: &AppliedDelta) -> Pli {
         self.clone().apply_delta_owned(new_rel, set, applied).0
     }
@@ -87,9 +88,10 @@ impl Pli {
         self.clone().apply_delta_owned(new_rel, set, applied)
     }
 
-    /// Consuming patch: class vectors are remapped in place (the row-id
-    /// remap is monotone, so ascending member order survives without
-    /// re-sorting), and delete-free batches skip the remap pass entirely.
+    /// Consuming patch: the flat CSR row buffer is compacted in place
+    /// (the row-id remap is monotone, so ascending member order survives
+    /// without re-sorting), and delete-free batches skip the remap pass
+    /// entirely.
     pub fn apply_delta_owned(
         self,
         new_rel: &Relation,
@@ -103,7 +105,7 @@ impl Pli {
             let mut stats = DirtyClasses::default();
             let pli = Pli::for_set_of_empty(applied.new_nrows);
             let changed = applied.num_deleted() > 0 || applied.num_inserted() > 0;
-            if changed && !pli.classes().is_empty() {
+            if changed && pli.num_classes() > 0 {
                 stats.dirty.push(0);
                 stats.grown += usize::from(applied.num_inserted() > 0);
                 stats.shrunk += usize::from(applied.num_deleted() > 0);
@@ -114,10 +116,10 @@ impl Pli {
         if set.len() == 1 {
             let attr = set.first().expect("len 1");
             let codes = &new_rel.column(attr).codes;
-            patch_classes(self, applied, |row| codes[row as usize])
+            patch_csr(self, applied, |row| codes[row as usize])
         } else {
             let attrs: Vec<AttrId> = set.iter().collect();
-            patch_classes(self, applied, |row| {
+            patch_csr(self, applied, |row| {
                 attrs
                     .iter()
                     .map(|&a| new_rel.code(row as usize, a))
@@ -132,7 +134,7 @@ impl Pli {
     /// only appear where rows were added).
     pub fn constant_on(&self, rel: &Relation, attr: AttrId, classes: &[usize]) -> bool {
         classes.iter().all(|&ci| {
-            let class = &self.classes()[ci];
+            let class = self.class(ci);
             let code = rel.code(class[0] as usize, attr);
             class[1..]
                 .iter()
@@ -151,12 +153,16 @@ impl Pli {
 /// Shared patching core, generic over the row-key type (a bare `u32`
 /// dictionary code for single attributes, a code vector otherwise).
 ///
-/// Deletes are an in-place `retain_mut` remap per class — the remap is
-/// monotone, so member order survives. Inserts hash only the delta rows;
-/// partners among existing classes are found via one representative key
-/// per class, and the surviving-singleton scan (the only whole-relation
-/// key pass) runs just when unmatched insert groups remain.
-fn patch_classes<K: std::hash::Hash + Eq>(
+/// Works directly on the consumed partition's flat CSR buffers: deletes
+/// are one in-place compaction pass over the `rows` array (the remap is
+/// monotone, so member order survives and no re-sort per class is
+/// needed); inserts hash only the delta rows. Partners among existing
+/// classes are found via one representative key per class, and the
+/// surviving-singleton scan (the only whole-relation key pass) runs just
+/// when unmatched insert groups remain. The final partition is assembled
+/// with exactly two allocations (offsets + rows) — the nested
+/// representation allocated per class here.
+fn patch_csr<K: std::hash::Hash + Eq>(
     pli: Pli,
     applied: &AppliedDelta,
     key_of: impl Fn(u32) -> K,
@@ -174,56 +180,69 @@ fn patch_classes<K: std::hash::Hash + Eq>(
         None
     };
 
-    let mut patched: Vec<(Vec<u32>, bool)> = Vec::with_capacity(pli.num_classes());
+    // ---- delete pass: compact the flat rows array in place ----
+    let (old_offsets, mut rows, _) = pli.into_raw();
+    let nclasses = old_offsets.len() - 1;
+    // Survivor descriptors: (start, len, changed) into the compacted rows.
+    let mut desc: Vec<(u32, u32, bool)> = Vec::with_capacity(nclasses);
     let mut loose: Vec<u32> = Vec::new();
-    for mut class in pli.into_classes() {
+    let mut w: usize = 0;
+    for ci in 0..nclasses {
+        let (s, e) = (old_offsets[ci] as usize, old_offsets[ci + 1] as usize);
         if let Some(ic) = in_class.as_mut() {
-            for &row in &class {
+            // Read the pre-remap ids before the compaction cursor (which
+            // never passes the read cursor) can overwrite them.
+            for &row in &rows[s..e] {
                 ic[row as usize] = true;
             }
         }
-        let changed = if has_deletes {
-            let before = class.len();
-            class.retain_mut(|row| match applied.remap[*row as usize] {
-                Some(new_id) => {
-                    *row = new_id;
-                    true
+        let start = w;
+        if has_deletes {
+            for i in s..e {
+                if let Some(new_id) = applied.remap[rows[i] as usize] {
+                    rows[w] = new_id;
+                    w += 1;
                 }
-                None => false,
-            });
-            class.len() != before
+            }
         } else {
-            false
-        };
-        match class.len() {
+            debug_assert_eq!(w, s, "no deletes: classes cannot shrink");
+            w = e;
+        }
+        let len = w - start;
+        let changed = has_deletes && len != e - s;
+        match len {
             0 => stats.dropped += 1,
             1 => {
                 stats.dropped += 1;
-                loose.push(class[0]);
+                loose.push(rows[start]);
+                w = start; // drop the loose row from the survivor buffer
             }
             _ => {
                 if changed {
                     stats.shrunk += 1;
                 }
-                patched.push((class, changed));
+                desc.push((start as u32, len as u32, changed));
             }
         }
     }
+    rows.truncate(w);
 
-    let mut created_any = false;
+    // ---- insert pass: hash only the delta rows ----
+    let mut extras: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut created: Vec<Vec<u32>> = Vec::new();
     if has_inserts {
         let mut groups: HashMap<K, Vec<u32>> = HashMap::new();
         for new_id in applied.first_inserted..applied.new_nrows as u32 {
             groups.entry(key_of(new_id)).or_default().push(new_id);
         }
-        for (members, changed) in patched.iter_mut() {
+        for (di, (start, _, changed)) in desc.iter_mut().enumerate() {
             if groups.is_empty() {
                 break;
             }
-            if let Some(mut extra) = groups.remove(&key_of(members[0])) {
+            if let Some(extra) = groups.remove(&key_of(rows[*start as usize])) {
                 // Inserted ids exceed every survivor id and arrive in
                 // ascending order, so appending keeps the class sorted.
-                members.append(&mut extra);
+                extras.insert(di as u32, extra);
                 *changed = true;
                 stats.grown += 1;
             }
@@ -255,29 +274,58 @@ fn patch_classes<K: std::hash::Hash + Eq>(
             for (_, mut members) in groups.drain() {
                 if members.len() >= 2 {
                     stats.created += 1;
-                    created_any = true;
                     // A singleton partner (an old row id) was pushed last;
                     // restore ascending order.
                     members.sort_unstable();
-                    patched.push((members, true));
+                    created.push(members);
                 }
             }
         }
     }
 
+    // ---- assemble the patched CSR ----
     // Canonical class order is by first member. Growth never changes a
     // class's first member, so a re-sort is only needed when deletes may
-    // have removed first members or fresh classes were appended.
-    if has_deletes || created_any {
-        patched.sort_unstable_by_key(|(members, _)| members[0]);
+    // have removed first members or fresh classes were appended. Only the
+    // (small) descriptor list is sorted — never the row data.
+    let created_any = !created.is_empty();
+    let mut order: Vec<(u32, u32)> = Vec::with_capacity(desc.len() + created.len());
+    for (di, &(start, _, _)) in desc.iter().enumerate() {
+        order.push((rows[start as usize], di as u32));
     }
-    stats.dirty = patched
-        .iter()
-        .enumerate()
-        .filter_map(|(i, (_, changed))| changed.then_some(i))
-        .collect();
-    let classes: Vec<Vec<u32>> = patched.into_iter().map(|(m, _)| m).collect();
-    (Pli::from_raw(classes, applied.new_nrows), stats)
+    for (ni, members) in created.iter().enumerate() {
+        order.push((members[0], (desc.len() + ni) as u32));
+    }
+    if has_deletes || created_any {
+        order.sort_unstable_by_key(|&(first, _)| first);
+    }
+    let total = rows.len()
+        + extras.values().map(Vec::len).sum::<usize>()
+        + created.iter().map(Vec::len).sum::<usize>();
+    let mut out_offsets: Vec<u32> = Vec::with_capacity(order.len() + 1);
+    let mut out_rows: Vec<u32> = Vec::with_capacity(total);
+    out_offsets.push(0);
+    for &(_, code) in &order {
+        let changed = if (code as usize) < desc.len() {
+            let (start, len, changed) = desc[code as usize];
+            out_rows.extend_from_slice(&rows[start as usize..(start + len) as usize]);
+            if let Some(extra) = extras.get(&code) {
+                out_rows.extend_from_slice(extra);
+            }
+            changed
+        } else {
+            out_rows.extend_from_slice(&created[code as usize - desc.len()]);
+            true
+        };
+        if changed {
+            stats.dirty.push(out_offsets.len() - 1);
+        }
+        out_offsets.push(out_rows.len() as u32);
+    }
+    (
+        Pli::from_raw(out_offsets, out_rows, applied.new_nrows),
+        stats,
+    )
 }
 
 /// Accounting for one [`rebase_plis`] call.

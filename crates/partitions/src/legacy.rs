@@ -1,0 +1,130 @@
+//! Legacy nested-representation partition construction — the test oracle.
+//!
+//! Before the CSR refactor, partitions were `Vec<Vec<u32>>` (one heap
+//! allocation per class), composite sets were grouped through a
+//! `HashMap<Vec<u32>, Vec<u32>>` (one hashed key vector per row), and the
+//! probe-vector product hashed per class into fresh bucket maps. These
+//! reference implementations survive here verbatim so the property tests
+//! can assert that the flat [`Pli`] produces *identical* canonical
+//! partitions on arbitrary relations and after arbitrary delta rounds —
+//! they are deliberately not reachable from any production path.
+
+use crate::pli::Pli;
+use infine_relation::{AttrId, AttrSet, Relation};
+use std::collections::HashMap;
+
+/// Composite-key grouping over the set's attributes, exactly as the
+/// pre-CSR `Pli::for_set` did it: one `Vec<u32>` key per row, hashed.
+pub fn for_set_grouped(rel: &Relation, set: AttrSet) -> Pli {
+    let attrs: Vec<AttrId> = set.iter().collect();
+    if attrs.is_empty() {
+        let all: Vec<u32> = (0..rel.nrows() as u32).collect();
+        let classes = if all.len() >= 2 {
+            vec![all]
+        } else {
+            Vec::new()
+        };
+        return Pli::from_classes(classes, rel.nrows());
+    }
+    if attrs.len() == 1 {
+        return for_attr_nested(rel, attrs[0]);
+    }
+    let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
+    for row in 0..rel.nrows() {
+        let key: Vec<u32> = attrs.iter().map(|&a| rel.code(row, a)).collect();
+        groups.entry(key).or_default().push(row as u32);
+    }
+    let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
+    classes.sort_by_key(|c| c[0]);
+    Pli::from_classes(classes, rel.nrows())
+}
+
+/// Single-attribute grouping through per-code buckets (the pre-CSR
+/// `Pli::for_attr`).
+pub fn for_attr_nested(rel: &Relation, attr: AttrId) -> Pli {
+    let col = rel.column(attr);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); col.dict.len()];
+    for (row, &code) in col.codes.iter().enumerate() {
+        buckets[code as usize].push(row as u32);
+    }
+    let mut classes: Vec<Vec<u32>> = buckets.into_iter().filter(|c| c.len() >= 2).collect();
+    classes.sort_unstable_by_key(|c| c[0]);
+    Pli::from_classes(classes, rel.nrows())
+}
+
+/// Probe-vector product with per-class hash buckets (the pre-CSR
+/// `Pli::intersect_probe`), probing the smaller side like the fast path.
+pub fn intersect_nested(a: &Pli, b: &Pli) -> Pli {
+    let (split, refine) = if b.sum_class_sizes() < a.sum_class_sizes() {
+        (b, a)
+    } else {
+        (a, b)
+    };
+    let probe = refine.probe_vector();
+    let mut classes = Vec::new();
+    let mut groups: HashMap<i32, Vec<u32>> = HashMap::new();
+    for class in split.classes() {
+        groups.clear();
+        for &row in class {
+            let key = probe[row as usize];
+            if key >= 0 {
+                groups.entry(key).or_default().push(row);
+            }
+        }
+        for (_, rows) in groups.drain() {
+            if rows.len() >= 2 {
+                classes.push(rows);
+            }
+        }
+    }
+    classes.sort_by_key(|c| c[0]);
+    Pli::from_classes(classes, split.nrows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infine_relation::{relation_from_rows, Value};
+
+    fn rel() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                &[Value::Int(1), Value::str("x"), Value::Int(0)],
+                &[Value::Int(1), Value::str("x"), Value::Int(1)],
+                &[Value::Int(2), Value::str("y"), Value::Int(0)],
+                &[Value::Int(2), Value::str("z"), Value::Int(0)],
+                &[Value::Int(3), Value::str("z"), Value::Int(1)],
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_agrees_with_fast_path_on_all_subsets() {
+        let r = rel();
+        for bits in 0u64..8 {
+            let set = AttrSet::from_bits(bits);
+            assert_eq!(
+                for_set_grouped(&r, set),
+                Pli::for_set(&r, set),
+                "set {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_intersect_agrees_with_scratch_kernel() {
+        let r = rel();
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i == j {
+                    continue;
+                }
+                let a = Pli::for_attr(&r, i);
+                let b = Pli::for_attr(&r, j);
+                assert_eq!(intersect_nested(&a, &b), a.intersect(&b), "{i},{j}");
+            }
+        }
+    }
+}

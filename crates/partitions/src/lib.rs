@@ -4,11 +4,24 @@
 //! miner in the workspace: partition construction, the TANE partition
 //! product, key error `e(X)`, the `g3` approximate-FD error, and a
 //! memoizing per-relation partition cache.
+//!
+//! ## Layout and allocation contract
+//!
+//! Partitions are stored CSR-flat ([`Pli`] is an `offsets`/`rows` pair,
+//! not nested vectors), and every grouping kernel runs through a
+//! reusable [`IntersectScratch`] — one partition product performs zero
+//! allocations beyond its two exact-size output arrays. [`PliCache`]
+//! owns a scratch and threads it through all derivations, and can
+//! [`PliCache::prefetch`] a whole lattice level in parallel on the
+//! `infine-exec` pool with byte-identical results to sequential
+//! computation. The pre-CSR nested representation lives on in
+//! [`legacy`] purely as the property-test oracle.
 
 pub mod cache;
 pub mod delta;
+pub mod legacy;
 pub mod pli;
 
 pub use cache::PliCache;
 pub use delta::{rebase_plis, DirtyClasses, RebaseStats};
-pub use pli::{fd_holds, fd_holds_bruteforce, Pli};
+pub use pli::{fd_holds, fd_holds_bruteforce, IntersectScratch, Pli};

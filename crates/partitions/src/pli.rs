@@ -1,4 +1,4 @@
-//! Stripped partitions (position list indexes, PLIs).
+//! Stripped partitions (position list indexes, PLIs) on flat CSR storage.
 //!
 //! The partition `π_X` of a relation under an attribute set `X` groups
 //! rows agreeing on all attributes of `X`. A *stripped* partition drops
@@ -7,112 +7,249 @@
 //! uses. Products of partitions (`π_X ∩ π_Y = π_{X∪Y}`) are computed with
 //! the classic probe-vector algorithm.
 //!
+//! ## Storage layout
+//!
+//! A partition is one pair of flat arrays in CSR form — class `i` spans
+//! `rows[offsets[i]..offsets[i+1]]` — instead of one heap allocation per
+//! equivalence class. Iterating all members of all classes (the inner
+//! loop of every product, validity check, and agree-set pass) is then a
+//! single contiguous scan, and building a partition costs two exact-size
+//! allocations total. The nested `Vec<Vec<u32>>` representation survives
+//! only as the test oracle in [`crate::legacy`].
+//!
+//! ## Canonical form
+//!
+//! Every constructor yields the same canonical form: members ascending
+//! within a class, classes ordered by first member, singletons stripped.
+//! Two `Pli`s over the same relation/attribute set are therefore `==`
+//! regardless of how they were built (direct grouping, product chain, or
+//! delta patching) — the property tests assert exactly this.
+//!
+//! ## Scratch reuse
+//!
+//! All grouping kernels (probe-vector product, code refinement) run
+//! through a caller-provided [`IntersectScratch`]: a probe vector, a
+//! per-key counting arena, and staging buffers that live across calls.
+//! One intersection allocates nothing beyond the two exact-size output
+//! arrays. [`crate::PliCache`] owns one scratch per cache and threads it
+//! through every derivation; stand-alone helpers ([`Pli::intersect`],
+//! [`Pli::for_set`]) keep a temporary scratch internally, so the fast
+//! path is available without the cache too.
+//!
 //! With the `NULL = NULL` convention of `infine-relation`, nulls are just
 //! another dictionary code, so no special casing is needed anywhere.
 
 use infine_relation::{AttrId, AttrSet, Relation};
 use std::collections::HashMap;
 
-/// A stripped partition over the rows of a relation.
+/// Sentinel key meaning "row is stripped in the refining partition".
+const DROP: u32 = u32::MAX;
+
+/// Reusable buffers for partition products and refinements.
+///
+/// See the [module docs](self) for the contract: a scratch may be shared
+/// across any number of operations on any number of partitions (buffers
+/// are (re)sized on demand and logically cleared between uses), but not
+/// across threads — parallel callers give each worker its own scratch.
+#[derive(Debug, Default)]
+pub struct IntersectScratch {
+    /// Probe vector of the refining partition (row → class id, -1 for
+    /// stripped rows).
+    probe: Vec<i32>,
+    /// Per-key member counts for the class being split. Sized to the key
+    /// space; reset via `touched` after every class.
+    count: Vec<u32>,
+    /// Per-key write cursor into the staging buffer.
+    slot: Vec<u32>,
+    /// Keys seen in the class being split, in first-occurrence order.
+    touched: Vec<u32>,
+    /// Staged output rows (classes packed back to back).
+    stage_rows: Vec<u32>,
+    /// Staged class descriptors: `(start, len)` into `stage_rows`.
+    desc: Vec<(u32, u32)>,
+}
+
+impl IntersectScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> IntersectScratch {
+        IntersectScratch::default()
+    }
+
+    fn ensure_keys(&mut self, key_space: usize) {
+        if self.count.len() < key_space {
+            self.count.resize(key_space, 0);
+            self.slot.resize(key_space, 0);
+        }
+    }
+}
+
+/// A stripped partition over the rows of a relation, stored CSR-flat.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pli {
-    /// Equivalence classes of size ≥ 2; row ids in ascending order within
-    /// a class (construction order, stable for tests).
-    classes: Vec<Vec<u32>>,
+    /// Class boundaries: class `i` is `rows[offsets[i]..offsets[i+1]]`.
+    /// Always `offsets[0] == 0`; length is `num_classes + 1`.
+    offsets: Vec<u32>,
+    /// Row ids of all stripped classes, back to back; ascending within a
+    /// class, classes ordered by first member.
+    rows: Vec<u32>,
     /// Total number of rows of the underlying relation.
     nrows: usize,
 }
 
+/// Iterator over the classes of a [`Pli`], yielding member slices.
+pub struct Classes<'a> {
+    pli: &'a Pli,
+    next: usize,
+}
+
+impl<'a> Iterator for Classes<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.next >= self.pli.num_classes() {
+            return None;
+        }
+        let c = self.pli.class(self.next);
+        self.next += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.pli.num_classes() - self.next;
+        (rest, Some(rest))
+    }
+}
+
+impl ExactSizeIterator for Classes<'_> {}
+
 impl Pli {
     /// Partition of a single attribute, grouped by dictionary code.
+    ///
+    /// Classes are assigned in first-occurrence order of their code, which
+    /// *is* the canonical order (sorted by first member) — no sort needed,
+    /// three linear passes total.
     pub fn for_attr(rel: &Relation, attr: AttrId) -> Pli {
         let col = rel.column(attr);
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); col.dict.len()];
-        for (row, &code) in col.codes.iter().enumerate() {
-            buckets[code as usize].push(row as u32);
+        let codes = &col.codes;
+        let dict_len = col.dict.len();
+        let mut count = vec![0u32; dict_len];
+        for &c in codes {
+            count[c as usize] += 1;
         }
-        let mut classes: Vec<Vec<u32>> = buckets.into_iter().filter(|c| c.len() >= 2).collect();
-        // Canonical class order is by first member, like every other
-        // constructor. Code order only coincides with it until a delta
-        // removes a value's first occurrence (dictionaries are append-only
-        // across `Relation::apply_delta`), so normalize here — the sort is
-        // adaptive and near-free on freshly encoded relations.
-        classes.sort_unstable_by_key(|c| c[0]);
+        // Assign class ids by first occurrence; accumulate offsets.
+        let mut class_of = vec![DROP; dict_len];
+        let mut offsets: Vec<u32> = vec![0];
+        let mut total = 0u32;
+        for &c in codes {
+            let c = c as usize;
+            if count[c] >= 2 && class_of[c] == DROP {
+                class_of[c] = (offsets.len() - 1) as u32;
+                total += count[c];
+                offsets.push(total);
+            }
+        }
+        // Fill pass: per-class cursors start at the class offsets.
+        let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        let mut rows = vec![0u32; total as usize];
+        for (row, &c) in codes.iter().enumerate() {
+            let cls = class_of[c as usize];
+            if cls != DROP {
+                rows[cursor[cls as usize] as usize] = row as u32;
+                cursor[cls as usize] += 1;
+            }
+        }
         Pli {
-            classes,
+            offsets,
+            rows,
             nrows: rel.nrows(),
         }
     }
 
-    /// Partition of an arbitrary attribute set by direct composite-key
-    /// grouping. `O(n · |X|)`; used for seeds and as an oracle in tests —
-    /// level-wise miners prefer chains of [`Pli::intersect`].
+    /// Partition of an arbitrary attribute set by incremental probe-vector
+    /// refinement: seed with the first attribute's partition, then refine
+    /// by each remaining attribute's code column. `O(n · |X|)` like the
+    /// old composite-key grouping, but with counting-sort splits instead
+    /// of one hashed `Vec<u32>` key per row. The legacy grouping survives
+    /// as the oracle [`crate::legacy::for_set_grouped`].
     pub fn for_set(rel: &Relation, set: AttrSet) -> Pli {
-        let attrs: Vec<AttrId> = set.iter().collect();
-        if attrs.is_empty() {
-            // π_∅ has a single class containing every row.
-            let all: Vec<u32> = (0..rel.nrows() as u32).collect();
-            let classes = if all.len() >= 2 {
-                vec![all]
-            } else {
-                Vec::new()
-            };
-            return Pli {
-                classes,
-                nrows: rel.nrows(),
-            };
+        let mut scratch = IntersectScratch::new();
+        Pli::for_set_with(rel, set, &mut scratch)
+    }
+
+    /// [`Pli::for_set`] reusing a caller-provided scratch.
+    pub fn for_set_with(rel: &Relation, set: AttrSet, scratch: &mut IntersectScratch) -> Pli {
+        let mut attrs = set.iter();
+        let Some(first) = attrs.next() else {
+            return Pli::for_set_of_empty(rel.nrows());
+        };
+        let mut pli = Pli::for_attr(rel, first);
+        for a in attrs {
+            if pli.is_key() {
+                break; // already all-singleton; refinement cannot split further
+            }
+            let col = rel.column(a);
+            pli = pli.refine_with(col.dict.len(), |row| col.codes[row as usize], scratch);
         }
-        if attrs.len() == 1 {
-            return Pli::for_attr(rel, attrs[0]);
-        }
-        let mut groups: HashMap<Vec<u32>, Vec<u32>> = HashMap::new();
-        for row in 0..rel.nrows() {
-            let key: Vec<u32> = attrs.iter().map(|&a| rel.code(row, a)).collect();
-            groups.entry(key).or_default().push(row as u32);
-        }
-        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|c| c.len() >= 2).collect();
-        classes.sort_by_key(|c| c[0]); // deterministic order
-        Pli {
-            classes,
-            nrows: rel.nrows(),
-        }
+        pli
     }
 
     /// Construct from explicit classes (tests, synthetic partitions).
+    /// Classes below two members are stripped; order is kept as given.
     pub fn from_classes(classes: Vec<Vec<u32>>, nrows: usize) -> Pli {
-        let classes = classes.into_iter().filter(|c| c.len() >= 2).collect();
-        Pli { classes, nrows }
+        let mut offsets: Vec<u32> = vec![0];
+        let mut rows: Vec<u32> = Vec::new();
+        for class in classes.iter().filter(|c| c.len() >= 2) {
+            rows.extend_from_slice(class);
+            offsets.push(rows.len() as u32);
+        }
+        Pli {
+            offsets,
+            rows,
+            nrows,
+        }
     }
 
-    /// Construct trusting the caller's invariants: every class has ≥ 2
-    /// ascending row ids and classes are sorted by first row. Used by the
-    /// delta-patching path, which maintains canonical form itself.
-    pub(crate) fn from_raw(classes: Vec<Vec<u32>>, nrows: usize) -> Pli {
-        debug_assert!(classes.iter().all(|c| c.len() >= 2));
-        debug_assert!(classes.windows(2).all(|w| w[0][0] < w[1][0]));
-        Pli { classes, nrows }
+    /// Construct trusting the caller's invariants: canonical CSR form
+    /// (see the module docs). Used by the delta-patching path, which
+    /// maintains canonical form itself.
+    pub(crate) fn from_raw(offsets: Vec<u32>, rows: Vec<u32>, nrows: usize) -> Pli {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty") as usize, rows.len());
+        debug_assert!(offsets.windows(2).all(|w| w[1] - w[0] >= 2));
+        debug_assert!((1..offsets.len().saturating_sub(1))
+            .all(|i| rows[offsets[i - 1] as usize] < rows[offsets[i] as usize]));
+        Pli {
+            offsets,
+            rows,
+            nrows,
+        }
     }
 
     /// `π_∅` over `nrows` rows: one class holding every row (stripped away
     /// below two rows).
     pub(crate) fn for_set_of_empty(nrows: usize) -> Pli {
-        let all: Vec<u32> = (0..nrows as u32).collect();
-        let classes = if all.len() >= 2 {
-            vec![all]
-        } else {
-            Vec::new()
-        };
-        Pli { classes, nrows }
+        if nrows < 2 {
+            return Pli {
+                offsets: vec![0],
+                rows: Vec::new(),
+                nrows,
+            };
+        }
+        Pli {
+            offsets: vec![0, nrows as u32],
+            rows: (0..nrows as u32).collect(),
+            nrows,
+        }
     }
 
     /// Number of stripped classes.
     pub fn num_classes(&self) -> usize {
-        self.classes.len()
+        self.offsets.len() - 1
     }
 
     /// Sum of stripped class sizes (`||π||` in TANE's notation).
     pub fn sum_class_sizes(&self) -> usize {
-        self.classes.iter().map(Vec::len).sum()
+        self.rows.len()
     }
 
     /// Rows of the underlying relation.
@@ -120,15 +257,14 @@ impl Pli {
         self.nrows
     }
 
-    /// The classes themselves.
-    pub fn classes(&self) -> &[Vec<u32>] {
-        &self.classes
+    /// Members of class `i` (ascending row ids).
+    pub fn class(&self, i: usize) -> &[u32] {
+        &self.rows[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Consume the partition, yielding its class vectors (the in-place
-    /// delta-patching path reuses their allocations).
-    pub fn into_classes(self) -> Vec<Vec<u32>> {
-        self.classes
+    /// Iterate the classes as member slices.
+    pub fn classes(&self) -> Classes<'_> {
+        Classes { pli: self, next: 0 }
     }
 
     /// Number of distinct value combinations over the rows
@@ -148,56 +284,168 @@ impl Pli {
 
     /// True iff `X` is a (super)key: every class is a singleton.
     pub fn is_key(&self) -> bool {
-        self.classes.is_empty()
+        self.num_classes() == 0
     }
 
     /// Probe vector: row → class index, or `-1` for singleton rows.
     pub fn probe_vector(&self) -> Vec<i32> {
-        let mut probe = vec![-1i32; self.nrows];
-        for (ci, class) in self.classes.iter().enumerate() {
+        let mut probe = Vec::new();
+        self.fill_probe(&mut probe);
+        probe
+    }
+
+    /// Write the probe vector into a reusable buffer.
+    pub fn fill_probe(&self, probe: &mut Vec<i32>) {
+        probe.clear();
+        probe.resize(self.nrows, -1);
+        for (ci, class) in self.classes().enumerate() {
             for &row in class {
                 probe[row as usize] = ci as i32;
             }
         }
-        probe
     }
 
     /// Partition product `π_{X∪Y}` from `π_X` (self) and `π_Y` (via its
     /// probe vector) — the standard TANE refinement step.
     pub fn intersect_probe(&self, other_probe: &[i32]) -> Pli {
-        debug_assert_eq!(other_probe.len(), self.nrows);
-        let mut classes = Vec::new();
-        let mut groups: HashMap<i32, Vec<u32>> = HashMap::new();
-        for class in &self.classes {
-            groups.clear();
-            for &row in class {
-                let key = other_probe[row as usize];
-                if key >= 0 {
-                    groups.entry(key).or_default().push(row);
-                }
-                // key < 0: row is a singleton in the other partition, so it
-                // is a singleton in the product — stripped away.
-            }
-            for (_, rows) in groups.drain() {
-                if rows.len() >= 2 {
-                    classes.push(rows);
-                }
-            }
-        }
-        classes.sort_by_key(|c| c[0]);
-        Pli {
-            classes,
-            nrows: self.nrows,
-        }
+        let mut scratch = IntersectScratch::new();
+        self.intersect_probe_with(other_probe, &mut scratch)
     }
 
-    /// Partition product with another PLI.
+    /// [`Pli::intersect_probe`] reusing a caller-provided scratch. The
+    /// probe must cover exactly this partition's rows; entries `< 0` mark
+    /// rows stripped in the refining partition. `key_space` must exceed
+    /// every non-negative probe entry — pass the refining partition's
+    /// class count.
+    fn intersect_probe_keyed(
+        &self,
+        other_probe: &[i32],
+        key_space: usize,
+        scratch: &mut IntersectScratch,
+    ) -> Pli {
+        debug_assert_eq!(other_probe.len(), self.nrows);
+        self.refine_with(key_space, |row| other_probe[row as usize] as u32, scratch)
+    }
+
+    /// [`Pli::intersect_probe`] with scratch, for arbitrary probes (key
+    /// space derived from the probe itself).
+    pub fn intersect_probe_with(&self, other_probe: &[i32], scratch: &mut IntersectScratch) -> Pli {
+        let key_space = other_probe
+            .iter()
+            .copied()
+            .max()
+            .map(|m| (m.max(-1) + 1) as usize)
+            .unwrap_or(0);
+        self.intersect_probe_keyed(other_probe, key_space, scratch)
+    }
+
+    /// Partition product with another PLI (temporary scratch).
     pub fn intersect(&self, other: &Pli) -> Pli {
-        // Probe the smaller side for fewer hash operations.
-        if other.sum_class_sizes() < self.sum_class_sizes() {
-            other.intersect_probe(&self.probe_vector())
+        let mut scratch = IntersectScratch::new();
+        self.intersect_with(other, &mut scratch)
+    }
+
+    /// Partition product with another PLI, reusing the caller's scratch.
+    /// Probes the smaller side for fewer split operations (same
+    /// side-selection rule as the nested-representation original).
+    pub fn intersect_with(&self, other: &Pli, scratch: &mut IntersectScratch) -> Pli {
+        let (split, refine) = if other.sum_class_sizes() < self.sum_class_sizes() {
+            (other, self)
         } else {
-            self.intersect_probe(&other.probe_vector())
+            (self, other)
+        };
+        // Take the probe buffer out so the refine kernel can borrow the
+        // rest of the scratch mutably.
+        let mut probe = std::mem::take(&mut scratch.probe);
+        refine.fill_probe(&mut probe);
+        let out = split.intersect_probe_keyed(&probe, refine.num_classes(), scratch);
+        scratch.probe = probe;
+        out
+    }
+
+    /// The shared split kernel: refine every class by `key_of` (a total
+    /// map to `[0, key_space)`, or [`DROP`] to strip the row), then
+    /// canonicalize. Allocation-free apart from the two exact-size output
+    /// arrays; two passes per class plus one global gather.
+    fn refine_with(
+        &self,
+        key_space: usize,
+        key_of: impl Fn(u32) -> u32,
+        scratch: &mut IntersectScratch,
+    ) -> Pli {
+        scratch.ensure_keys(key_space);
+        scratch.stage_rows.clear();
+        scratch.desc.clear();
+        for class in self.classes() {
+            scratch.touched.clear();
+            // Pass 1: count members per key (first-occurrence order).
+            for &row in class {
+                let k = key_of(row);
+                if k == DROP {
+                    continue;
+                }
+                if scratch.count[k as usize] == 0 {
+                    scratch.touched.push(k);
+                }
+                scratch.count[k as usize] += 1;
+            }
+            // Reserve staging slots for the surviving groups. `touched`
+            // is in first-occurrence order, which keeps groups of one
+            // class ordered by first member.
+            for &k in &scratch.touched {
+                let c = scratch.count[k as usize];
+                if c >= 2 {
+                    let start = scratch.stage_rows.len() as u32;
+                    scratch.desc.push((start, c));
+                    scratch.slot[k as usize] = start;
+                    scratch
+                        .stage_rows
+                        .resize(scratch.stage_rows.len() + c as usize, 0);
+                } else {
+                    scratch.slot[k as usize] = DROP;
+                }
+            }
+            // Pass 2: scatter rows (ascending input keeps classes sorted).
+            for &row in class {
+                let k = key_of(row);
+                if k == DROP {
+                    continue;
+                }
+                let s = scratch.slot[k as usize];
+                if s != DROP {
+                    scratch.stage_rows[s as usize] = row;
+                    scratch.slot[k as usize] = s + 1;
+                }
+            }
+            for &k in &scratch.touched {
+                scratch.count[k as usize] = 0;
+            }
+        }
+        // Canonical class order is by first member. Groups from one input
+        // class are already ordered, but groups of later input classes
+        // can start below groups of earlier ones — sort descriptors when
+        // (and only when) that happened, then gather.
+        let sorted = scratch
+            .desc
+            .windows(2)
+            .all(|w| scratch.stage_rows[w[0].0 as usize] < scratch.stage_rows[w[1].0 as usize]);
+        if !sorted {
+            let stage = &scratch.stage_rows;
+            scratch
+                .desc
+                .sort_unstable_by_key(|&(start, _)| stage[start as usize]);
+        }
+        let mut offsets: Vec<u32> = Vec::with_capacity(scratch.desc.len() + 1);
+        let mut rows: Vec<u32> = Vec::with_capacity(scratch.stage_rows.len());
+        offsets.push(0);
+        for &(start, len) in &scratch.desc {
+            rows.extend_from_slice(&scratch.stage_rows[start as usize..(start + len) as usize]);
+            offsets.push(rows.len() as u32);
+        }
+        Pli {
+            offsets,
+            rows,
+            nrows: self.nrows,
         }
     }
 
@@ -221,7 +469,7 @@ impl Pli {
         }
         let mut violations = 0usize;
         let mut counts: HashMap<u32, usize> = HashMap::new();
-        for class in &self.classes {
+        for class in self.classes() {
             counts.clear();
             for &row in class {
                 *counts.entry(rhs_probe[row as usize]).or_insert(0) += 1;
@@ -234,11 +482,14 @@ impl Pli {
 
     /// Approximate heap footprint (for the bench harness).
     pub fn approx_bytes(&self) -> usize {
-        self.classes
-            .iter()
-            .map(|c| c.len() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
-            .sum::<usize>()
+        (self.rows.len() + self.offsets.len()) * std::mem::size_of::<u32>()
             + std::mem::size_of::<Self>()
+    }
+
+    /// Tear the partition into its raw CSR buffers (delta patching
+    /// consumes and rebuilds them in place).
+    pub(crate) fn into_raw(self) -> (Vec<u32>, Vec<u32>, usize) {
+        (self.offsets, self.rows, self.nrows)
     }
 }
 
@@ -247,8 +498,9 @@ impl Pli {
 /// Convenience for tests and one-off checks; algorithmic code goes through
 /// [`crate::PliCache`].
 pub fn fd_holds(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> bool {
-    let px = Pli::for_set(rel, lhs);
-    let pxa = Pli::for_set(rel, lhs.with(rhs));
+    let mut scratch = IntersectScratch::new();
+    let px = Pli::for_set_with(rel, lhs, &mut scratch);
+    let pxa = Pli::for_set_with(rel, lhs.with(rhs), &mut scratch);
     px.refines_to(&pxa)
 }
 
@@ -308,6 +560,15 @@ mod tests {
     }
 
     #[test]
+    fn csr_classes_are_canonical() {
+        let p = Pli::for_attr(&rel(), 1); // b: {0,1} (x), {3,4} (z)
+        assert_eq!(p.class(0), &[0, 1]);
+        assert_eq!(p.class(1), &[3, 4]);
+        let collected: Vec<&[u32]> = p.classes().collect();
+        assert_eq!(collected.len(), p.num_classes());
+    }
+
+    #[test]
     fn intersect_equals_direct_grouping() {
         let r = rel();
         let pa = Pli::for_attr(&r, 0);
@@ -317,6 +578,21 @@ mod tests {
         assert_eq!(prod, direct);
         // ab classes: {0,1} (1,x); rows 2,3 differ on b; singleton stripped
         assert_eq!(prod.num_classes(), 1);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_products() {
+        let r = rel();
+        let pa = Pli::for_attr(&r, 0);
+        let pb = Pli::for_attr(&r, 1);
+        let pc = Pli::for_attr(&r, 2);
+        let mut scratch = IntersectScratch::new();
+        let ab = pa.intersect_with(&pb, &mut scratch);
+        let bc = pb.intersect_with(&pc, &mut scratch);
+        let ab_again = pa.intersect_with(&pb, &mut scratch);
+        assert_eq!(ab, ab_again);
+        assert_eq!(ab, Pli::for_set(&r, [0usize, 1].into_iter().collect()));
+        assert_eq!(bc, Pli::for_set(&r, [1usize, 2].into_iter().collect()));
     }
 
     #[test]
@@ -395,7 +671,7 @@ mod tests {
         );
         let p = Pli::for_attr(&r, 0);
         assert_eq!(p.num_classes(), 1);
-        assert_eq!(p.classes()[0], vec![0, 1]);
+        assert_eq!(p.class(0), &[0, 1]);
     }
 
     #[test]
@@ -406,5 +682,13 @@ mod tests {
         let prod = pb.intersect(&pc);
         let direct = Pli::for_set(&r, [1usize, 2].into_iter().collect());
         assert_eq!(prod, direct);
+    }
+
+    #[test]
+    fn from_classes_strips_and_flattens() {
+        let p = Pli::from_classes(vec![vec![0, 1], vec![3], vec![4, 5, 6]], 8);
+        assert_eq!(p.num_classes(), 2);
+        assert_eq!(p.class(1), &[4, 5, 6]);
+        assert_eq!(p.sum_class_sizes(), 5);
     }
 }

@@ -1,0 +1,130 @@
+//! Property test (satellite of the CSR-partition PR): the flat CSR
+//! [`Pli`] must be indistinguishable from the legacy nested-class
+//! construction it replaced — on datagen relations, through product
+//! chains, and across randomized delta rounds. The legacy implementations
+//! live in [`infine_partitions::legacy`] and exist only for this suite.
+
+use infine_datagen::{random_delta, DatasetKind, Scale};
+use infine_partitions::{legacy, IntersectScratch, Pli};
+use infine_relation::{AttrSet, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute sets probed per table: ∅, every singleton, random pairs and
+/// triples.
+fn probe_sets(rng: &mut StdRng, rel: &Relation) -> Vec<AttrSet> {
+    let n = rel.ncols();
+    let mut sets = vec![AttrSet::EMPTY];
+    sets.extend((0..n).map(AttrSet::single));
+    for _ in 0..4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b));
+    }
+    for _ in 0..3 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b).with(c));
+    }
+    sets.dedup();
+    sets
+}
+
+fn assert_csr_equals_legacy(rel: &Relation, rng: &mut StdRng) {
+    let mut scratch = IntersectScratch::new();
+    for set in probe_sets(rng, rel) {
+        let fast = Pli::for_set_with(rel, set, &mut scratch);
+        let oracle = legacy::for_set_grouped(rel, set);
+        assert_eq!(fast, oracle, "{}: CSR ≠ legacy for {set:?}", rel.name);
+        assert_eq!(fast.distinct_count(), oracle.distinct_count());
+        assert_eq!(fast.sum_class_sizes(), oracle.sum_class_sizes());
+    }
+    // Product chains: the scratch kernel against the nested-bucket oracle.
+    for _ in 0..4 {
+        let a = rng.gen_range(0..rel.ncols());
+        let b = rng.gen_range(0..rel.ncols());
+        let pa = Pli::for_attr(rel, a);
+        let pb = Pli::for_attr(rel, b);
+        assert_eq!(
+            pa.intersect_with(&pb, &mut scratch),
+            legacy::intersect_nested(&pa, &pb),
+            "{}: product {a}∩{b}",
+            rel.name
+        );
+    }
+    for a in 0..rel.ncols() {
+        assert_eq!(
+            Pli::for_attr(rel, a),
+            legacy::for_attr_nested(rel, a),
+            "{}: attr {a}",
+            rel.name
+        );
+    }
+}
+
+fn run_dataset(kind: DatasetKind, seed: u64) {
+    let db = kind.generate(Scale::of(0.005));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut names: Vec<&str> = db.names().collect();
+    names.sort_unstable();
+    for name in names {
+        let rel = db.expect(name);
+        if rel.nrows() == 0 {
+            continue;
+        }
+        assert_csr_equals_legacy(rel, &mut rng);
+    }
+}
+
+#[test]
+fn tpch_tables_match_legacy() {
+    run_dataset(DatasetKind::Tpch, 0x15A);
+}
+
+#[test]
+fn mimic_tables_match_legacy() {
+    run_dataset(DatasetKind::Mimic, 0x2B2);
+}
+
+#[test]
+fn pte_tables_match_legacy() {
+    run_dataset(DatasetKind::Pte, 0x3C3);
+}
+
+#[test]
+fn ptc_tables_match_legacy() {
+    run_dataset(DatasetKind::Ptc, 0x4D4);
+}
+
+/// After random delta rounds, the *patched* CSR partition still equals the
+/// legacy construction over the post-delta relation — the CSR patch path
+/// and the nested oracle agree on every intermediate version.
+#[test]
+fn patched_csr_matches_legacy_across_delta_rounds() {
+    let db = DatasetKind::Tpch.generate(Scale::of(0.004));
+    let mut rng = StdRng::seed_from_u64(0xDE17A2);
+    for name in ["supplier", "customer", "nation"] {
+        let rel = db.expect(name);
+        let sets = probe_sets(&mut rng, rel);
+        let mut current = rel.clone();
+        let mut plis: Vec<Pli> = sets.iter().map(|&s| Pli::for_set(&current, s)).collect();
+        for round in 0..4 {
+            let n = current.nrows();
+            let deletes = rng.gen_range(0..=(n / 8).max(1));
+            let inserts = rng.gen_range(0..=(n / 8).max(2));
+            let batch = random_delta(&mut rng, &current, deletes, inserts);
+            let (next, applied) = current.apply_delta(&batch, current.name.clone());
+            for (i, &set) in sets.iter().enumerate() {
+                let patched = plis[i].apply_delta(&next, set, &applied);
+                assert_eq!(
+                    patched,
+                    legacy::for_set_grouped(&next, set),
+                    "{name}: patched CSR ≠ legacy for {set:?} at round {round}"
+                );
+                plis[i] = patched;
+            }
+            current = next;
+        }
+    }
+}
