@@ -12,11 +12,17 @@
 //! the acceptance metric the perf PRs track. `INFINE_SCALE` scales the
 //! data (default 0.01); baseline and current must be recorded at the
 //! same scale to be comparable (the tool refuses to mix scales).
+//!
+//! `--threads N` pins the worker count (also settable via
+//! `INFINE_THREADS`); the emitted JSON records `threads` plus the
+//! validation-kernel counters — checks run, early exits, products
+//! avoided — per scenario and in total.
 
 use infine_bench::json::{self, Obj};
-use infine_bench::runner::bench_scale;
+use infine_bench::runner::{apply_cli_flags, bench_scale};
 use infine_core::InFine;
 use infine_datagen::find;
+use infine_partitions::{kernel_counters, reset_kernel_counters};
 use std::time::Instant;
 
 const SCENARIOS: &[&str] = &[
@@ -30,6 +36,7 @@ const SCENARIOS: &[&str] = &[
 ];
 
 fn main() {
+    apply_cli_flags();
     let scale = bench_scale();
     let runs: usize = std::env::var("INFINE_BENCH_RUNS")
         .ok()
@@ -73,11 +80,20 @@ fn main() {
     let engine = InFine::default();
     let mut scenario_objs: Vec<Obj> = Vec::new();
     let mut tpch_speedups: Vec<f64> = Vec::new();
+    let mut kernel_total = infine_partitions::KernelCounters::default();
+    reset_kernel_counters();
     for &id in SCENARIOS {
         let case = find(id).unwrap_or_else(|| panic!("unknown case {id}"));
         let db = case.dataset.generate(scale);
-        // Warm-up run (dictionaries, page cache), then timed runs.
+        // Warm-up run (dictionaries, page cache), then timed runs. The
+        // kernel counters are sampled around the warm-up alone — one
+        // discovery's worth — so the recorded numbers are comparable
+        // across PRs regardless of INFINE_BENCH_RUNS, and the header
+        // totals are exactly the per-scenario sums.
+        let kernel_before = kernel_counters();
         let report = engine.discover(&db, &case.spec).expect("pipeline");
+        let kernel = kernel_counters().since(kernel_before);
+        kernel_total = kernel_total.plus(kernel);
         let fds = report.triples.len();
         let mut samples = Vec::with_capacity(runs);
         for _ in 0..runs {
@@ -107,7 +123,10 @@ fn main() {
                 .num("baseline_median_s", baseline)
                 .num("speedup_vs_baseline", speedup)
                 .int("fds", fds as i64)
-                .int("runs", runs as i64),
+                .int("runs", runs as i64)
+                .int("kernel_checks", kernel.checks as i64)
+                .int("kernel_early_exits", kernel.early_exits as i64)
+                .int("products_avoided", kernel.products_avoided as i64),
         );
     }
 
@@ -119,7 +138,10 @@ fn main() {
         )
         .num("scale", scale.factor)
         .int("threads", infine_exec::parallelism() as i64)
-        .num("tpch_median_speedup_vs_baseline", headline);
+        .num("tpch_median_speedup_vs_baseline", headline)
+        .int("kernel_checks", kernel_total.checks as i64)
+        .int("kernel_early_exits", kernel_total.early_exits as i64)
+        .int("products_avoided", kernel_total.products_avoided as i64);
     std::fs::write(&out_path, json::render_report(header, &scenario_objs))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!(

@@ -13,14 +13,17 @@
 //!
 //! Cover equivalence is asserted every round: the fast engine's cover is
 //! logically equivalent to the full run's triple set. Scale via
-//! `INFINE_SCALE` (default 0.01).
+//! `INFINE_SCALE` (default 0.01); `--threads N` pins the worker count.
+//! The emitted JSON records `threads` and the validation-kernel counters
+//! (checks run, early exits, products avoided) for the whole run.
 
 #[global_allocator]
 static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::CountingAlloc;
 
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
-    bench_scale, mib, run_baseline, run_full_rediscovery, run_maintenance, secs, TextTable,
+    apply_cli_flags, bench_scale, mib, run_baseline, run_full_rediscovery, run_maintenance, secs,
+    TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn};
@@ -63,6 +66,8 @@ impl Workload {
 }
 
 fn main() {
+    apply_cli_flags();
+    infine_partitions::reset_kernel_counters();
     let scale = bench_scale();
     let straightforward = std::env::var("INFINE_BENCH_STRAIGHTFORWARD").is_ok();
 
@@ -212,15 +217,20 @@ fn main() {
     // tracked across PRs like BENCH_discovery.json.
     let out_path =
         std::env::var("INFINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_incremental.json".to_string());
+    let kernel = infine_partitions::kernel_counters();
     let header = Obj::new()
         .str(
             "benchmark",
             "incremental maintenance vs full re-discovery (single-shot wall-clock seconds)",
         )
         .num("scale", scale.factor)
+        .int("threads", infine_exec::parallelism() as i64)
         .num("churn_1pct_geomean_speedup_cover", geomeans[0])
         .num("append_1pct_geomean_speedup_cover", geomeans[1])
-        .num("headline_min_geomean", headline);
+        .num("headline_min_geomean", headline)
+        .int("kernel_checks", kernel.checks as i64)
+        .int("kernel_early_exits", kernel.early_exits as i64)
+        .int("products_avoided", kernel.products_avoided as i64);
     std::fs::write(&out_path, json::render_report(header, &json_rows))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("# wrote {out_path}");

@@ -139,6 +139,28 @@ pub fn mib(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Parse the bench binaries' shared CLI flags.
+///
+/// `--threads N` pins the `infine-exec` worker count for the whole run
+/// (equivalent to `INFINE_THREADS=N` but visible in shell history and
+/// recorded via `infine_exec::parallelism()` in the emitted JSON).
+pub fn apply_cli_flags() {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| panic!("--threads needs a positive integer"));
+                infine_exec::set_parallelism(n);
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N)"),
+        }
+    }
+}
+
 /// Scale from the environment with a stderr note (shared by binaries).
 pub fn bench_scale() -> Scale {
     let s = Scale::from_env();

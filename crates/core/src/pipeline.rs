@@ -991,33 +991,44 @@ fn key_equivalence_validity(
     let lkeys: Vec<AttrId> = on_ids.iter().map(|&(a, _)| a).collect();
     let rkeys: Vec<AttrId> = on_ids.iter().map(|&(_, b)| b).collect();
 
-    let distinct_dangling = |rel: &Relation,
-                             other: &Relation,
-                             keys: &[AttrId],
-                             other_keys: &[AttrId],
-                             attr: AttrId|
-     -> usize {
-        let matched: std::collections::HashSet<u32> = matching_rows(rel, other, keys, other_keys)
-            .into_iter()
-            .collect();
-        let mut codes: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        for row in 0..rel.nrows() {
-            if !matched.contains(&(row as u32)) {
-                codes.insert(rel.code(row, attr));
+    // Counting-only, early-exit check: the verdict needs "≥ 2 distinct
+    // codes among dangling rows", never the exact count, so the scan
+    // hoists the code column, marks matched rows in a dense bitmap, and
+    // stops at the second distinct dangling code.
+    let dangling_splits = |rel: &Relation,
+                           other: &Relation,
+                           keys: &[AttrId],
+                           other_keys: &[AttrId],
+                           attr: AttrId|
+     -> bool {
+        let mut matched = vec![false; rel.nrows()];
+        for row in matching_rows(rel, other, keys, other_keys) {
+            matched[row as usize] = true;
+        }
+        let codes = &rel.column(attr).codes;
+        let mut first: Option<u32> = None;
+        for (row, &is_matched) in matched.iter().enumerate() {
+            if is_matched {
+                continue;
+            }
+            match first {
+                None => first = Some(codes[row]),
+                Some(f) if f != codes[row] => return true,
+                Some(_) => {}
             }
         }
-        codes.len()
+        false
     };
 
     // x → y threatened by preserved dangling right rows (x = NULL there).
     let xy_ok = if matches!(op, JoinOp::RightOuter | JoinOp::FullOuter) {
-        distinct_dangling(r_rel, l_rel, &rkeys, &lkeys, y) < 2
+        !dangling_splits(r_rel, l_rel, &rkeys, &lkeys, y)
     } else {
         true
     };
     // y → x threatened by preserved dangling left rows.
     let yx_ok = if matches!(op, JoinOp::LeftOuter | JoinOp::FullOuter) {
-        distinct_dangling(l_rel, r_rel, &lkeys, &rkeys, x) < 2
+        !dangling_splits(l_rel, r_rel, &lkeys, &rkeys, x)
     } else {
         true
     };

@@ -42,33 +42,15 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
     }
 
     while !free_level.is_empty() {
-        // Prefetch the `X ∪ {a}` partitions this level's cardinality
-        // checks will need. The pruning predicate is stable across the
-        // level (an FD found here has a lhs of the same size as every
-        // free set, so it can only shadow its own exact candidate), so
-        // the list computed up front is exactly what the loop will query.
-        if !infine_exec::sequential() {
-            let result_ref = &result;
-            let to_card: Vec<AttrSet> = free_level
-                .iter()
-                .copied()
-                .filter(|x| card[x] != nrows)
-                .flat_map(|x| {
-                    universe
-                        .difference(x)
-                        .iter()
-                        .filter(move |&a| !result_ref.has_subset_lhs(x, a))
-                        .map(move |a| x.with(a))
-                })
-                .filter(|xa| !card.contains_key(xa))
-                .collect();
-            cache.prefetch(&to_card);
-        }
-
         // Emit FDs: for each free X and attribute a outside X, the FD
-        // X → a holds iff adding a does not increase the cardinality.
-        // Minimality is guaranteed by free-set pruning plus the subset
-        // check against already-found FDs.
+        // X → a holds iff adding a does not increase the cardinality —
+        // exactly the counting kernel's verdict against π_X (already
+        // cached: free sets got their partition when their cardinality
+        // was computed). No `X ∪ {a}` product is materialized for these
+        // checks, so the old per-level product prefetch has nothing left
+        // to batch; only genuine candidate partitions (below) are still
+        // prefetched. Minimality is guaranteed by free-set pruning plus
+        // the subset check against already-found FDs.
         let mut keys: HashSet<AttrSet> = HashSet::new();
         for &x in &free_level {
             let cx = card[&x];
@@ -87,11 +69,7 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
                 if result.has_subset_lhs(x, a) {
                     continue;
                 }
-                let xa = x.with(a);
-                let cxa = *card
-                    .entry(xa)
-                    .or_insert_with(|| cache.get(xa).distinct_count());
-                if cxa == cx {
+                if cache.check(x, a) {
                     result.insert_minimal(Fd::new(x, a));
                 }
             }

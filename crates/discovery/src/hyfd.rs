@@ -58,14 +58,15 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
         // Validate in ascending lhs size so subsets are settled first.
         let mut candidates = cover.to_sorted_vec();
         candidates.sort_by_key(|fd| (fd.lhs.len(), fd.lhs.bits(), fd.rhs));
-        // Batch-compute the partitions this round's checks will touch (a
-        // few are wasted when an early specialization evicts a later
-        // candidate, but the verdicts — and the output — are unchanged).
+        // Batch-compute the lhs partitions this round's kernel checks
+        // will walk (products are never materialized; a few lhs are
+        // wasted when an early specialization evicts a later candidate,
+        // but the verdicts — and the output — are unchanged).
         if !infine_exec::sequential() {
             let round_sets: Vec<AttrSet> = candidates
                 .iter()
                 .filter(|fd| !fd.lhs.is_empty())
-                .flat_map(|fd| [fd.lhs, fd.lhs.with(fd.rhs)])
+                .map(|fd| fd.lhs)
                 .collect();
             cache.prefetch(&round_sets);
         }
@@ -74,19 +75,21 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
             if !cover.contains(fd) {
                 continue; // already specialized away this round
             }
-            if fd.lhs.is_empty() {
-                // universe excludes constants, so ∅ → a is always false
-                new_violations.push(witness_agree_set(rel, &mut cache, fd, universe));
-                specialize_one(
-                    &mut cover,
-                    *fd,
-                    *new_violations.last().expect("pushed"),
-                    universe,
-                );
-                continue;
-            }
-            if !cache.fd_holds(fd.lhs, fd.rhs) {
-                let ag = witness_agree_set(rel, &mut cache, fd, universe);
+            let pair = if fd.lhs.is_empty() {
+                // universe excludes constants, so ∅ → a is always false:
+                // any two rows with different rhs values witness it.
+                let first_code = rel.code(0, fd.rhs);
+                let other = (1..rel.nrows())
+                    .find(|&r| rel.code(r, fd.rhs) != first_code)
+                    .expect("rhs is non-constant in the lattice universe");
+                Some((0u32, other as u32))
+            } else {
+                // The early-exiting kernel yields the violating pair as a
+                // by-product of the validity check itself.
+                cache.check_witness(fd.lhs, fd.rhs)
+            };
+            if let Some(pair) = pair {
+                let ag = pair_agree_set(rel, pair, universe);
                 new_violations.push(ag);
                 specialize_one(&mut cover, *fd, ag, universe);
             }
@@ -133,38 +136,13 @@ fn sample_agree_sets(rel: &Relation, universe: AttrSet) -> HashSet<AttrSet> {
     agree
 }
 
-/// Produce an agree set witnessing that `fd` is violated: two rows that
-/// coincide on `fd.lhs` but differ on `fd.rhs`.
-fn witness_agree_set(
-    rel: &Relation,
-    cache: &mut PliCache<'_>,
-    fd: &Fd,
-    universe: AttrSet,
-) -> AttrSet {
-    let find_pair = |rows: &[u32]| -> Option<(usize, usize)> {
-        let first = rows[0] as usize;
-        rows[1..]
-            .iter()
-            .map(|&r| r as usize)
-            .find(|&r| rel.code(r, fd.rhs) != rel.code(first, fd.rhs))
-            .map(|r| (first, r))
-    };
-    let pair = if fd.lhs.is_empty() {
-        // any two rows with different rhs values
-        let first_code = rel.code(0, fd.rhs);
-        let other = (1..rel.nrows())
-            .find(|&r| rel.code(r, fd.rhs) != first_code)
-            .expect("rhs is non-constant in the lattice universe");
-        (0, other)
-    } else {
-        let pli = cache.get(fd.lhs);
-        pli.classes()
-            .find_map(find_pair)
-            .expect("violated FD must have a witnessing class")
-    };
+/// The agree set of a violating row pair (the attributes of `universe` on
+/// which the two rows coincide).
+fn pair_agree_set(rel: &Relation, pair: (u32, u32), universe: AttrSet) -> AttrSet {
+    let (r1, r2) = (pair.0 as usize, pair.1 as usize);
     let mut ag = AttrSet::EMPTY;
     for b in universe.iter() {
-        if rel.code(pair.0, b) == rel.code(pair.1, b) {
+        if rel.code(r1, b) == rel.code(r2, b) {
             ag = ag.with(b);
         }
     }

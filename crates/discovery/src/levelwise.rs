@@ -48,15 +48,14 @@ pub struct ExactValidity<'a, 'r>(pub &'a mut PliCache<'r>);
 
 impl Validity for ExactValidity<'_, '_> {
     fn holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
-        self.0.fd_holds(lhs, rhs)
+        self.0.check(lhs, rhs)
     }
 
     fn prefetch(&mut self, candidates: &[(AttrSet, AttrId)]) {
-        let mut sets = Vec::with_capacity(candidates.len() * 2);
-        for &(lhs, rhs) in candidates {
-            sets.push(lhs);
-            sets.push(lhs.with(rhs));
-        }
+        // The counting kernel answers each check from π_lhs and the rhs
+        // code column — `π_{lhs∪rhs}` is never materialized, so only the
+        // lhs partitions are worth batch-computing.
+        let sets: Vec<AttrSet> = candidates.iter().map(|&(lhs, _)| lhs).collect();
         self.0.prefetch(&sets);
     }
 }

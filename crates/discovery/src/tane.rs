@@ -79,13 +79,11 @@ pub fn tane(rel: &Relation, attrs: AttrSet) -> FdSet {
                         cplus_of(&mut cplus, universe, sibling).contains(a)
                     });
                     if all_contain {
-                        let d_x = cache.get(x).distinct_count();
-                        let minimal = x.iter().all(|b| {
-                            let sub = x.without(b);
-                            cache.get(sub).distinct_count()
-                                != cache.get(sub.with(a)).distinct_count()
-                        });
-                        let valid = d_x == cache.get(x.with(a)).distinct_count();
+                        // Counting-only kernel checks: none of these
+                        // products feed lattice descent (X is deleted
+                        // below), so nothing is materialized for them.
+                        let minimal = x.iter().all(|b| !cache.check(x.without(b), a));
+                        let valid = cache.check(x, a);
                         if valid && minimal {
                             result.insert_minimal(Fd::new(x, a));
                         }

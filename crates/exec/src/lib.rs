@@ -12,8 +12,11 @@
 //!   bounds and all workers are joined before the call returns.
 //! * **Work-stealing**: item indices are dealt to per-worker deques in
 //!   contiguous chunks; a worker drains its own deque from the front
-//!   (preserving chunk locality) and steals from the back of a victim's
-//!   deque when empty. Coarse tasks (a partition product, a base-table
+//!   (preserving chunk locality) and, when empty, steals *half the
+//!   remaining range* off the back of the first non-empty victim — one
+//!   handoff then feeds many tasks locally, so steal traffic (and victim
+//!   lock contention) is logarithmic in the imbalance instead of linear
+//!   in the task count. Coarse tasks (a partition product, a base-table
 //!   mine, an FD revalidation) make a mutex-guarded deque entirely
 //!   adequate — contention is one lock op per task.
 //! * **Deterministic output**: results are written back by item index, so
@@ -129,20 +132,42 @@ where
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
                         // Own work first (front: chunk order), then steal
-                        // from the back of the first non-empty victim.
+                        // half the remaining range off the back of the
+                        // first non-empty victim: run the stolen range's
+                        // first index now, queue the rest locally. The
+                        // victim's lock is released before the thief's own
+                        // deque is touched, so no worker ever holds two
+                        // locks (no lock-order deadlock between mutual
+                        // thieves).
                         let job = deques[w].lock().expect("pool poisoned").pop_front();
                         let job = job.or_else(|| {
                             (1..workers).find_map(|d| {
-                                deques[(w + d) % workers]
-                                    .lock()
-                                    .expect("pool poisoned")
-                                    .pop_back()
+                                let mut stolen = {
+                                    let mut victim =
+                                        deques[(w + d) % workers].lock().expect("pool poisoned");
+                                    let len = victim.len();
+                                    if len == 0 {
+                                        return None;
+                                    }
+                                    // Back half (rounded up), ascending
+                                    // order preserved — the victim keeps
+                                    // the front of its chunk, the thief
+                                    // continues the back.
+                                    victim.split_off(len - len.div_ceil(2))
+                                };
+                                let first = stolen.pop_front();
+                                if !stolen.is_empty() {
+                                    deques[w].lock().expect("pool poisoned").extend(stolen);
+                                }
+                                first
                             })
                         });
-                        // Jobs are only ever removed, never refilled: an
-                        // empty scan means every index is claimed, so the
-                        // worker retires instead of spinning against the
-                        // stragglers still executing theirs.
+                        // Every index is claimed exactly once (dealt, then
+                        // only moved between deques): an all-empty scan
+                        // means the remaining work is already running on
+                        // other workers — possibly queued locally behind
+                        // them after a steal — so this worker retires
+                        // instead of spinning against the stragglers.
                         let Some(i) = job else { break };
                         out.push((i, f(&mut state, i, &items[i])));
                     }
@@ -202,6 +227,27 @@ mod tests {
             x * 2
         });
         assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_half_keeps_results_input_ordered_at_1_2_4_workers() {
+        // Uneven per-item cost forces real stealing: early indices sleep,
+        // so the workers owning the front chunks lag and the rest steal
+        // half-ranges off them. Results must stay input-ordered and
+        // identical at every worker count.
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for workers in [1usize, 2, 4] {
+            let out = with_override(workers, || {
+                par_map(&items, |_, &x| {
+                    if x < 8 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    x * x
+                })
+            });
+            assert_eq!(out, expected, "diverged at {workers} workers");
+        }
     }
 
     #[test]

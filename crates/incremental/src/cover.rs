@@ -120,12 +120,14 @@ impl CoverState {
         }
 
         // Revalidate held FDs over dirty classes only (insert batches).
-        // Each check reads a patched lhs partition plus the new relation —
-        // no shared mutable state — so the held set fans out over the
-        // `infine-exec` pool, one task per FD, with verdicts collected in
-        // canonical FD order (the sequential path sees the exact same
-        // verdicts, so survivors, witnesses, and the final cover are
-        // identical).
+        // Each check runs the counting kernel against a patched lhs
+        // partition and the rhs code column — no shared mutable state —
+        // so the held set fans out over the `infine-exec` pool, one task
+        // per FD, with verdicts collected in canonical FD order (the
+        // sequential path sees the exact same verdicts, so survivors,
+        // witnesses, and the final cover are identical). The kernel's
+        // early exit yields each broken FD's violating pair as a
+        // by-product; no separate witness scan runs.
         let mut survivors = FdSet::new();
         let mut broken: Vec<Fd> = Vec::new();
         if applied.num_inserted() == 0 {
@@ -139,30 +141,30 @@ impl CoverState {
                 cache.get(fd.lhs);
             }
             let cache_ref = &cache;
-            let verdicts: Vec<(bool, Option<(u32, u32)>)> = infine_exec::par_map(&held, |_, fd| {
+            let verdicts: Vec<Option<(u32, u32)>> = infine_exec::par_map(&held, |_, fd| {
                 let pli = cache_ref.peek(fd.lhs).expect("made resident above");
-                let ok = match dirty.get(&fd.lhs) {
-                    Some(d) => pli.constant_on(new_rel, fd.rhs, d.risky()),
+                let codes = &new_rel.column(fd.rhs).codes;
+                let verdict = match dirty.get(&fd.lhs) {
+                    // The FD held before the batch, so violations can only
+                    // live in dirty classes — the restricted scan is
+                    // complete and surfaces the same witnessing pair.
+                    Some(d) => pli.refines_on(d.risky(), codes),
                     // lhs partition was not maintained (defensive): full check.
-                    None => pli.refines_attr(new_rel, fd.rhs),
+                    None => pli.refines_with(codes),
                 };
-                // Violating pair for broken FDs, so later delete
-                // rounds reject the candidate in O(1).
-                let witness = if ok {
-                    None
-                } else {
-                    find_violation(pli, new_rel, fd.rhs)
-                };
-                (ok, witness)
+                verdict.violating_pair()
             });
-            for (&fd, (ok, witness)) in held.iter().zip(verdicts) {
-                if ok {
-                    survivors.insert_minimal(fd);
-                } else {
-                    if let Some(pair) = witness {
-                        self.witnesses.insert(fd, pair);
+            for (&fd, witness) in held.iter().zip(verdicts) {
+                match witness {
+                    None => {
+                        survivors.insert_minimal(fd);
                     }
-                    broken.push(fd);
+                    Some(pair) => {
+                        // Keep the pair so later delete rounds reject the
+                        // candidate in O(1).
+                        self.witnesses.insert(fd, pair);
+                        broken.push(fd);
+                    }
                 }
             }
         }
@@ -174,7 +176,6 @@ impl CoverState {
             let recovered = {
                 let mut validity = WitnessValidity {
                     cache: &mut cache,
-                    rel: new_rel,
                     witnesses: &mut self.witnesses,
                     hits: 0,
                     misses: 0,
@@ -196,7 +197,6 @@ impl CoverState {
             // lattice.
             let mut validity = WitnessValidity {
                 cache: &mut cache,
-                rel: new_rel,
                 witnesses: &mut self.witnesses,
                 hits: 0,
                 misses: 0,
@@ -228,25 +228,12 @@ impl CoverState {
     }
 }
 
-/// First violating pair of `X → attr` in `pli = π_X`: two rows of one
-/// class with different `attr` codes.
-fn find_violation(pli: &Pli, rel: &Relation, attr: usize) -> Option<(u32, u32)> {
-    for class in pli.classes() {
-        let c0 = rel.code(class[0] as usize, attr);
-        for &r in &class[1..] {
-            if rel.code(r as usize, attr) != c0 {
-                return Some((class[0], r));
-            }
-        }
-    }
-    None
-}
-
 /// Validity oracle that consults (and feeds) the violation-witness cache
-/// before doing any partition work.
+/// before doing any partition work. Misses run the counting kernel
+/// through [`PliCache::check_witness`] — π_lhs only, no product — and the
+/// kernel's early-exit pair becomes the new witness.
 struct WitnessValidity<'a, 'r> {
     cache: &'a mut PliCache<'r>,
-    rel: &'a Relation,
     witnesses: &'a mut HashMap<Fd, (u32, u32)>,
     hits: usize,
     misses: usize,
@@ -260,7 +247,7 @@ impl Validity for WitnessValidity<'_, '_> {
             return false;
         }
         self.misses += 1;
-        match find_violation(self.cache.get(lhs), self.rel, rhs) {
+        match self.cache.check_witness(lhs, rhs) {
             Some(pair) => {
                 self.witnesses.insert(fd, pair);
                 false

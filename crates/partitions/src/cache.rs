@@ -176,20 +176,58 @@ impl<'a> PliCache<'a> {
         }
     }
 
-    /// Exact FD check `lhs → rhs` through the cache.
+    /// Exact FD check `lhs → rhs` through the cache. Routed through the
+    /// counting-only kernel ([`PliCache::check`]): the product partition
+    /// `π_{lhs∪rhs}` is never materialized for the verdict.
     pub fn fd_holds(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
-        debug_assert!(!lhs.contains(rhs), "trivial FD {lhs:?} → {rhs}");
-        let d_lhs = self.get(lhs).distinct_count();
-        let d_both = self.get(lhs.with(rhs)).distinct_count();
-        d_lhs == d_both
+        self.check(lhs, rhs)
     }
 
-    /// `g3` error of `lhs → rhs` (0 for exact FDs).
+    /// Counting-only FD check `lhs → rhs`: answers from the validation
+    /// kernel against `π_lhs` and `rhs`'s code column, *never inserting*
+    /// the product into the cache. When the product happens to be cached
+    /// already, the verdict is read off the distinct counts without any
+    /// scan. Exactly equivalent to
+    /// `distinct_count(lhs) == distinct_count(lhs∪rhs)`.
+    pub fn check(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        debug_assert!(!lhs.contains(rhs), "trivial FD {lhs:?} → {rhs}");
+        let both = lhs.with(rhs);
+        if self.cache.contains_key(&both) {
+            let d_both = self.get(both).distinct_count();
+            return self.get(lhs).distinct_count() == d_both;
+        }
+        crate::validate::count_product_avoided();
+        let codes = &self.rel.column(rhs).codes;
+        self.get(lhs).refines_with(codes).holds()
+    }
+
+    /// [`PliCache::check`] also surfacing the first violating row pair
+    /// (two rows agreeing on `lhs` but not on `rhs`) when the FD fails —
+    /// `None` means the FD holds. The early-exiting kernel produces the
+    /// pair as a by-product, so callers feeding witness caches pay
+    /// nothing extra; a cached product settles *holding* FDs by count
+    /// comparison without any scan (a violated FD still runs the kernel,
+    /// which is the only way to name a pair).
+    pub fn check_witness(&mut self, lhs: AttrSet, rhs: AttrId) -> Option<(u32, u32)> {
+        debug_assert!(!lhs.contains(rhs), "trivial FD {lhs:?} → {rhs}");
+        let both = lhs.with(rhs);
+        if self.cache.contains_key(&both) {
+            let d_both = self.get(both).distinct_count();
+            if self.get(lhs).distinct_count() == d_both {
+                return None;
+            }
+        } else {
+            crate::validate::count_product_avoided();
+        }
+        let codes = &self.rel.column(rhs).codes;
+        self.get(lhs).refines_with(codes).violating_pair()
+    }
+
+    /// `g3` error of `lhs → rhs` (0 for exact FDs). The rhs labeling is
+    /// its dictionary-code column, borrowed — no per-call copy.
     pub fn g3(&mut self, lhs: AttrSet, rhs: AttrId) -> f64 {
-        let probe: Vec<u32> = (0..self.rel.nrows())
-            .map(|row| self.rel.code(row, rhs))
-            .collect();
-        self.get(lhs).g3_error(&probe)
+        let codes = &self.rel.column(rhs).codes;
+        self.get(lhs).g3_error(codes)
     }
 
     /// Evict entries whose attribute-set size is strictly below `level`,
@@ -293,6 +331,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn check_agrees_with_bruteforce_everywhere() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        for lhs_bits in 1u64..16 {
+            let lhs = AttrSet::from_bits(lhs_bits);
+            for rhs in 0..4 {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                assert_eq!(
+                    cache.check(lhs, rhs),
+                    fd_holds_bruteforce(&r, lhs, rhs),
+                    "lhs={lhs:?} rhs={rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_never_materializes_the_product() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        let lhs: AttrSet = [0usize, 1].into_iter().collect();
+        cache.check(lhs, 2);
+        cache.check_witness(lhs, 3);
+        // The lhs partition is genuinely needed and gets cached; the
+        // products exist nowhere.
+        assert!(cache.contains(lhs));
+        assert!(!cache.contains(lhs.with(2)));
+        assert!(!cache.contains(lhs.with(3)));
+    }
+
+    #[test]
+    fn check_witness_pair_violates() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        // a → c is violated (rows 0,1 share a=1, differ on c).
+        let pair = cache
+            .check_witness(AttrSet::single(0), 2)
+            .expect("a → c is violated");
+        assert_eq!(r.code(pair.0 as usize, 0), r.code(pair.1 as usize, 0));
+        assert_ne!(r.code(pair.0 as usize, 2), r.code(pair.1 as usize, 2));
+        // a → d holds exactly.
+        assert_eq!(cache.check_witness(AttrSet::single(0), 3), None);
+    }
+
+    #[test]
+    fn check_serves_cached_products_by_count_comparison() {
+        let r = rel();
+        let mut cache = PliCache::new(&r);
+        let lhs = AttrSet::single(0);
+        let both = lhs.with(3);
+        cache.seed(both, Pli::for_set(&r, both));
+        // Cached product: the verdict is read off the distinct counts and
+        // must agree with the kernel path of a cold cache.
+        assert!(cache.check(lhs, 3));
+        let mut cold = PliCache::new(&r);
+        assert!(cold.check(lhs, 3));
     }
 
     #[test]

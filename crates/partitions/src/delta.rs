@@ -131,22 +131,18 @@ impl Pli {
     /// Is `attr` constant within every listed class? With `classes` = the
     /// dirty classes of a patched `π_X`, this is a complete validity check
     /// for an FD `X → attr` that held before the batch (violations can
-    /// only appear where rows were added).
+    /// only appear where rows were added). Runs on the counting kernel
+    /// ([`Pli::refines_on`]) — hoisted code column, unrolled early-exit
+    /// scan.
     pub fn constant_on(&self, rel: &Relation, attr: AttrId, classes: &[usize]) -> bool {
-        classes.iter().all(|&ci| {
-            let class = self.class(ci);
-            let code = rel.code(class[0] as usize, attr);
-            class[1..]
-                .iter()
-                .all(|&row| rel.code(row as usize, attr) == code)
-        })
+        self.refines_on(classes, &rel.column(attr).codes).holds()
     }
 
     /// Is `attr` constant within every class (full validity check for
     /// `X → attr` given `self = π_X`, without building `π_{X∪attr}`)?
+    /// Kernel-backed like [`Pli::constant_on`].
     pub fn refines_attr(&self, rel: &Relation, attr: AttrId) -> bool {
-        let all: Vec<usize> = (0..self.num_classes()).collect();
-        self.constant_on(rel, attr, &all)
+        self.refines_with(&rel.column(attr).codes).holds()
     }
 }
 

@@ -62,12 +62,12 @@ pub fn intersect_nested(a: &Pli, b: &Pli) -> Pli {
     };
     let probe = refine.probe_vector();
     let mut classes = Vec::new();
-    let mut groups: HashMap<i32, Vec<u32>> = HashMap::new();
+    let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
     for class in split.classes() {
         groups.clear();
         for &row in class {
             let key = probe[row as usize];
-            if key >= 0 {
+            if key != u32::MAX {
                 groups.entry(key).or_default().push(row);
             }
         }

@@ -16,12 +16,24 @@
 //! `infine-exec` pool with byte-identical results to sequential
 //! computation. The pre-CSR nested representation lives on in
 //! [`legacy`] purely as the property-test oracle.
+//!
+//! ## Counting-only validation
+//!
+//! Checking an FD does **not** require the product partition: the
+//! [`validate`] kernel answers "does refining `π_X` by `a` split a
+//! class?" with one early-exiting scan of `π_X` against a packed probe
+//! ([`Pli::refines_with`]), and [`PliCache::check`] routes validity
+//! queries through it without ever inserting `π_{X∪a}` into the cache.
+//! Products are materialized only where a child partition is genuinely
+//! needed (lattice descent, prefetch).
 
 pub mod cache;
 pub mod delta;
 pub mod legacy;
 pub mod pli;
+pub mod validate;
 
 pub use cache::PliCache;
 pub use delta::{rebase_plis, DirtyClasses, RebaseStats};
 pub use pli::{fd_holds, fd_holds_bruteforce, IntersectScratch, Pli};
+pub use validate::{kernel_counters, reset_kernel_counters, KernelCounters, Verdict};

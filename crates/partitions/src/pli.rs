@@ -17,6 +17,16 @@
 //! allocations total. The nested `Vec<Vec<u32>>` representation survives
 //! only as the test oracle in [`crate::legacy`].
 //!
+//! The same flat layout is what makes the counting-only validation
+//! kernel ([`crate::validate`]) branch-light: `Pli::refines_with` streams
+//! `rows` once, front to back, gathering packed `u32` probe keys per
+//! class with an unrolled compare-against-first scan and early-exiting at
+//! the first split — validity never needs the product partition this
+//! module's grouping kernels build. Reach for the product machinery below
+//! only when a *child partition* is needed (lattice descent, products
+//! feeding further products); reach for [`crate::validate`] when only a
+//! verdict is.
+//!
 //! ## Canonical form
 //!
 //! Every constructor yields the same canonical form: members ascending
@@ -42,7 +52,10 @@
 use infine_relation::{AttrId, AttrSet, Relation};
 use std::collections::HashMap;
 
-/// Sentinel key meaning "row is stripped in the refining partition".
+/// Sentinel key meaning "row is stripped in the refining partition" —
+/// the same value as [`crate::validate::UNIQUE`]: every probe vector in
+/// this crate is packed `u32` with `u32::MAX` marking stripped rows (no
+/// signed `-1` convention anywhere).
 const DROP: u32 = u32::MAX;
 
 /// Reusable buffers for partition products and refinements.
@@ -53,9 +66,9 @@ const DROP: u32 = u32::MAX;
 /// across threads — parallel callers give each worker its own scratch.
 #[derive(Debug, Default)]
 pub struct IntersectScratch {
-    /// Probe vector of the refining partition (row → class id, -1 for
-    /// stripped rows).
-    probe: Vec<i32>,
+    /// Packed probe vector of the refining partition (row → class id,
+    /// [`DROP`] for stripped rows).
+    probe: Vec<u32>,
     /// Per-key member counts for the class being split. Sized to the key
     /// space; reset via `touched` after every class.
     count: Vec<u32>,
@@ -287,54 +300,47 @@ impl Pli {
         self.num_classes() == 0
     }
 
-    /// Probe vector: row → class index, or `-1` for singleton rows.
-    pub fn probe_vector(&self) -> Vec<i32> {
+    /// Packed probe vector: row → class index, [`DROP`] (`u32::MAX`) for
+    /// singleton rows — the shared probe layout of the product kernels
+    /// here and the counting kernel in [`crate::validate`]
+    /// ([`Pli::packed_probe`] fills a reusable buffer).
+    pub fn probe_vector(&self) -> Vec<u32> {
         let mut probe = Vec::new();
-        self.fill_probe(&mut probe);
+        self.packed_probe(&mut probe);
         probe
     }
 
-    /// Write the probe vector into a reusable buffer.
-    pub fn fill_probe(&self, probe: &mut Vec<i32>) {
-        probe.clear();
-        probe.resize(self.nrows, -1);
-        for (ci, class) in self.classes().enumerate() {
-            for &row in class {
-                probe[row as usize] = ci as i32;
-            }
-        }
-    }
-
     /// Partition product `π_{X∪Y}` from `π_X` (self) and `π_Y` (via its
-    /// probe vector) — the standard TANE refinement step.
-    pub fn intersect_probe(&self, other_probe: &[i32]) -> Pli {
+    /// packed probe vector) — the standard TANE refinement step.
+    pub fn intersect_probe(&self, other_probe: &[u32]) -> Pli {
         let mut scratch = IntersectScratch::new();
         self.intersect_probe_with(other_probe, &mut scratch)
     }
 
     /// [`Pli::intersect_probe`] reusing a caller-provided scratch. The
-    /// probe must cover exactly this partition's rows; entries `< 0` mark
-    /// rows stripped in the refining partition. `key_space` must exceed
-    /// every non-negative probe entry — pass the refining partition's
-    /// class count.
+    /// probe must cover exactly this partition's rows; [`DROP`] entries
+    /// mark rows stripped in the refining partition. `key_space` must
+    /// exceed every non-sentinel probe entry — pass the refining
+    /// partition's class count.
     fn intersect_probe_keyed(
         &self,
-        other_probe: &[i32],
+        other_probe: &[u32],
         key_space: usize,
         scratch: &mut IntersectScratch,
     ) -> Pli {
         debug_assert_eq!(other_probe.len(), self.nrows);
-        self.refine_with(key_space, |row| other_probe[row as usize] as u32, scratch)
+        self.refine_with(key_space, |row| other_probe[row as usize], scratch)
     }
 
     /// [`Pli::intersect_probe`] with scratch, for arbitrary probes (key
     /// space derived from the probe itself).
-    pub fn intersect_probe_with(&self, other_probe: &[i32], scratch: &mut IntersectScratch) -> Pli {
+    pub fn intersect_probe_with(&self, other_probe: &[u32], scratch: &mut IntersectScratch) -> Pli {
         let key_space = other_probe
             .iter()
             .copied()
+            .filter(|&k| k != DROP)
             .max()
-            .map(|m| (m.max(-1) + 1) as usize)
+            .map(|m| m as usize + 1)
             .unwrap_or(0);
         self.intersect_probe_keyed(other_probe, key_space, scratch)
     }
@@ -357,7 +363,7 @@ impl Pli {
         // Take the probe buffer out so the refine kernel can borrow the
         // rest of the scratch mutably.
         let mut probe = std::mem::take(&mut scratch.probe);
-        refine.fill_probe(&mut probe);
+        refine.packed_probe(&mut probe);
         let out = split.intersect_probe_keyed(&probe, refine.num_classes(), scratch);
         scratch.probe = probe;
         out
@@ -496,12 +502,12 @@ impl Pli {
 /// Exact FD check `X → a` on a relation via partitions (no cache).
 ///
 /// Convenience for tests and one-off checks; algorithmic code goes through
-/// [`crate::PliCache`].
+/// [`crate::PliCache`]. Builds `π_X` only — the verdict comes from the
+/// counting kernel against `a`'s code column, not from a product.
 pub fn fd_holds(rel: &Relation, lhs: AttrSet, rhs: AttrId) -> bool {
     let mut scratch = IntersectScratch::new();
     let px = Pli::for_set_with(rel, lhs, &mut scratch);
-    let pxa = Pli::for_set_with(rel, lhs.with(rhs), &mut scratch);
-    px.refines_to(&pxa)
+    px.refines_with(&rel.column(rhs).codes).holds()
 }
 
 /// Brute-force FD check by pairwise row comparison — `O(n²)` oracle used
@@ -657,7 +663,7 @@ mod tests {
         let p = Pli::for_attr(&rel(), 0);
         let probe = p.probe_vector();
         assert_eq!(probe.len(), 5);
-        assert_eq!(probe[4], -1);
+        assert_eq!(probe[4], u32::MAX);
         assert_eq!(probe[0], probe[1]);
         assert_ne!(probe[0], probe[2]);
     }

@@ -1,0 +1,181 @@
+//! Property suite (satellite of the counting-kernel PR): the
+//! counting-only validation kernel must agree with the materializing
+//! oracle `distinct_count(X) == distinct_count(X ∪ {a})` everywhere —
+//! on the relations of all four datagen databases, through the
+//! [`PliCache::check`] fast path, and on *delta-patched* partitions
+//! across randomized update rounds. Violated verdicts must name a real
+//! violating pair (two live rows agreeing on `X`, disagreeing on `a`).
+
+use infine_datagen::{random_delta, DatasetKind, Scale};
+use infine_partitions::{IntersectScratch, Pli, PliCache};
+use infine_relation::{AttrSet, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Candidate lhs sets probed per table: ∅, every singleton, random pairs
+/// and triples — the same shapes the miners walk.
+fn probe_sets(rng: &mut StdRng, rel: &Relation) -> Vec<AttrSet> {
+    let n = rel.ncols();
+    let mut sets = vec![AttrSet::EMPTY];
+    sets.extend((0..n).map(AttrSet::single));
+    for _ in 0..4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b));
+    }
+    for _ in 0..3 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        sets.push(AttrSet::single(a).with(b).with(c));
+    }
+    sets.dedup();
+    sets
+}
+
+/// The materializing oracle: build both partitions, compare counts.
+fn oracle(rel: &Relation, lhs: AttrSet, rhs: usize, scratch: &mut IntersectScratch) -> bool {
+    let px = Pli::for_set_with(rel, lhs, scratch);
+    let pxa = Pli::for_set_with(rel, lhs.with(rhs), scratch);
+    px.refines_to(&pxa)
+}
+
+/// Kernel verdict (on a caller-supplied `π_lhs`) vs oracle, plus witness
+/// sanity when violated.
+fn assert_verdict_matches(rel: &Relation, pli: &Pli, lhs: AttrSet, rhs: usize, ctx: &str) {
+    let mut scratch = IntersectScratch::new();
+    let verdict = pli.refines_with(&rel.column(rhs).codes);
+    assert_eq!(
+        verdict.holds(),
+        oracle(rel, lhs, rhs, &mut scratch),
+        "{ctx}: kernel ≠ oracle for {lhs:?} → {rhs}"
+    );
+    if let Some((i, j)) = verdict.violating_pair() {
+        let (i, j) = (i as usize, j as usize);
+        assert!(
+            i < rel.nrows() && j < rel.nrows(),
+            "{ctx}: pair out of range"
+        );
+        for a in lhs.iter() {
+            assert_eq!(
+                rel.code(i, a),
+                rel.code(j, a),
+                "{ctx}: witness rows disagree on lhs attr {a}"
+            );
+        }
+        assert_ne!(
+            rel.code(i, rhs),
+            rel.code(j, rhs),
+            "{ctx}: witness rows agree on rhs {rhs}"
+        );
+    }
+}
+
+fn run_dataset(kind: DatasetKind, seed: u64) {
+    let db = kind.generate(Scale::of(0.005));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = IntersectScratch::new();
+    let mut names: Vec<&str> = db.names().collect();
+    names.sort_unstable();
+    for name in names {
+        let rel = db.expect(name);
+        if rel.nrows() == 0 || rel.ncols() < 2 {
+            continue;
+        }
+        let mut cache = PliCache::new(rel);
+        for lhs in probe_sets(&mut rng, rel) {
+            for rhs in 0..rel.ncols() {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                let pli = Pli::for_set_with(rel, lhs, &mut scratch);
+                assert_verdict_matches(rel, &pli, lhs, rhs, &rel.name);
+                // The cache fast path must agree and never grow the cache
+                // by the product.
+                assert_eq!(
+                    cache.check(lhs, rhs),
+                    oracle(rel, lhs, rhs, &mut scratch),
+                    "{name}: PliCache::check ≠ oracle for {lhs:?} → {rhs}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn kernel_matches_oracle_on_tpch() {
+    run_dataset(DatasetKind::Tpch, 0xC0DE1);
+}
+
+#[test]
+fn kernel_matches_oracle_on_mimic() {
+    run_dataset(DatasetKind::Mimic, 0xC0DE2);
+}
+
+#[test]
+fn kernel_matches_oracle_on_pte() {
+    run_dataset(DatasetKind::Pte, 0xC0DE3);
+}
+
+#[test]
+fn kernel_matches_oracle_on_ptc() {
+    run_dataset(DatasetKind::Ptc, 0xC0DE4);
+}
+
+/// After random delta rounds, verdicts computed on the *patched*
+/// partitions (the exact objects the incremental engine revalidates
+/// against) still match the from-scratch oracle on the post-delta
+/// relation — including when the check is restricted to the round's
+/// dirty classes, which is the complete-check contract revalidation
+/// relies on.
+#[test]
+fn kernel_matches_oracle_on_patched_partitions_across_delta_rounds() {
+    let db = DatasetKind::Tpch.generate(Scale::of(0.004));
+    let mut rng = StdRng::seed_from_u64(0xC0DE5);
+    for name in ["supplier", "customer", "nation"] {
+        let rel = db.expect(name);
+        let sets: Vec<AttrSet> = probe_sets(&mut rng, rel)
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut current = rel.clone();
+        let mut plis: Vec<Pli> = sets.iter().map(|&s| Pli::for_set(&current, s)).collect();
+        for round in 0..4 {
+            let n = current.nrows();
+            let deletes = rng.gen_range(0..=(n / 8).max(1));
+            let inserts = rng.gen_range(0..=(n / 8).max(2));
+            let batch = random_delta(&mut rng, &current, deletes, inserts);
+            let (next, applied) = current.apply_delta(&batch, current.name.clone());
+            for (i, &set) in sets.iter().enumerate() {
+                let was_valid: Vec<bool> = (0..next.ncols())
+                    .map(|rhs| {
+                        !set.contains(rhs)
+                            && plis[i].refines_with(&current.column(rhs).codes).holds()
+                    })
+                    .collect();
+                let (patched, dirty) = plis[i].apply_delta_tracked(&next, set, &applied);
+                for (rhs, &held_before) in was_valid.iter().enumerate() {
+                    if set.contains(rhs) {
+                        continue;
+                    }
+                    let ctx = format!("{name} round {round}");
+                    assert_verdict_matches(&next, &patched, set, rhs, &ctx);
+                    // Dirty-class-restricted revalidation: complete for
+                    // FDs that held before an insert batch (the engine's
+                    // contract; deletes never break FDs).
+                    if held_before && applied.num_deleted() == 0 {
+                        let restricted = patched.refines_on(dirty.risky(), &next.column(rhs).codes);
+                        let full = patched.refines_with(&next.column(rhs).codes);
+                        assert_eq!(
+                            restricted.holds(),
+                            full.holds(),
+                            "{ctx}: dirty-restricted check incomplete for {set:?} → {rhs}"
+                        );
+                    }
+                }
+                plis[i] = patched;
+            }
+            current = next;
+        }
+    }
+}
