@@ -22,13 +22,13 @@ static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::Counting
 
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
-    apply_cli_flags, bench_scale, mib, run_baseline, run_full_rediscovery, run_maintenance, secs,
-    TextTable,
+    apply_cli_flags, bench_scale, bench_shards, mib, run_baseline, run_full_rediscovery,
+    run_maintenance, run_sharded_maintenance, secs, TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn};
 use infine_discovery::{Algorithm, Fd, FdSet};
-use infine_incremental::{FdStatus, MaintenanceEngine, MaintenanceMode};
+use infine_incremental::{FdStatus, MaintenanceEngine, MaintenanceMode, ShardedEngine};
 use infine_relation::AttrSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +69,8 @@ fn main() {
     apply_cli_flags();
     infine_partitions::reset_kernel_counters();
     let scale = bench_scale();
+    let shards = bench_shards();
+    eprintln!("# sharded lane: {shards} shard(s) (set --shards N / INFINE_SHARDS)");
     let straightforward = std::env::var("INFINE_BENCH_STRAIGHTFORWARD").is_ok();
 
     let mut headers = vec![
@@ -83,6 +85,7 @@ fn main() {
         "invalid",
         "t_cover",
         "t_exact",
+        "t_sharded",
         "t_full",
         "speedup_cover",
         "speedup_exact",
@@ -108,8 +111,11 @@ fn main() {
                 MaintenanceMode::CoverOnly,
             )
             .unwrap_or_else(|e| panic!("{case_id}: fast bootstrap failed: {e}"));
-            let mut exact = MaintenanceEngine::new(InFine::default(), db, case.spec.clone())
-                .unwrap_or_else(|e| panic!("{case_id}: exact bootstrap failed: {e}"));
+            let mut exact =
+                MaintenanceEngine::new(InFine::default(), db.clone(), case.spec.clone())
+                    .unwrap_or_else(|e| panic!("{case_id}: exact bootstrap failed: {e}"));
+            let mut sharded = ShardedEngine::new(InFine::default(), db, case.spec.clone(), shards)
+                .unwrap_or_else(|e| panic!("{case_id}: sharded bootstrap failed: {e}"));
             assert!(
                 fast.supports_cover_fast_path(),
                 "{case_id}: scenario views must support the fast path"
@@ -130,12 +136,20 @@ fn main() {
                 let delta_rows = delta.batch.num_deletes() + delta.batch.num_inserts();
                 let fast_run = run_maintenance(&mut fast, std::slice::from_ref(&delta));
                 let exact_run = run_maintenance(&mut exact, std::slice::from_ref(&delta));
+                let sharded_run =
+                    run_sharded_maintenance(&mut sharded, std::slice::from_ref(&delta));
+                assert_eq!(
+                    sharded_run.report.triples, exact_run.report.triples,
+                    "{case_id}: sharded({shards}) diverged from the exact engine"
+                );
 
                 // From-scratch re-discovery on the identical database.
                 let (full, t_full) = run_full_rediscovery(fast.database(), &case);
                 assert_covers_equivalent(&fast_run.report, &full);
                 let speedup_cover = t_full.as_secs_f64() / fast_run.total.as_secs_f64().max(1e-9);
                 let speedup_exact = t_full.as_secs_f64() / exact_run.total.as_secs_f64().max(1e-9);
+                let speedup_sharded =
+                    t_full.as_secs_f64() / sharded_run.total.as_secs_f64().max(1e-9);
                 if (fraction - 0.01).abs() < 1e-12 {
                     one_percent.push((workload, format!("{case_id}/{target}"), speedup_cover));
                 }
@@ -150,9 +164,11 @@ fn main() {
                         .int("fds", fast_run.report.cover.len() as i64)
                         .num("cover_s", fast_run.total.as_secs_f64())
                         .num("exact_s", exact_run.total.as_secs_f64())
+                        .num("sharded_s", sharded_run.total.as_secs_f64())
                         .num("full_s", t_full.as_secs_f64())
                         .num("speedup_cover", speedup_cover)
-                        .num("speedup_exact", speedup_exact),
+                        .num("speedup_exact", speedup_exact)
+                        .num("speedup_sharded", speedup_sharded),
                 );
                 let mut row = vec![
                     workload.label().to_string(),
@@ -175,6 +191,7 @@ fn main() {
                         .to_string(),
                     secs(fast_run.total),
                     secs(exact_run.total),
+                    secs(sharded_run.total),
                     secs(t_full),
                     format!("{speedup_cover:.1}x"),
                     format!("{speedup_exact:.1}x"),
@@ -225,6 +242,7 @@ fn main() {
         )
         .num("scale", scale.factor)
         .int("threads", infine_exec::parallelism() as i64)
+        .int("shards", shards as i64)
         .num("churn_1pct_geomean_speedup_cover", geomeans[0])
         .num("append_1pct_geomean_speedup_cover", geomeans[1])
         .num("headline_min_geomean", headline)

@@ -82,19 +82,38 @@ pub struct MaintenanceRun {
     pub peak_bytes: usize,
 }
 
-/// Apply one round of deltas through the maintenance engine, measured.
-pub fn run_maintenance(engine: &mut MaintenanceEngine, deltas: &[DeltaRelation]) -> MaintenanceRun {
+/// Shared measurement wrapper for the maintenance lanes — every lane
+/// must time and peak-track its apply identically or their columns stop
+/// being comparable.
+fn measure_maintenance(apply: impl FnOnce() -> MaintenanceReport) -> MaintenanceRun {
     let t0 = Instant::now();
-    let (report, peak_bytes) = measure_peak(|| {
-        engine
-            .apply(deltas)
-            .unwrap_or_else(|e| panic!("maintenance apply failed: {e}"))
-    });
+    let (report, peak_bytes) = measure_peak(apply);
     MaintenanceRun {
         report,
         total: t0.elapsed(),
         peak_bytes,
     }
+}
+
+/// Apply one round of deltas through the maintenance engine, measured.
+pub fn run_maintenance(engine: &mut MaintenanceEngine, deltas: &[DeltaRelation]) -> MaintenanceRun {
+    measure_maintenance(|| {
+        engine
+            .apply(deltas)
+            .unwrap_or_else(|e| panic!("maintenance apply failed: {e}"))
+    })
+}
+
+/// [`run_maintenance`] for the sharded engine (same report shape).
+pub fn run_sharded_maintenance(
+    engine: &mut infine_incremental::ShardedEngine,
+    deltas: &[DeltaRelation],
+) -> MaintenanceRun {
+    measure_maintenance(|| {
+        engine
+            .apply(deltas)
+            .unwrap_or_else(|e| panic!("sharded maintenance apply failed: {e}"))
+    })
 }
 
 /// Wall-clock one full `InFine::discover` from scratch (base mining
@@ -139,11 +158,31 @@ pub fn mib(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Shard-count override set by `--shards` (0 = unset).
+static SHARDS_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Shard count for the sharded-maintenance bench lane: `--shards N` flag,
+/// else `INFINE_SHARDS`, else 2 (so the sharded path is exercised by
+/// default without degenerating to the unsharded case).
+pub fn bench_shards() -> usize {
+    let o = SHARDS_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    std::env::var("INFINE_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
 /// Parse the bench binaries' shared CLI flags.
 ///
 /// `--threads N` pins the `infine-exec` worker count for the whole run
 /// (equivalent to `INFINE_THREADS=N` but visible in shell history and
-/// recorded via `infine_exec::parallelism()` in the emitted JSON).
+/// recorded via `infine_exec::parallelism()` in the emitted JSON);
+/// `--shards N` pins the shard count of the sharded maintenance lane
+/// (equivalent to `INFINE_SHARDS=N`, recorded via [`bench_shards`]).
 pub fn apply_cli_flags() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -156,7 +195,15 @@ pub fn apply_cli_flags() {
                     .unwrap_or_else(|| panic!("--threads needs a positive integer"));
                 infine_exec::set_parallelism(n);
             }
-            other => panic!("unknown argument {other:?} (supported: --threads N)"),
+            "--shards" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| panic!("--shards needs a positive integer"));
+                SHARDS_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+            }
+            other => panic!("unknown argument {other:?} (supported: --threads N, --shards N)"),
         }
     }
 }

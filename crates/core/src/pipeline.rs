@@ -27,7 +27,7 @@ use infine_algebra::{
     derive_schema, join_relations, joined_schema, resolve, resolve_join_conditions, select_rows,
     AlgebraError, JoinOp, ViewSpec,
 };
-use infine_discovery::{mine_new_fds, Algorithm, Fd, FdSet};
+use infine_discovery::{extend_seeds, mine_new_fds, Algorithm, ExactValidity, Fd, FdSet};
 use infine_partitions::PliCache;
 use infine_relation::{AttrId, AttrSet, Database, Origin, Relation, Schema};
 use std::collections::{HashMap, HashSet};
@@ -273,6 +273,44 @@ impl InFine {
         base_fds: &BaseFds,
     ) -> Result<InFineReport, InFineError> {
         self.discover_inner(db, spec, Some(base_fds))
+    }
+
+    /// Shard-aware incremental entry point: each element of
+    /// `shard_base_fds` carries per-label covers maintained over one
+    /// *fragment* (a disjoint row subset) of each base table; the
+    /// fragments of one label must union to the label's full scoped
+    /// relation in `db`. Per label the fragment covers are merged into
+    /// the exact global cover ([`merge_fragment_covers`]) and the
+    /// pipeline then replays with base mining skipped — the report is
+    /// identical to [`InFine::discover`] on `db`.
+    pub fn discover_sharded(
+        &self,
+        db: &Database,
+        spec: &ViewSpec,
+        shard_base_fds: &[BaseFds],
+    ) -> Result<InFineReport, InFineError> {
+        let merged = self.merge_shard_base_fds(db, spec, shard_base_fds)?;
+        self.discover_incremental(db, spec, &merged)
+    }
+
+    /// The cover-merge half of [`InFine::discover_sharded`]: per base
+    /// label, merge the shard fragment covers into the canonical cover of
+    /// the full scoped relation. Labels that no shard supplies are left
+    /// out (the pipeline falls back to mining them).
+    pub fn merge_shard_base_fds(
+        &self,
+        db: &Database,
+        spec: &ViewSpec,
+        shard_base_fds: &[BaseFds],
+    ) -> Result<BaseFds, InFineError> {
+        let scopes = base_scopes(db, spec)?;
+        let mut merged = BaseFds::new();
+        for scope in scopes {
+            if let Some(fds) = merge_label_covers(db, &scope, shard_base_fds) {
+                merged.insert(scope.label, fds);
+            }
+        }
+        Ok(merged)
     }
 
     fn discover_inner(
@@ -877,6 +915,76 @@ pub fn base_scopes(db: &Database, spec: &ViewSpec) -> Result<Vec<BaseScope>, InF
     let mut out = Vec::new();
     collect_scopes(db, spec, &needed, &mut out)?;
     Ok(out)
+}
+
+/// Merge one base label's fragment covers out of per-shard [`BaseFds`]
+/// maps: `None` when no shard supplies the label (callers then let the
+/// pipeline fall back to mining it), the single cover as-is when exactly
+/// one shard does (its fragment is the whole relation), and
+/// [`merge_fragment_covers`] on the full scoped relation otherwise. The
+/// per-label unit shared by [`InFine::merge_shard_base_fds`] and the
+/// incremental crate's sharded engine (which caches merges per label).
+pub fn merge_label_covers(
+    db: &Database,
+    scope: &BaseScope,
+    shard_base_fds: &[BaseFds],
+) -> Option<FdSet> {
+    let covers: Vec<&FdSet> = shard_base_fds
+        .iter()
+        .filter_map(|m| m.get(&scope.label))
+        .collect();
+    match covers.len() {
+        0 => None,
+        1 => Some(covers[0].clone()),
+        _ => Some(merge_fragment_covers(&scope.project(db), &covers)),
+    }
+}
+
+/// Merge canonical minimal covers of disjoint *fragments* of `rel` (row
+/// subsets that union to it) into the canonical minimal cover of `rel`
+/// itself.
+///
+/// FD validity is anti-monotone in rows, so every globally valid FD holds
+/// on each fragment and each fragment cover contains a subset-lhs seed
+/// for it. The merge therefore:
+///
+/// 1. unions the fragment covers into one antichain
+///    ([`FdSet::extend_minimal`] — the read-time merge);
+/// 2. validates every merged candidate against the full relation with the
+///    counting kernel (candidates valid on one fragment may split classes
+///    that span fragments);
+/// 3. grows the failed candidates upward through the seeded lattice walk
+///    ([`extend_seeds`]) until the minimal globally valid supersets are
+///    reached.
+///
+/// Surviving candidates are globally *minimal* for free: a strictly
+/// smaller valid lhs would itself be fragment-valid everywhere and would
+/// have evicted the candidate from the merged antichain in step 1. The
+/// result is exactly the cover a from-scratch miner produces on `rel`.
+pub fn merge_fragment_covers(rel: &Relation, covers: &[&FdSet]) -> FdSet {
+    let mut candidates = FdSet::new();
+    for c in covers {
+        candidates.extend_minimal(c);
+    }
+    if covers.len() <= 1 {
+        return candidates;
+    }
+    let mut cache = PliCache::new(rel);
+    let mut survivors = FdSet::new();
+    let mut broken: Vec<Fd> = Vec::new();
+    for fd in candidates.to_sorted_vec() {
+        if cache.check(fd.lhs, fd.rhs) {
+            survivors.insert_minimal(fd);
+        } else {
+            broken.push(fd);
+        }
+    }
+    if !broken.is_empty() {
+        let mut validity = ExactValidity(&mut cache);
+        let recovered = extend_seeds(&mut validity, rel.attr_set(), &broken, &survivors);
+        survivors.extend_minimal(&recovered);
+    }
+    survivors
 }
 
 /// Recursive worker of [`base_scopes`], mirroring the needed-origin
@@ -1491,6 +1599,94 @@ mod tests {
             assert_eq!(full.triples, inc.triples, "spec {spec}");
             // step-1 mining was skipped entirely
             assert_eq!(inc.timings.base_mining, Duration::ZERO);
+        }
+    }
+
+    /// Restrict every table of `db` to the rows of fragment `shard` out
+    /// of `shards` contiguous rid ranges (ceil-chunked like the router).
+    fn fragment_db(db: &Database, shards: usize, shard: usize) -> Database {
+        let names: Vec<String> = db.names().map(str::to_string).collect();
+        let mut out = Database::new();
+        for name in names {
+            let rel = db.expect(&name);
+            let n = rel.nrows();
+            let chunk = n.div_ceil(shards).max(1);
+            let mut evict = infine_relation::DeltaBatch::new();
+            for g in 0..n {
+                if (g / chunk).min(shards - 1) != shard {
+                    evict.delete(g as u32);
+                }
+            }
+            let (frag, _) = rel.apply_delta(&evict, name.clone());
+            out.insert(frag);
+        }
+        out
+    }
+
+    #[test]
+    fn merge_fragment_covers_recovers_canonical_cover() {
+        let db = fig1_db();
+        for table in ["patient", "admission"] {
+            let rel = db.expect(table);
+            let canonical = Algorithm::Levelwise.discover_restricted(rel, rel.attr_set());
+            for shards in [2usize, 3, 4, 8] {
+                // 8 fragments of a 5-row table: some are empty — their
+                // covers degenerate to "everything is constant" and must
+                // still merge away.
+                let covers: Vec<FdSet> = (0..shards)
+                    .map(|s| {
+                        let frag = fragment_db(&db, shards, s);
+                        let frel = frag.expect(table);
+                        Algorithm::Levelwise.discover_restricted(frel, frel.attr_set())
+                    })
+                    .collect();
+                let refs: Vec<&FdSet> = covers.iter().collect();
+                let merged = merge_fragment_covers(rel, &refs);
+                assert!(
+                    infine_discovery::same_fds(&merged, &canonical),
+                    "{table} at {shards} fragments:\n{:?}\nvs canonical\n{:?}",
+                    merged.to_sorted_vec(),
+                    canonical.to_sorted_vec()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discover_sharded_equals_discover() {
+        let db = fig1_db();
+        for spec in [
+            fig1_view(),
+            fig1_view().project(&["gender", "diagnosis", "dob"]),
+        ] {
+            let full = InFine::default().discover(&db, &spec).unwrap();
+            for shards in [1usize, 2, 3] {
+                let shard_base: Vec<BaseFds> = (0..shards)
+                    .map(|s| {
+                        let frag = fragment_db(&db, shards, s);
+                        // Scopes are schema-derived, so computing them on
+                        // the fragment db matches the full db.
+                        base_scopes(&frag, &spec)
+                            .unwrap()
+                            .into_iter()
+                            .map(|sc| {
+                                let rel = sc.project(&frag);
+                                let fds =
+                                    Algorithm::Levelwise.discover_restricted(&rel, rel.attr_set());
+                                (sc.label, fds)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let sharded = InFine::default()
+                    .discover_sharded(&db, &spec, &shard_base)
+                    .unwrap();
+                assert_eq!(
+                    full.triples, sharded.triples,
+                    "spec {spec} at {shards} shards"
+                );
+                assert_eq!(sharded.timings.base_mining, Duration::ZERO);
+            }
         }
     }
 

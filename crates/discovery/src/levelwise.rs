@@ -163,6 +163,62 @@ pub fn mine_new_fds_with<V: Validity>(
     found
 }
 
+/// Seeded upward lattice walk: find the minimal valid strict supersets of
+/// the invalid `seeds`, pruning against `known`.
+///
+/// This is the "targeted lattice search" shared by incremental cover
+/// maintenance (seeds = FDs broken by an insert batch) and sharded cover
+/// merging (seeds = fragment-cover candidates that fail globally). It is
+/// complete whenever every set strictly between a seed and a minimal
+/// valid superset is itself invalid — which holds in both uses, because
+/// any such intermediate set is a proper subset of a minimal valid lhs:
+///
+/// * after an insert-only batch every newly minimal FD `Y → a` was valid
+///   before the batch, so its pre-batch minimal subset either survived
+///   (then `Y` is not minimal) or broke and seeds the walk;
+/// * a fragment-valid candidate `W → a` that fails on the union seeds
+///   every globally minimal `X ⊇ W → a` (validity is anti-monotone in
+///   rows, so each fragment cover contains some subset of `X`).
+pub fn extend_seeds<V: Validity>(
+    validity: &mut V,
+    universe: AttrSet,
+    seeds: &[Fd],
+    known: &FdSet,
+) -> FdSet {
+    let mut found = FdSet::new();
+    let mut by_rhs: std::collections::HashMap<AttrId, Vec<AttrSet>> =
+        std::collections::HashMap::new();
+    for fd in seeds {
+        by_rhs.entry(fd.rhs).or_default().push(fd.lhs);
+    }
+    for (rhs, seeds) in by_rhs {
+        let lhs_universe = universe.without(rhs);
+        let mut seen: std::collections::HashSet<AttrSet> = std::collections::HashSet::new();
+        let mut level: Vec<AttrSet> = seeds;
+        while !level.is_empty() {
+            let mut next: Vec<AttrSet> = Vec::new();
+            for &lhs in &level {
+                for b in lhs_universe.difference(lhs).iter() {
+                    let cand = lhs.with(b);
+                    if !seen.insert(cand) {
+                        continue;
+                    }
+                    if known.has_subset_lhs(cand, rhs) || found.has_subset_lhs(cand, rhs) {
+                        continue; // any validation would be non-minimal
+                    }
+                    if validity.holds(cand, rhs) {
+                        found.insert_minimal(Fd::new(cand, rhs));
+                    } else {
+                        next.push(cand);
+                    }
+                }
+            }
+            level = next;
+        }
+    }
+    found
+}
+
 /// Exact-FD variant of [`mine_new_fds_with`] with its own cache.
 pub fn mine_new_fds(rel: &Relation, attrs: AttrSet, known: &FdSet) -> FdSet {
     let mut cache = PliCache::with_attrs(rel, attrs);

@@ -26,7 +26,7 @@ pub use fd::{same_fds, Fd, FdSet};
 pub use fun::fun;
 pub use hyfd::hyfd;
 pub use levelwise::{
-    constant_attrs, mine_afds, mine_fds, mine_fds_bruteforce, mine_new_fds, mine_new_fds_with,
-    ApproxValidity, ExactValidity, Validity,
+    constant_attrs, extend_seeds, mine_afds, mine_fds, mine_fds_bruteforce, mine_new_fds,
+    mine_new_fds_with, ApproxValidity, ExactValidity, Validity,
 };
 pub use tane::tane;

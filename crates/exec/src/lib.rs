@@ -201,6 +201,28 @@ where
     par_map_with(items, || (), |(), i, t| f(i, t))
 }
 
+/// Parallel indexed map over *mutable* items (each item is visited by
+/// exactly one worker — the use case is a fleet of stateful engines, one
+/// task per engine). Results in input order; same inline fallback rules
+/// as [`par_map`].
+///
+/// Mutability is laundered through one `Mutex` per item: every index is
+/// claimed exactly once by the pool, so each lock is taken exactly once
+/// and never contended — the cost is one uncontended lock op per item,
+/// noise for the coarse tasks this pool is built for.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    par_map(&cells, |i, cell| {
+        let mut item = cell.lock().expect("pool poisoned");
+        f(i, &mut item)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +330,22 @@ mod tests {
             })
         });
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_once() {
+        for workers in [1usize, 4] {
+            let out = with_override(workers, || {
+                let mut items: Vec<u32> = (0..100).collect();
+                let doubled = par_map_mut(&mut items, |_, x| {
+                    *x *= 2;
+                    *x
+                });
+                assert_eq!(doubled, items);
+                items
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   lhs partition, and only when the batch inserted rows (deletes can
 //!   never break an FD — validity is anti-monotone in rows);
 //! * FDs broken by inserts are replaced through a seeded upward lattice
-//!   walk ([`extend_broken`]) — after an insert-only batch every newly
+//!   walk ([`extend_seeds`]) — after an insert-only batch every newly
 //!   minimal FD is a strict superset of a broken one;
 //! * FDs surfaced by deletes are recovered by the shared level-wise miner
 //!   with the surviving set as its pruning `known` input (the machinery
@@ -23,7 +23,7 @@
 //! The same state machine serves the engine's per-base-table FD sets and
 //! the materialized-view cover of the fast path.
 
-use infine_discovery::{mine_new_fds_with, Algorithm, Fd, FdSet, Validity};
+use infine_discovery::{extend_seeds, mine_new_fds_with, Algorithm, Fd, FdSet, Validity};
 use infine_partitions::{rebase_plis, Pli, PliCache};
 use infine_relation::{AppliedDelta, AttrSet, Relation};
 use std::collections::{HashMap, HashSet};
@@ -180,7 +180,7 @@ impl CoverState {
                     hits: 0,
                     misses: 0,
                 };
-                let found = extend_broken(&mut validity, self.attrs, &broken, &survivors);
+                let found = extend_seeds(&mut validity, self.attrs, &broken, &survivors);
                 stats.witness_hits += validity.hits;
                 stats.witness_misses += validity.misses;
                 found
@@ -255,55 +255,6 @@ impl Validity for WitnessValidity<'_, '_> {
             None => true,
         }
     }
-}
-
-/// Seeded upward lattice walk: find the minimal valid supersets of the
-/// broken FDs, pruning against the surviving set — the "targeted lattice
-/// search" replacing a full re-mine on the insert path.
-///
-/// Completeness: after an insert-only batch every newly minimal FD
-/// `Y → a` was valid before the batch, so its pre-batch minimal subset
-/// either survived (then `Y` is not minimal) or broke — and the chain
-/// from that broken lhs up to `Y` consists of invalid sets (proper
-/// subsets of a minimal FD's lhs), which this walk extends one attribute
-/// at a time.
-fn extend_broken<V: Validity>(
-    validity: &mut V,
-    universe: AttrSet,
-    broken: &[Fd],
-    survivors: &FdSet,
-) -> FdSet {
-    let mut found = FdSet::new();
-    let mut by_rhs: HashMap<usize, Vec<AttrSet>> = HashMap::new();
-    for fd in broken {
-        by_rhs.entry(fd.rhs).or_default().push(fd.lhs);
-    }
-    for (rhs, seeds) in by_rhs {
-        let lhs_universe = universe.without(rhs);
-        let mut seen: HashSet<AttrSet> = HashSet::new();
-        let mut level: Vec<AttrSet> = seeds;
-        while !level.is_empty() {
-            let mut next: Vec<AttrSet> = Vec::new();
-            for &lhs in &level {
-                for b in lhs_universe.difference(lhs).iter() {
-                    let cand = lhs.with(b);
-                    if !seen.insert(cand) {
-                        continue;
-                    }
-                    if survivors.has_subset_lhs(cand, rhs) || found.has_subset_lhs(cand, rhs) {
-                        continue; // any validation would be non-minimal
-                    }
-                    if validity.holds(cand, rhs) {
-                        found.insert_minimal(Fd::new(cand, rhs));
-                    } else {
-                        next.push(cand);
-                    }
-                }
-            }
-            level = next;
-        }
-    }
-    found
 }
 
 #[cfg(test)]

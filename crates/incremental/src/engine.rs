@@ -93,7 +93,7 @@ pub enum MaintenanceMode {
 }
 
 /// How one previously-held FD fared under a delta batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FdStatus {
     /// No base table under the FD's justifying sub-query changed; the FD
     /// is still valid with no data touched.
@@ -291,23 +291,8 @@ impl MaintenanceEngine {
         spec: ViewSpec,
         mode: MaintenanceMode,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
-        let scopes = base_scopes(&db, &spec)?;
+        let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
         let algorithm = infine.config.base_algorithm;
-        let states: Vec<BaseState> = scopes
-            .into_iter()
-            .map(|scope| {
-                let rel = scope.project(&db);
-                let attrs = rel.attr_set();
-                let cover = CoverState::bootstrap(&rel, attrs, algorithm);
-                let dict_index = DictIndexes::build(&rel);
-                BaseState {
-                    scope,
-                    rel,
-                    cover,
-                    dict_index,
-                }
-            })
-            .collect();
         let base_fds: BaseFds = states
             .iter()
             .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
@@ -341,6 +326,39 @@ impl MaintenanceEngine {
         spec: ViewSpec,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
         MaintenanceEngine::new(InFine::default(), db, spec)
+    }
+
+    /// Bootstrap the per-base cover state only, skipping the view-level
+    /// pipeline run — [`MaintenanceEngine::report`] and
+    /// [`MaintenanceEngine::fd_set`] start empty and stay stale until
+    /// [`MaintenanceEngine::refresh_provenance`]. The fragment-engine
+    /// constructor of the sharded service, which consumes only
+    /// [`MaintenanceEngine::base_covers`] / `apply_base_only`.
+    pub(crate) fn new_base_only(
+        infine: InFine,
+        db: Database,
+        spec: ViewSpec,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
+        let subquery_tables = subquery_table_index(&spec);
+        Ok(MaintenanceEngine {
+            infine,
+            spec,
+            db,
+            states,
+            mode: MaintenanceMode::ExactProvenance,
+            view: None,
+            report: InFineReport {
+                schema: Schema::new(),
+                triples: Vec::new(),
+                timings: infine_core::PhaseTimings::default(),
+                stats: infine_core::PipelineStats::default(),
+            },
+            cover: FdSet::new(),
+            stale: HashSet::new(),
+            table_indexes: HashMap::new(),
+            subquery_tables,
+        })
     }
 
     /// The maintained view specification.
@@ -440,35 +458,7 @@ impl MaintenanceEngine {
         let mut timings = MaintenanceTimings::default();
         // Validate every batch before touching any state: a mid-round
         // panic would leave the engine's db/view/cover inconsistent.
-        let mut seen: HashSet<&str> = HashSet::new();
-        for d in deltas {
-            let Some(table) = self.db.get(&d.target) else {
-                return Err(MaintenanceError::UnknownTable(d.target.clone()));
-            };
-            if !seen.insert(&d.target) {
-                return Err(MaintenanceError::DuplicateTarget(d.target.clone()));
-            }
-            if let Some(&row) = d
-                .batch
-                .deletes
-                .iter()
-                .find(|&&r| r as usize >= table.nrows())
-            {
-                return Err(MaintenanceError::BadBatch(format!(
-                    "delete of row {row} out of range for {:?} ({} rows)",
-                    d.target,
-                    table.nrows()
-                )));
-            }
-            if let Some(bad) = d.batch.inserts.iter().find(|r| r.len() != table.ncols()) {
-                return Err(MaintenanceError::BadBatch(format!(
-                    "insert arity {} does not match {:?} ({} columns)",
-                    bad.len(),
-                    d.target,
-                    table.ncols()
-                )));
-            }
-        }
+        validate_deltas(&self.db, deltas)?;
 
         let mut changed_tables: HashSet<String> = HashSet::new();
         let mut base_reports: Vec<BaseMaintenance> = Vec::new();
@@ -584,30 +574,13 @@ impl MaintenanceEngine {
 
         // Provenance-guided classification of the previously held cover.
         let old_cover = std::mem::replace(&mut self.cover, new_cover.clone());
-        let held = old_cover
-            .iter()
-            .map(|fd| {
-                // Use the best provenance label we have for the held FD;
-                // FDs without one (fresh under cover-only rounds, whose
-                // labels were never derived) get a synthetic one.
-                let triple = old_triples
-                    .get(&fd)
-                    .cloned()
-                    .unwrap_or_else(|| ProvenanceTriple::new(fd, FdKind::JoinFd, "Δ-maintained"));
-                let status = if !new_cover.contains(&fd) {
-                    FdStatus::Invalidated
-                } else if self.provenance_touched(&triple, &changed_tables) {
-                    FdStatus::Revalidated
-                } else {
-                    FdStatus::Untouched
-                };
-                (triple, status)
-            })
-            .collect();
-        let fresh: Vec<Fd> = new_cover
-            .iter()
-            .filter(|fd| !old_cover.contains(fd))
-            .collect();
+        let (held, fresh) = classify_round(
+            &old_triples,
+            &old_cover,
+            &new_cover,
+            &self.subquery_tables,
+            &changed_tables,
+        );
 
         let schema = if exact {
             self.report.schema.clone()
@@ -630,14 +603,166 @@ impl MaintenanceEngine {
         })
     }
 
-    /// Does the triple's justifying sub-query sit above a changed table?
-    /// Unknown sub-query strings (defensive) count as touched.
-    fn provenance_touched(&self, t: &ProvenanceTriple, changed: &HashSet<String>) -> bool {
-        match self.subquery_tables.get(&t.subquery) {
-            Some(tables) => tables.iter().any(|tb| changed.contains(tb)),
-            None => !changed.is_empty(),
+    /// The maintained per-base-occurrence FD covers, keyed by label — the
+    /// [`BaseFds`] this engine would feed to
+    /// [`InFine::discover_incremental`]. Labels whose state went stale
+    /// during cover-only rounds are resynced first.
+    pub fn base_covers(&mut self) -> BaseFds {
+        self.resync_stale_states();
+        self.states
+            .iter()
+            .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
+            .collect()
+    }
+
+    /// [`MaintenanceEngine::base_covers`] restricted to the labels whose
+    /// underlying table is in `tables` — the per-round slice the sharded
+    /// engine re-merges (covers of untouched labels are cached there,
+    /// so cloning them would be waste).
+    pub(crate) fn base_covers_for(&mut self, tables: &HashSet<String>) -> BaseFds {
+        self.resync_stale_states();
+        self.states
+            .iter()
+            .filter(|s| tables.contains(&s.scope.table))
+            .map(|s| (s.scope.label.clone(), s.cover.fds.clone()))
+            .collect()
+    }
+
+    /// Maintain only the per-base-table covers through a round, skipping
+    /// the view-level pipeline replay and FD classification entirely —
+    /// the fragment-engine workhorse of the sharded service, where a
+    /// shard's view-level state is never read and only
+    /// [`MaintenanceEngine::base_covers`] is consumed.
+    ///
+    /// After this call [`MaintenanceEngine::report`] and
+    /// [`MaintenanceEngine::fd_set`] lag the database (bring them current
+    /// with [`MaintenanceEngine::refresh_provenance`]); `base_covers`
+    /// stays exact. A later [`MaintenanceEngine::apply`] still produces a
+    /// correct new cover — only its held-FD baseline is the last exact
+    /// report.
+    pub(crate) fn apply_base_only(
+        &mut self,
+        deltas: &[DeltaRelation],
+    ) -> Result<(Vec<BaseMaintenance>, MaintenanceTimings), MaintenanceError> {
+        validate_deltas(&self.db, deltas)?;
+        self.resync_stale_states();
+        let mut timings = MaintenanceTimings::default();
+        let mut reports = Vec::new();
+        for delta in deltas {
+            if delta.batch.is_empty() {
+                continue;
+            }
+            let t0 = Instant::now();
+            let table = self.db.remove(&delta.target).expect("validated above");
+            let index = self
+                .table_indexes
+                .entry(delta.target.clone())
+                .or_insert_with(|| DictIndexes::build(&table));
+            let (new_table, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+            self.db.insert(new_table);
+            timings.delta_apply += t0.elapsed();
+            for state in self
+                .states
+                .iter_mut()
+                .filter(|s| s.scope.table == delta.target)
+            {
+                reports.push(maintain_base(state, &delta.batch, &mut timings));
+            }
+        }
+        Ok((reports, timings))
+    }
+}
+
+/// Validate a round of delta batches against `db` without touching any
+/// state: unknown targets, duplicate targets, out-of-range deletes, and
+/// arity-mismatched inserts are all rejected up front (shared by
+/// [`MaintenanceEngine::apply`] and the sharded engine).
+pub(crate) fn validate_deltas(
+    db: &Database,
+    deltas: &[DeltaRelation],
+) -> Result<(), MaintenanceError> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for d in deltas {
+        let Some(table) = db.get(&d.target) else {
+            return Err(MaintenanceError::UnknownTable(d.target.clone()));
+        };
+        if !seen.insert(&d.target) {
+            return Err(MaintenanceError::DuplicateTarget(d.target.clone()));
+        }
+        if let Some(&row) = d
+            .batch
+            .deletes
+            .iter()
+            .find(|&&r| r as usize >= table.nrows())
+        {
+            return Err(MaintenanceError::BadBatch(format!(
+                "delete of row {row} out of range for {:?} ({} rows)",
+                d.target,
+                table.nrows()
+            )));
+        }
+        if let Some(bad) = d.batch.inserts.iter().find(|r| r.len() != table.ncols()) {
+            return Err(MaintenanceError::BadBatch(format!(
+                "insert arity {} does not match {:?} ({} columns)",
+                bad.len(),
+                d.target,
+                table.ncols()
+            )));
         }
     }
+    Ok(())
+}
+
+/// Does the triple's justifying sub-query sit above a changed table?
+/// Unknown sub-query strings (defensive) count as touched.
+fn provenance_touched(
+    subquery_tables: &HashMap<String, HashSet<String>>,
+    t: &ProvenanceTriple,
+    changed: &HashSet<String>,
+) -> bool {
+    match subquery_tables.get(&t.subquery) {
+        Some(tables) => tables.iter().any(|tb| changed.contains(tb)),
+        None => !changed.is_empty(),
+    }
+}
+
+/// Provenance-guided classification of a round: how each FD of the
+/// previously held cover fared (with its best-known provenance label),
+/// plus the FDs fresh in the new cover. Shared by the unsharded engine
+/// and the sharded service so per-round classifications are identical by
+/// construction.
+pub(crate) fn classify_round(
+    old_triples: &HashMap<Fd, ProvenanceTriple>,
+    old_cover: &FdSet,
+    new_cover: &FdSet,
+    subquery_tables: &HashMap<String, HashSet<String>>,
+    changed: &HashSet<String>,
+) -> (Vec<(ProvenanceTriple, FdStatus)>, Vec<Fd>) {
+    let held = old_cover
+        .iter()
+        .map(|fd| {
+            // Use the best provenance label we have for the held FD; FDs
+            // without one (fresh under cover-only rounds, whose labels
+            // were never derived) get a synthetic one.
+            let triple = old_triples
+                .get(&fd)
+                .cloned()
+                .unwrap_or_else(|| ProvenanceTriple::new(fd, FdKind::JoinFd, "Δ-maintained"));
+            let status = if !new_cover.contains(&fd) {
+                FdStatus::Invalidated
+            } else if provenance_touched(subquery_tables, &triple, changed) {
+                FdStatus::Revalidated
+            } else {
+                FdStatus::Untouched
+            };
+            (triple, status)
+        })
+        .collect();
+    let fresh: Vec<Fd> = new_cover
+        .iter()
+        .filter(|fd| !old_cover.contains(fd))
+        .collect();
+    (held, fresh)
 }
 
 impl MaintenanceEngine {
@@ -655,6 +780,32 @@ impl MaintenanceEngine {
         }
         self.stale.clear();
     }
+}
+
+/// Mine the per-base-occurrence cover state of a view from scratch — the
+/// shared bootstrap block of every engine constructor (unsharded modes
+/// and the sharded service's fragment engines alike, so their base-state
+/// semantics cannot drift apart).
+fn bootstrap_states(
+    db: &Database,
+    spec: &ViewSpec,
+    algorithm: infine_discovery::Algorithm,
+) -> Result<Vec<BaseState>, MaintenanceError> {
+    Ok(base_scopes(db, spec)?
+        .into_iter()
+        .map(|scope| {
+            let rel = scope.project(db);
+            let attrs = rel.attr_set();
+            let cover = CoverState::bootstrap(&rel, attrs, algorithm);
+            let dict_index = DictIndexes::build(&rel);
+            BaseState {
+                scope,
+                rel,
+                cover,
+                dict_index,
+            }
+        })
+        .collect())
 }
 
 /// Recompute a base state's scoped relation and cover from the current
@@ -699,7 +850,7 @@ fn maintain_base(
 /// Rendered sub-query → base tables beneath it, for every node of the
 /// spec (plus the root-projection label `π(spec)` the pipeline emits when
 /// it restricts to the final attribute set).
-fn subquery_table_index(spec: &ViewSpec) -> HashMap<String, HashSet<String>> {
+pub(crate) fn subquery_table_index(spec: &ViewSpec) -> HashMap<String, HashSet<String>> {
     fn walk(spec: &ViewSpec, out: &mut HashMap<String, HashSet<String>>) -> HashSet<String> {
         let tables: HashSet<String> = match spec {
             ViewSpec::Base { table, .. } => [table.clone()].into_iter().collect(),

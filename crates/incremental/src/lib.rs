@@ -50,9 +50,18 @@
 //! database would produce — incrementality changes the cost, never the
 //! answer. See `crates/incremental/README.md` for the design notes and
 //! the complexity discussion.
+//!
+//! For production-shaped deployments, [`ShardedEngine`] partitions every
+//! base table into key-range fragments maintained by one engine per
+//! shard (covers merged exactly at read time), and
+//! [`MaintenanceService`] wraps it in a channel-driven loop — deltas in,
+//! reports out, per-table batch coalescing between rounds — so producers
+//! never block on maintenance.
 
 pub mod cover;
 pub mod engine;
+pub mod service;
+pub mod shard;
 pub mod view;
 
 pub use cover::{CoverDeltaStats, CoverState};
@@ -60,4 +69,6 @@ pub use engine::{
     BaseMaintenance, FdStatus, MaintenanceEngine, MaintenanceError, MaintenanceMode,
     MaintenanceReport, MaintenanceTimings,
 };
+pub use service::MaintenanceService;
+pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
 pub use view::ViewState;

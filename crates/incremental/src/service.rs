@@ -1,0 +1,390 @@
+//! The channel-driven maintenance service: deltas in,
+//! [`MaintenanceReport`]s out, producers never block on maintenance.
+//!
+//! [`MaintenanceService::spawn`] moves a [`ShardedEngine`] onto a worker
+//! thread and hands back a handle with two channels: a request sender
+//! (ingest / flush) and a report receiver. Producers [`ingest`] batches
+//! at any rate; the worker drains everything queued while it was busy and
+//! **coalesces the pending batches per table** ([`DeltaBatch::then`])
+//! before running one sharded maintenance round — so a burst of ten
+//! batches against one table costs one round, not ten, and the emitted
+//! report describes the combined delta.
+//!
+//! Batch addressing contract: each ingested batch addresses its table in
+//! the *logical stream state* — the base table after every previously
+//! *accepted* batch, in ingestion order. That is exactly what a producer
+//! tailing its own change feed sees. Malformed batches (unknown table,
+//! out-of-range delete, arity mismatch) are rejected at ingestion and
+//! surface as `Err` on the report channel without poisoning the pending
+//! state; the rest of the failing [`ingest`] call is dropped with them
+//! (its batches assumed the rejected one applied). A rejection is a
+//! stream fault: batches the producer derived *after* the rejected one —
+//! including ones already queued in later ingest calls — may address
+//! rows the service never created, so on an `Err` report the producer
+//! should re-derive its feed from the engine's actual state (e.g. flush,
+//! then rebuild its mirror).
+//!
+//! [`ingest`]: MaintenanceService::ingest
+
+use crate::engine::{MaintenanceError, MaintenanceReport};
+use crate::shard::ShardedEngine;
+use infine_relation::{DeltaBatch, DeltaRelation};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+enum Request {
+    Ingest(Vec<DeltaRelation>),
+    Flush,
+}
+
+/// Handle to a background sharded-maintenance loop.
+///
+/// ```
+/// use infine_core::InFine;
+/// use infine_incremental::{MaintenanceService, ShardedEngine};
+/// use infine_algebra::ViewSpec;
+/// use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Value};
+///
+/// let mut db = Database::new();
+/// db.insert(relation_from_rows(
+///     "t",
+///     &["k", "v"],
+///     &[&[Value::Int(1), Value::Int(10)], &[Value::Int(2), Value::Int(20)]],
+/// ));
+/// let engine = ShardedEngine::new(InFine::default(), db, ViewSpec::base("t"), 2).unwrap();
+/// let service = MaintenanceService::spawn(engine);
+/// let mut batch = DeltaBatch::new();
+/// batch.insert(vec![Value::Int(3), Value::Int(10)]);
+/// service.ingest(vec![DeltaRelation::new("t", batch)]);
+/// let report = service.recv_report().unwrap().unwrap();
+/// assert!(report.exact_provenance);
+/// let engine = service.shutdown();
+/// assert_eq!(engine.database().expect("t").nrows(), 3);
+/// ```
+pub struct MaintenanceService {
+    requests: Sender<Request>,
+    reports: Receiver<Result<MaintenanceReport, MaintenanceError>>,
+    worker: Option<JoinHandle<ShardedEngine>>,
+}
+
+impl MaintenanceService {
+    /// Move `engine` onto a worker thread and start the loop.
+    pub fn spawn(engine: ShardedEngine) -> MaintenanceService {
+        let (req_tx, req_rx) = std::sync::mpsc::channel();
+        let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+        let worker = std::thread::Builder::new()
+            .name("infine-maintenance".into())
+            .spawn(move || run(engine, req_rx, rep_tx))
+            .expect("spawn maintenance worker");
+        MaintenanceService {
+            requests: req_tx,
+            reports: rep_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Queue a round of delta batches (non-blocking). Returns `false`
+    /// when the worker is gone (nothing was queued).
+    pub fn ingest(&self, deltas: Vec<DeltaRelation>) -> bool {
+        self.requests.send(Request::Ingest(deltas)).is_ok()
+    }
+
+    /// Force a maintenance round now, even if nothing is pending (the
+    /// empty round re-emits the current state with every FD untouched).
+    /// Returns `false` when the worker is gone.
+    pub fn flush(&self) -> bool {
+        self.requests.send(Request::Flush).is_ok()
+    }
+
+    /// Block until the next round report (or ingestion error) arrives;
+    /// `None` once the worker has exited and the channel drained.
+    pub fn recv_report(&self) -> Option<Result<MaintenanceReport, MaintenanceError>> {
+        self.reports.recv().ok()
+    }
+
+    /// Non-blocking report poll.
+    pub fn try_recv_report(&self) -> Option<Result<MaintenanceReport, MaintenanceError>> {
+        match self.reports.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Stop the loop (after a final round draining any pending batches)
+    /// and get the engine back for inspection. Unread reports are
+    /// discarded with the handle — receive them first if you need them;
+    /// the engine's state reflects every drained round either way.
+    pub fn shutdown(mut self) -> ShardedEngine {
+        drop(std::mem::replace(&mut self.requests, {
+            // Dropping the sender is the shutdown signal; replace it with
+            // a dangling one so Drop has something to drop.
+            std::sync::mpsc::channel().0
+        }));
+        self.worker
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("maintenance worker panicked")
+    }
+}
+
+impl Drop for MaintenanceService {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            // Disconnect the request channel so the loop exits, then wait
+            // for the final round.
+            let (dangling, _) = std::sync::mpsc::channel();
+            drop(std::mem::replace(&mut self.requests, dangling));
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The worker loop: block for work, drain the queue, coalesce, run one
+/// round, repeat. A disconnected request channel ends the loop after a
+/// final round for whatever is still pending.
+fn run(
+    mut engine: ShardedEngine,
+    requests: Receiver<Request>,
+    reports: Sender<Result<MaintenanceReport, MaintenanceError>>,
+) -> ShardedEngine {
+    let mut pending: HashMap<String, DeltaBatch> = HashMap::new();
+    while let Ok(first) = requests.recv() {
+        let mut queued = vec![first];
+        while let Ok(more) = requests.try_recv() {
+            queued.push(more);
+        }
+        let mut flush = false;
+        for req in queued {
+            match req {
+                Request::Ingest(deltas) => {
+                    // One rejected batch drops the REST of this ingest
+                    // request too: every later batch addresses a stream
+                    // state that assumed the rejected one applied, so
+                    // folding it in would silently hit the wrong rows.
+                    // The producer sees the `Err` report and re-derives
+                    // its feed from the engine state.
+                    for d in deltas {
+                        if let Err(e) = coalesce_into(&engine, &mut pending, d) {
+                            let _ = reports.send(Err(e));
+                            break;
+                        }
+                    }
+                }
+                Request::Flush => flush = true,
+            }
+        }
+        if !pending.is_empty() || flush {
+            let round: Vec<DeltaRelation> = pending
+                .drain()
+                .map(|(target, batch)| DeltaRelation::new(target, batch))
+                .collect();
+            let _ = reports.send(engine.apply(&round));
+        }
+    }
+    if !pending.is_empty() {
+        let round: Vec<DeltaRelation> = pending
+            .drain()
+            .map(|(target, batch)| DeltaRelation::new(target, batch))
+            .collect();
+        let _ = reports.send(engine.apply(&round));
+    }
+    engine
+}
+
+/// Validate one incoming batch against the logical stream state and fold
+/// it into the pending per-table batch.
+fn coalesce_into(
+    engine: &ShardedEngine,
+    pending: &mut HashMap<String, DeltaBatch>,
+    delta: DeltaRelation,
+) -> Result<(), MaintenanceError> {
+    let Some(table) = engine.database().get(&delta.target) else {
+        return Err(MaintenanceError::UnknownTable(delta.target));
+    };
+    if let Some(bad) = delta
+        .batch
+        .inserts
+        .iter()
+        .find(|r| r.len() != table.ncols())
+    {
+        return Err(MaintenanceError::BadBatch(format!(
+            "insert arity {} does not match {:?} ({} columns)",
+            bad.len(),
+            delta.target,
+            table.ncols()
+        )));
+    }
+    let base_nrows = table.nrows();
+    let logical_nrows = match pending.get(&delta.target) {
+        None => base_nrows,
+        Some(p) => {
+            let distinct_deletes: std::collections::HashSet<u32> =
+                p.deletes.iter().copied().collect();
+            base_nrows - distinct_deletes.len() + p.inserts.len()
+        }
+    };
+    if let Some(&row) = delta
+        .batch
+        .deletes
+        .iter()
+        .find(|&&r| r as usize >= logical_nrows)
+    {
+        return Err(MaintenanceError::BadBatch(format!(
+            "delete of row {row} out of range for {:?} ({logical_nrows} rows in the pending state)",
+            delta.target
+        )));
+    }
+    match pending.remove(&delta.target) {
+        None => {
+            pending.insert(delta.target, delta.batch);
+        }
+        Some(p) => {
+            pending.insert(delta.target, p.then(&delta.batch, base_nrows));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaintenanceEngine;
+    use infine_algebra::ViewSpec;
+    use infine_core::InFine;
+    use infine_relation::{relation_from_rows, Database, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(relation_from_rows(
+            "p",
+            &["pid", "grp", "flag"],
+            &[
+                &[Value::Int(1), Value::str("a"), Value::Int(0)],
+                &[Value::Int(2), Value::str("a"), Value::Int(0)],
+                &[Value::Int(3), Value::str("b"), Value::Int(1)],
+                &[Value::Int(4), Value::str("b"), Value::Int(1)],
+            ],
+        ));
+        db.insert(relation_from_rows(
+            "q",
+            &["pid", "site"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("x")],
+                &[Value::Int(3), Value::str("y")],
+                &[Value::Int(3), Value::str("y")],
+            ],
+        ));
+        db
+    }
+
+    fn view() -> ViewSpec {
+        ViewSpec::base("p").inner_join(ViewSpec::base("q"), &["pid"])
+    }
+
+    #[test]
+    fn service_round_trips_and_matches_full_discovery() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
+        assert!(service.ingest(vec![DeltaRelation::new("p", b)]));
+        let report = service.recv_report().unwrap().unwrap();
+        assert!(report.exact_provenance);
+        let engine = service.shutdown();
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(engine.report().triples, fresh.triples);
+        assert_eq!(report.triples, fresh.triples);
+    }
+
+    #[test]
+    fn sequential_ingests_for_one_table_coalesce_like_sequential_rounds() {
+        // Reference: an unsharded engine fed the two batches as two
+        // rounds. The service receives both in one ingest call, coalesces
+        // them into one round, and must land in the same state.
+        let mut reference = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+        let mut b1 = DeltaBatch::new();
+        b1.delete(0)
+            .insert(vec![Value::Int(5), Value::str("c"), Value::Int(2)]);
+        // b2 addresses the post-b1 state: rid 3 is the inserted row.
+        let mut b2 = DeltaBatch::new();
+        b2.delete(3)
+            .insert(vec![Value::Int(1), Value::str("a"), Value::Int(0)]);
+        reference
+            .apply_one(&DeltaRelation::new("p", b1.clone()))
+            .unwrap();
+        reference
+            .apply_one(&DeltaRelation::new("p", b2.clone()))
+            .unwrap();
+
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        service.ingest(vec![
+            DeltaRelation::new("p", b1),
+            DeltaRelation::new("p", b2),
+        ]);
+        let report = service.recv_report().unwrap().unwrap();
+        let engine = service.shutdown();
+        assert_eq!(engine.report().triples, reference.report().triples);
+        assert_eq!(
+            report.cover.to_sorted_vec(),
+            reference.fd_set().to_sorted_vec()
+        );
+        // Row values agree (codes may differ through coalescing).
+        let a = reference.database().expect("p");
+        let b = engine.database().expect("p");
+        assert_eq!(a.nrows(), b.nrows());
+        for r in 0..a.nrows() {
+            assert_eq!(a.row(r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn malformed_ingest_surfaces_as_error_without_poisoning() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        let mut bad = DeltaBatch::new();
+        bad.delete(99);
+        service.ingest(vec![DeltaRelation::new("p", bad)]);
+        let err = service.recv_report().unwrap().unwrap_err();
+        assert!(matches!(err, MaintenanceError::BadBatch(_)));
+        // The loop is still alive and healthy.
+        let mut ok = DeltaBatch::new();
+        ok.insert(vec![Value::Int(9), Value::str("z"), Value::Int(3)]);
+        service.ingest(vec![DeltaRelation::new("p", ok)]);
+        let report = service.recv_report().unwrap().unwrap();
+        assert!(report.exact_provenance);
+        let engine = service.shutdown();
+        assert_eq!(engine.database().expect("p").nrows(), 5);
+    }
+
+    #[test]
+    fn flush_emits_an_untouched_round() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let held = engine.fd_set().len();
+        let service = MaintenanceService::spawn(engine);
+        service.flush();
+        let report = service.recv_report().unwrap().unwrap();
+        assert_eq!(report.count_status(crate::FdStatus::Untouched), held,);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pending_batches_drain_on_shutdown() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(8), Value::str("d"), Value::Int(4)]);
+        service.ingest(vec![DeltaRelation::new("p", b)]);
+        let engine = service.shutdown();
+        assert_eq!(engine.database().expect("p").nrows(), 5);
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(engine.report().triples, fresh.triples);
+    }
+}

@@ -1,0 +1,200 @@
+//! Coalescing property (satellite of the sharded-maintenance PR):
+//! applying a coalesced batch ([`DeltaBatch::then`]) is equivalent to
+//! applying its constituent batches sequentially — same engine state
+//! (cover, triples, row values) and consistent reported FD
+//! classifications — including the delete-then-reinsert-same-key case
+//! and the cancellation case (a later delete of an earlier insert).
+
+use infine_core::InFine;
+use infine_datagen::{find, random_delta, Scale};
+use infine_discovery::same_fds;
+use infine_incremental::{FdStatus, MaintenanceEngine, ShardedEngine};
+use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_rows_equal(a: &Relation, b: &Relation, what: &str) {
+    assert_eq!(a.nrows(), b.nrows(), "{what}: row counts differ");
+    for r in 0..a.nrows() {
+        assert_eq!(a.row(r), b.row(r), "{what}: row {r} differs");
+    }
+}
+
+/// Apply `batches` to `table` sequentially on one engine and coalesced on
+/// another (plus a 2-shard engine), then pin state equality everywhere.
+fn assert_coalesce_equivalent(
+    db: &Database,
+    spec: &infine_algebra::ViewSpec,
+    table: &str,
+    batches: &[DeltaBatch],
+) {
+    let mut sequential = MaintenanceEngine::new(InFine::default(), db.clone(), spec.clone())
+        .expect("sequential bootstrap");
+    // `then`'s old_nrows is always the row count the *coalesced* batch
+    // will be applied at — the pre-chain table.
+    let base_nrows = db.expect(table).nrows();
+    let mut coalesced_batch = DeltaBatch::new();
+    let mut first = true;
+    for b in batches {
+        if first {
+            coalesced_batch = b.clone();
+            first = false;
+        } else {
+            coalesced_batch = coalesced_batch.then(b, base_nrows);
+        }
+        sequential
+            .apply_one(&DeltaRelation::new(table, b.clone()))
+            .expect("sequential apply");
+    }
+
+    let mut coalesced = MaintenanceEngine::new(InFine::default(), db.clone(), spec.clone())
+        .expect("coalesced bootstrap");
+    let report = coalesced
+        .apply_one(&DeltaRelation::new(table, coalesced_batch.clone()))
+        .expect("coalesced apply");
+    let mut sharded = ShardedEngine::new(InFine::default(), db.clone(), spec.clone(), 2)
+        .expect("sharded bootstrap");
+    let sharded_report = sharded
+        .apply_one(&DeltaRelation::new(table, coalesced_batch))
+        .expect("sharded coalesced apply");
+
+    // Engine state: covers and triples identical, row values identical
+    // (dictionary codes may legitimately differ when an insert was
+    // cancelled, so rows are compared by value).
+    assert_eq!(
+        sequential.report().triples,
+        coalesced.report().triples,
+        "coalesced ≠ sequential triples"
+    );
+    assert!(same_fds(&sequential.fd_set(), &coalesced.fd_set()));
+    assert_rows_equal(
+        sequential.database().expect(table),
+        coalesced.database().expect(table),
+        "coalesced vs sequential",
+    );
+
+    // The sharded engine agrees with the unsharded one on the coalesced
+    // round — classifications included.
+    assert_eq!(report.triples, sharded_report.triples);
+    let classify = |r: &infine_incremental::MaintenanceReport| {
+        let mut held: Vec<_> = r.held.iter().map(|(t, s)| (t.fd, *s)).collect();
+        held.sort();
+        let mut fresh = r.fresh.clone();
+        fresh.sort();
+        (held, fresh)
+    };
+    assert_eq!(classify(&report), classify(&sharded_report));
+
+    // Classification consistency of the coalesced round: invalidated ⇔
+    // dropped from the cover, fresh ⇔ not previously held.
+    for (t, s) in &report.held {
+        assert_eq!(
+            *s == FdStatus::Invalidated,
+            !report.cover.contains(&t.fd),
+            "held FD {:?} misclassified",
+            t.fd
+        );
+    }
+    for fd in &report.fresh {
+        assert!(report.cover.contains(fd));
+        assert!(!report.held.iter().any(|(t, _)| t.fd == *fd));
+    }
+
+    // ... and everything equals full re-discovery.
+    let full = InFine::default()
+        .discover(coalesced.database(), spec)
+        .expect("full discover");
+    assert_eq!(coalesced.report().triples, full.triples);
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert(relation_from_rows(
+        "p",
+        &["pid", "grp", "flag"],
+        &[
+            &[Value::Int(1), Value::str("a"), Value::Int(0)],
+            &[Value::Int(2), Value::str("a"), Value::Int(0)],
+            &[Value::Int(3), Value::str("b"), Value::Int(1)],
+            &[Value::Int(4), Value::str("b"), Value::Int(1)],
+        ],
+    ));
+    db.insert(relation_from_rows(
+        "q",
+        &["pid", "site"],
+        &[
+            &[Value::Int(1), Value::str("x")],
+            &[Value::Int(2), Value::str("x")],
+            &[Value::Int(3), Value::str("y")],
+            &[Value::Int(4), Value::str("y")],
+        ],
+    ));
+    db
+}
+
+fn view() -> infine_algebra::ViewSpec {
+    infine_algebra::ViewSpec::base("p").inner_join(infine_algebra::ViewSpec::base("q"), &["pid"])
+}
+
+/// Delete a row, then reinsert the same key/values in the next batch:
+/// the coalesced round must behave like the (net no-op-ish) sequence.
+#[test]
+fn delete_then_reinsert_same_key() {
+    let mut b1 = DeltaBatch::new();
+    b1.delete(2);
+    let mut b2 = DeltaBatch::new();
+    b2.insert(vec![Value::Int(3), Value::str("b"), Value::Int(1)]);
+    assert_coalesce_equivalent(&db(), &view(), "p", &[b1, b2]);
+
+    // The logical content round-trips, so the final cover equals the
+    // bootstrap cover and the coalesced round invalidates nothing.
+    let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+    let before = engine.fd_set();
+    let mut b1 = DeltaBatch::new();
+    b1.delete(2);
+    let mut b2 = DeltaBatch::new();
+    b2.insert(vec![Value::Int(3), Value::str("b"), Value::Int(1)]);
+    let coalesced = b1.then(&b2, engine.database().expect("p").nrows());
+    let report = engine
+        .apply_one(&DeltaRelation::new("p", coalesced))
+        .unwrap();
+    assert!(same_fds(&engine.fd_set(), &before));
+    assert_eq!(report.count_status(FdStatus::Invalidated), 0);
+    assert!(report.fresh.is_empty());
+}
+
+/// The second batch deletes a row the first batch inserted — the
+/// coalesced batch cancels the insert entirely.
+#[test]
+fn cancelled_insert_round_trips() {
+    let mut b1 = DeltaBatch::new();
+    b1.insert(vec![Value::Int(2), Value::str("zz"), Value::Int(9)]) // breaks grp → flag
+        .delete(0);
+    let mut b2 = DeltaBatch::new();
+    b2.delete(3); // post-b1 rid of the inserted row (4 rows - 1 delete = 3 survivors)
+    assert_coalesce_equivalent(&db(), &view(), "p", &[b1, b2]);
+}
+
+/// Three-deep chains of random batches on a datagen view: coalescing is
+/// associative with application order.
+#[test]
+fn random_chains_on_datagen_view() {
+    let case = find("tpch_q2").unwrap();
+    let base = case.dataset.generate(Scale::of(0.002));
+    let mut rng = StdRng::seed_from_u64(0xC0A1);
+    for chain in 0..3 {
+        // Build the chain against a scratch copy of the table so each
+        // batch addresses the intermediate state, like a real feed.
+        let mut scratch = base.expect("supplier").clone();
+        let mut batches = Vec::new();
+        for _ in 0..3 {
+            let (deletes, inserts) = (rng.gen_range(0..4), rng.gen_range(0..5));
+            let b = random_delta(&mut rng, &scratch, deletes, inserts);
+            let (next, _) = scratch.apply_delta(&b, "supplier");
+            scratch = next;
+            batches.push(b);
+        }
+        eprintln!("# chain {chain}");
+        assert_coalesce_equivalent(&base, &case.spec, "supplier", &batches);
+    }
+}

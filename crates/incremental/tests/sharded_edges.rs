@@ -1,0 +1,159 @@
+//! Shard-routing edge cases (satellite of the sharded-maintenance PR):
+//! all rows landing in one shard, a shard receiving only deletes, and a
+//! round where a shard's delta is empty must all produce reports
+//! identical to the unsharded engine's.
+
+use infine_core::InFine;
+use infine_datagen::{find, random_delta, Scale};
+use infine_discovery::same_fds;
+use infine_incremental::{
+    FdStatus, InsertPolicy, MaintenanceEngine, MaintenanceReport, ShardedEngine,
+};
+use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert(relation_from_rows(
+        "p",
+        &["pid", "grp", "flag"],
+        &[
+            &[Value::Int(1), Value::str("a"), Value::Int(0)],
+            &[Value::Int(2), Value::str("a"), Value::Int(0)],
+            &[Value::Int(3), Value::str("b"), Value::Int(1)],
+            &[Value::Int(4), Value::str("b"), Value::Int(1)],
+            &[Value::Int(5), Value::str("c"), Value::Int(0)],
+            &[Value::Int(6), Value::str("c"), Value::Int(1)],
+        ],
+    ));
+    db.insert(relation_from_rows(
+        "q",
+        &["pid", "site"],
+        &[
+            &[Value::Int(1), Value::str("x")],
+            &[Value::Int(2), Value::str("x")],
+            &[Value::Int(3), Value::str("y")],
+            &[Value::Int(4), Value::str("y")],
+            &[Value::Int(5), Value::str("z")],
+            &[Value::Int(6), Value::str("z")],
+        ],
+    ));
+    db
+}
+
+fn view() -> infine_algebra::ViewSpec {
+    infine_algebra::ViewSpec::base("p").inner_join(infine_algebra::ViewSpec::base("q"), &["pid"])
+}
+
+fn assert_round_matches(a: &MaintenanceReport, b: &MaintenanceReport, what: &str) {
+    assert_eq!(a.triples, b.triples, "{what}: triples diverged");
+    assert!(same_fds(&a.cover, &b.cover), "{what}: covers diverged");
+    let classify = |r: &MaintenanceReport| {
+        let mut held: Vec<_> = r.held.iter().map(|(t, s)| (t.fd, *s)).collect();
+        held.sort();
+        let mut fresh = r.fresh.clone();
+        fresh.sort();
+        (held, fresh)
+    };
+    assert_eq!(classify(a), classify(b), "{what}: classification diverged");
+}
+
+/// Every insert routed to shard 0 *and* every delete aimed at shard 0's
+/// key range: the whole round lands in one shard while the other shard
+/// idles — the merged answer must not notice.
+#[test]
+fn all_rows_landing_in_one_shard_matches_unsharded() {
+    let mut unsharded = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+    let mut sharded =
+        ShardedEngine::with_policy(InFine::default(), db(), view(), 2, InsertPolicy::Fixed(0))
+            .unwrap();
+    // shard 0 owns rids 0..3 of each 6-row table at bootstrap; every
+    // insert is routed to shard 0, and later rounds delete the previous
+    // round's insert (also shard 0), so shard 1 never sees any work.
+    for round in 0..3i64 {
+        let mut bp = DeltaBatch::new();
+        if round > 0 {
+            let last = unsharded.database().expect("p").nrows() as u32 - 1;
+            bp.delete(last);
+        }
+        bp.insert(vec![
+            Value::Int(10 + round),
+            Value::str("a"),
+            Value::Int(round),
+        ]);
+        let deltas = vec![DeltaRelation::new("p", bp)];
+        let a = unsharded.apply(&deltas).unwrap();
+        let b = sharded.apply(&deltas).unwrap();
+        assert_round_matches(&b, &a, "one-shard round");
+        // the round really was confined to shard 0: shard 1's fragment
+        // kept its bootstrap size
+        assert_eq!(sharded.router().fragment_rows("p")[1], 3);
+    }
+}
+
+/// A round whose only batch deletes rows owned by one shard: that shard
+/// sees a delete-only sub-batch, every other shard sees nothing.
+#[test]
+fn shard_receiving_only_deletes_matches_unsharded() {
+    let mut unsharded = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+    let mut sharded = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+    // rids 3..6 belong to shard 1
+    let mut bq = DeltaBatch::new();
+    bq.delete(3).delete(5);
+    let deltas = vec![DeltaRelation::new("q", bq)];
+    let a = unsharded.apply(&deltas).unwrap();
+    let b = sharded.apply(&deltas).unwrap();
+    assert_round_matches(&b, &a, "delete-only shard");
+    assert_eq!(sharded.router().fragment_rows("q"), &[3, 1]);
+    assert_eq!(sharded.router().fragment_rows("p"), &[3, 3]);
+}
+
+/// A round where most shards' deltas are empty (one touched row out of
+/// four fragments) plus an explicitly empty batch for the other table.
+#[test]
+fn empty_shard_deltas_match_unsharded() {
+    let mut unsharded = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+    let mut sharded = ShardedEngine::new(InFine::default(), db(), view(), 4).unwrap();
+    let mut bp = DeltaBatch::new();
+    bp.delete(0); // only shard 0's fragment changes
+    let deltas = vec![
+        DeltaRelation::new("p", bp),
+        DeltaRelation::new("q", DeltaBatch::new()), // empty batch
+    ];
+    let a = unsharded.apply(&deltas).unwrap();
+    let b = sharded.apply(&deltas).unwrap();
+    assert_round_matches(&b, &a, "empty shard deltas");
+    // an entirely empty round is fine too, and leaves everything untouched
+    let a = unsharded.apply(&[]).unwrap();
+    let b = sharded.apply(&[]).unwrap();
+    assert_round_matches(&b, &a, "empty round");
+    assert_eq!(b.count_status(FdStatus::Untouched), b.cover.len());
+}
+
+/// The same three edge shapes on a real datagen view, driven through the
+/// skew policy so every insert keeps landing in shard 0.
+#[test]
+fn skewed_routing_on_datagen_view_matches_unsharded() {
+    let case = find("tpch_q2").unwrap();
+    let db = case.dataset.generate(Scale::of(0.002));
+    let mut rng = StdRng::seed_from_u64(0xED6E);
+    let mut unsharded =
+        MaintenanceEngine::new(InFine::default(), db.clone(), case.spec.clone()).unwrap();
+    let mut sharded = ShardedEngine::with_policy(
+        InFine::default(),
+        db,
+        case.spec.clone(),
+        2,
+        InsertPolicy::Fixed(0),
+    )
+    .unwrap();
+    for round in 0..3 {
+        let rel = unsharded.database().expect("supplier");
+        let batch = random_delta(&mut rng, rel, 2, 4);
+        let deltas = vec![DeltaRelation::new("supplier", batch)];
+        let a = unsharded.apply(&deltas).unwrap();
+        let b = sharded.apply(&deltas).unwrap();
+        assert_round_matches(&b, &a, &format!("skewed datagen round {round}"));
+    }
+}

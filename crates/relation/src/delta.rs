@@ -61,6 +61,65 @@ impl DeltaBatch {
         self.inserts.len()
     }
 
+    /// Compose two sequential batches into one: applying the result to a
+    /// relation of `old_nrows` rows is equivalent to applying `self` and
+    /// then `next` (whose deletes address the intermediate state) —
+    /// row-for-row equal values and identical surviving-row order.
+    ///
+    /// A `next` delete that targets a row inserted by `self` cancels the
+    /// insert instead of surviving as a delete, so the coalesced batch
+    /// never references rows the base relation does not have. One
+    /// observable (and harmless) difference from sequential application:
+    /// a cancelled insert's fresh values never enter the dictionaries, so
+    /// dictionary *codes* may differ — values never do.
+    ///
+    /// Panics when a delete of `self` is out of range for `old_nrows` or
+    /// a delete of `next` is out of range for the intermediate state —
+    /// the same contract as [`Relation::apply_delta`].
+    pub fn then(&self, next: &DeltaBatch, old_nrows: usize) -> DeltaBatch {
+        // Replay self's remap without touching any relation data.
+        let mut deleted = vec![false; old_nrows];
+        for &d in &self.deletes {
+            assert!(
+                (d as usize) < old_nrows,
+                "delete of row {d} out of range (relation has {old_nrows} rows)"
+            );
+            deleted[d as usize] = true;
+        }
+        // survivors[mid_rid] = pre-batch rid, for mid rids below the
+        // insert boundary.
+        let survivors: Vec<u32> = (0..old_nrows as u32)
+            .filter(|&r| !deleted[r as usize])
+            .collect();
+        let first_inserted = survivors.len();
+        let mid_nrows = first_inserted + self.inserts.len();
+
+        let mut out = DeltaBatch::new();
+        out.deletes = self.deletes.clone();
+        let mut insert_alive = vec![true; self.inserts.len()];
+        for &d in &next.deletes {
+            let d = d as usize;
+            assert!(
+                d < mid_nrows,
+                "coalesced delete of row {d} out of range (intermediate state has {mid_nrows} rows)"
+            );
+            if d < first_inserted {
+                out.deletes.push(survivors[d]);
+            } else {
+                insert_alive[d - first_inserted] = false;
+            }
+        }
+        out.inserts = self
+            .inserts
+            .iter()
+            .zip(&insert_alive)
+            .filter(|(_, &alive)| alive)
+            .map(|(row, _)| row.clone())
+            .chain(next.inserts.iter().cloned())
+            .collect();
+        out
+    }
+
     /// Project the insert rows onto a column subset (the scoped-relation
     /// mirror of [`Relation::project`]); deletes are shared because row
     /// ids are position-stable across projection.
@@ -400,6 +459,75 @@ mod tests {
         let mut b = DeltaBatch::new();
         b.insert(vec![Value::Int(1)]);
         r.apply_delta(&b, "t'");
+    }
+
+    /// `apply(then(b1, b2))` must equal `apply(b1); apply(b2)` row-values
+    /// for-row (dictionary codes may differ when an insert is cancelled).
+    fn assert_coalesce_equivalent(r: &Relation, b1: &DeltaBatch, b2: &DeltaBatch) {
+        let (mid, _) = r.apply_delta(b1, "mid");
+        let (sequential, _) = mid.apply_delta(b2, "out");
+        let coalesced_batch = b1.then(b2, r.nrows());
+        let (coalesced, _) = r.apply_delta(&coalesced_batch, "out");
+        assert_eq!(sequential.nrows(), coalesced.nrows());
+        for row in 0..sequential.nrows() {
+            assert_eq!(sequential.row(row), coalesced.row(row), "row {row} differs");
+        }
+    }
+
+    #[test]
+    fn then_composes_deletes_and_inserts() {
+        let r = sample();
+        let mut b1 = DeltaBatch::new();
+        b1.delete(1)
+            .insert(vec![Value::Int(7), Value::str("w")])
+            .insert(vec![Value::Int(8), Value::str("x")]);
+        // next deletes one original survivor (mid rid 0 = pre rid 0) and
+        // one of b1's inserts (mid rid 3 = first insert), then inserts.
+        let mut b2 = DeltaBatch::new();
+        b2.delete(0)
+            .delete(3)
+            .insert(vec![Value::Int(9), Value::Null]);
+        assert_coalesce_equivalent(&r, &b1, &b2);
+        let c = b1.then(&b2, r.nrows());
+        // The cancelled insert never reaches the coalesced batch.
+        assert_eq!(c.num_inserts(), 2);
+        assert!(c.inserts.iter().all(|row| row[0] != Value::Int(7)));
+        assert_eq!(c.deletes, vec![1, 0]);
+    }
+
+    #[test]
+    fn then_delete_then_reinsert_same_key() {
+        let r = sample();
+        // Round 1 deletes row 2; round 2 re-inserts the same values.
+        let mut b1 = DeltaBatch::new();
+        b1.delete(2);
+        let mut b2 = DeltaBatch::new();
+        b2.insert(vec![Value::Int(1), Value::Null]);
+        assert_coalesce_equivalent(&r, &b1, &b2);
+    }
+
+    #[test]
+    fn then_with_empty_sides_is_identity() {
+        let r = sample();
+        let mut b = DeltaBatch::new();
+        b.delete(0).insert(vec![Value::Int(5), Value::str("q")]);
+        let empty = DeltaBatch::new();
+        assert_coalesce_equivalent(&r, &b, &empty);
+        assert_coalesce_equivalent(&r, &empty, &b);
+        let c = empty.then(&b, r.nrows());
+        assert_eq!(c.deletes, b.deletes);
+        assert_eq!(c.inserts, b.inserts);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn then_rejects_out_of_range_second_delete() {
+        let r = sample();
+        let mut b1 = DeltaBatch::new();
+        b1.delete(0);
+        let mut b2 = DeltaBatch::new();
+        b2.delete(3); // intermediate state has 3 rows: 0..=2
+        b1.then(&b2, r.nrows());
     }
 
     #[test]
