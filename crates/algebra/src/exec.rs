@@ -480,6 +480,13 @@ pub fn execute(spec: &ViewSpec, db: &Database) -> Result<Relation, AlgebraError>
             let rel = db
                 .get(table)
                 .ok_or_else(|| AlgebraError::UnknownRelation(table.clone()))?;
+            // The executor scans physical rows; tombstoned inputs must be
+            // vacuumed first (the maintenance engine does so before any
+            // pipeline replay — see infine-relation::vacuum).
+            debug_assert!(
+                !rel.has_tombstones(),
+                "execute over tombstoned relation {table:?}: vacuum it first"
+            );
             Ok(match alias {
                 Some(a) => apply_alias(rel, a),
                 None => rel.clone(),

@@ -26,10 +26,13 @@ use infine_bench::runner::{
     run_maintenance, run_sharded_maintenance, secs, TextTable,
 };
 use infine_core::InFine;
-use infine_datagen::{find, random_churn};
-use infine_discovery::{Algorithm, Fd, FdSet};
-use infine_incremental::{FdStatus, MaintenanceEngine, MaintenanceMode, ShardedEngine};
+use infine_datagen::{find, random_churn, random_delta};
+use infine_discovery::{same_fds, Algorithm, Fd, FdSet};
+use infine_incremental::{
+    DeletePolicy, FdStatus, MaintenanceEngine, MaintenanceMode, ShardedEngine,
+};
 use infine_relation::AttrSet;
+use infine_relation::DeltaRelation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -206,7 +209,136 @@ fn main() {
         }
     }
 
+    // ---- delete-heavy churn lane: tombstoned deletes + vacuum ----
+    //
+    // Two cover-only engines fed identical delete-heavy rounds: the
+    // compacting baseline pays a column rewrite per affected view node
+    // per round, the tombstone engine marks bits and vacuums once at the
+    // end. Recorded per scenario: summed round wall-clock for both,
+    // tombstone/live/dictionary ratios at their peak, the vacuum pass
+    // itself, and a post-vacuum equivalence check (tombstone cover ==
+    // compacting cover == canonical).
     println!("{}", table.render());
+    let delete_rounds: usize = std::env::var("INFINE_BENCH_DELETE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
+    let mut delete_speedups: Vec<f64> = Vec::new();
+    let mut delete_table = TextTable::new(&[
+        "view",
+        "Δtable",
+        "rounds",
+        "Δrows",
+        "t_compact",
+        "t_tombstone",
+        "round_speedup",
+        "peak_rows_ratio",
+        "peak_dict_ratio",
+        "t_vacuum",
+        "vacuum_rows",
+        "vacuum_dict",
+    ]);
+    {
+        let mut rng = StdRng::seed_from_u64(0xDE1E7E);
+        for &(case_id, target) in SCENARIOS {
+            let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+            let db = case.dataset.generate(scale);
+            let mut compact = MaintenanceEngine::with_options(
+                InFine::default(),
+                db.clone(),
+                case.spec.clone(),
+                MaintenanceMode::CoverOnly,
+                DeletePolicy::Compact,
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: compact bootstrap failed: {e}"));
+            let mut tomb = MaintenanceEngine::with_options(
+                InFine::default(),
+                db,
+                case.spec.clone(),
+                MaintenanceMode::CoverOnly,
+                DeletePolicy::Tombstone,
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: tombstone bootstrap failed: {e}"));
+            let baseline = tomb.tombstone_stats();
+
+            let (mut t_compact, mut t_tomb) = (0f64, 0f64);
+            let mut delta_rows = 0usize;
+            let (mut peak_rows_ratio, mut peak_dict_ratio) = (1f64, 1f64);
+            for _ in 0..delete_rounds {
+                // Delete-heavy: 4 deletes per insert, ~4% of live rows.
+                let rel = tomb.database().expect(target);
+                let max = (rel.live_rows() / 25).max(2);
+                let delta = DeltaRelation::new(
+                    target.to_string(),
+                    random_delta(&mut rng, rel, max, max / 4),
+                );
+                delta_rows += delta.batch.num_deletes() + delta.batch.num_inserts();
+                let run_t = run_maintenance(&mut tomb, std::slice::from_ref(&delta));
+                let run_c = run_maintenance(&mut compact, std::slice::from_ref(&delta));
+                t_tomb += run_t.total.as_secs_f64();
+                t_compact += run_c.total.as_secs_f64();
+                let s = tomb.tombstone_stats();
+                peak_rows_ratio =
+                    peak_rows_ratio.max(s.physical_rows as f64 / s.live_rows.max(1) as f64);
+                peak_dict_ratio = peak_dict_ratio
+                    .max(s.dict_entries as f64 / baseline.dict_entries.max(1) as f64);
+            }
+
+            // One vacuum cycle reclaims everything; covers must be
+            // untouched and equal the compacting engine's.
+            let t0 = Instant::now();
+            let vac = tomb.vacuum();
+            let t_vacuum = t0.elapsed();
+            assert_eq!(tomb.tombstone_stats().dead_rows(), 0);
+            assert!(
+                same_fds(&tomb.fd_set(), &compact.fd_set()),
+                "{case_id}: tombstone cover diverged from the compacting engine"
+            );
+
+            let round_speedup = t_compact / t_tomb.max(1e-9);
+            delete_speedups.push(round_speedup);
+            json_rows.push(
+                Obj::new()
+                    .str("workload", "delete_churn")
+                    .str("view", case_id)
+                    .str("delta_table", target)
+                    .int("rounds", delete_rounds as i64)
+                    .int("delta_rows", delta_rows as i64)
+                    .num("compact_s", t_compact)
+                    .num("tombstone_s", t_tomb)
+                    .num("round_speedup", round_speedup)
+                    .num("peak_physical_over_live", peak_rows_ratio)
+                    .num("peak_dict_over_baseline", peak_dict_ratio)
+                    .num("vacuum_s", t_vacuum.as_secs_f64())
+                    .int("vacuum_rows_dropped", vac.rows_dropped as i64)
+                    .int(
+                        "vacuum_dict_entries_dropped",
+                        vac.dict_entries_dropped as i64,
+                    ),
+            );
+            delete_table.row(vec![
+                case_id.to_string(),
+                target.to_string(),
+                delete_rounds.to_string(),
+                delta_rows.to_string(),
+                secs(std::time::Duration::from_secs_f64(t_compact)),
+                secs(std::time::Duration::from_secs_f64(t_tomb)),
+                format!("{round_speedup:.2}x"),
+                format!("{peak_rows_ratio:.2}"),
+                format!("{peak_dict_ratio:.2}"),
+                secs(t_vacuum),
+                vac.rows_dropped.to_string(),
+                vac.dict_entries_dropped.to_string(),
+            ]);
+        }
+    }
+    println!("# delete-heavy churn (cover-only rounds, compacting vs tombstoned deletes):");
+    println!("{}", delete_table.render());
+    let delete_geomean = (delete_speedups.iter().map(|s| s.ln()).sum::<f64>()
+        / delete_speedups.len().max(1) as f64)
+        .exp();
+    println!("# delete-churn round speedup geometric mean (tombstoned vs compacting): {delete_geomean:.2}x");
+
     println!("# 1%-delta speedups (cover maintenance vs full InFine re-discovery):");
     let mut geomeans = Vec::new();
     for workload in [Workload::Churn, Workload::Append] {
@@ -246,6 +378,7 @@ fn main() {
         .num("churn_1pct_geomean_speedup_cover", geomeans[0])
         .num("append_1pct_geomean_speedup_cover", geomeans[1])
         .num("headline_min_geomean", headline)
+        .num("delete_churn_round_speedup_geomean", delete_geomean)
         .int("kernel_checks", kernel.checks as i64)
         .int("kernel_early_exits", kernel.early_exits as i64)
         .int("products_avoided", kernel.products_avoided as i64);

@@ -15,7 +15,12 @@ use std::collections::HashSet;
 
 /// A random batch against `rel`: up to `deletes` distinct row deletions
 /// and exactly `inserts` perturbed-copy insertions (zero when the
-/// relation is empty).
+/// relation has no live rows).
+///
+/// Tombstone-aware: delete ids are *logical* (live-row) ids — the
+/// addressing every engine speaks — and perturbation sources are drawn
+/// from live rows only, so the generator works identically against
+/// compacting and tombstoned relation lineages.
 pub fn random_delta(
     rng: &mut StdRng,
     rel: &Relation,
@@ -23,10 +28,18 @@ pub fn random_delta(
     inserts: usize,
 ) -> DeltaBatch {
     let mut batch = DeltaBatch::new();
-    let n = rel.nrows();
+    let n = rel.live_rows();
     if n == 0 {
         return batch;
     }
+    // logical → physical row translation (identity when compact).
+    let live: Option<Vec<u32>> = rel.has_tombstones().then(|| rel.live_row_ids());
+    let phys = |logical: usize| -> usize {
+        match &live {
+            Some(ids) => ids[logical] as usize,
+            None => logical,
+        }
+    };
     let mut chosen: HashSet<u32> = HashSet::new();
     for _ in 0..deletes.min(n) {
         chosen.insert(rng.gen_range(0..n) as u32);
@@ -36,12 +49,12 @@ pub fn random_delta(
     batch.deletes = deletes;
 
     for _ in 0..inserts {
-        let src = rng.gen_range(0..n);
+        let src = phys(rng.gen_range(0..n));
         let mut row: Vec<Value> = rel.row(src);
         // Perturb 1–2 cells with same-column values from other rows.
         for _ in 0..rng.gen_range(1..=2usize) {
             let col = rng.gen_range(0..rel.ncols());
-            let donor = rng.gen_range(0..n);
+            let donor = phys(rng.gen_range(0..n));
             row[col] = rel.value(donor, col).clone();
         }
         batch.insert(row);
@@ -57,7 +70,7 @@ pub fn random_churn(rng: &mut StdRng, rel: &Relation, fraction: f64) -> DeltaRel
     if fraction <= 0.0 {
         return DeltaRelation::new(rel.name.clone(), DeltaBatch::new());
     }
-    let n = rel.nrows();
+    let n = rel.live_rows();
     let changes = ((n as f64 * fraction) as usize).max(2);
     let batch = random_delta(rng, rel, changes / 2, changes - changes / 2);
     DeltaRelation::new(rel.name.clone(), batch)

@@ -20,7 +20,9 @@ use infine_relation::{AttrId, AttrSet, Relation};
 /// attribute can never be part of a *minimal* lhs (it refines nothing) and
 /// as a rhs it is covered by the level-0 FD `∅ → a`.
 pub fn constant_attrs(rel: &Relation, attrs: AttrSet) -> AttrSet {
-    if rel.nrows() == 0 {
+    // Live rows: `distinct_count` skips tombstoned rows, and a relation
+    // whose every row is dead is an empty instance.
+    if rel.live_rows() == 0 {
         // Every FD (vacuously) holds on an empty instance; by convention we
         // report every attribute as constant.
         return attrs;

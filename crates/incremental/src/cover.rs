@@ -214,6 +214,63 @@ impl CoverState {
         stats
     }
 
+    /// Carry the state across a pure monotone row remap — the
+    /// [`Relation::vacuum`](infine_relation::Relation::vacuum) move.
+    /// Membership is unchanged (the remap only renumbers live rows), so
+    /// partitions are patched id-for-id, witnesses are renumbered, and
+    /// the cover itself is untouched: no revalidation, no mining.
+    pub fn rebase_rows(&mut self, new_rel: &Relation, applied: &AppliedDelta) {
+        debug_assert_eq!(applied.num_inserted(), 0, "rebase_rows is remap-only");
+        let (plis, _, _) = rebase_plis(std::mem::take(&mut self.plis), new_rel, applied, |_| true);
+        self.plis = plis;
+        self.witnesses.retain(|_, pair| {
+            match (
+                applied.remap[pair.0 as usize],
+                applied.remap[pair.1 as usize],
+            ) {
+                (Some(a), Some(b)) => {
+                    *pair = (a, b);
+                    true
+                }
+                _ => false,
+            }
+        });
+    }
+
+    /// Soak/debug hook: panic unless this state equals a from-scratch
+    /// bootstrap on `rel` — the cover matches a fresh levelwise mine,
+    /// every backing partition matches a rebuild, and every cached
+    /// witness names a live, genuinely violating pair. O(full mine);
+    /// tests and soak suites only.
+    pub fn self_check(&self, rel: &Relation) {
+        let fresh = infine_discovery::mine_fds(rel, self.attrs);
+        assert!(
+            infine_discovery::same_fds(&self.fds, &fresh),
+            "cover diverged from fresh mine:\n{:?}\nvs\n{:?}",
+            self.fds.to_sorted_vec(),
+            fresh.to_sorted_vec()
+        );
+        for (&set, pli) in &self.plis {
+            assert_eq!(
+                *pli,
+                infine_partitions::Pli::for_set(rel, set),
+                "partition {set:?} diverged from rebuild"
+            );
+        }
+        for (fd, pair) in &self.witnesses {
+            let (i, j) = (pair.0 as usize, pair.1 as usize);
+            assert!(
+                rel.is_live(i) && rel.is_live(j),
+                "witness for {fd:?} references a dead row"
+            );
+            assert!(
+                fd.lhs.iter().all(|a| rel.code(i, a) == rel.code(j, a))
+                    && rel.code(i, fd.rhs) != rel.code(j, fd.rhs),
+                "witness for {fd:?} does not violate"
+            );
+        }
+    }
+
     /// (Re)compute partitions for every held FD lhs and drop partitions
     /// backing nothing — the eviction side of the cache contract.
     fn settle(&mut self, rel: &Relation) {

@@ -35,7 +35,7 @@ use infine_core::{
     base_scopes, BaseFds, BaseScope, FdKind, InFine, InFineError, InFineReport, ProvenanceTriple,
 };
 use infine_discovery::{Fd, FdSet};
-use infine_relation::{Database, DeltaBatch, DeltaRelation, DictIndexes, Relation, Schema};
+use infine_relation::{Database, DeltaBatch, DeltaRelation, DictIndexes, Relation, RowMap, Schema};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -53,6 +53,9 @@ pub enum MaintenanceError {
     BadBatch(String),
     /// Underlying pipeline failure.
     Pipeline(InFineError),
+    /// The maintenance service's worker thread is gone (it panicked or
+    /// was shut down); the request could not be (or was not) processed.
+    WorkerDied,
 }
 
 impl From<InFineError> for MaintenanceError {
@@ -73,6 +76,9 @@ impl fmt::Display for MaintenanceError {
             ),
             MaintenanceError::BadBatch(msg) => write!(f, "malformed delta batch: {msg}"),
             MaintenanceError::Pipeline(e) => write!(f, "{e}"),
+            MaintenanceError::WorkerDied => {
+                write!(f, "maintenance worker is gone (panicked or shut down)")
+            }
         }
     }
 }
@@ -90,6 +96,105 @@ pub enum MaintenanceMode {
     /// labels refresh on demand. Falls back to exact-provenance rounds
     /// when the spec has outer joins or repeated tables.
     CoverOnly,
+}
+
+/// How the engine applies delete batches to its stored relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeletePolicy {
+    /// Compact columns eagerly on every delete batch — `O(rows · cols)`
+    /// per affected relation, the original behavior. Memory stays tight
+    /// without vacuums, at the price of O(table) delete rounds.
+    #[default]
+    Compact,
+    /// Mark deleted rows in a tombstone bitmap (`O(|Δ|)` per batch; no
+    /// column rewrite, no row-id shifts for survivors) and restore the
+    /// compact invariant on demand with [`MaintenanceEngine::vacuum`] /
+    /// [`ShardedEngine`](crate::ShardedEngine) vacuum, or by service
+    /// policy ([`crate::service::VacuumPolicy`]). The externally visible
+    /// row addressing is unchanged — batches keep speaking logical
+    /// (compacted) row ids; the engine translates via
+    /// [`RowMap`](infine_relation::RowMap).
+    Tombstone,
+}
+
+/// Accounting of one vacuum pass (see [`MaintenanceEngine::vacuum`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VacuumStats {
+    /// Relations compacted (stored tables, scoped base states, view
+    /// nodes).
+    pub relations: usize,
+    /// Tombstoned rows physically dropped.
+    pub rows_dropped: usize,
+    /// Dictionary entries garbage-collected (dead values reclaimed).
+    pub dict_entries_dropped: usize,
+    /// Wall-clock of the pass.
+    pub duration: Duration,
+}
+
+impl VacuumStats {
+    /// Fold another pass's accounting into this one.
+    pub fn merge(&mut self, other: VacuumStats) {
+        self.relations += other.relations;
+        self.rows_dropped += other.rows_dropped;
+        self.dict_entries_dropped += other.dict_entries_dropped;
+        self.duration += other.duration;
+    }
+
+    /// True iff the pass found nothing to reclaim.
+    pub fn is_noop(&self) -> bool {
+        self.relations == 0
+    }
+}
+
+/// Point-in-time memory accounting of an engine's relation state
+/// (stored tables + scoped base states + view nodes, rid columns
+/// included). `physical_rows - live_rows` is the reclaimable garbage;
+/// [`TombstoneStats::fraction`] drives the service's vacuum policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TombstoneStats {
+    /// Physical rows held (dead included), summed over relations.
+    pub physical_rows: usize,
+    /// Live rows.
+    pub live_rows: usize,
+    /// Dictionary entries held, summed over columns of all relations.
+    pub dict_entries: usize,
+}
+
+impl TombstoneStats {
+    /// Dead rows awaiting a vacuum.
+    pub fn dead_rows(&self) -> usize {
+        self.physical_rows - self.live_rows
+    }
+
+    /// Dead fraction of the physical rows (0 when empty).
+    pub fn fraction(&self) -> f64 {
+        if self.physical_rows == 0 {
+            0.0
+        } else {
+            self.dead_rows() as f64 / self.physical_rows as f64
+        }
+    }
+
+    /// Fold another relation's accounting into this one.
+    pub fn merge(&mut self, other: TombstoneStats) {
+        self.physical_rows += other.physical_rows;
+        self.live_rows += other.live_rows;
+        self.dict_entries += other.dict_entries;
+    }
+
+    /// Accounting of one relation.
+    pub fn of(rel: &Relation) -> TombstoneStats {
+        TombstoneStats {
+            physical_rows: rel.nrows(),
+            live_rows: rel.live_rows(),
+            dict_entries: dict_entries(rel),
+        }
+    }
+}
+
+/// Sum of every column's dictionary length (vacuum accounting).
+pub(crate) fn dict_entries(rel: &Relation) -> usize {
+    (0..rel.ncols()).map(|c| rel.column(c).dict_len()).sum()
 }
 
 /// How one previously-held FD fared under a delta batch.
@@ -183,6 +288,9 @@ pub struct MaintenanceReport {
     pub view_cover: Option<CoverDeltaStats>,
     /// True when `triples` carries exact, freshly derived provenance.
     pub exact_provenance: bool,
+    /// Vacuum pass folded into this round (service-triggered — by policy
+    /// threshold or an explicit vacuum command). `None` for plain rounds.
+    pub vacuum: Option<VacuumStats>,
     /// Wall-clock breakdown.
     pub timings: MaintenanceTimings,
 }
@@ -237,12 +345,17 @@ impl MaintenanceReport {
 /// Maintained state for one base occurrence (label) of the view.
 struct BaseState {
     scope: BaseScope,
-    /// Current scoped relation (the columns step 1 mines).
+    /// Current scoped relation (the columns step 1 mines). Tombstoned
+    /// under [`DeletePolicy::Tombstone`]; its physical row space is its
+    /// own (independent of the stored table's once they diverge).
     rel: Relation,
     /// Maintained minimal FD cover of `rel` plus backing partitions.
     cover: CoverState,
     /// Persistent dictionary index of `rel` (delta-sized encoding).
     dict_index: DictIndexes,
+    /// Logical → physical row map of `rel` (identity under
+    /// [`DeletePolicy::Compact`]).
+    row_map: RowMap,
 }
 
 /// Stateful incremental FD maintenance over one view.
@@ -266,9 +379,14 @@ pub struct MaintenanceEngine {
     /// Labels whose base-table FD state missed deltas (cover-only rounds
     /// defer per-table maintenance; resynced on demand).
     stale: HashSet<String>,
+    /// How delete batches hit the stored relations.
+    delete_policy: DeletePolicy,
     /// Persistent dictionary indexes of the stored base tables, built on
     /// a table's first delta.
     table_indexes: HashMap<String, DictIndexes>,
+    /// Logical → physical row maps of stored tables that are tombstoned
+    /// (cover-only fast rounds under [`DeletePolicy::Tombstone`]).
+    table_row_maps: HashMap<String, RowMap>,
     /// Rendered sub-query → base tables beneath it (provenance
     /// classification index).
     subquery_tables: HashMap<String, HashSet<String>>,
@@ -284,12 +402,24 @@ impl MaintenanceEngine {
         MaintenanceEngine::with_mode(infine, db, spec, MaintenanceMode::default())
     }
 
-    /// Bootstrap with an explicit maintenance mode.
+    /// Bootstrap with an explicit maintenance mode (and the default,
+    /// compacting delete policy).
     pub fn with_mode(
         infine: InFine,
         db: Database,
         spec: ViewSpec,
         mode: MaintenanceMode,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        MaintenanceEngine::with_options(infine, db, spec, mode, DeletePolicy::default())
+    }
+
+    /// Bootstrap with explicit mode and delete policy.
+    pub fn with_options(
+        infine: InFine,
+        db: Database,
+        spec: ViewSpec,
+        mode: MaintenanceMode,
+        delete_policy: DeletePolicy,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
         let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
         let algorithm = infine.config.base_algorithm;
@@ -301,7 +431,7 @@ impl MaintenanceEngine {
         let cover = report.fd_set();
         let subquery_tables = subquery_table_index(&spec);
         let view = if mode == MaintenanceMode::CoverOnly {
-            ViewState::bootstrap(&db, &spec, algorithm)
+            ViewState::bootstrap(&db, &spec, algorithm, delete_policy)
         } else {
             None
         };
@@ -315,7 +445,9 @@ impl MaintenanceEngine {
             report,
             cover,
             stale: HashSet::new(),
+            delete_policy,
             table_indexes: HashMap::new(),
+            table_row_maps: HashMap::new(),
             subquery_tables,
         })
     }
@@ -338,6 +470,7 @@ impl MaintenanceEngine {
         infine: InFine,
         db: Database,
         spec: ViewSpec,
+        delete_policy: DeletePolicy,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
         let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
         let subquery_tables = subquery_table_index(&spec);
@@ -356,7 +489,9 @@ impl MaintenanceEngine {
             },
             cover: FdSet::new(),
             stale: HashSet::new(),
+            delete_policy,
             table_indexes: HashMap::new(),
+            table_row_maps: HashMap::new(),
             subquery_tables,
         })
     }
@@ -392,8 +527,16 @@ impl MaintenanceEngine {
         self.mode = mode;
         match mode {
             MaintenanceMode::CoverOnly => {
-                self.view =
-                    ViewState::bootstrap(&self.db, &self.spec, self.infine.config.base_algorithm);
+                // The view materializes from the stored tables — they
+                // must be compact (no-op unless fast tombstone rounds
+                // preceded a round-trip through exact mode).
+                self.compact_stored_tables();
+                self.view = ViewState::bootstrap(
+                    &self.db,
+                    &self.spec,
+                    self.infine.config.base_algorithm,
+                    self.delete_policy,
+                );
             }
             MaintenanceMode::ExactProvenance => {
                 self.view = None;
@@ -421,6 +564,9 @@ impl MaintenanceEngine {
     /// stale during cover-only rounds, which are re-mined here once).
     /// Updates [`MaintenanceEngine::report`].
     pub fn refresh_provenance(&mut self) -> Result<&InFineReport, MaintenanceError> {
+        // The pipeline replays on the stored tables; restore the compact
+        // invariant first (no-op outside tombstoned fast rounds).
+        self.compact_stored_tables();
         self.resync_stale_states();
         let base_fds: BaseFds = self
             .states
@@ -503,13 +649,34 @@ impl MaintenanceEngine {
 
             // Patch the stored base table (taken out of the database so
             // the dictionary Arcs are extended in place, not cloned).
+            // Fast rounds under the tombstone policy mark instead of
+            // compacting — the stored table is not read again until
+            // provenance refresh/resync, which vacuum first. The exact
+            // path keeps the table compact: the pipeline replays on it
+            // this very round.
             let t0 = Instant::now();
             let table = self.db.remove(&delta.target).expect("validated above");
             let index = self
                 .table_indexes
                 .entry(delta.target.clone())
                 .or_insert_with(|| DictIndexes::build(&table));
-            let (new_table, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+            let new_table = if use_fast && self.delete_policy == DeletePolicy::Tombstone {
+                let map = self
+                    .table_row_maps
+                    .entry(delta.target.clone())
+                    .or_insert_with(|| RowMap::identity(table.nrows()));
+                let phys = map.rebase_batch(&delta.batch, table.nrows());
+                let (t, _) = table.apply_delta_tombstoned(
+                    &phys,
+                    &delta.batch.inserts,
+                    delta.target.clone(),
+                    index,
+                );
+                t
+            } else {
+                let (t, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+                t
+            };
             self.db.insert(new_table);
             timings.delta_apply += t0.elapsed();
 
@@ -528,7 +695,12 @@ impl MaintenanceEngine {
                     .iter_mut()
                     .filter(|s| s.scope.table == delta.target)
                 {
-                    base_reports.push(maintain_base(state, &delta.batch, &mut timings));
+                    base_reports.push(maintain_base(
+                        state,
+                        &delta.batch,
+                        self.delete_policy,
+                        &mut timings,
+                    ));
                 }
             }
         }
@@ -599,6 +771,7 @@ impl MaintenanceEngine {
             base: base_reports,
             view_cover: view_cover_stats,
             exact_provenance: exact,
+            vacuum: None,
             timings,
         })
     }
@@ -652,13 +825,32 @@ impl MaintenanceEngine {
             if delta.batch.is_empty() {
                 continue;
             }
+            // Patch the stored fragment table. Base-only engines never
+            // replay a pipeline on it, so the tombstone policy can mark
+            // instead of compacting indefinitely — vacuum reclaims.
             let t0 = Instant::now();
             let table = self.db.remove(&delta.target).expect("validated above");
             let index = self
                 .table_indexes
                 .entry(delta.target.clone())
                 .or_insert_with(|| DictIndexes::build(&table));
-            let (new_table, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+            let new_table = if self.delete_policy == DeletePolicy::Tombstone {
+                let map = self
+                    .table_row_maps
+                    .entry(delta.target.clone())
+                    .or_insert_with(|| RowMap::identity(table.nrows()));
+                let phys = map.rebase_batch(&delta.batch, table.nrows());
+                let (t, _) = table.apply_delta_tombstoned(
+                    &phys,
+                    &delta.batch.inserts,
+                    delta.target.clone(),
+                    index,
+                );
+                t
+            } else {
+                let (t, _) = table.apply_delta_owned(&delta.batch, delta.target.clone(), index);
+                t
+            };
             self.db.insert(new_table);
             timings.delta_apply += t0.elapsed();
             for state in self
@@ -666,10 +858,135 @@ impl MaintenanceEngine {
                 .iter_mut()
                 .filter(|s| s.scope.table == delta.target)
             {
-                reports.push(maintain_base(state, &delta.batch, &mut timings));
+                reports.push(maintain_base(
+                    state,
+                    &delta.batch,
+                    self.delete_policy,
+                    &mut timings,
+                ));
             }
         }
         Ok((reports, timings))
+    }
+
+    /// The active delete policy.
+    pub fn delete_policy(&self) -> DeletePolicy {
+        self.delete_policy
+    }
+
+    /// Point-in-time memory accounting: physical vs live rows and
+    /// dictionary entries across every relation this engine holds
+    /// (stored tables, scoped base states, view nodes with their rid
+    /// columns). [`TombstoneStats::fraction`] is what the service's
+    /// vacuum policy thresholds on.
+    pub fn tombstone_stats(&self) -> TombstoneStats {
+        let mut stats = TombstoneStats::default();
+        for name in self.db.names() {
+            stats.merge(TombstoneStats::of(self.db.expect(name)));
+        }
+        for state in &self.states {
+            stats.merge(TombstoneStats::of(&state.rel));
+        }
+        if let Some(view) = &self.view {
+            stats.merge(view.tombstone_stats());
+        }
+        stats
+    }
+
+    /// Restore the compact invariant everywhere: vacuum every tombstoned
+    /// relation (stored tables, scoped base states, and — in cover-only
+    /// mode — the materialized view's nodes, whose rid columns and
+    /// dictionaries are garbage-collected along the way), rebase the
+    /// cached PLIs and violation witnesses across the move, rebuild the
+    /// dictionary indexes, and reset the row maps to the identity.
+    ///
+    /// The maintained covers, reports, and the externally visible
+    /// logical row addressing are all unchanged — vacuum moves bytes,
+    /// never answers. Idempotent; a no-op on a fully compact engine.
+    pub fn vacuum(&mut self) -> VacuumStats {
+        let t0 = Instant::now();
+        let mut stats = VacuumStats::default();
+        stats.merge(self.compact_stored_tables());
+
+        let stale = &self.stale;
+        for state in &mut self.states {
+            if !state.rel.has_tombstones() || stale.contains(&state.scope.label) {
+                // Stale states are rebuilt wholesale at the next resync;
+                // compacting them now would be wasted work.
+                continue;
+            }
+            stats.relations += 1;
+            stats.rows_dropped += state.rel.tombstone_count();
+            let old = std::mem::replace(&mut state.rel, Relation::empty("", Schema::new()));
+            let dicts_before = dict_entries(&old);
+            let (v, applied) = old.vacuum();
+            stats.dict_entries_dropped += dicts_before - dict_entries(&v);
+            state.cover.rebase_rows(&v, &applied);
+            state.dict_index = DictIndexes::build(&v);
+            state.row_map.reset_identity(v.nrows());
+            state.rel = v;
+        }
+
+        if let Some(view) = self.view.as_mut() {
+            stats.merge(view.vacuum());
+        }
+        stats.duration = t0.elapsed();
+        stats
+    }
+
+    /// Vacuum the *stored tables* only (the relations the pipeline and
+    /// scope projections read) — the guard run before any path that
+    /// consumes them, and the first phase of [`MaintenanceEngine::vacuum`].
+    fn compact_stored_tables(&mut self) -> VacuumStats {
+        let mut stats = VacuumStats::default();
+        let names: Vec<String> = self.db.names().map(str::to_string).collect();
+        for name in names {
+            let table = self.db.remove(&name).expect("listed above");
+            if !table.has_tombstones() {
+                self.db.insert(table);
+                continue;
+            }
+            stats.relations += 1;
+            stats.rows_dropped += table.tombstone_count();
+            let dicts_before = dict_entries(&table);
+            let (v, _) = table.vacuum();
+            stats.dict_entries_dropped += dicts_before - dict_entries(&v);
+            // Codes changed: the persistent dictionary index and the
+            // logical row map both restart from the compact relation.
+            self.table_indexes
+                .insert(name.clone(), DictIndexes::build(&v));
+            if let Some(map) = self.table_row_maps.get_mut(&name) {
+                map.reset_identity(v.nrows());
+            }
+            self.db.insert(v);
+        }
+        stats
+    }
+
+    /// Soak/debug hook: verify the engine's incremental state against
+    /// from-scratch rebuilds — every non-stale base state's cover,
+    /// partitions, and witnesses are checked against its scoped relation
+    /// ([`CoverState::self_check`]), and row maps must agree with their
+    /// relations' live counts. O(full re-mine); tests only.
+    pub fn self_check(&self) {
+        for state in &self.states {
+            assert_eq!(
+                state.row_map.len(),
+                state.rel.live_rows(),
+                "{}: row map diverged from live rows",
+                state.scope.label
+            );
+            if !self.stale.contains(&state.scope.label) {
+                state.cover.self_check(&state.rel);
+            }
+        }
+        for (name, map) in &self.table_row_maps {
+            assert_eq!(
+                map.len(),
+                self.db.expect(name).live_rows(),
+                "{name}: table row map diverged from live rows"
+            );
+        }
     }
 }
 
@@ -693,12 +1010,12 @@ pub(crate) fn validate_deltas(
             .batch
             .deletes
             .iter()
-            .find(|&&r| r as usize >= table.nrows())
+            .find(|&&r| r as usize >= table.live_rows())
         {
             return Err(MaintenanceError::BadBatch(format!(
                 "delete of row {row} out of range for {:?} ({} rows)",
                 d.target,
-                table.nrows()
+                table.live_rows()
             )));
         }
         if let Some(bad) = d.batch.inserts.iter().find(|r| r.len() != table.ncols()) {
@@ -772,6 +1089,9 @@ impl MaintenanceEngine {
         if self.stale.is_empty() {
             return;
         }
+        // Stale states re-project from the stored tables, which must be
+        // compact (tombstoned fast rounds leave them marked).
+        self.compact_stored_tables();
         let algorithm = self.infine.config.base_algorithm;
         for state in self.states.iter_mut() {
             if self.stale.remove(&state.scope.label) {
@@ -798,11 +1118,13 @@ fn bootstrap_states(
             let attrs = rel.attr_set();
             let cover = CoverState::bootstrap(&rel, attrs, algorithm);
             let dict_index = DictIndexes::build(&rel);
+            let row_map = RowMap::identity(rel.nrows());
             BaseState {
                 scope,
                 rel,
                 cover,
                 dict_index,
+                row_map,
             }
         })
         .collect())
@@ -815,19 +1137,30 @@ fn resync_state(state: &mut BaseState, db: &Database, algorithm: infine_discover
     let attrs = state.rel.attr_set();
     state.cover = CoverState::bootstrap(&state.rel, attrs, algorithm);
     state.dict_index = DictIndexes::build(&state.rel);
+    state.row_map.reset_identity(state.rel.nrows());
 }
 
 /// Maintain one base occurrence through a batch; returns the accounting.
+/// Under [`DeletePolicy::Tombstone`] the scoped batch is translated to
+/// the state's physical row space and applied without compaction.
 fn maintain_base(
     state: &mut BaseState,
     batch: &DeltaBatch,
+    policy: DeletePolicy,
     timings: &mut MaintenanceTimings,
 ) -> BaseMaintenance {
     let t0 = Instant::now();
     let scoped_batch = batch.project(&state.scope.attrs);
     let name = state.rel.name.clone();
     let old = std::mem::replace(&mut state.rel, Relation::empty("", Schema::new()));
-    let (new_rel, applied) = old.apply_delta_owned(&scoped_batch, name, &mut state.dict_index);
+    let rows_before = old.live_rows();
+    let (new_rel, applied) = match policy {
+        DeletePolicy::Compact => old.apply_delta_owned(&scoped_batch, name, &mut state.dict_index),
+        DeletePolicy::Tombstone => {
+            let phys = state.row_map.rebase_batch(&scoped_batch, old.nrows());
+            old.apply_delta_tombstoned(&phys, &scoped_batch.inserts, name, &mut state.dict_index)
+        }
+    };
     timings.delta_apply += t0.elapsed();
 
     let t1 = Instant::now();
@@ -837,8 +1170,8 @@ fn maintain_base(
     let out = BaseMaintenance {
         label: state.scope.label.clone(),
         table: state.scope.table.clone(),
-        rows_before: applied.old_nrows,
-        rows_after: applied.new_nrows,
+        rows_before,
+        rows_after: new_rel.live_rows(),
         deleted: applied.num_deleted(),
         inserted: applied.num_inserted(),
         cover: stats,
@@ -917,10 +1250,22 @@ mod tests {
         );
     }
 
+    /// The engine's database with tombstones compacted away — the oracle
+    /// view must be computed over live rows only.
+    fn compacted_db(engine: &MaintenanceEngine) -> Database {
+        let mut out = Database::new();
+        for name in engine.database().names() {
+            let (v, _) = engine.database().expect(name).clone().vacuum();
+            out.insert(v);
+        }
+        out
+    }
+
     /// Cover-only invariant: the engine's cover is the canonical minimal
     /// cover of the materialized view (name-aligned).
     fn assert_cover_current(engine: &MaintenanceEngine, schema: &Schema) {
-        let real = execute(engine.spec(), engine.database()).unwrap();
+        let compact = compacted_db(engine);
+        let real = execute(engine.spec(), &compact).unwrap();
         let canonical = tane(&real, real.attr_set());
         let map: Vec<usize> = (0..schema.len())
             .map(|i| real.schema.expect_id(schema.name(i)))
@@ -1239,6 +1584,142 @@ mod tests {
         batch.insert(vec![Value::Int(4), Value::Int(1)]).delete(0);
         let report = engine.apply_one(&DeltaRelation::new("e", batch)).unwrap();
         assert_eq!(report.base.len(), 2); // both w and m maintained
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn tombstone_policy_exact_mode_stays_equivalent() {
+        let mut engine = MaintenanceEngine::with_options(
+            InFine::default(),
+            db(),
+            view(),
+            MaintenanceMode::ExactProvenance,
+            DeletePolicy::Tombstone,
+        )
+        .unwrap();
+        let rounds: Vec<(&str, DeltaBatch)> = vec![
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.delete(0).delete(2);
+                b
+            }),
+            ("q", {
+                let mut b = DeltaBatch::new();
+                b.delete(1).insert(vec![Value::Int(4), Value::str("w")]);
+                b
+            }),
+            ("p", {
+                let mut b = DeltaBatch::new();
+                // post-delete logical state of p has rows 0..=1
+                b.delete(1)
+                    .insert(vec![Value::Int(3), Value::str("b"), Value::Int(1)]);
+                b
+            }),
+        ];
+        for (target, batch) in rounds {
+            engine
+                .apply_one(&DeltaRelation::new(target, batch))
+                .unwrap();
+            assert_current(&engine);
+            engine.self_check();
+        }
+        // Scoped base states accumulated garbage; vacuum reclaims it and
+        // changes no answer.
+        let stats_before = engine.tombstone_stats();
+        assert!(stats_before.dead_rows() > 0);
+        let vac = engine.vacuum();
+        assert!(!vac.is_noop());
+        assert_eq!(vac.rows_dropped, stats_before.dead_rows());
+        let after = engine.tombstone_stats();
+        assert_eq!(after.dead_rows(), 0);
+        assert!(after.dict_entries <= stats_before.dict_entries);
+        assert_current(&engine);
+        engine.self_check();
+        // Idempotent.
+        assert!(engine.vacuum().is_noop());
+    }
+
+    #[test]
+    fn tombstone_policy_cover_only_rounds_and_refresh() {
+        let mut engine = MaintenanceEngine::with_options(
+            InFine::default(),
+            db(),
+            view(),
+            MaintenanceMode::CoverOnly,
+            DeletePolicy::Tombstone,
+        )
+        .unwrap();
+        let rounds: Vec<(&str, DeltaBatch)> = vec![
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
+                b
+            }),
+            ("q", {
+                let mut b = DeltaBatch::new();
+                b.delete(0)
+                    .delete(2)
+                    .insert(vec![Value::Int(4), Value::str("w")]);
+                b
+            }),
+            ("p", {
+                let mut b = DeltaBatch::new();
+                b.delete(1).delete(2);
+                b
+            }),
+        ];
+        for (target, batch) in rounds {
+            let report = engine
+                .apply_one(&DeltaRelation::new(target, batch))
+                .unwrap();
+            assert!(!report.exact_provenance);
+            assert_cover_current(&engine, &report.schema);
+        }
+        // Stored tables and view nodes hold tombstones now.
+        assert!(engine.tombstone_stats().dead_rows() > 0);
+        let schema = engine
+            .view
+            .as_ref()
+            .map(|v| v.dense_schema())
+            .expect("cover-only keeps the view");
+        // Vacuum mid-stream: cover unchanged, memory reclaimed.
+        let vac = engine.vacuum();
+        assert!(!vac.is_noop());
+        assert_eq!(engine.tombstone_stats().dead_rows(), 0);
+        assert_cover_current(&engine, &schema);
+        if let Some(view) = &engine.view {
+            view.self_check();
+        }
+        // Provenance refresh (pipeline on stored tables) auto-compacts
+        // anything still marked and lands on full-discovery triples.
+        engine.refresh_provenance().unwrap();
+        assert_current(&engine);
+    }
+
+    #[test]
+    fn tombstoned_db_reads_live_rows_for_validation() {
+        let mut engine = MaintenanceEngine::with_options(
+            InFine::default(),
+            db(),
+            view(),
+            MaintenanceMode::CoverOnly,
+            DeletePolicy::Tombstone,
+        )
+        .unwrap();
+        let mut b = DeltaBatch::new();
+        b.delete(0).delete(1);
+        engine.apply_one(&DeltaRelation::new("p", b)).unwrap();
+        // p now has 2 live rows (physical 4): a delete of logical row 2
+        // must be rejected, logical row 1 accepted.
+        let mut bad = DeltaBatch::new();
+        bad.delete(2);
+        let err = engine.apply_one(&DeltaRelation::new("p", bad)).unwrap_err();
+        assert!(matches!(err, MaintenanceError::BadBatch(_)));
+        let mut ok = DeltaBatch::new();
+        ok.delete(1);
+        engine.apply_one(&DeltaRelation::new("p", ok)).unwrap();
+        engine.refresh_provenance().unwrap();
+        assert_eq!(engine.database().expect("p").nrows(), 1);
         assert_current(&engine);
     }
 

@@ -66,9 +66,9 @@ pub mod view;
 
 pub use cover::{CoverDeltaStats, CoverState};
 pub use engine::{
-    BaseMaintenance, FdStatus, MaintenanceEngine, MaintenanceError, MaintenanceMode,
-    MaintenanceReport, MaintenanceTimings,
+    BaseMaintenance, DeletePolicy, FdStatus, MaintenanceEngine, MaintenanceError, MaintenanceMode,
+    MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
-pub use service::MaintenanceService;
+pub use service::{MaintenanceService, VacuumPolicy};
 pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
 pub use view::ViewState;

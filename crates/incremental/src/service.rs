@@ -3,12 +3,12 @@
 //!
 //! [`MaintenanceService::spawn`] moves a [`ShardedEngine`] onto a worker
 //! thread and hands back a handle with two channels: a request sender
-//! (ingest / flush) and a report receiver. Producers [`ingest`] batches
-//! at any rate; the worker drains everything queued while it was busy and
-//! **coalesces the pending batches per table** ([`DeltaBatch::then`])
-//! before running one sharded maintenance round — so a burst of ten
-//! batches against one table costs one round, not ten, and the emitted
-//! report describes the combined delta.
+//! (ingest / flush / vacuum) and a report receiver. Producers [`ingest`]
+//! batches at any rate; the worker drains everything queued while it was
+//! busy and **coalesces the pending batches per table**
+//! ([`DeltaBatch::then`]) before running one sharded maintenance round —
+//! so a burst of ten batches against one table costs one round, not ten,
+//! and the emitted report describes the combined delta.
 //!
 //! Batch addressing contract: each ingested batch addresses its table in
 //! the *logical stream state* — the base table after every previously
@@ -17,18 +17,46 @@
 //! out-of-range delete, arity mismatch) are rejected at ingestion and
 //! surface as `Err` on the report channel without poisoning the pending
 //! state; the rest of the failing [`ingest`] call is dropped with them
-//! (its batches assumed the rejected one applied). A rejection is a
-//! stream fault: batches the producer derived *after* the rejected one —
-//! including ones already queued in later ingest calls — may address
-//! rows the service never created, so on an `Err` report the producer
-//! should re-derive its feed from the engine's actual state (e.g. flush,
-//! then rebuild its mirror).
+//! (its batches assumed the rejected one applied). The whole boundary is
+//! panic-free: validation plus the fallible [`DeltaBatch::try_then`]
+//! composition guarantee a malformed batch can never kill the worker
+//! thread. A rejection is a stream fault: batches the producer derived
+//! *after* the rejected one — including ones already queued in later
+//! ingest calls — may address rows the service never created, so on an
+//! `Err` report the producer should re-derive its feed from the engine's
+//! actual state (e.g. flush, then rebuild its mirror).
+//!
+//! ## Vacuum between rounds
+//!
+//! Under [`DeletePolicy`](crate::DeletePolicy)`::Tombstone` the engine's
+//! fragments accumulate dead rows until a vacuum. The service runs one
+//! **between rounds** — the ingest loop never stops — in two ways:
+//! automatically, when the engine's tombstone fraction exceeds
+//! [`VacuumPolicy::max_tombstone_fraction`] after a round; or on demand
+//! via [`MaintenanceService::vacuum`] (the explicit vacuum command,
+//! which also forces a round so a report is emitted promptly). Either
+//! way the pass is recorded in the emitted report's
+//! [`vacuum`](MaintenanceReport::vacuum) field.
+//!
+//! ## Worker death
+//!
+//! If the worker thread ever panics (a bug, not reachable from malformed
+//! input), the handle reports it instead of hanging or panicking the
+//! caller: [`ingest`]/[`flush`]/[`vacuum`] return
+//! [`MaintenanceError::WorkerDied`], [`recv_report`] yields it once as a
+//! final `Err` report, and [`shutdown`] returns it instead of
+//! propagating the panic.
 //!
 //! [`ingest`]: MaintenanceService::ingest
+//! [`flush`]: MaintenanceService::flush
+//! [`vacuum`]: MaintenanceService::vacuum
+//! [`recv_report`]: MaintenanceService::recv_report
+//! [`shutdown`]: MaintenanceService::shutdown
 
-use crate::engine::{MaintenanceError, MaintenanceReport};
+use crate::engine::{MaintenanceError, MaintenanceReport, TombstoneStats};
 use crate::shard::ShardedEngine;
 use infine_relation::{DeltaBatch, DeltaRelation};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
@@ -36,6 +64,35 @@ use std::thread::JoinHandle;
 enum Request {
     Ingest(Vec<DeltaRelation>),
     Flush,
+    Vacuum,
+    /// Test-only: make the worker panic to exercise death handling.
+    #[cfg(test)]
+    Poison,
+}
+
+/// When the service runs a vacuum between rounds (tombstone engines).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VacuumPolicy {
+    /// Vacuum after any round that leaves the engine's dead-row fraction
+    /// ([`TombstoneStats::fraction`]) above this threshold. `None`
+    /// disables automatic vacuums (explicit
+    /// [`MaintenanceService::vacuum`] commands still work).
+    pub max_tombstone_fraction: Option<f64>,
+}
+
+impl VacuumPolicy {
+    /// Vacuum whenever the dead fraction exceeds `fraction` (0.25 = a
+    /// quarter of the physical rows are garbage).
+    pub fn at_fraction(fraction: f64) -> VacuumPolicy {
+        VacuumPolicy {
+            max_tombstone_fraction: Some(fraction),
+        }
+    }
+
+    fn should(&self, stats: TombstoneStats) -> bool {
+        self.max_tombstone_fraction
+            .is_some_and(|t| stats.fraction() > t)
+    }
 }
 
 /// Handle to a background sharded-maintenance loop.
@@ -56,58 +113,111 @@ enum Request {
 /// let service = MaintenanceService::spawn(engine);
 /// let mut batch = DeltaBatch::new();
 /// batch.insert(vec![Value::Int(3), Value::Int(10)]);
-/// service.ingest(vec![DeltaRelation::new("t", batch)]);
+/// service.ingest(vec![DeltaRelation::new("t", batch)]).unwrap();
 /// let report = service.recv_report().unwrap().unwrap();
 /// assert!(report.exact_provenance);
-/// let engine = service.shutdown();
+/// let engine = service.shutdown().unwrap();
 /// assert_eq!(engine.database().expect("t").nrows(), 3);
 /// ```
 pub struct MaintenanceService {
     requests: Sender<Request>,
     reports: Receiver<Result<MaintenanceReport, MaintenanceError>>,
     worker: Option<JoinHandle<ShardedEngine>>,
+    /// Worker death is reported through `recv_report` exactly once.
+    death_reported: Cell<bool>,
 }
 
 impl MaintenanceService {
-    /// Move `engine` onto a worker thread and start the loop.
+    /// Move `engine` onto a worker thread and start the loop (no
+    /// automatic vacuums; see [`MaintenanceService::spawn_with_policy`]).
     pub fn spawn(engine: ShardedEngine) -> MaintenanceService {
+        MaintenanceService::spawn_with_policy(engine, VacuumPolicy::default())
+    }
+
+    /// [`MaintenanceService::spawn`] with a vacuum policy: after each
+    /// round the worker checks the engine's tombstone fraction and runs
+    /// a per-shard parallel vacuum when the policy says so — between
+    /// rounds, without stopping the ingest loop.
+    pub fn spawn_with_policy(engine: ShardedEngine, policy: VacuumPolicy) -> MaintenanceService {
         let (req_tx, req_rx) = std::sync::mpsc::channel();
         let (rep_tx, rep_rx) = std::sync::mpsc::channel();
         let worker = std::thread::Builder::new()
             .name("infine-maintenance".into())
-            .spawn(move || run(engine, req_rx, rep_tx))
+            .spawn(move || run(engine, policy, req_rx, rep_tx))
             .expect("spawn maintenance worker");
         MaintenanceService {
             requests: req_tx,
             reports: rep_rx,
             worker: Some(worker),
+            death_reported: Cell::new(false),
         }
     }
 
-    /// Queue a round of delta batches (non-blocking). Returns `false`
-    /// when the worker is gone (nothing was queued).
-    pub fn ingest(&self, deltas: Vec<DeltaRelation>) -> bool {
-        self.requests.send(Request::Ingest(deltas)).is_ok()
+    /// Queue a round of delta batches (non-blocking).
+    /// `Err(WorkerDied)` when the worker is gone (nothing was queued).
+    pub fn ingest(&self, deltas: Vec<DeltaRelation>) -> Result<(), MaintenanceError> {
+        self.send(Request::Ingest(deltas))
     }
 
     /// Force a maintenance round now, even if nothing is pending (the
     /// empty round re-emits the current state with every FD untouched).
-    /// Returns `false` when the worker is gone.
-    pub fn flush(&self) -> bool {
-        self.requests.send(Request::Flush).is_ok()
+    /// `Err(WorkerDied)` when the worker is gone.
+    pub fn flush(&self) -> Result<(), MaintenanceError> {
+        self.send(Request::Flush)
     }
 
-    /// Block until the next round report (or ingestion error) arrives;
-    /// `None` once the worker has exited and the channel drained.
+    /// Run a vacuum pass between rounds (after draining whatever is
+    /// pending), regardless of the policy threshold. A round report is
+    /// always emitted, carrying the pass's accounting in
+    /// [`MaintenanceReport::vacuum`]. `Err(WorkerDied)` when the worker
+    /// is gone.
+    pub fn vacuum(&self) -> Result<(), MaintenanceError> {
+        self.send(Request::Vacuum)
+    }
+
+    /// Shared request path: a finished worker (panicked, or somehow
+    /// exited) can never process the request, so refuse up front; a
+    /// failing send (receiver dropped mid-unwind) means the same thing.
+    fn send(&self, req: Request) -> Result<(), MaintenanceError> {
+        if self.worker.as_ref().is_none_or(JoinHandle::is_finished) {
+            return Err(MaintenanceError::WorkerDied);
+        }
+        self.requests
+            .send(req)
+            .map_err(|_| MaintenanceError::WorkerDied)
+    }
+
+    /// Block until the next round report (or ingestion error) arrives.
+    /// `None` once the worker has exited cleanly (after
+    /// [`MaintenanceService::shutdown`]-less drop) and the channel
+    /// drained. If the worker *died* (panicked), the disconnect is
+    /// reported as one final `Err(`[`MaintenanceError::WorkerDied`]`)`,
+    /// then `None`.
     pub fn recv_report(&self) -> Option<Result<MaintenanceReport, MaintenanceError>> {
-        self.reports.recv().ok()
+        match self.reports.recv() {
+            Ok(r) => Some(r),
+            Err(_) => self.report_death(),
+        }
     }
 
-    /// Non-blocking report poll.
+    /// Non-blocking report poll (same death contract as
+    /// [`MaintenanceService::recv_report`]).
     pub fn try_recv_report(&self) -> Option<Result<MaintenanceReport, MaintenanceError>> {
         match self.reports.try_recv() {
             Ok(r) => Some(r),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => self.report_death(),
+        }
+    }
+
+    /// A disconnected report channel while this handle is still alive
+    /// means the worker exited on its own — it panicked (the only clean
+    /// exit is our own sender drop in shutdown/Drop). Surface that once.
+    fn report_death(&self) -> Option<Result<MaintenanceReport, MaintenanceError>> {
+        if self.death_reported.replace(true) {
+            None
+        } else {
+            Some(Err(MaintenanceError::WorkerDied))
         }
     }
 
@@ -115,7 +225,8 @@ impl MaintenanceService {
     /// and get the engine back for inspection. Unread reports are
     /// discarded with the handle — receive them first if you need them;
     /// the engine's state reflects every drained round either way.
-    pub fn shutdown(mut self) -> ShardedEngine {
+    /// `Err(WorkerDied)` when the worker panicked instead of finishing.
+    pub fn shutdown(mut self) -> Result<ShardedEngine, MaintenanceError> {
         drop(std::mem::replace(&mut self.requests, {
             // Dropping the sender is the shutdown signal; replace it with
             // a dangling one so Drop has something to drop.
@@ -125,7 +236,7 @@ impl MaintenanceService {
             .take()
             .expect("shutdown called once")
             .join()
-            .expect("maintenance worker panicked")
+            .map_err(|_| MaintenanceError::WorkerDied)
     }
 }
 
@@ -142,10 +253,12 @@ impl Drop for MaintenanceService {
 }
 
 /// The worker loop: block for work, drain the queue, coalesce, run one
-/// round, repeat. A disconnected request channel ends the loop after a
-/// final round for whatever is still pending.
+/// round, vacuum by policy/command, repeat. A disconnected request
+/// channel ends the loop after a final round for whatever is still
+/// pending.
 fn run(
     mut engine: ShardedEngine,
+    policy: VacuumPolicy,
     requests: Receiver<Request>,
     reports: Sender<Result<MaintenanceReport, MaintenanceError>>,
 ) -> ShardedEngine {
@@ -156,6 +269,7 @@ fn run(
             queued.push(more);
         }
         let mut flush = false;
+        let mut vacuum = false;
         for req in queued {
             match req {
                 Request::Ingest(deltas) => {
@@ -173,14 +287,39 @@ fn run(
                     }
                 }
                 Request::Flush => flush = true,
+                Request::Vacuum => vacuum = true,
+                #[cfg(test)]
+                Request::Poison => panic!("test-injected worker panic"),
             }
         }
-        if !pending.is_empty() || flush {
+        if !pending.is_empty() || flush || vacuum {
             let round: Vec<DeltaRelation> = pending
                 .drain()
                 .map(|(target, batch)| DeltaRelation::new(target, batch))
                 .collect();
-            let _ = reports.send(engine.apply(&round));
+            let mut result = engine.apply(&round);
+            // Vacuum between rounds: commanded, or by policy threshold.
+            // The ingest loop keeps running — producers only ever see the
+            // pass as accounting on a round report.
+            if vacuum || policy.should(engine.tombstone_stats()) {
+                let stats = engine.vacuum();
+                match result.as_mut() {
+                    Ok(report) => report.vacuum = Some(stats),
+                    Err(_) => {
+                        // The failed round still surfaces as its own Err;
+                        // the pass is then acknowledged on an empty
+                        // follow-up round, keeping the documented "a
+                        // vacuum is always reported" contract (consumers
+                        // drain until they see `report.vacuum`).
+                        let _ = reports.send(result);
+                        result = engine.apply(&[]).map(|mut report| {
+                            report.vacuum = Some(stats);
+                            report
+                        });
+                    }
+                }
+            }
+            let _ = reports.send(result);
         }
     }
     if !pending.is_empty() {
@@ -194,7 +333,9 @@ fn run(
 }
 
 /// Validate one incoming batch against the logical stream state and fold
-/// it into the pending per-table batch.
+/// it into the pending per-table batch. Fully fallible: nothing here —
+/// including the [`DeltaBatch::try_then`] composition — can panic on
+/// malformed input, so a bad batch can never take the worker down.
 fn coalesce_into(
     engine: &ShardedEngine,
     pending: &mut HashMap<String, DeltaBatch>,
@@ -216,7 +357,7 @@ fn coalesce_into(
             table.ncols()
         )));
     }
-    let base_nrows = table.nrows();
+    let base_nrows = table.live_rows();
     let logical_nrows = match pending.get(&delta.target) {
         None => base_nrows,
         Some(p) => {
@@ -240,9 +381,12 @@ fn coalesce_into(
         None => {
             pending.insert(delta.target, delta.batch);
         }
-        Some(p) => {
-            pending.insert(delta.target, p.then(&delta.batch, base_nrows));
-        }
+        Some(p) => match p.try_then(&delta.batch, base_nrows) {
+            Ok(folded) => {
+                pending.insert(delta.target, folded);
+            }
+            Err(msg) => return Err(MaintenanceError::BadBatch(msg)),
+        },
     }
     Ok(())
 }
@@ -250,6 +394,8 @@ fn coalesce_into(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::DeletePolicy;
+    use crate::shard::InsertPolicy;
     use crate::MaintenanceEngine;
     use infine_algebra::ViewSpec;
     use infine_core::InFine;
@@ -284,16 +430,29 @@ mod tests {
         ViewSpec::base("p").inner_join(ViewSpec::base("q"), &["pid"])
     }
 
+    fn tombstone_engine() -> ShardedEngine {
+        ShardedEngine::with_options(
+            InFine::default(),
+            db(),
+            view(),
+            2,
+            InsertPolicy::default(),
+            DeletePolicy::Tombstone,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn service_round_trips_and_matches_full_discovery() {
         let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
         let service = MaintenanceService::spawn(engine);
         let mut b = DeltaBatch::new();
         b.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
-        assert!(service.ingest(vec![DeltaRelation::new("p", b)]));
+        service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
         let report = service.recv_report().unwrap().unwrap();
         assert!(report.exact_provenance);
-        let engine = service.shutdown();
+        assert!(report.vacuum.is_none());
+        let engine = service.shutdown().unwrap();
         let fresh = InFine::default()
             .discover(engine.database(), engine.spec())
             .unwrap();
@@ -323,12 +482,14 @@ mod tests {
 
         let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
         let service = MaintenanceService::spawn(engine);
-        service.ingest(vec![
-            DeltaRelation::new("p", b1),
-            DeltaRelation::new("p", b2),
-        ]);
+        service
+            .ingest(vec![
+                DeltaRelation::new("p", b1),
+                DeltaRelation::new("p", b2),
+            ])
+            .unwrap();
         let report = service.recv_report().unwrap().unwrap();
-        let engine = service.shutdown();
+        let engine = service.shutdown().unwrap();
         assert_eq!(engine.report().triples, reference.report().triples);
         assert_eq!(
             report.cover.to_sorted_vec(),
@@ -349,17 +510,44 @@ mod tests {
         let service = MaintenanceService::spawn(engine);
         let mut bad = DeltaBatch::new();
         bad.delete(99);
-        service.ingest(vec![DeltaRelation::new("p", bad)]);
+        service.ingest(vec![DeltaRelation::new("p", bad)]).unwrap();
         let err = service.recv_report().unwrap().unwrap_err();
         assert!(matches!(err, MaintenanceError::BadBatch(_)));
         // The loop is still alive and healthy.
         let mut ok = DeltaBatch::new();
         ok.insert(vec![Value::Int(9), Value::str("z"), Value::Int(3)]);
-        service.ingest(vec![DeltaRelation::new("p", ok)]);
+        service.ingest(vec![DeltaRelation::new("p", ok)]).unwrap();
         let report = service.recv_report().unwrap().unwrap();
         assert!(report.exact_provenance);
-        let engine = service.shutdown();
+        let engine = service.shutdown().unwrap();
         assert_eq!(engine.database().expect("p").nrows(), 5);
+    }
+
+    #[test]
+    fn malformed_coalesced_batch_cannot_kill_the_worker() {
+        // A second batch whose deletes are in range of the *base* table
+        // but out of range of the coalesced intermediate state: with the
+        // panicking `then` this killed the worker; `try_then` turns it
+        // into an Err report and the loop survives.
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        let mut b1 = DeltaBatch::new();
+        b1.delete(0).delete(1).delete(2); // p: 4 rows → 1 row pending
+        let mut b2 = DeltaBatch::new();
+        b2.delete(2); // in range of base p (4 rows), not of pending (1 row)
+        service
+            .ingest(vec![
+                DeltaRelation::new("p", b1),
+                DeltaRelation::new("p", b2),
+            ])
+            .unwrap();
+        let err = service.recv_report().unwrap().unwrap_err();
+        assert!(matches!(err, MaintenanceError::BadBatch(_)));
+        // b1 alone was accepted and the worker is alive: the round ran.
+        let report = service.recv_report().unwrap().unwrap();
+        assert!(report.exact_provenance);
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.database().expect("p").nrows(), 1);
     }
 
     #[test]
@@ -367,10 +555,10 @@ mod tests {
         let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
         let held = engine.fd_set().len();
         let service = MaintenanceService::spawn(engine);
-        service.flush();
+        service.flush().unwrap();
         let report = service.recv_report().unwrap().unwrap();
         assert_eq!(report.count_status(crate::FdStatus::Untouched), held,);
-        service.shutdown();
+        service.shutdown().unwrap();
     }
 
     #[test]
@@ -379,12 +567,88 @@ mod tests {
         let service = MaintenanceService::spawn(engine);
         let mut b = DeltaBatch::new();
         b.insert(vec![Value::Int(8), Value::str("d"), Value::Int(4)]);
-        service.ingest(vec![DeltaRelation::new("p", b)]);
-        let engine = service.shutdown();
+        service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+        let engine = service.shutdown().unwrap();
         assert_eq!(engine.database().expect("p").nrows(), 5);
         let fresh = InFine::default()
             .discover(engine.database(), engine.spec())
             .unwrap();
         assert_eq!(engine.report().triples, fresh.triples);
+    }
+
+    #[test]
+    fn worker_death_surfaces_as_errors_not_hangs_or_panics() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn(engine);
+        service.requests.send(Request::Poison).unwrap();
+        // The death is reported exactly once, then the stream ends.
+        let err = service.recv_report().unwrap().unwrap_err();
+        assert!(matches!(err, MaintenanceError::WorkerDied));
+        assert!(service.recv_report().is_none());
+        // Wait out the unwind so the request-side observations below are
+        // deterministic (the report channel disconnects mid-unwind).
+        while !service.worker.as_ref().unwrap().is_finished() {
+            std::thread::yield_now();
+        }
+        // Every request path errors promptly instead of hanging.
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(9), Value::str("z"), Value::Int(3)]);
+        assert!(matches!(
+            service.ingest(vec![DeltaRelation::new("p", b)]),
+            Err(MaintenanceError::WorkerDied)
+        ));
+        assert!(matches!(service.flush(), Err(MaintenanceError::WorkerDied)));
+        assert!(matches!(
+            service.vacuum(),
+            Err(MaintenanceError::WorkerDied)
+        ));
+        // ... and shutdown reports the death instead of panicking.
+        assert!(matches!(
+            service.shutdown(),
+            Err(MaintenanceError::WorkerDied)
+        ));
+    }
+
+    #[test]
+    fn explicit_vacuum_command_runs_between_rounds() {
+        let service = MaintenanceService::spawn(tombstone_engine());
+        let mut b = DeltaBatch::new();
+        b.delete(0).delete(2);
+        service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+        let report = service.recv_report().unwrap().unwrap();
+        assert!(report.vacuum.is_none()); // no policy, no command yet
+        service.vacuum().unwrap();
+        let report = service.recv_report().unwrap().unwrap();
+        let stats = report.vacuum.expect("vacuum command reports its pass");
+        assert!(stats.rows_dropped > 0);
+        // The loop keeps serving afterwards.
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(7), Value::str("c"), Value::Int(2)]);
+        service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+        let report = service.recv_report().unwrap().unwrap();
+        assert!(report.exact_provenance);
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.tombstone_stats().dead_rows(), 0);
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(engine.report().triples, fresh.triples);
+    }
+
+    #[test]
+    fn vacuum_policy_triggers_automatically() {
+        let service = MaintenanceService::spawn_with_policy(
+            tombstone_engine(),
+            VacuumPolicy::at_fraction(0.2),
+        );
+        // Delete half of p: the fragment garbage crosses the threshold.
+        let mut b = DeltaBatch::new();
+        b.delete(0).delete(1);
+        service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+        let report = service.recv_report().unwrap().unwrap();
+        let stats = report.vacuum.expect("policy-triggered vacuum");
+        assert!(stats.rows_dropped >= 2);
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.tombstone_stats().dead_rows(), 0);
     }
 }

@@ -29,6 +29,7 @@
 //! both fall back to the engine's exact-provenance path).
 
 use crate::cover::{CoverDeltaStats, CoverState};
+use crate::engine::{dict_entries, DeletePolicy, TombstoneStats, VacuumStats};
 use infine_algebra::{
     join_relations, resolve, resolve_join_conditions, select_rows, JoinOp, Predicate, ViewSpec,
 };
@@ -153,6 +154,9 @@ pub struct ViewState {
     /// Per-node persistent value → dictionary-code indexes, so delta
     /// application never re-hashes a dictionary.
     dict_indexes: Vec<DictIndexes>,
+    /// How delete batches hit the node relations (tombstoned nodes skip
+    /// the per-round column compaction; see [`ViewState::vacuum`]).
+    delete_policy: DeletePolicy,
 }
 
 /// Can the fast path maintain this spec? Inner joins only, each base
@@ -177,7 +181,12 @@ fn rid_name(label: &str) -> String {
 
 impl ViewState {
     /// Materialize the augmented view bottom-up and mine its cover.
-    pub fn bootstrap(db: &Database, spec: &ViewSpec, algorithm: Algorithm) -> Option<ViewState> {
+    pub fn bootstrap(
+        db: &Database,
+        spec: &ViewSpec,
+        algorithm: Algorithm,
+        delete_policy: DeletePolicy,
+    ) -> Option<ViewState> {
         if !supports(spec) {
             return None;
         }
@@ -229,6 +238,7 @@ impl ViewState {
             base_rids,
             join_indexes,
             dict_indexes,
+            delete_policy,
         })
     }
 
@@ -264,9 +274,9 @@ impl ViewState {
         schema
     }
 
-    /// Current number of view rows.
+    /// Current number of (live) view rows.
     pub fn view_rows(&self) -> usize {
-        self.nodes[self.root].rel.nrows()
+        self.nodes[self.root].rel.live_rows()
     }
 
     /// Is `table` one of the view's base tables?
@@ -402,11 +412,23 @@ impl ViewState {
             }
             // Consume the node's relation so dictionary extension reuses
             // the Arc in place (no deep clone on fresh values — rid
-            // columns bring one every insert round).
+            // columns bring one every insert round). The rid scan above
+            // names *physical* rows, which is exactly what the
+            // tombstoned apply consumes — no row-map translation needed
+            // at the node level.
             let name = node.rel.name.clone();
             let old = std::mem::replace(&mut node.rel, Relation::empty("", Schema::new()));
-            let (new_rel, applied) =
-                old.apply_delta_owned(&node_batch, name, &mut self.dict_indexes[i]);
+            let (new_rel, applied) = match self.delete_policy {
+                DeletePolicy::Compact => {
+                    old.apply_delta_owned(&node_batch, name, &mut self.dict_indexes[i])
+                }
+                DeletePolicy::Tombstone => old.apply_delta_tombstoned(
+                    &node_batch.deletes,
+                    &node_batch.inserts,
+                    name,
+                    &mut self.dict_indexes[i],
+                ),
+            };
             node.rel = new_rel;
             applied_by_node[i] = Some(applied);
         }
@@ -433,6 +455,68 @@ impl ViewState {
             .expect("root is above every base table");
         let stats = self.cover.maintain(&self.nodes[self.root].rel, &applied);
         Some(stats)
+    }
+
+    /// Memory accounting over every node relation (rid columns and their
+    /// dictionaries included — the append-only growth a vacuum reclaims).
+    pub fn tombstone_stats(&self) -> TombstoneStats {
+        let mut stats = TombstoneStats::default();
+        for node in &self.nodes {
+            stats.merge(TombstoneStats::of(&node.rel));
+        }
+        stats
+    }
+
+    /// Vacuum every tombstoned node: drop dead rows, rewrite the rid
+    /// columns, garbage-collect dictionaries (dead rid values and dead
+    /// data values alike), carry the persistent join indexes across the
+    /// row moves, rebase the root cover's PLIs and witnesses, and
+    /// rebuild the per-node dictionary indexes. The maintained cover and
+    /// the stable logical rids are unchanged.
+    pub fn vacuum(&mut self) -> VacuumStats {
+        let t0 = std::time::Instant::now();
+        let mut stats = VacuumStats::default();
+        let mut applied_by_node: Vec<Option<AppliedDelta>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !node.rel.has_tombstones() {
+                continue;
+            }
+            stats.relations += 1;
+            stats.rows_dropped += node.rel.tombstone_count();
+            let old = std::mem::replace(&mut node.rel, Relation::empty("", Schema::new()));
+            let dicts_before = dict_entries(&old);
+            let (v, applied) = old.vacuum();
+            stats.dict_entries_dropped += dicts_before - dict_entries(&v);
+            self.dict_indexes[i] = DictIndexes::build(&v);
+            node.rel = v;
+            applied_by_node[i] = Some(applied);
+        }
+        // Join indexes follow their children's row moves (values are
+        // unchanged, so the keys stay valid — only row ids renumber).
+        for (i, (left_index, right_index)) in self.join_indexes.iter_mut() {
+            let NodeOp::Join { left, right, on } = &self.nodes[*i].op else {
+                unreachable!("join_indexes only holds join nodes");
+            };
+            if let Some(applied) = &applied_by_node[*left] {
+                let lkeys: Vec<AttrId> = on.iter().map(|&(l, _)| l).collect();
+                left_index.patch(&self.nodes[*left].rel, &lkeys, applied);
+            }
+            if let Some(applied) = &applied_by_node[*right] {
+                let rkeys: Vec<AttrId> = on.iter().map(|&(_, r)| r).collect();
+                right_index.patch(&self.nodes[*right].rel, &rkeys, applied);
+            }
+        }
+        if let Some(applied) = applied_by_node[self.root].take() {
+            self.cover.rebase_rows(&self.nodes[self.root].rel, &applied);
+        }
+        stats.duration = t0.elapsed();
+        stats
+    }
+
+    /// Soak/debug hook: the maintained cover must equal a from-scratch
+    /// mine of the current root relation. O(full mine); tests only.
+    pub fn self_check(&self) {
+        self.cover.self_check(&self.nodes[self.root].rel);
     }
 }
 
@@ -656,7 +740,8 @@ mod tests {
     #[test]
     fn bootstrap_matches_real_view() {
         let db = db();
-        let view = ViewState::bootstrap(&db, &spec(), Algorithm::Levelwise).unwrap();
+        let view = ViewState::bootstrap(&db, &spec(), Algorithm::Levelwise, DeletePolicy::Compact)
+            .unwrap();
         assert_view_current(&view, &db, &spec());
     }
 
@@ -664,7 +749,8 @@ mod tests {
     fn inserts_deletes_and_mixed_rounds_stay_current() {
         let mut db = db();
         let spec = spec();
-        let mut view = ViewState::bootstrap(&db, &spec, Algorithm::Levelwise).unwrap();
+        let mut view =
+            ViewState::bootstrap(&db, &spec, Algorithm::Levelwise, DeletePolicy::Compact).unwrap();
 
         // insert into p that joins twice
         let mut b = DeltaBatch::new();
@@ -700,7 +786,8 @@ mod tests {
             .select(Predicate::eq("flag", 0i64))
             .inner_join(ViewSpec::base("q"), &["pid"])
             .project(&["grp", "site"]);
-        let mut view = ViewState::bootstrap(&db, &spec, Algorithm::Levelwise).unwrap();
+        let mut view =
+            ViewState::bootstrap(&db, &spec, Algorithm::Levelwise, DeletePolicy::Compact).unwrap();
         assert_view_current(&view, &db, &spec);
 
         let mut b = DeltaBatch::new();
@@ -720,7 +807,8 @@ mod tests {
     fn delete_then_reinsert_same_key_gets_fresh_rid() {
         let mut db = db();
         let spec = spec();
-        let mut view = ViewState::bootstrap(&db, &spec, Algorithm::Levelwise).unwrap();
+        let mut view =
+            ViewState::bootstrap(&db, &spec, Algorithm::Levelwise, DeletePolicy::Compact).unwrap();
         // delete p row 0 (pid 1), then re-insert an identical row — the
         // fresh rid must not resurrect the dead view rows.
         let mut b = DeltaBatch::new();
@@ -735,7 +823,9 @@ mod tests {
     #[test]
     fn untouched_table_delta_is_none() {
         let db = db();
-        let mut view = ViewState::bootstrap(&db, &spec(), Algorithm::Levelwise).unwrap();
+        let mut view =
+            ViewState::bootstrap(&db, &spec(), Algorithm::Levelwise, DeletePolicy::Compact)
+                .unwrap();
         assert!(view.apply_table("unrelated", &DeltaBatch::new()).is_none());
         assert!(view.involves("p") && !view.involves("unrelated"));
     }

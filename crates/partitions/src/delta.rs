@@ -100,10 +100,11 @@ impl Pli {
     ) -> (Pli, DirtyClasses) {
         debug_assert_eq!(self.nrows(), applied.old_nrows, "PLI/delta row mismatch");
 
-        // π_∅ is a single class of all rows; patching it is just resizing.
+        // π_∅ is a single class of all live rows; patching it is just
+        // rebuilding from the (possibly tombstoned) new relation.
         if set.is_empty() {
             let mut stats = DirtyClasses::default();
-            let pli = Pli::for_set_of_empty(applied.new_nrows);
+            let pli = Pli::for_empty_over(new_rel);
             let changed = applied.num_deleted() > 0 || applied.num_inserted() > 0;
             if changed && pli.num_classes() > 0 {
                 stats.dirty.push(0);
@@ -113,18 +114,24 @@ impl Pli {
             return (pli, stats);
         }
 
+        let live = |row: u32| new_rel.is_live(row as usize);
         if set.len() == 1 {
             let attr = set.first().expect("len 1");
             let codes = &new_rel.column(attr).codes;
-            patch_csr(self, applied, |row| codes[row as usize])
+            patch_csr(self, applied, |row| codes[row as usize], live)
         } else {
             let attrs: Vec<AttrId> = set.iter().collect();
-            patch_csr(self, applied, |row| {
-                attrs
-                    .iter()
-                    .map(|&a| new_rel.code(row as usize, a))
-                    .collect::<Vec<u32>>()
-            })
+            patch_csr(
+                self,
+                applied,
+                |row| {
+                    attrs
+                        .iter()
+                        .map(|&a| new_rel.code(row as usize, a))
+                        .collect::<Vec<u32>>()
+                },
+                live,
+            )
         }
     }
 
@@ -162,6 +169,7 @@ fn patch_csr<K: std::hash::Hash + Eq>(
     pli: Pli,
     applied: &AppliedDelta,
     key_of: impl Fn(u32) -> K,
+    live: impl Fn(u32) -> bool,
 ) -> (Pli, DirtyClasses) {
     let mut stats = DirtyClasses::default();
     let has_deletes = applied.num_deleted() > 0;
@@ -248,17 +256,20 @@ fn patch_csr<K: std::hash::Hash + Eq>(
             // keys (they were singletons, or sole survivors of distinct
             // classes), so each can join at most one insert group.
             let in_class = in_class.as_ref().expect("built when inserts exist");
-            let singleton_partners =
-                loose
-                    .iter()
-                    .copied()
-                    .chain((0..old_nrows).filter_map(|old| {
-                        if in_class[old] {
-                            None
-                        } else {
-                            applied.remap[old]
-                        }
-                    }));
+            // Tombstoned applies map rows dead *before* the batch to
+            // Some(id) too (no structure references them) — the liveness
+            // filter keeps them out of the partner pool.
+            let singleton_partners = loose
+                .iter()
+                .copied()
+                .chain((0..old_nrows).filter_map(|old| {
+                    if in_class[old] {
+                        None
+                    } else {
+                        applied.remap[old]
+                    }
+                }))
+                .filter(|&row| live(row));
             for row in singleton_partners {
                 if groups.is_empty() {
                     break;
@@ -557,6 +568,101 @@ mod tests {
             rebase_plis(cache2.into_map(), &r2, &applied_noop(&r2), |s| s.len() <= 1);
         assert!(stats3.evicted >= 1);
         assert!(map3.keys().all(|s| s.len() <= 1));
+    }
+
+    /// Tombstoned rounds: patched partitions equal live-aware rebuilds,
+    /// with physical ids stable across rounds, and after a vacuum the
+    /// remap carries them onto the compact relation exactly.
+    #[test]
+    fn tombstoned_chain_patches_exactly_and_survives_vacuum() {
+        use infine_relation::{DictIndexes, RowMap};
+        let mut r = rel();
+        let mut idx = DictIndexes::build(&r);
+        let mut map = RowMap::identity(r.nrows());
+        let sets: Vec<AttrSet> = vec![
+            AttrSet::EMPTY,
+            AttrSet::single(0),
+            AttrSet::single(1),
+            [0usize, 1].into_iter().collect(),
+        ];
+        let mut plis: Vec<Pli> = sets.iter().map(|&s| Pli::for_set(&r, s)).collect();
+
+        let batches = [
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(1).insert(vec![Value::Int(5), Value::str("x")]);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.insert(vec![Value::Int(5), Value::str("x")]).delete(0);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(0).delete(1).delete(2);
+                b
+            },
+        ];
+        for batch in batches {
+            let phys = map.rebase_batch(&batch, r.nrows());
+            let (r2, applied) = r.apply_delta_tombstoned(&phys, &batch.inserts, "t'", &mut idx);
+            for (pli, &set) in plis.iter_mut().zip(&sets) {
+                let patched = pli.apply_delta(&r2, set, &applied);
+                assert_eq!(patched, Pli::for_set(&r2, set), "set {set:?}");
+                // every member is live
+                for class in patched.classes() {
+                    assert!(class.iter().all(|&m| r2.is_live(m as usize)));
+                }
+                *pli = patched;
+            }
+            r = r2;
+        }
+
+        // Vacuum: the returned remap rebases every partition onto the
+        // compact relation, equal to a from-scratch rebuild.
+        let (v, applied) = r.vacuum();
+        for (pli, &set) in plis.iter_mut().zip(&sets) {
+            let rebased = pli.apply_delta(&v, set, &applied);
+            assert_eq!(rebased, Pli::for_set(&v, set), "set {set:?} after vacuum");
+        }
+    }
+
+    /// The counting kernel agrees with a compact-relation oracle through
+    /// tombstones: check verdicts on the tombstoned relation equal the
+    /// verdicts on the compacted equivalent.
+    #[test]
+    fn kernel_checks_skip_dead_rows() {
+        use crate::PliCache;
+        use infine_relation::DictIndexes;
+        let r = rel();
+        let mut idx = DictIndexes::build(&r);
+        let mut b = DeltaBatch::new();
+        // delete row 3 (a=2,b=z): afterwards a → b holds on live rows.
+        b.delete(3).delete(4);
+        let (t, _) = r
+            .clone()
+            .apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        let (compact, _) = r.apply_delta(&b, "t");
+        let mut cache_t = PliCache::new(&t);
+        let mut cache_c = PliCache::new(&compact);
+        for lhs in [AttrSet::single(0), AttrSet::single(1)] {
+            for rhs in 0..2usize {
+                if lhs.contains(rhs) {
+                    continue;
+                }
+                assert_eq!(
+                    cache_t.check(lhs, rhs),
+                    cache_c.check(lhs, rhs),
+                    "lhs={lhs:?} rhs={rhs}"
+                );
+            }
+        }
+        // Dead rows never appear in any class.
+        let pa = Pli::for_attr(&t, 0);
+        for class in pa.classes() {
+            assert!(class.iter().all(|&m| t.is_live(m as usize)));
+        }
     }
 
     fn applied_noop(rel: &Relation) -> AppliedDelta {

@@ -48,6 +48,22 @@
 //!
 //! With the `NULL = NULL` convention of `infine-relation`, nulls are just
 //! another dictionary code, so no special casing is needed anywhere.
+//!
+//! ## Tombstoned relations
+//!
+//! A tombstoned relation (`Relation::has_tombstones`) keeps deleted rows
+//! physically present; partitions over it contain **live rows only** —
+//! the construction kernels skip dead rows, and delta patching drops
+//! them through the remap like any other delete. [`Pli::nrows`] remains
+//! the *physical* row space (packed probes index by physical id), which
+//! means [`Pli::distinct_count`] counts each dead row as a phantom
+//! singleton. That is sound for every validity decision in this crate:
+//! the kernel verdicts only read class members (live by construction),
+//! and the cached-product count comparison in
+//! [`PliCache::check`](crate::PliCache::check) sees the *same* phantom
+//! offset on both sides, so it cancels. Error measures whose denominator
+//! is `nrows` ([`Pli::key_error`], [`Pli::g3_error`]) are only meaningful
+//! on compact relations — vacuum before measuring.
 
 use infine_relation::{AttrId, AttrSet, Relation};
 use std::collections::HashMap;
@@ -141,7 +157,15 @@ impl Pli {
     /// Classes are assigned in first-occurrence order of their code, which
     /// *is* the canonical order (sorted by first member) — no sort needed,
     /// three linear passes total.
+    ///
+    /// Tombstoned relations are handled exactly: dead rows join no class
+    /// (they can never witness a violation), while [`Pli::nrows`] stays
+    /// the *physical* row space so packed probes keep indexing by
+    /// physical id. See the module docs for the tombstone conventions.
     pub fn for_attr(rel: &Relation, attr: AttrId) -> Pli {
+        if rel.has_tombstones() {
+            return Pli::for_attr_live(rel, attr);
+        }
         let col = rel.column(attr);
         let codes = &col.codes;
         let dict_len = col.dict.len();
@@ -178,6 +202,71 @@ impl Pli {
         }
     }
 
+    /// [`Pli::for_attr`] over a tombstoned relation: the same three
+    /// passes with dead rows filtered. Kept separate so compact
+    /// relations (the hot path of full discovery) pay no per-row
+    /// liveness branch.
+    fn for_attr_live(rel: &Relation, attr: AttrId) -> Pli {
+        let col = rel.column(attr);
+        let codes = &col.codes;
+        let dict_len = col.dict.len();
+        let mut count = vec![0u32; dict_len];
+        for (row, &c) in codes.iter().enumerate() {
+            if rel.is_live(row) {
+                count[c as usize] += 1;
+            }
+        }
+        let mut class_of = vec![DROP; dict_len];
+        let mut offsets: Vec<u32> = vec![0];
+        let mut total = 0u32;
+        for (row, &c) in codes.iter().enumerate() {
+            let c = c as usize;
+            if rel.is_live(row) && count[c] >= 2 && class_of[c] == DROP {
+                class_of[c] = (offsets.len() - 1) as u32;
+                total += count[c];
+                offsets.push(total);
+            }
+        }
+        let mut cursor: Vec<u32> = offsets[..offsets.len() - 1].to_vec();
+        let mut rows = vec![0u32; total as usize];
+        for (row, &c) in codes.iter().enumerate() {
+            if !rel.is_live(row) {
+                continue;
+            }
+            let cls = class_of[c as usize];
+            if cls != DROP {
+                rows[cursor[cls as usize] as usize] = row as u32;
+                cursor[cls as usize] += 1;
+            }
+        }
+        Pli {
+            offsets,
+            rows,
+            nrows: rel.nrows(),
+        }
+    }
+
+    /// `π_∅` over a relation: one class of every *live* row (compact
+    /// relations: every row). `nrows` stays the physical space.
+    pub(crate) fn for_empty_over(rel: &Relation) -> Pli {
+        if !rel.has_tombstones() {
+            return Pli::for_set_of_empty(rel.nrows());
+        }
+        let live = rel.live_row_ids();
+        if live.len() < 2 {
+            return Pli {
+                offsets: vec![0],
+                rows: Vec::new(),
+                nrows: rel.nrows(),
+            };
+        }
+        Pli {
+            offsets: vec![0, live.len() as u32],
+            rows: live,
+            nrows: rel.nrows(),
+        }
+    }
+
     /// Partition of an arbitrary attribute set by incremental probe-vector
     /// refinement: seed with the first attribute's partition, then refine
     /// by each remaining attribute's code column. `O(n · |X|)` like the
@@ -193,7 +282,7 @@ impl Pli {
     pub fn for_set_with(rel: &Relation, set: AttrSet, scratch: &mut IntersectScratch) -> Pli {
         let mut attrs = set.iter();
         let Some(first) = attrs.next() else {
-            return Pli::for_set_of_empty(rel.nrows());
+            return Pli::for_empty_over(rel);
         };
         let mut pli = Pli::for_attr(rel, first);
         for a in attrs {

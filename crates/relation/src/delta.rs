@@ -6,14 +6,24 @@
 //! [`AppliedDelta`] — the row-id remapping that downstream structures
 //! (PLIs, caches) need to patch themselves instead of rebuilding.
 //!
-//! Conventions:
+//! Conventions — **the delete contract** (one place, every consumer):
 //!
-//! * Deletes address rows of the relation *before* the batch; duplicates
-//!   are tolerated (deduplicated on application), out-of-range ids panic.
+//! * Deletes address rows of the relation *before* the batch. Their
+//!   *order is irrelevant* and *duplicates are deduplicated*, identically
+//!   in every consumer: [`Relation::apply_delta`],
+//!   [`Relation::apply_delta_tombstoned`](crate::vacuum),
+//!   [`DeltaBatch::then`]/[`DeltaBatch::try_then`], [`RowMap::rebase_batch`]
+//!   (the tombstone layer's logical→physical translation), and the
+//!   sharded router's batch splitting all reduce the delete list to the
+//!   *set* of targeted rows before acting. Out-of-range ids panic in the
+//!   relation-level APIs and surface as `Err` at the service boundary
+//!   ([`DeltaBatch::try_then`]).
 //! * Surviving rows keep their relative order and are compacted to the
 //!   front; inserted rows are appended afterwards in batch order. Column
 //!   dictionaries are append-only, so every surviving row keeps its
 //!   dictionary codes — the invariant that makes PLI patching sound.
+//!
+//! [`RowMap::rebase_batch`]: crate::vacuum::RowMap::rebase_batch
 
 use crate::relation::{Column, Relation};
 use crate::value::Value;
@@ -75,15 +85,30 @@ impl DeltaBatch {
     ///
     /// Panics when a delete of `self` is out of range for `old_nrows` or
     /// a delete of `next` is out of range for the intermediate state —
-    /// the same contract as [`Relation::apply_delta`].
+    /// the same contract as [`Relation::apply_delta`]. Use
+    /// [`DeltaBatch::try_then`] where malformed input must surface as an
+    /// error instead (the maintenance service's ingestion boundary).
+    ///
+    /// Per the module-level delete contract, the coalesced batch's
+    /// deletes come out deduplicated and sorted ascending.
     pub fn then(&self, next: &DeltaBatch, old_nrows: usize) -> DeltaBatch {
+        self.try_then(next, old_nrows)
+            .unwrap_or_else(|msg| panic!("{msg}"))
+    }
+
+    /// Non-panicking [`DeltaBatch::then`]: composes the batches or
+    /// explains why they cannot be composed (an out-of-range delete in
+    /// either input). No allocation-heavy work happens before validation,
+    /// so an `Err` leaves nothing half-built.
+    pub fn try_then(&self, next: &DeltaBatch, old_nrows: usize) -> Result<DeltaBatch, String> {
         // Replay self's remap without touching any relation data.
         let mut deleted = vec![false; old_nrows];
         for &d in &self.deletes {
-            assert!(
-                (d as usize) < old_nrows,
-                "delete of row {d} out of range (relation has {old_nrows} rows)"
-            );
+            if (d as usize) >= old_nrows {
+                return Err(format!(
+                    "delete of row {d} out of range (relation has {old_nrows} rows)"
+                ));
+            }
             deleted[d as usize] = true;
         }
         // survivors[mid_rid] = pre-batch rid, for mid rids below the
@@ -95,20 +120,25 @@ impl DeltaBatch {
         let mid_nrows = first_inserted + self.inserts.len();
 
         let mut out = DeltaBatch::new();
-        out.deletes = self.deletes.clone();
         let mut insert_alive = vec![true; self.inserts.len()];
         for &d in &next.deletes {
             let d = d as usize;
-            assert!(
-                d < mid_nrows,
-                "coalesced delete of row {d} out of range (intermediate state has {mid_nrows} rows)"
-            );
+            if d >= mid_nrows {
+                return Err(format!(
+                    "coalesced delete of row {d} out of range (intermediate state has {mid_nrows} rows)"
+                ));
+            }
             if d < first_inserted {
-                out.deletes.push(survivors[d]);
+                deleted[survivors[d] as usize] = true;
             } else {
                 insert_alive[d - first_inserted] = false;
             }
         }
+        // Emit the combined delete *set*, deduplicated and ascending —
+        // the canonical form of the module-level delete contract.
+        out.deletes = (0..old_nrows as u32)
+            .filter(|&r| deleted[r as usize])
+            .collect();
         out.inserts = self
             .inserts
             .iter()
@@ -117,7 +147,7 @@ impl DeltaBatch {
             .map(|(row, _)| row.clone())
             .chain(next.inserts.iter().cloned())
             .collect();
-        out
+        Ok(out)
     }
 
     /// Project the insert rows onto a column subset (the scoped-relation
@@ -218,6 +248,34 @@ impl DictIndexes {
                 .collect(),
         }
     }
+
+    /// Assert the index matches a relation's arity (it must come from the
+    /// same lineage).
+    pub(crate) fn assert_arity(&self, ncols: usize) {
+        assert_eq!(
+            self.per_column.len(),
+            ncols,
+            "dictionary index arity mismatch (build it from this relation lineage)"
+        );
+    }
+
+    /// Dictionary code for `v` in column `c`, extending `col`'s dictionary
+    /// (and this index) when the value is fresh.
+    pub(crate) fn encode(&mut self, c: usize, v: &Value, col: &mut Column) -> u32 {
+        let idx = &mut self.per_column[c];
+        match idx.get(v) {
+            Some(&code) => code,
+            None => {
+                let code = col.dict.len() as u32;
+                if v.is_null() {
+                    col.null_code = Some(code);
+                }
+                std::sync::Arc::make_mut(&mut col.dict).push(v.clone());
+                idx.insert(v.clone(), code);
+                code
+            }
+        }
+    }
 }
 
 impl Relation {
@@ -266,6 +324,10 @@ impl Relation {
         name: impl Into<String>,
         index: &mut DictIndexes,
     ) -> (Relation, AppliedDelta) {
+        debug_assert!(
+            !self.has_tombstones(),
+            "compacting apply on a tombstoned relation: vacuum first, or use apply_delta_tombstoned"
+        );
         let old_nrows = self.nrows();
         let ncols = self.ncols();
         let mut deleted = vec![false; old_nrows];
@@ -308,27 +370,11 @@ impl Relation {
             .collect();
 
         if !batch.inserts.is_empty() {
-            assert_eq!(
-                index.per_column.len(),
-                ncols,
-                "dictionary index arity mismatch (build it from this relation lineage)"
-            );
+            index.assert_arity(ncols);
             for row in &batch.inserts {
                 for (c, v) in row.iter().enumerate() {
                     let col = &mut columns[c];
-                    let idx = &mut index.per_column[c];
-                    let code = match idx.get(v) {
-                        Some(&code) => code,
-                        None => {
-                            let code = col.dict.len() as u32;
-                            if v.is_null() {
-                                col.null_code = Some(code);
-                            }
-                            std::sync::Arc::make_mut(&mut col.dict).push(v.clone());
-                            idx.insert(v.clone(), code);
-                            code
-                        }
-                    };
+                    let code = index.encode(c, v, col);
                     col.codes.push(code);
                 }
             }
@@ -492,7 +538,55 @@ mod tests {
         // The cancelled insert never reaches the coalesced batch.
         assert_eq!(c.num_inserts(), 2);
         assert!(c.inserts.iter().all(|row| row[0] != Value::Int(7)));
-        assert_eq!(c.deletes, vec![1, 0]);
+        // Deletes come out as the deduplicated ascending set.
+        assert_eq!(c.deletes, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_and_unordered_deletes_are_one_contract() {
+        // The same delete set, expressed with duplicates and out of
+        // order, must act identically through apply_delta, then, and the
+        // tombstoned path.
+        let r = sample();
+        let mut messy = DeltaBatch::new();
+        messy.delete(3).delete(1).delete(3).delete(1);
+        let mut clean = DeltaBatch::new();
+        clean.delete(1).delete(3);
+
+        let (a, ad_a) = r.apply_delta(&messy, "a");
+        let (b, ad_b) = r.apply_delta(&clean, "b");
+        assert_eq!(ad_a.remap, ad_b.remap);
+        for row in 0..a.nrows() {
+            assert_eq!(a.row(row), b.row(row));
+        }
+
+        let empty = DeltaBatch::new();
+        assert_eq!(
+            messy.then(&empty, r.nrows()).deletes,
+            clean.then(&empty, r.nrows()).deletes
+        );
+
+        let mut idx = DictIndexes::build(&r);
+        let (t, ad_t) =
+            r.clone()
+                .apply_delta_tombstoned(&messy.deletes, &messy.inserts, "t", &mut idx);
+        assert_eq!(ad_t.num_deleted(), 2);
+        assert_eq!(t.live_rows(), 2);
+    }
+
+    #[test]
+    fn try_then_reports_malformed_batches_without_panicking() {
+        let r = sample();
+        let mut b1 = DeltaBatch::new();
+        b1.delete(0);
+        let mut bad = DeltaBatch::new();
+        bad.delete(3); // intermediate state has 3 rows: 0..=2
+        let err = b1.try_then(&bad, r.nrows()).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let mut bad_first = DeltaBatch::new();
+        bad_first.delete(99);
+        let err = bad_first.try_then(&b1, r.nrows()).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

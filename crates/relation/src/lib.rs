@@ -24,6 +24,7 @@ pub mod csv;
 pub mod delta;
 pub mod relation;
 pub mod schema;
+pub mod vacuum;
 pub mod value;
 
 pub use attrs::{AttrId, AttrSet, AttrSetIter};
@@ -31,4 +32,5 @@ pub use csv::{read_csv, write_csv, TypeInference};
 pub use delta::{AppliedDelta, DeltaBatch, DeltaRelation, DictIndexes};
 pub use relation::{relation_from_rows, Column, Database, Relation, RelationBuilder};
 pub use schema::{Attribute, Origin, Schema};
+pub use vacuum::RowMap;
 pub use value::Value;

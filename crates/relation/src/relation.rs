@@ -54,6 +54,50 @@ impl Column {
     }
 }
 
+/// Tombstone state of a relation: which physical rows are dead.
+///
+/// A tombstoned delete ([`Relation::apply_delta_tombstoned`]) marks rows
+/// here instead of compacting the code vectors — `O(|Δ|)` bit flips
+/// instead of an `O(nrows · ncols)` rewrite. Dead rows keep their values
+/// and dictionary codes until [`Relation::vacuum`] restores the compact
+/// invariant; consumers that must be exact (partition construction, the
+/// counting kernel's class scans, `distinct_count`) skip them via
+/// [`Relation::is_live`].
+#[derive(Debug, Clone, Default)]
+pub struct Tombstones {
+    /// One bit per physical row; set = dead.
+    bits: Vec<u64>,
+    /// Number of set bits.
+    dead: usize,
+}
+
+impl Tombstones {
+    #[inline]
+    pub(crate) fn is_dead(&self, row: usize) -> bool {
+        (self.bits[row >> 6] >> (row & 63)) & 1 == 1
+    }
+
+    /// Mark a row dead; returns false when it already was.
+    pub(crate) fn kill(&mut self, row: usize) -> bool {
+        let (word, bit) = (row >> 6, 1u64 << (row & 63));
+        if self.bits[word] & bit != 0 {
+            return false;
+        }
+        self.bits[word] |= bit;
+        self.dead += 1;
+        true
+    }
+
+    pub(crate) fn resize(&mut self, nrows: usize) {
+        self.bits.resize(nrows.div_ceil(64), 0);
+    }
+
+    /// Number of dead rows.
+    pub(crate) fn dead_count(&self) -> usize {
+        self.dead
+    }
+}
+
 /// A named relation instance: schema + columnar data.
 #[derive(Debug, Clone)]
 pub struct Relation {
@@ -63,6 +107,8 @@ pub struct Relation {
     pub schema: Schema,
     columns: Vec<Column>,
     nrows: usize,
+    /// Dead-row bitmap; `None` = compact (every physical row live).
+    tombstones: Option<Box<Tombstones>>,
 }
 
 impl Relation {
@@ -74,13 +120,75 @@ impl Relation {
             schema,
             columns: vec![Column::default(); ncols],
             nrows: 0,
+            tombstones: None,
         }
     }
 
-    /// Number of rows.
+    /// Number of *physical* rows, dead rows included. Row ids across the
+    /// crate (codes, PLIs, deltas) address this physical space; compact
+    /// relations have `nrows() == live_rows()`.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    #[inline]
+    pub fn live_rows(&self) -> usize {
+        match &self.tombstones {
+            Some(t) => self.nrows - t.dead,
+            None => self.nrows,
+        }
+    }
+
+    /// True iff any row is tombstoned.
+    #[inline]
+    pub fn has_tombstones(&self) -> bool {
+        self.tombstones.as_ref().is_some_and(|t| t.dead > 0)
+    }
+
+    /// Number of tombstoned rows.
+    #[inline]
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.as_ref().map_or(0, |t| t.dead)
+    }
+
+    /// Is the physical row live (not tombstoned)?
+    #[inline]
+    pub fn is_live(&self, row: usize) -> bool {
+        match &self.tombstones {
+            Some(t) => !t.is_dead(row),
+            None => true,
+        }
+    }
+
+    /// Physical ids of the live rows, ascending.
+    pub fn live_row_ids(&self) -> Vec<u32> {
+        (0..self.nrows as u32)
+            .filter(|&r| self.is_live(r as usize))
+            .collect()
+    }
+
+    /// Internal: tear the relation apart for tombstoned patching/vacuum.
+    pub(crate) fn into_parts(self) -> (Schema, Vec<Column>, usize, Option<Box<Tombstones>>) {
+        (self.schema, self.columns, self.nrows, self.tombstones)
+    }
+
+    /// Internal: reassemble from parts (tombstoned constructors).
+    pub(crate) fn from_parts(
+        name: String,
+        schema: Schema,
+        columns: Vec<Column>,
+        nrows: usize,
+        tombstones: Option<Box<Tombstones>>,
+    ) -> Relation {
+        Relation {
+            name,
+            schema,
+            columns,
+            nrows,
+            tombstones,
+        }
     }
 
     /// Number of columns.
@@ -129,17 +237,27 @@ impl Relation {
             .collect()
     }
 
-    /// Exact number of distinct values (codes) appearing in the rows of a
-    /// column. O(n) with a bitmap over the dictionary.
+    /// Exact number of distinct values (codes) appearing in the *live*
+    /// rows of a column. O(n) with a bitmap over the dictionary.
     pub fn distinct_count(&self, attr: AttrId) -> usize {
         let col = &self.columns[attr];
         let mut seen = vec![false; col.dict.len()];
         let mut n = 0;
-        for &c in &col.codes {
-            let idx = c as usize;
-            if !seen[idx] {
-                seen[idx] = true;
-                n += 1;
+        if let Some(t) = &self.tombstones {
+            for (row, &c) in col.codes.iter().enumerate() {
+                let idx = c as usize;
+                if !t.is_dead(row) && !seen[idx] {
+                    seen[idx] = true;
+                    n += 1;
+                }
+            }
+        } else {
+            for &c in &col.codes {
+                let idx = c as usize;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    n += 1;
+                }
             }
         }
         n
@@ -147,7 +265,8 @@ impl Relation {
 
     /// Gather a subset of rows (by index) into a new relation sharing the
     /// same schema and dictionaries. Codes remain valid because the
-    /// dictionary is append-only.
+    /// dictionary is append-only. The result is compact — callers
+    /// gathering from a tombstoned relation pass live row ids.
     pub fn gather(&self, rows: &[u32], name: impl Into<String>) -> Relation {
         let columns = self
             .columns
@@ -163,6 +282,7 @@ impl Relation {
             schema: self.schema.clone(),
             columns,
             nrows: rows.len(),
+            tombstones: None,
         }
     }
 
@@ -170,6 +290,7 @@ impl Relation {
     /// relation whose schema is the projection. Duplicate rows are *not*
     /// eliminated — SPJ views in the paper are bag-projections; distinctness
     /// is irrelevant to FD satisfaction (duplicates never violate an FD).
+    /// Tombstones carry over: projection shares the physical row space.
     pub fn project(&self, attrs: &[AttrId], name: impl Into<String>) -> Relation {
         let mut schema = Schema::new();
         for &a in attrs {
@@ -181,12 +302,17 @@ impl Relation {
             schema,
             columns,
             nrows: self.nrows,
+            tombstones: self.tombstones.clone(),
         }
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (tombstone bitmap included).
     pub fn approx_bytes(&self) -> usize {
-        self.columns.iter().map(Column::approx_bytes).sum()
+        self.columns.iter().map(Column::approx_bytes).sum::<usize>()
+            + self
+                .tombstones
+                .as_ref()
+                .map_or(0, |t| t.bits.len() * std::mem::size_of::<u64>())
     }
 
     /// The full attribute set of this relation.
@@ -211,6 +337,7 @@ impl Relation {
             schema,
             columns,
             nrows,
+            tombstones: None,
         }
     }
 }
@@ -276,6 +403,7 @@ impl RelationBuilder {
             schema: self.schema,
             columns: self.columns,
             nrows: self.nrows,
+            tombstones: None,
         }
     }
 }

@@ -1,0 +1,482 @@
+//! Tombstoned delta application and the vacuum pass.
+//!
+//! [`Relation::apply_delta`](crate::Relation::apply_delta) pays one full
+//! column compaction per delete batch — `O(nrows · ncols)` however small
+//! the batch — and its dictionaries only ever grow. Long-lived engines
+//! under churn therefore pay O(table) value-level work per delete round
+//! and hold memory proportional to *total historical inserts*. This
+//! module fixes both:
+//!
+//! * [`Relation::apply_delta_tombstoned`] marks deleted rows in a
+//!   tombstone bitmap (`O(|Δ|)` bit flips) and appends inserts — no
+//!   column compaction, no row-id shifts. Surviving rows keep their
+//!   physical ids, so the returned [`AppliedDelta`] remap is the
+//!   *identity* on live rows and downstream structures (PLIs, violation
+//!   witnesses, join indexes) patch without moving a single surviving id.
+//! * [`Relation::vacuum`] restores the compact invariant on demand: dead
+//!   rows are dropped, dictionary codes are re-assigned in
+//!   first-appearance order over the live rows, and dictionary values no
+//!   live row references — including values only dead rows ever held,
+//!   the historical-insert leak — are garbage-collected. The vacuumed
+//!   relation is **byte-equal** to rebuilding from the live rows with
+//!   [`relation_from_rows`](crate::relation_from_rows): same codes, same
+//!   dictionaries, same `null_code`.
+//! * [`RowMap`] bridges the two addressings: callers keep speaking the
+//!   compacted *logical* row-id dialect (the [`DeltaBatch`] contract),
+//!   while the relation stores rows at stable *physical* positions.
+//!   Translating a batch is `O(|Δ|)` lookups plus one `retain` pass over
+//!   a flat `u32` array — the only per-round cost still proportional to
+//!   the live row count, and it is a 4-byte-per-row integer sweep, not a
+//!   value-level column rewrite per view node.
+//!
+//! Deletes in a tombstoned batch address **physical** row ids (translate
+//! logical batches through [`RowMap::rebase_batch`] first); the
+//! delete-dedup contract of [`DeltaBatch`] applies unchanged.
+
+use crate::delta::{AppliedDelta, DeltaBatch, DictIndexes};
+use crate::relation::Relation;
+
+/// Logical → physical row-id map for one tombstoned relation lineage.
+///
+/// Logical ids are the ids a compacting [`Relation::apply_delta`] would
+/// expose: live rows numbered `0..live_rows` in physical order. The map
+/// is maintained by [`RowMap::rebase_batch`] across every tombstoned
+/// batch and reset to the identity after a [`Relation::vacuum`].
+#[derive(Debug, Clone, Default)]
+pub struct RowMap {
+    phys: Vec<u32>,
+}
+
+impl RowMap {
+    /// Identity map over a compact relation of `n` rows.
+    pub fn identity(n: usize) -> RowMap {
+        RowMap {
+            phys: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of logical (live) rows.
+    pub fn len(&self) -> usize {
+        self.phys.len()
+    }
+
+    /// True iff no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.phys.is_empty()
+    }
+
+    /// Physical id of one logical row.
+    #[inline]
+    pub fn physical(&self, logical: u32) -> u32 {
+        self.phys[logical as usize]
+    }
+
+    /// Translate a logical batch's deletes into the physical dialect
+    /// [`Relation::apply_delta_tombstoned`] consumes, updating the map to
+    /// the post-batch state (deleted logical entries drop, insert
+    /// physical ids append). `phys_rows` is the relation's current
+    /// physical row count (inserted rows land at `phys_rows..`). Inserts
+    /// are untouched — pass `batch.inserts` to the apply alongside the
+    /// returned physical deletes, no copy needed.
+    ///
+    /// Deletes are deduplicated here (the shared [`DeltaBatch`] contract)
+    /// and panic when out of logical range — the same contract as
+    /// [`Relation::apply_delta`].
+    pub fn rebase_batch(&mut self, batch: &DeltaBatch, phys_rows: usize) -> Vec<u32> {
+        let n = self.phys.len();
+        let mut out: Vec<u32> = Vec::new();
+        if !batch.deletes.is_empty() {
+            let mut dead = vec![false; n];
+            for &d in &batch.deletes {
+                let d = d as usize;
+                assert!(
+                    d < n,
+                    "delete of row {d} out of range (relation has {n} live rows)"
+                );
+                if !dead[d] {
+                    dead[d] = true;
+                    out.push(self.phys[d]);
+                }
+            }
+            let mut w = 0usize;
+            for (l, &is_dead) in dead.iter().enumerate() {
+                if !is_dead {
+                    self.phys[w] = self.phys[l];
+                    w += 1;
+                }
+            }
+            self.phys.truncate(w);
+        }
+        self.phys
+            .extend(phys_rows as u32..(phys_rows + batch.inserts.len()) as u32);
+        out
+    }
+
+    /// Reset to the identity over `n` rows (after a vacuum).
+    pub fn reset_identity(&mut self, n: usize) {
+        self.phys.clear();
+        self.phys.extend(0..n as u32);
+    }
+}
+
+impl Relation {
+    /// Apply a delta without compacting: deletes tombstone their rows in
+    /// place, inserts append. Delete ids address **physical** rows
+    /// (translate logical batches through [`RowMap::rebase_batch`],
+    /// which also hands the inserts through by reference — no copy);
+    /// duplicates are deduplicated like everywhere else, and re-deleting
+    /// an already-dead row is a no-op.
+    ///
+    /// The returned [`AppliedDelta`] spans the physical row space:
+    /// `remap` is the identity for surviving rows (`Some(id)` — including
+    /// rows tombstoned by *earlier* batches, which no downstream
+    /// structure references), `None` exactly for the rows this batch
+    /// killed, and inserts occupy `first_inserted..new_nrows`. The remap
+    /// is monotone and identity-on-survivors, so every existing patch
+    /// consumer (PLI patching, witness remaps, join indexes) works
+    /// unchanged — survivors simply never move.
+    pub fn apply_delta_tombstoned(
+        self,
+        deletes: &[u32],
+        inserts: &[Vec<crate::value::Value>],
+        name: impl Into<String>,
+        index: &mut DictIndexes,
+    ) -> (Relation, AppliedDelta) {
+        let old_nrows = self.nrows();
+        let ncols = self.ncols();
+        for row in inserts {
+            assert_eq!(row.len(), ncols, "insert arity mismatch");
+        }
+
+        let (schema, mut columns, _, tombstones) = self.into_parts();
+        let mut tombstones = tombstones.unwrap_or_default();
+        tombstones.resize(old_nrows);
+
+        let mut remap: Vec<Option<u32>> = (0..old_nrows as u32).map(Some).collect();
+        for &d in deletes {
+            let d = d as usize;
+            assert!(
+                d < old_nrows,
+                "delete of row {d} out of range (relation has {old_nrows} physical rows)"
+            );
+            if tombstones.kill(d) {
+                remap[d] = None;
+            }
+        }
+
+        let first_inserted = old_nrows as u32;
+        let new_nrows = old_nrows + inserts.len();
+        tombstones.resize(new_nrows);
+
+        if !inserts.is_empty() {
+            index.assert_arity(ncols);
+            for row in inserts {
+                for (c, v) in row.iter().enumerate() {
+                    let col = &mut columns[c];
+                    let code = index.encode(c, v, col);
+                    col.codes.push(code);
+                }
+            }
+        }
+
+        let tombstones = (tombstones.dead_count() > 0).then_some(tombstones);
+        let rel = Relation::from_parts(name.into(), schema, columns, new_nrows, tombstones);
+        (
+            rel,
+            AppliedDelta {
+                old_nrows,
+                new_nrows,
+                remap,
+                first_inserted,
+            },
+        )
+    }
+
+    /// Restore the compact invariant: drop tombstoned rows, re-assign
+    /// dictionary codes in first-appearance order over the live rows, and
+    /// garbage-collect dictionary values no live row references.
+    ///
+    /// The result is byte-equal to rebuilding the relation from its live
+    /// rows with [`relation_from_rows`](crate::relation_from_rows). The
+    /// returned [`AppliedDelta`] is a pure monotone remap (old physical
+    /// id → compact id for live rows, `None` for dead ones, no inserts)
+    /// — feed it to the same patch machinery delta batches use to carry
+    /// PLIs, witnesses, and join indexes across the move. Dictionary
+    /// codes change: rebuild any [`DictIndexes`] and re-borrow any cached
+    /// code columns afterwards.
+    ///
+    /// Vacuuming a compact relation returns it unchanged (with an
+    /// identity remap).
+    pub fn vacuum(self) -> (Relation, AppliedDelta) {
+        let old_nrows = self.nrows();
+        if !self.has_tombstones() {
+            let applied = AppliedDelta {
+                old_nrows,
+                new_nrows: old_nrows,
+                remap: (0..old_nrows as u32).map(Some).collect(),
+                first_inserted: old_nrows as u32,
+            };
+            return (self, applied);
+        }
+
+        let live: Vec<u32> = self.live_row_ids();
+        let new_nrows = live.len();
+        let mut remap: Vec<Option<u32>> = vec![None; old_nrows];
+        for (new_id, &old_id) in live.iter().enumerate() {
+            remap[old_id as usize] = Some(new_id as u32);
+        }
+
+        let name = self.name.clone();
+        let (schema, columns, _, _) = self.into_parts();
+        let columns = columns
+            .into_iter()
+            .map(|col| {
+                // First-appearance re-encode over the live rows: exactly
+                // the code assignment RelationBuilder would produce.
+                const UNASSIGNED: u32 = u32::MAX;
+                let mut code_remap = vec![UNASSIGNED; col.dict.len()];
+                let mut dict: Vec<crate::value::Value> = Vec::new();
+                let mut null_code = None;
+                let mut codes = Vec::with_capacity(new_nrows);
+                for &row in &live {
+                    let old_code = col.codes[row as usize] as usize;
+                    let mut code = code_remap[old_code];
+                    if code == UNASSIGNED {
+                        code = dict.len() as u32;
+                        code_remap[old_code] = code;
+                        let v = col.dict[old_code].clone();
+                        if v.is_null() {
+                            null_code = Some(code);
+                        }
+                        dict.push(v);
+                    }
+                    codes.push(code);
+                }
+                crate::relation::Column {
+                    codes,
+                    dict: std::sync::Arc::new(dict),
+                    null_code,
+                }
+            })
+            .collect();
+
+        let rel = Relation::from_parts(name, schema, columns, new_nrows, None);
+        (
+            rel,
+            AppliedDelta {
+                old_nrows,
+                new_nrows,
+                remap,
+                first_inserted: new_nrows as u32,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_from_rows;
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                &[Value::Int(1), Value::str("x")],
+                &[Value::Int(2), Value::str("y")],
+                &[Value::Int(1), Value::Null],
+                &[Value::Int(3), Value::str("y")],
+            ],
+        )
+    }
+
+    /// Values of the live rows, in logical order.
+    fn live_values(rel: &Relation) -> Vec<Vec<Value>> {
+        rel.live_row_ids()
+            .into_iter()
+            .map(|r| rel.row(r as usize))
+            .collect()
+    }
+
+    /// The rebuild oracle: a fresh relation from the live rows.
+    fn rebuild(rel: &Relation) -> Relation {
+        let rows = live_values(rel);
+        let refs: Vec<&[Value]> = rows.iter().map(|r| r.as_slice()).collect();
+        let names: Vec<&str> = (0..rel.ncols()).map(|c| rel.schema.name(c)).collect();
+        relation_from_rows(&rel.name, &names, &refs)
+    }
+
+    fn assert_byte_equal(a: &Relation, b: &Relation) {
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.ncols(), b.ncols());
+        for c in 0..a.ncols() {
+            assert_eq!(a.column(c).codes, b.column(c).codes, "codes col {c}");
+            assert_eq!(
+                a.column(c).dict.as_slice(),
+                b.column(c).dict.as_slice(),
+                "dict col {c}"
+            );
+            assert_eq!(a.column(c).null_code, b.column(c).null_code);
+        }
+    }
+
+    #[test]
+    fn tombstoned_deletes_keep_physical_rows() {
+        let r = sample();
+        let mut idx = DictIndexes::build(&r);
+        let mut b = DeltaBatch::new();
+        b.delete(1).delete(1).delete(3);
+        let (r2, ad) = r.apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        assert_eq!(r2.nrows(), 4); // physical rows unchanged
+        assert_eq!(r2.live_rows(), 2);
+        assert_eq!(ad.num_deleted(), 2);
+        assert_eq!(ad.remap, vec![Some(0), None, Some(2), None]);
+        assert!(r2.is_live(0) && !r2.is_live(1));
+        assert_eq!(r2.live_row_ids(), vec![0, 2]);
+        // distinct counts skip dead rows: a ∈ {1}, b ∈ {x, NULL}
+        assert_eq!(r2.distinct_count(0), 1);
+        assert_eq!(r2.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn tombstoned_inserts_append_and_redelete_is_noop() {
+        let r = sample();
+        let mut idx = DictIndexes::build(&r);
+        let mut b = DeltaBatch::new();
+        b.delete(0).insert(vec![Value::Int(9), Value::str("z")]);
+        let (r2, ad) = r.apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        assert_eq!(r2.nrows(), 5);
+        assert_eq!(r2.live_rows(), 4);
+        assert_eq!(ad.first_inserted, 4);
+        assert_eq!(r2.value(4, 0), &Value::Int(9));
+        // delete the same physical row again: already dead, no double count
+        let mut b2 = DeltaBatch::new();
+        b2.delete(0);
+        let (r3, ad2) = r2.apply_delta_tombstoned(&b2.deletes, &b2.inserts, "t", &mut idx);
+        assert_eq!(r3.live_rows(), 4);
+        assert_eq!(ad2.num_deleted(), 0);
+        assert_eq!(ad2.remap[0], Some(0)); // earlier-dead rows keep identity
+    }
+
+    #[test]
+    fn vacuum_is_byte_equal_to_rebuild() {
+        let r = sample();
+        let mut idx = DictIndexes::build(&r);
+        // Kill the first x and the first 1 so first-appearance order of
+        // the surviving values differs from historical code order.
+        let mut b = DeltaBatch::new();
+        b.delete(0)
+            .insert(vec![Value::Int(5), Value::str("x")])
+            .insert(vec![Value::Null, Value::str("w")]);
+        let (r2, _) = r.apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        let oracle = rebuild(&r2);
+        let (v, applied) = r2.vacuum();
+        assert!(!v.has_tombstones());
+        assert_eq!(applied.num_deleted(), 1);
+        assert_eq!(applied.num_inserted(), 0);
+        assert_byte_equal(&v, &oracle);
+    }
+
+    #[test]
+    fn vacuum_drops_dead_only_dictionary_values() {
+        let r = sample();
+        let mut idx = DictIndexes::build(&r);
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(42), Value::str("ghost")]);
+        let (r2, _) = r.apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        // Kill the fresh row: its values must leave the dictionaries.
+        let mut b2 = DeltaBatch::new();
+        b2.delete(4);
+        let (r3, _) = r2.apply_delta_tombstoned(&b2.deletes, &b2.inserts, "t", &mut idx);
+        assert!(r3.column(0).dict.contains(&Value::Int(42)));
+        let (v, _) = r3.vacuum();
+        assert!(!v.column(0).dict.contains(&Value::Int(42)));
+        assert!(!v.column(1).dict.contains(&Value::str("ghost")));
+        assert_byte_equal(&v, &rebuild(&v));
+    }
+
+    #[test]
+    fn vacuum_of_compact_relation_is_identity() {
+        let r = sample();
+        let before = rebuild(&r);
+        let (v, applied) = r.vacuum();
+        assert!(applied.is_noop());
+        assert_byte_equal(&v, &before);
+    }
+
+    #[test]
+    fn row_map_tracks_logical_addressing_across_rounds() {
+        let mut r = sample();
+        let mut idx = DictIndexes::build(&r);
+        let mut map = RowMap::identity(r.nrows());
+        // Mirror relation maintained with compacting applies.
+        let mut mirror = sample();
+
+        let rounds: Vec<DeltaBatch> = vec![
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(1).insert(vec![Value::Int(7), Value::str("q")]);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(0)
+                    .delete(2)
+                    .insert(vec![Value::Int(8), Value::Null]);
+                b
+            },
+            {
+                let mut b = DeltaBatch::new();
+                b.delete(0);
+                b
+            },
+        ];
+        for batch in rounds {
+            let phys = map.rebase_batch(&batch, r.nrows());
+            let (r2, _) = r.apply_delta_tombstoned(&phys, &batch.inserts, "t", &mut idx);
+            r = r2;
+            let (m2, _) = mirror.apply_delta(&batch, "t");
+            mirror = m2;
+            assert_eq!(map.len(), mirror.nrows());
+            assert_eq!(map.len(), r.live_rows());
+            for l in 0..map.len() {
+                assert_eq!(
+                    r.row(map.physical(l as u32) as usize),
+                    mirror.row(l),
+                    "logical row {l} diverged"
+                );
+            }
+        }
+        // Vacuum + identity reset keeps the correspondence.
+        let (v, _) = r.vacuum();
+        map.reset_identity(v.nrows());
+        for l in 0..map.len() {
+            assert_eq!(v.row(l), mirror.row(l));
+        }
+        assert_byte_equal(&v, &rebuild(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_map_rejects_out_of_range_logical_delete() {
+        let mut map = RowMap::identity(3);
+        let mut b = DeltaBatch::new();
+        b.delete(3);
+        map.rebase_batch(&b, 3);
+    }
+
+    #[test]
+    fn projection_shares_tombstones() {
+        let r = sample();
+        let mut idx = DictIndexes::build(&r);
+        let mut b = DeltaBatch::new();
+        b.delete(2);
+        let (r2, _) = r.apply_delta_tombstoned(&b.deletes, &b.inserts, "t", &mut idx);
+        let p = r2.project(&[1], "p");
+        assert_eq!(p.live_rows(), 3);
+        assert!(!p.is_live(2));
+        assert_eq!(p.distinct_count(0), 2); // x, y — NULL row is dead
+    }
+}

@@ -4,15 +4,21 @@
 //! exact provenance — producers never block on maintenance.
 //!
 //! The demo runs the paper's TPC-H Q2-style catalog view, shards its
-//! base tables across 4 key-range fragments, streams three bursts of
-//! churn through the service, and finally verifies that the merged state
-//! is indistinguishable from full re-discovery.
+//! base tables across 4 key-range fragments with **tombstoned deletes**
+//! (delete rounds mark bits instead of compacting columns), streams
+//! three bursts of churn through the service with an automatic vacuum
+//! policy (fragments compact in parallel between rounds once a fifth of
+//! their rows are dead), issues one explicit vacuum command, and finally
+//! verifies that the merged state is indistinguishable from full
+//! re-discovery.
 //!
 //! Run with: `cargo run --release --example sharded_service`
 
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, Scale};
-use infine_incremental::{MaintenanceService, ShardedEngine};
+use infine_incremental::{
+    DeletePolicy, InsertPolicy, MaintenanceService, ShardedEngine, VacuumPolicy,
+};
 use infine_relation::{Database, DeltaRelation};
 use std::time::Instant;
 
@@ -26,8 +32,15 @@ fn main() {
     // One maintenance engine per shard, each owning a contiguous rid
     // range of every base table; covers merge at read time.
     let t0 = Instant::now();
-    let engine =
-        ShardedEngine::new(InFine::default(), db, case.spec.clone(), 4).expect("bootstrap");
+    let engine = ShardedEngine::with_options(
+        InFine::default(),
+        db,
+        case.spec.clone(),
+        4,
+        InsertPolicy::default(),
+        DeletePolicy::Tombstone,
+    )
+    .expect("bootstrap");
     println!(
         "bootstrapped {} shards: {} FDs on {} in {:.2?}",
         engine.shards(),
@@ -43,7 +56,9 @@ fn main() {
     }
 
     // Move the engine onto the service loop: deltas in, reports out.
-    let service = MaintenanceService::spawn(engine);
+    // The policy vacuums between rounds whenever >20% of the fragment
+    // rows are dead — the ingest loop never stops for it.
+    let service = MaintenanceService::spawn_with_policy(engine, VacuumPolicy::at_fraction(0.2));
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
 
     // A producer bursts batches at the service and moves on immediately;
@@ -59,21 +74,47 @@ fn main() {
         delta
     };
     for burst in 1..=3 {
-        service.ingest(vec![produce(&mut mirror, "supplier", 0.02)]);
+        service
+            .ingest(vec![produce(&mut mirror, "supplier", 0.02)])
+            .expect("worker alive");
         if burst == 2 {
-            service.ingest(vec![produce(&mut mirror, "nation", 0.05)]);
+            service
+                .ingest(vec![produce(&mut mirror, "nation", 0.05)])
+                .expect("worker alive");
         }
         // Reports arrive whenever rounds complete; drain what's ready.
         while let Some(report) = service.try_recv_report() {
-            println!("async: {}", report.expect("round").summary());
+            let report = report.expect("round");
+            if let Some(vac) = report.vacuum {
+                println!(
+                    "async: vacuumed {} relations, {} rows + {} dict entries reclaimed",
+                    vac.relations, vac.rows_dropped, vac.dict_entries_dropped
+                );
+            }
+            println!("async: {}", report.summary());
         }
+    }
+
+    // An explicit vacuum command: drains pending work, compacts every
+    // fragment in parallel, and reports the pass on the round report.
+    service.vacuum().expect("worker alive");
+    loop {
+        let report = service.recv_report().expect("worker alive").expect("round");
+        if let Some(vac) = report.vacuum {
+            println!(
+                "vacuum command: {} relations compacted, {} rows + {} dict entries dropped in {:.2?}",
+                vac.relations, vac.rows_dropped, vac.dict_entries_dropped, vac.duration
+            );
+            break;
+        }
+        println!("async: {}", report.summary());
     }
 
     // Drain: each flush guarantees at least one more round report, so
     // this loop never blocks forever; once the queue is empty the flush
     // round re-emits the state with every FD untouched.
     loop {
-        service.flush();
+        service.flush().expect("worker alive");
         let report = service.recv_report().expect("worker alive").expect("round");
         println!("drained: {}", report.summary());
         if report.count_status(infine_incremental::FdStatus::Untouched) == report.cover.len() {
@@ -83,7 +124,8 @@ fn main() {
 
     // Shut down (any still-pending batches would run in a final round)
     // and verify the merged state against a from-scratch discovery.
-    let engine = service.shutdown();
+    let engine = service.shutdown().expect("worker alive");
+    assert_eq!(engine.tombstone_stats().dead_rows(), 0);
     let fresh = InFine::default()
         .discover(engine.database(), engine.spec())
         .expect("full discovery");
