@@ -141,9 +141,14 @@ fn main() {
         .num("tpch_median_speedup_vs_baseline", headline)
         .int("kernel_checks", kernel_total.checks as i64)
         .int("kernel_early_exits", kernel_total.early_exits as i64)
-        .int("products_avoided", kernel_total.products_avoided as i64);
+        .int("products_avoided", kernel_total.products_avoided as i64)
+        // Whole-run registry snapshot (every infine_* series, flat
+        // object). The kernel_* fields above predate it and stay for
+        // cross-PR trajectory compatibility.
+        .raw("metrics", infine_obs::snapshot().to_json());
     std::fs::write(&out_path, json::render_report(header, &scenario_objs))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    infine_obs::dump_if_requested();
     println!(
         "# wrote {out_path}; TPC-H median speedup vs recorded baseline: {headline:.2}x{}",
         if record_baseline {

@@ -381,10 +381,15 @@ fn main() {
         .num("delete_churn_round_speedup_geomean", delete_geomean)
         .int("kernel_checks", kernel.checks as i64)
         .int("kernel_early_exits", kernel.early_exits as i64)
-        .int("products_avoided", kernel.products_avoided as i64);
+        .int("products_avoided", kernel.products_avoided as i64)
+        // Whole-run registry snapshot (every infine_* series, flat
+        // object). The kernel_* fields above predate it and stay for
+        // cross-PR trajectory compatibility.
+        .raw("metrics", infine_obs::snapshot().to_json());
     std::fs::write(&out_path, json::render_report(header, &json_rows))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("# wrote {out_path}");
+    infine_obs::dump_if_requested();
 }
 
 /// The fast engine's canonical cover must be logically equivalent to the

@@ -183,7 +183,13 @@ pub fn bench_shards() -> usize {
 /// recorded via `infine_exec::parallelism()` in the emitted JSON);
 /// `--shards N` pins the shard count of the sharded maintenance lane
 /// (equivalent to `INFINE_SHARDS=N`, recorded via [`bench_shards`]).
+///
+/// Also arms the observability env knobs: `INFINE_METRICS_ADDR` starts
+/// the Prometheus scrape endpoint for the duration of the run (watch a
+/// long bench live), and `INFINE_METRICS_DUMP` is honored by each
+/// binary's exit path via [`infine_obs::dump_if_requested`].
 pub fn apply_cli_flags() {
+    infine_obs::serve_from_env();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {

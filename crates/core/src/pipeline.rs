@@ -398,6 +398,7 @@ impl InFine {
         } else {
             restrict_triples(&node.triples, &node.schema, &keep, &format!("π({spec})"))
         };
+        record_phase_metrics(&ctx.timings);
         Ok(InFineReport {
             schema,
             triples,
@@ -405,6 +406,35 @@ impl InFine {
             stats: ctx.stats,
         })
     }
+}
+
+/// Record one discovery run's phase breakdown into the ambient
+/// `infine-obs` registry (`infine_pipeline_phase_seconds{phase}` plus
+/// the aggregate `infine_pipeline_seconds`). One observation per phase
+/// per run — registration cost only, never on the per-candidate path.
+fn record_phase_metrics(timings: &PhaseTimings) {
+    infine_obs::with_current(|r| {
+        for (phase, elapsed) in [
+            ("base_mining", timings.base_mining),
+            ("io", timings.io),
+            ("upstage", timings.upstage),
+            ("infer", timings.infer),
+            ("mine", timings.mine),
+        ] {
+            r.duration_histogram(
+                "infine_pipeline_phase_seconds",
+                "Wall time per InFine pipeline phase, one observation per discovery run.",
+                &[("phase", phase)],
+            )
+            .observe_duration(elapsed);
+        }
+        r.duration_histogram(
+            "infine_pipeline_seconds",
+            "InFine pipeline wall time excluding base mining (the paper's reported split).",
+            &[],
+        )
+        .observe_duration(timings.infine_total());
+    });
 }
 
 struct Ctx<'a> {

@@ -21,6 +21,8 @@ use std::collections::HashSet;
 
 /// Discover all minimal FDs over `attrs` in `rel` with DepMiner.
 pub fn depminer(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("DepMiner");
+    let _span = obs.start();
     let mut result = FdSet::new();
     let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
@@ -31,7 +33,11 @@ pub fn depminer(rel: &Relation, attrs: AttrSet) -> FdSet {
         return result;
     }
 
+    // DepMiner is phase-based: agree-set construction, then the per-rhs
+    // transversal search — each phase recorded as one "level".
+    let phase_t0 = std::time::Instant::now();
     let agree_sets = compute_agree_sets(rel, universe);
+    let phase_t0 = obs.level_done(phase_t0);
 
     for rhs in universe.iter() {
         // max(AG, rhs): maximal agree sets not containing rhs. The empty
@@ -61,6 +67,7 @@ pub fn depminer(rel: &Relation, attrs: AttrSet) -> FdSet {
             result.insert_minimal(Fd::new(lhs, rhs));
         }
     }
+    obs.level_done(phase_t0);
     result
 }
 

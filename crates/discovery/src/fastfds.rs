@@ -24,6 +24,8 @@ use std::collections::HashSet;
 
 /// Discover all minimal FDs over `attrs` in `rel` with FastFDs.
 pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("FastFDs");
+    let _span = obs.start();
     let mut result = FdSet::new();
     let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
@@ -34,7 +36,12 @@ pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
         return result;
     }
 
+    // FastFDs has no lattice levels; its two phases (agree/difference
+    // set construction, then the per-rhs cover search) stand in as the
+    // "level" observations.
+    let phase_t0 = std::time::Instant::now();
     let agree_sets = compute_agree_sets(rel, universe);
+    let phase_t0 = obs.level_done(phase_t0);
     // Difference sets: complements of agree sets within the universe.
     let mut diff_sets: HashSet<AttrSet> =
         agree_sets.iter().map(|&a| universe.difference(a)).collect();
@@ -68,6 +75,7 @@ pub fn fastfds(rel: &Relation, attrs: AttrSet) -> FdSet {
             result.insert_minimal(Fd::new(lhs, rhs));
         }
     }
+    obs.level_done(phase_t0);
     result
 }
 

@@ -19,6 +19,8 @@ use std::collections::{HashMap, HashSet};
 
 /// Discover all minimal FDs over `attrs` in `rel` with FUN.
 pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("FUN");
+    let _span = obs.start();
     let mut result = FdSet::new();
     let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
@@ -41,6 +43,7 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
         card.insert(x, c);
     }
 
+    let mut level_t0 = std::time::Instant::now();
     while !free_level.is_empty() {
         // Emit FDs: for each free X and attribute a outside X, the FD
         // X → a holds iff adding a does not increase the cardinality —
@@ -127,6 +130,7 @@ pub fn fun(rel: &Relation, attrs: AttrSet) -> FdSet {
             }
         }
         free_level = next;
+        level_t0 = obs.level_done(level_t0);
     }
     result
 }

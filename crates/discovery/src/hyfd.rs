@@ -28,6 +28,8 @@ use std::collections::HashSet;
 
 /// Discover all minimal FDs over `attrs` in `rel` with HyFD.
 pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("HyFD");
+    let _span = obs.start();
     let mut result = FdSet::new();
     let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
@@ -54,6 +56,8 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
 
     // ---- Phase 3: validation ----
     let mut cache = PliCache::with_attrs(rel, universe);
+    // Each validate-specialize round stands in for a lattice level.
+    let mut level_t0 = std::time::Instant::now();
     loop {
         // Validate in ascending lhs size so subsets are settled first.
         let mut candidates = cover.to_sorted_vec();
@@ -94,6 +98,7 @@ pub fn hyfd(rel: &Relation, attrs: AttrSet) -> FdSet {
                 specialize_one(&mut cover, *fd, ag, universe);
             }
         }
+        level_t0 = obs.level_done(level_t0);
         if new_violations.is_empty() {
             break;
         }

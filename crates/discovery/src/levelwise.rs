@@ -97,6 +97,8 @@ pub fn mine_new_fds_with<V: Validity>(
     known: &FdSet,
     max_lhs: Option<usize>,
 ) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("Levelwise");
+    let _span = obs.start();
     let mut found = FdSet::new();
     if attrs.is_empty() {
         return found;
@@ -120,6 +122,7 @@ pub fn mine_new_fds_with<V: Validity>(
         // Level 1 candidates.
         let mut level: Vec<AttrSet> = lhs_universe.iter().map(AttrSet::single).collect();
         let mut depth = 1usize;
+        let mut level_t0 = std::time::Instant::now();
         while !level.is_empty() && depth <= max_lhs {
             // The subset-pruning outcome is fixed before any validation of
             // this level runs: an FD found *at* this level has a lhs of the
@@ -160,6 +163,7 @@ pub fn mine_new_fds_with<V: Validity>(
             }
             level = next;
             depth += 1;
+            level_t0 = obs.level_done(level_t0);
         }
     }
     found

@@ -17,6 +17,7 @@ pub mod fd;
 pub mod fun;
 pub mod hyfd;
 pub mod levelwise;
+pub(crate) mod obs;
 pub mod tane;
 
 pub use algo::Algorithm;

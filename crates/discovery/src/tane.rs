@@ -14,6 +14,8 @@ use std::collections::{HashMap, HashSet};
 
 /// Discover all minimal FDs over `attrs` in `rel` with TANE.
 pub fn tane(rel: &Relation, attrs: AttrSet) -> FdSet {
+    let obs = crate::obs::MinerObs::resolve("TANE");
+    let _span = obs.start();
     let mut result = FdSet::new();
     let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
@@ -33,6 +35,7 @@ pub fn tane(rel: &Relation, attrs: AttrSet) -> FdSet {
     cplus.insert(AttrSet::EMPTY, universe);
 
     let mut level: Vec<AttrSet> = universe.iter().map(AttrSet::single).collect();
+    let mut level_t0 = std::time::Instant::now();
     while !level.is_empty() {
         // Materialize the whole level's partitions up front (in parallel
         // when the pool is active): each node refines a cached partition
@@ -96,6 +99,7 @@ pub fn tane(rel: &Relation, attrs: AttrSet) -> FdSet {
 
         // ---- generate next level (prefix join + subset check) ----
         level = generate_next_level(&survivors);
+        level_t0 = obs.level_done(level_t0);
     }
     result
 }

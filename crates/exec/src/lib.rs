@@ -38,6 +38,36 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Pool counters, resolved against the caller's ambient `infine-obs`
+/// registry once per parallel entry point (never per item).
+struct PoolMetrics {
+    tasks: infine_obs::Counter,
+    steals: infine_obs::Counter,
+    inline: infine_obs::Counter,
+}
+
+impl PoolMetrics {
+    fn resolve() -> Self {
+        infine_obs::with_current(|r| Self {
+            tasks: r.counter(
+                "infine_exec_tasks_total",
+                "Items executed on pool worker threads.",
+                &[],
+            ),
+            steals: r.counter(
+                "infine_exec_steals_total",
+                "Half-range steals between pool workers.",
+                &[],
+            ),
+            inline: r.counter(
+                "infine_exec_inline_tasks_total",
+                "Items executed inline (single worker, tiny input, or nested call).",
+                &[],
+            ),
+        })
+    }
+}
+
 /// Runtime override for the worker count (0 = not set).
 static PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
@@ -99,6 +129,9 @@ where
 {
     let workers = parallelism().min(items.len());
     if workers <= 1 || in_worker() {
+        if !items.is_empty() {
+            PoolMetrics::resolve().inline.add(items.len() as u64);
+        }
         let mut state = init();
         return items
             .iter()
@@ -106,6 +139,11 @@ where
             .map(|(i, t)| f(&mut state, i, t))
             .collect();
     }
+    let metrics = PoolMetrics::resolve();
+    // Pool workers are fresh scoped threads: carry the caller's ambient
+    // registry scope across so worker-side observations (kernel checks,
+    // cache hits) land in the caller's engine scope, not the default.
+    let obs_ctx = infine_obs::ThreadContext::capture();
 
     // Deal contiguous index chunks to per-worker deques.
     let n = items.len();
@@ -126,8 +164,12 @@ where
                 let deques = &deques;
                 let f = &f;
                 let init = &init;
+                let metrics = &metrics;
+                let obs_ctx = &obs_ctx;
                 scope.spawn(move || {
                     IN_POOL.with(|flag| flag.set(true));
+                    let _obs_scope = obs_ctx.install();
+                    let mut steals = 0u64;
                     let mut state = init();
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -159,6 +201,7 @@ where
                                 if !stolen.is_empty() {
                                     deques[w].lock().expect("pool poisoned").extend(stolen);
                                 }
+                                steals += 1;
                                 first
                             })
                         });
@@ -171,6 +214,8 @@ where
                         let Some(i) = job else { break };
                         out.push((i, f(&mut state, i, &items[i])));
                     }
+                    metrics.tasks.add(out.len() as u64);
+                    metrics.steals.add(steals);
                     IN_POOL.with(|flag| flag.set(false));
                     out
                 })
@@ -346,6 +391,42 @@ mod tests {
             });
             assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn obs_scope_propagates_to_workers() {
+        with_override(4, || {
+            let scoped = infine_obs::Registry::new();
+            let _guard = scoped.enter();
+            let items: Vec<usize> = (0..64).collect();
+            par_map(&items, |_, &x| {
+                // Observations made *inside a pool worker* must land in
+                // the caller's ambient registry, not the default.
+                infine_obs::with_current(|r| r.counter("exec_probe_total", "t", &[]).inc());
+                x
+            });
+            assert_eq!(scoped.counter("exec_probe_total", "t", &[]).get(), 64);
+            assert_eq!(
+                scoped.counter("infine_exec_tasks_total", "t", &[]).get(),
+                64
+            );
+        });
+    }
+
+    #[test]
+    fn inline_path_counts_inline_tasks() {
+        with_override(1, || {
+            let scoped = infine_obs::Registry::new();
+            let _guard = scoped.enter();
+            par_map(&[1, 2, 3], |_, &x| x);
+            assert_eq!(
+                scoped
+                    .counter("infine_exec_inline_tasks_total", "t", &[])
+                    .get(),
+                3
+            );
+            assert_eq!(scoped.counter("infine_exec_tasks_total", "t", &[]).get(), 0);
+        });
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! possible.
 
 use crate::cover::{CoverDeltaStats, CoverState};
+use crate::obs::{EngineObs, RoundMetrics};
 use crate::view::{self, ViewState};
 use infine_algebra::ViewSpec;
 use infine_core::{
@@ -293,6 +294,10 @@ pub struct MaintenanceReport {
     pub vacuum: Option<VacuumStats>,
     /// Wall-clock breakdown.
     pub timings: MaintenanceTimings,
+    /// What the round recorded into the engine's metrics registry
+    /// (kernel checks, cache traffic, phase timings — exact per-round
+    /// deltas; see [`RoundMetrics`]).
+    pub metrics: RoundMetrics,
 }
 
 impl MaintenanceReport {
@@ -390,6 +395,8 @@ pub struct MaintenanceEngine {
     /// Rendered sub-query → base tables beneath it (provenance
     /// classification index).
     subquery_tables: HashMap<String, HashSet<String>>,
+    /// Scoped metrics registry + round/phase/vacuum handles.
+    obs: EngineObs,
 }
 
 impl MaintenanceEngine {
@@ -421,6 +428,10 @@ impl MaintenanceEngine {
         mode: MaintenanceMode,
         delete_policy: DeletePolicy,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
+        // The engine's own registry scopes everything from bootstrap
+        // mining onward (kernel checks, cache traffic, miner timings).
+        let obs = EngineObs::new(EngineObs::scoped_registry(), "maintenance");
+        let _obs_scope = obs.registry.enter();
         let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
         let algorithm = infine.config.base_algorithm;
         let base_fds: BaseFds = states
@@ -449,6 +460,7 @@ impl MaintenanceEngine {
             table_indexes: HashMap::new(),
             table_row_maps: HashMap::new(),
             subquery_tables,
+            obs,
         })
     }
 
@@ -471,7 +483,13 @@ impl MaintenanceEngine {
         db: Database,
         spec: ViewSpec,
         delete_policy: DeletePolicy,
+        registry: infine_obs::Registry,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
+        // Fragment engines share the sharded façade's registry (and its
+        // `engine="sharded"` label) instead of scoping their own: the
+        // fleet is one logical engine.
+        let obs = EngineObs::new(registry, "sharded");
+        let _obs_scope = obs.registry.enter();
         let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
         let subquery_tables = subquery_table_index(&spec);
         Ok(MaintenanceEngine {
@@ -493,6 +511,7 @@ impl MaintenanceEngine {
             table_indexes: HashMap::new(),
             table_row_maps: HashMap::new(),
             subquery_tables,
+            obs,
         })
     }
 
@@ -564,6 +583,7 @@ impl MaintenanceEngine {
     /// stale during cover-only rounds, which are re-mined here once).
     /// Updates [`MaintenanceEngine::report`].
     pub fn refresh_provenance(&mut self) -> Result<&InFineReport, MaintenanceError> {
+        let _obs_scope = self.obs.registry.enter();
         // The pipeline replays on the stored tables; restore the compact
         // invariant first (no-op outside tombstoned fast rounds).
         self.compact_stored_tables();
@@ -601,6 +621,9 @@ impl MaintenanceEngine {
         &mut self,
         deltas: &[DeltaRelation],
     ) -> Result<MaintenanceReport, MaintenanceError> {
+        let _obs_scope = self.obs.registry.enter();
+        let obs_before = self.obs.registry.snapshot();
+        let round_t0 = Instant::now();
         let mut timings = MaintenanceTimings::default();
         // Validate every batch before touching any state: a mid-round
         // panic would leave the engine's db/view/cover inconsistent.
@@ -762,6 +785,7 @@ impl MaintenanceEngine {
                 .map(|v| v.dense_schema())
                 .unwrap_or_else(|| self.report.schema.clone())
         };
+        self.obs.observe_round(&timings, round_t0.elapsed());
         Ok(MaintenanceReport {
             schema,
             cover: new_cover,
@@ -773,6 +797,7 @@ impl MaintenanceEngine {
             exact_provenance: exact,
             vacuum: None,
             timings,
+            metrics: RoundMetrics::capture(&self.obs.registry, &obs_before),
         })
     }
 
@@ -817,6 +842,7 @@ impl MaintenanceEngine {
         &mut self,
         deltas: &[DeltaRelation],
     ) -> Result<(Vec<BaseMaintenance>, MaintenanceTimings), MaintenanceError> {
+        let _obs_scope = self.obs.registry.enter();
         validate_deltas(&self.db, deltas)?;
         self.resync_stale_states();
         let mut timings = MaintenanceTimings::default();
@@ -904,6 +930,7 @@ impl MaintenanceEngine {
     /// logical row addressing are all unchanged — vacuum moves bytes,
     /// never answers. Idempotent; a no-op on a fully compact engine.
     pub fn vacuum(&mut self) -> VacuumStats {
+        let _obs_scope = self.obs.registry.enter();
         let t0 = Instant::now();
         let mut stats = VacuumStats::default();
         stats.merge(self.compact_stored_tables());
@@ -931,6 +958,7 @@ impl MaintenanceEngine {
             stats.merge(view.vacuum());
         }
         stats.duration = t0.elapsed();
+        self.obs.observe_vacuum(&stats);
         stats
     }
 

@@ -60,6 +60,7 @@
 
 pub mod cover;
 pub mod engine;
+mod obs;
 pub mod service;
 pub mod shard;
 pub mod view;
@@ -69,6 +70,7 @@ pub use engine::{
     BaseMaintenance, DeletePolicy, FdStatus, MaintenanceEngine, MaintenanceError, MaintenanceMode,
     MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
-pub use service::{MaintenanceService, VacuumPolicy};
+pub use obs::RoundMetrics;
+pub use service::{MaintenanceService, ServiceStats, VacuumPolicy};
 pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
 pub use view::ViewState;

@@ -1,0 +1,162 @@
+//! Maintenance-side observability: per-engine scoped registries, round
+//! and phase histograms, vacuum counters, and the per-round metrics
+//! delta attached to every [`MaintenanceReport`](crate::MaintenanceReport).
+//!
+//! Each engine owns a **child registry** of whatever registry was
+//! ambient when it was constructed (the process default unless the
+//! caller entered a scope). Engine entry points enter that registry for
+//! the duration of the call, so everything the round records — kernel
+//! checks, PLI cache traffic, miner timings, exec pool counters — lands
+//! in the engine's registry and chains up to the parent. That gives two
+//! exact views of the same work: the engine registry holds this engine's
+//! totals, the default registry the process-wide aggregate, and the
+//! difference of two engine snapshots is the round's own delta
+//! ([`RoundMetrics`]).
+
+use crate::engine::{MaintenanceTimings, VacuumStats};
+use infine_obs::{Counter, Histogram, Registry, Snapshot};
+use std::time::Duration;
+
+/// Preregistered round/phase/vacuum handles of one maintenance engine,
+/// plus the engine's scoped registry. The `engine` label distinguishes
+/// the unsharded engine (`maintenance`) from the sharded fleet
+/// (`sharded`, shared by the façade and its fragment engines).
+pub(crate) struct EngineObs {
+    pub(crate) registry: Registry,
+    round: Histogram,
+    phase_delta_apply: Histogram,
+    phase_base_maintain: Histogram,
+    phase_view_maintain: Histogram,
+    phase_pipeline: Histogram,
+    vacuum_passes: Counter,
+    vacuum_rows: Counter,
+    vacuum_dict_entries: Counter,
+}
+
+impl EngineObs {
+    pub(crate) fn new(registry: Registry, engine: &'static str) -> EngineObs {
+        let phase = |p: &'static str| {
+            registry.duration_histogram(
+                "infine_round_phase_seconds",
+                "Wall time of one maintenance-round phase.",
+                &[("engine", engine), ("phase", p)],
+            )
+        };
+        EngineObs {
+            round: registry.duration_histogram(
+                "infine_round_seconds",
+                "Wall time of one full maintenance round (one apply call).",
+                &[("engine", engine)],
+            ),
+            phase_delta_apply: phase("delta_apply"),
+            phase_base_maintain: phase("base_maintain"),
+            phase_view_maintain: phase("view_maintain"),
+            phase_pipeline: phase("pipeline"),
+            vacuum_passes: registry.counter(
+                "infine_vacuum_passes_total",
+                "Vacuum passes run (sharded: one per fragment engine per pass).",
+                &[("engine", engine)],
+            ),
+            vacuum_rows: registry.counter(
+                "infine_vacuum_rows_dropped_total",
+                "Tombstoned rows physically dropped by vacuum passes.",
+                &[("engine", engine)],
+            ),
+            vacuum_dict_entries: registry.counter(
+                "infine_vacuum_dict_entries_dropped_total",
+                "Dictionary entries garbage-collected by vacuum passes.",
+                &[("engine", engine)],
+            ),
+            registry,
+        }
+    }
+
+    /// A fresh child of the ambient registry, for a new engine.
+    pub(crate) fn scoped_registry() -> Registry {
+        infine_obs::with_current(Registry::child)
+    }
+
+    pub(crate) fn observe_round(&self, timings: &MaintenanceTimings, total: Duration) {
+        self.round.observe_duration(total);
+        self.phase_delta_apply.observe_duration(timings.delta_apply);
+        self.phase_base_maintain
+            .observe_duration(timings.base_maintain);
+        self.phase_view_maintain
+            .observe_duration(timings.view_maintain);
+        self.phase_pipeline.observe_duration(timings.pipeline);
+    }
+
+    pub(crate) fn observe_vacuum(&self, stats: &VacuumStats) {
+        self.vacuum_passes.inc();
+        self.vacuum_rows.add(stats.rows_dropped as u64);
+        self.vacuum_dict_entries
+            .add(stats.dict_entries_dropped as u64);
+    }
+}
+
+/// What one maintenance round recorded into its engine's registry — the
+/// snapshot delta between round start and round end, attached to every
+/// [`MaintenanceReport`](crate::MaintenanceReport).
+///
+/// Counters are exact per-round deltas (the engine registry is scoped,
+/// so concurrent engines never bleed into each other's rounds); the
+/// named accessors cover the hot ones, [`RoundMetrics::get`] /
+/// [`RoundMetrics::snapshot`] the rest.
+#[derive(Debug, Clone, Default)]
+pub struct RoundMetrics {
+    delta: Snapshot,
+}
+
+impl RoundMetrics {
+    pub(crate) fn capture(registry: &Registry, before: &Snapshot) -> RoundMetrics {
+        RoundMetrics {
+            delta: registry.snapshot().since(before),
+        }
+    }
+
+    /// Counting-only validity checks the round's revalidation ran.
+    pub fn kernel_checks(&self) -> u64 {
+        self.total("infine_kernel_checks_total") as u64
+    }
+
+    /// Kernel checks that exited at the first violating class.
+    pub fn kernel_early_exits(&self) -> u64 {
+        self.total("infine_kernel_early_exits_total") as u64
+    }
+
+    /// PLI cache hits during the round.
+    pub fn cache_hits(&self) -> u64 {
+        self.total("infine_pli_cache_hits_total") as u64
+    }
+
+    /// PLI cache misses (materializations) during the round.
+    pub fn cache_misses(&self) -> u64 {
+        self.total("infine_pli_cache_misses_total") as u64
+    }
+
+    /// PLI cache evictions during the round.
+    pub fn cache_evictions(&self) -> u64 {
+        self.total("infine_pli_cache_evictions_total") as u64
+    }
+
+    /// One series by its rendered key, e.g.
+    /// `infine_round_seconds_count{engine="sharded"}`.
+    pub fn get(&self, series: &str) -> Option<f64> {
+        self.delta.get(series)
+    }
+
+    /// Sum of every series of one metric name across label sets.
+    pub fn total(&self, name: &str) -> f64 {
+        self.delta.total(name)
+    }
+
+    /// The underlying snapshot delta.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.delta
+    }
+
+    /// The delta as a JSON object (see [`Snapshot::to_json`]).
+    pub fn to_json(&self) -> String {
+        self.delta.to_json()
+    }
+}

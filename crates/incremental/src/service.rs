@@ -58,8 +58,11 @@ use crate::shard::ShardedEngine;
 use infine_relation::{DeltaBatch, DeltaRelation};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 enum Request {
     Ingest(Vec<DeltaRelation>),
@@ -95,6 +98,84 @@ impl VacuumPolicy {
     }
 }
 
+/// Point-in-time service health, from [`MaintenanceService::stats`] —
+/// lock-free reads of counters the handle and the worker share, safe to
+/// poll from any thread at any rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceStats {
+    /// Delta batches ingested but not yet drained into a round by the
+    /// worker (the channel backlog a slow consumer would see grow).
+    pub queue_depth: usize,
+    /// Maintenance rounds completed since spawn (drained-on-shutdown
+    /// rounds included).
+    pub rounds_completed: u64,
+    /// Wall time of the most recent round (drain + coalesce + apply +
+    /// any folded vacuum). Zero until the first round completes.
+    pub last_round: Duration,
+    /// False once the worker thread has exited — cleanly after
+    /// [`MaintenanceService::shutdown`]/drop, or by panicking.
+    pub worker_alive: bool,
+}
+
+/// Counters shared between the handle and the worker thread.
+#[derive(Debug, Default)]
+struct SharedStats {
+    queue_depth: AtomicI64,
+    rounds: AtomicU64,
+    last_round_nanos: AtomicU64,
+}
+
+/// Preregistered service-loop metric handles. Registered at spawn time
+/// on the *caller's* ambient registry (worker threads have no ambient
+/// scope of their own), then moved onto the worker.
+struct ServiceObs {
+    queue_depth: infine_obs::Gauge,
+    rounds: infine_obs::Counter,
+    batches: infine_obs::Counter,
+    coalesced: infine_obs::Counter,
+    rejected: infine_obs::Counter,
+    round_seconds: infine_obs::Histogram,
+}
+
+impl ServiceObs {
+    fn resolve() -> ServiceObs {
+        infine_obs::with_current(|r| {
+            ServiceObs {
+            queue_depth: r.gauge(
+                "infine_service_queue_depth",
+                "Delta batches ingested but not yet drained into a round.",
+                &[],
+            ),
+            rounds: r.counter(
+                "infine_service_rounds_total",
+                "Maintenance rounds the service loop has completed.",
+                &[],
+            ),
+            batches: r.counter(
+                "infine_service_batches_total",
+                "Delta batches accepted at ingestion (validation passed).",
+                &[],
+            ),
+            coalesced: r.counter(
+                "infine_service_coalesced_total",
+                "Accepted batches folded into an already-pending batch for the same table (rounds saved by coalescing).",
+                &[],
+            ),
+            rejected: r.counter(
+                "infine_service_rejected_total",
+                "Delta batches rejected at ingestion (malformed).",
+                &[],
+            ),
+            round_seconds: r.duration_histogram(
+                "infine_service_round_seconds",
+                "Wall time of one service round: queue drain, coalescing, the engine round, and any folded vacuum.",
+                &[],
+            ),
+        }
+        })
+    }
+}
+
 /// Handle to a background sharded-maintenance loop.
 ///
 /// ```
@@ -125,6 +206,11 @@ pub struct MaintenanceService {
     worker: Option<JoinHandle<ShardedEngine>>,
     /// Worker death is reported through `recv_report` exactly once.
     death_reported: Cell<bool>,
+    /// Lock-free health counters shared with the worker.
+    stats: Arc<SharedStats>,
+    /// Queue-depth gauge (the handle raises it at ingestion, the worker
+    /// lowers it when it drains).
+    queue_gauge: infine_obs::Gauge,
 }
 
 impl MaintenanceService {
@@ -141,22 +227,44 @@ impl MaintenanceService {
     pub fn spawn_with_policy(engine: ShardedEngine, policy: VacuumPolicy) -> MaintenanceService {
         let (req_tx, req_rx) = std::sync::mpsc::channel();
         let (rep_tx, rep_rx) = std::sync::mpsc::channel();
+        let stats = Arc::new(SharedStats::default());
+        let obs = ServiceObs::resolve();
+        let queue_gauge = obs.queue_depth.clone();
+        let worker_stats = Arc::clone(&stats);
         let worker = std::thread::Builder::new()
             .name("infine-maintenance".into())
-            .spawn(move || run(engine, policy, req_rx, rep_tx))
+            .spawn(move || run(engine, policy, req_rx, rep_tx, worker_stats, obs))
             .expect("spawn maintenance worker");
         MaintenanceService {
             requests: req_tx,
             reports: rep_rx,
             worker: Some(worker),
             death_reported: Cell::new(false),
+            stats,
+            queue_gauge,
         }
     }
 
     /// Queue a round of delta batches (non-blocking).
     /// `Err(WorkerDied)` when the worker is gone (nothing was queued).
     pub fn ingest(&self, deltas: Vec<DeltaRelation>) -> Result<(), MaintenanceError> {
-        self.send(Request::Ingest(deltas))
+        let queued = deltas.len() as i64;
+        self.send(Request::Ingest(deltas))?;
+        self.stats.queue_depth.fetch_add(queued, Ordering::Relaxed);
+        self.queue_gauge.add(queued);
+        Ok(())
+    }
+
+    /// Point-in-time service health: queue depth, rounds completed,
+    /// last-round latency, and whether the worker thread is alive.
+    /// Lock-free; callable from any thread at any rate.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queue_depth: self.stats.queue_depth.load(Ordering::Relaxed).max(0) as usize,
+            rounds_completed: self.stats.rounds.load(Ordering::Relaxed),
+            last_round: Duration::from_nanos(self.stats.last_round_nanos.load(Ordering::Relaxed)),
+            worker_alive: self.worker.as_ref().is_some_and(|w| !w.is_finished()),
+        }
     }
 
     /// Force a maintenance round now, even if nothing is pending (the
@@ -261,9 +369,24 @@ fn run(
     policy: VacuumPolicy,
     requests: Receiver<Request>,
     reports: Sender<Result<MaintenanceReport, MaintenanceError>>,
+    stats: Arc<SharedStats>,
+    obs: ServiceObs,
 ) -> ShardedEngine {
+    // One round's bookkeeping: observe latency, bump the shared health
+    // counters, forward the report.
+    let finish_round = |result: Result<MaintenanceReport, MaintenanceError>, t0: Instant| {
+        let elapsed = t0.elapsed();
+        obs.round_seconds.observe_duration(elapsed);
+        obs.rounds.inc();
+        stats.rounds.fetch_add(1, Ordering::Relaxed);
+        stats
+            .last_round_nanos
+            .store(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let _ = reports.send(result);
+    };
     let mut pending: HashMap<String, DeltaBatch> = HashMap::new();
     while let Ok(first) = requests.recv() {
+        let round_t0 = Instant::now();
         let mut queued = vec![first];
         while let Ok(more) = requests.try_recv() {
             queued.push(more);
@@ -273,6 +396,11 @@ fn run(
         for req in queued {
             match req {
                 Request::Ingest(deltas) => {
+                    // Drained from the queue, accepted or not.
+                    stats
+                        .queue_depth
+                        .fetch_sub(deltas.len() as i64, Ordering::Relaxed);
+                    obs.queue_depth.sub(deltas.len() as i64);
                     // One rejected batch drops the REST of this ingest
                     // request too: every later batch addresses a stream
                     // state that assumed the rejected one applied, so
@@ -280,9 +408,18 @@ fn run(
                     // The producer sees the `Err` report and re-derives
                     // its feed from the engine state.
                     for d in deltas {
-                        if let Err(e) = coalesce_into(&engine, &mut pending, d) {
-                            let _ = reports.send(Err(e));
-                            break;
+                        match coalesce_into(&engine, &mut pending, d) {
+                            Ok(folded) => {
+                                obs.batches.inc();
+                                if folded {
+                                    obs.coalesced.inc();
+                                }
+                            }
+                            Err(e) => {
+                                obs.rejected.inc();
+                                let _ = reports.send(Err(e));
+                                break;
+                            }
                         }
                     }
                 }
@@ -319,28 +456,31 @@ fn run(
                     }
                 }
             }
-            let _ = reports.send(result);
+            finish_round(result, round_t0);
         }
     }
     if !pending.is_empty() {
+        let round_t0 = Instant::now();
         let round: Vec<DeltaRelation> = pending
             .drain()
             .map(|(target, batch)| DeltaRelation::new(target, batch))
             .collect();
-        let _ = reports.send(engine.apply(&round));
+        finish_round(engine.apply(&round), round_t0);
     }
     engine
 }
 
 /// Validate one incoming batch against the logical stream state and fold
-/// it into the pending per-table batch. Fully fallible: nothing here —
-/// including the [`DeltaBatch::try_then`] composition — can panic on
-/// malformed input, so a bad batch can never take the worker down.
+/// it into the pending per-table batch; `Ok(true)` when it was folded
+/// into an already-pending batch for the same table (a round saved by
+/// coalescing). Fully fallible: nothing here — including the
+/// [`DeltaBatch::try_then`] composition — can panic on malformed input,
+/// so a bad batch can never take the worker down.
 fn coalesce_into(
     engine: &ShardedEngine,
     pending: &mut HashMap<String, DeltaBatch>,
     delta: DeltaRelation,
-) -> Result<(), MaintenanceError> {
+) -> Result<bool, MaintenanceError> {
     let Some(table) = engine.database().get(&delta.target) else {
         return Err(MaintenanceError::UnknownTable(delta.target));
     };
@@ -380,15 +520,16 @@ fn coalesce_into(
     match pending.remove(&delta.target) {
         None => {
             pending.insert(delta.target, delta.batch);
+            Ok(false)
         }
         Some(p) => match p.try_then(&delta.batch, base_nrows) {
             Ok(folded) => {
                 pending.insert(delta.target, folded);
+                Ok(true)
             }
-            Err(msg) => return Err(MaintenanceError::BadBatch(msg)),
+            Err(msg) => Err(MaintenanceError::BadBatch(msg)),
         },
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ use crate::engine::{
     classify_round, subquery_table_index, validate_deltas, DeletePolicy, MaintenanceEngine,
     MaintenanceError, MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
+use crate::obs::{EngineObs, RoundMetrics};
 use infine_algebra::ViewSpec;
 use infine_core::{
     base_scopes, merge_label_covers, BaseFds, BaseScope, InFine, InFineReport, ProvenanceTriple,
@@ -288,6 +289,11 @@ pub struct ShardedEngine {
     report: InFineReport,
     cover: FdSet,
     subquery_tables: HashMap<String, HashSet<String>>,
+    /// Fleet-wide metrics registry (shared with every fragment engine)
+    /// plus round/phase/vacuum handles, all labeled `engine="sharded"`.
+    obs: EngineObs,
+    /// Shards actually touched per round (fan-out occupancy).
+    fanout: infine_obs::Histogram,
 }
 
 impl ShardedEngine {
@@ -328,6 +334,17 @@ impl ShardedEngine {
         policy: InsertPolicy,
         delete_policy: DeletePolicy,
     ) -> Result<ShardedEngine, MaintenanceError> {
+        // One registry for the whole fleet: the façade and every
+        // fragment engine record into it, so per-fleet deltas are exact
+        // even with several sharded engines in one process.
+        let obs = EngineObs::new(EngineObs::scoped_registry(), "sharded");
+        let fanout = obs.registry.histogram(
+            "infine_shard_fanout_shards",
+            "Shards touched by one sharded maintenance round.",
+            &[],
+            infine_obs::FANOUT_BUCKETS,
+        );
+        let _obs_scope = obs.registry.enter();
         let router = ShardRouter::with_policy(&db, shards, policy);
         let fragments = router.fragments(&db);
         // Fragment engines bootstrap base-cover state only — a shard's
@@ -337,6 +354,7 @@ impl ShardedEngine {
         let mut slots: Vec<Option<Database>> = fragments.into_iter().map(Some).collect();
         let config = infine.config;
         let spec_ref = &spec;
+        let registry_ref = &obs.registry;
         let mut engines = infine_exec::par_map_mut(&mut slots, |_, slot| {
             let frag = slot.take().expect("each fragment bootstraps once");
             MaintenanceEngine::new_base_only(
@@ -344,6 +362,7 @@ impl ShardedEngine {
                 frag,
                 spec_ref.clone(),
                 delete_policy,
+                registry_ref.clone(),
             )
         })
         .into_iter()
@@ -371,6 +390,8 @@ impl ShardedEngine {
             report,
             cover,
             subquery_tables,
+            obs,
+            fanout,
         })
     }
 
@@ -434,6 +455,9 @@ impl ShardedEngine {
         &mut self,
         deltas: &[DeltaRelation],
     ) -> Result<MaintenanceReport, MaintenanceError> {
+        let _obs_scope = self.obs.registry.enter();
+        let obs_before = self.obs.registry.snapshot();
+        let round_t0 = Instant::now();
         validate_deltas(&self.db, deltas)?;
         let mut timings = MaintenanceTimings::default();
         let changed: HashSet<String> = deltas
@@ -444,6 +468,8 @@ impl ShardedEngine {
 
         // Route first (pure bookkeeping), then bring the mirror forward.
         let sub_rounds = self.router.split(deltas);
+        self.fanout
+            .observe(sub_rounds.iter().filter(|r| !r.is_empty()).count() as f64);
         let t0 = Instant::now();
         for d in deltas {
             if d.batch.is_empty() {
@@ -535,6 +561,7 @@ impl ShardedEngine {
         );
         let schema = self.report.schema.clone();
         let triples = self.report.triples.clone();
+        self.obs.observe_round(&timings, round_t0.elapsed());
         Ok(MaintenanceReport {
             schema,
             cover: new_cover,
@@ -546,6 +573,7 @@ impl ShardedEngine {
             exact_provenance: true,
             vacuum: None,
             timings,
+            metrics: RoundMetrics::capture(&self.obs.registry, &obs_before),
         })
     }
 
@@ -574,6 +602,9 @@ impl ShardedEngine {
     /// that is the whole address-space fix-up.) Covers, reports, and the
     /// mirror are untouched.
     pub fn vacuum(&mut self) -> VacuumStats {
+        // Each fragment engine's vacuum records its own pass into the
+        // shared registry (`infine_vacuum_*{engine="sharded"}`).
+        let _obs_scope = self.obs.registry.enter();
         let t0 = Instant::now();
         let per_shard = infine_exec::par_map_mut(&mut self.shards, |_, engine| engine.vacuum());
         let mut stats = VacuumStats::default();

@@ -1,0 +1,155 @@
+//! Golden catalog test: drive the full stack — discovery pipeline,
+//! unsharded engine, sharded fleet, service loop, vacuum, one ad-hoc
+//! span — inside one scoped registry, then pin the exposition's metric
+//! names and types. Renaming, retyping, adding, or dropping a series is
+//! a deliberate catalog change and must update this list (and the
+//! catalog table in `crates/incremental/README.md`).
+
+use infine_algebra::ViewSpec;
+use infine_core::InFine;
+use infine_incremental::{DeletePolicy, MaintenanceEngine, MaintenanceService, ShardedEngine};
+use infine_incremental::{InsertPolicy, ShardRouter};
+use infine_obs::Registry;
+use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.insert(relation_from_rows(
+        "p",
+        &["pid", "grp", "flag"],
+        &[
+            &[Value::Int(1), Value::str("a"), Value::Int(0)],
+            &[Value::Int(2), Value::str("a"), Value::Int(0)],
+            &[Value::Int(3), Value::str("b"), Value::Int(1)],
+            &[Value::Int(4), Value::str("b"), Value::Int(1)],
+        ],
+    ));
+    db.insert(relation_from_rows(
+        "q",
+        &["pid", "site"],
+        &[
+            &[Value::Int(1), Value::str("x")],
+            &[Value::Int(2), Value::str("x")],
+            &[Value::Int(3), Value::str("y")],
+            &[Value::Int(3), Value::str("y")],
+        ],
+    ));
+    db
+}
+
+fn view() -> ViewSpec {
+    ViewSpec::base("p").inner_join(ViewSpec::base("q"), &["pid"])
+}
+
+#[test]
+fn metric_catalog_is_pinned() {
+    let registry = Registry::scoped();
+    let _scope = registry.enter();
+
+    // Discovery: pipeline phase + miner + kernel + PLI cache series.
+    InFine::default().discover(&db(), &view()).unwrap();
+
+    // Unsharded engine round, with its per-round metrics delta.
+    let mut engine = MaintenanceEngine::with_defaults(db(), view()).unwrap();
+    let mut b = DeltaBatch::new();
+    b.insert(vec![Value::Int(2), Value::str("a"), Value::Int(9)]);
+    let report = engine.apply_one(&DeltaRelation::new("p", b)).unwrap();
+    assert!(
+        report.metrics.kernel_checks() > 0,
+        "a cover-revalidating round runs kernel checks:\n{}",
+        report.metrics.to_json()
+    );
+    assert_eq!(
+        report
+            .metrics
+            .get("infine_round_seconds_count{engine=\"maintenance\"}"),
+        Some(1.0),
+        "one apply call is one round observation"
+    );
+
+    // Sharded fleet behind the service loop; tombstoned deletes so the
+    // explicit vacuum below reclaims rows.
+    let _ = ShardRouter::new(&db(), 2); // router alone registers nothing
+    let sharded = ShardedEngine::with_options(
+        InFine::default(),
+        db(),
+        view(),
+        2,
+        InsertPolicy::default(),
+        DeletePolicy::Tombstone,
+    )
+    .unwrap();
+    let service = MaintenanceService::spawn(sharded);
+    let mut b = DeltaBatch::new();
+    b.delete(0).delete(1);
+    service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+    let report = service.recv_report().unwrap().unwrap();
+    assert!(report.vacuum.is_none());
+    service.vacuum().unwrap();
+    let report = service.recv_report().unwrap().unwrap();
+    assert!(report.vacuum.unwrap().rows_dropped > 0);
+    let stats = service.stats();
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.rounds_completed >= 2);
+    assert!(stats.last_round > std::time::Duration::ZERO);
+    assert!(stats.worker_alive);
+    service.shutdown().unwrap();
+
+    // One ad-hoc span pins the span series.
+    drop(infine_obs::span("catalog_probe", &[]));
+
+    // The catalog: every metric name and type, in exposition order.
+    let render = registry.render();
+    let types: Vec<&str> = render
+        .lines()
+        .filter(|l| l.starts_with("# TYPE "))
+        .collect();
+    let expected = [
+        "# TYPE infine_exec_inline_tasks_total counter",
+        "# TYPE infine_exec_steals_total counter",
+        "# TYPE infine_exec_tasks_total counter",
+        "# TYPE infine_kernel_checks_total counter",
+        "# TYPE infine_kernel_early_exits_total counter",
+        "# TYPE infine_kernel_products_avoided_total counter",
+        "# TYPE infine_miner_level_seconds histogram",
+        "# TYPE infine_miner_seconds histogram",
+        "# TYPE infine_pipeline_phase_seconds histogram",
+        "# TYPE infine_pipeline_seconds histogram",
+        "# TYPE infine_pli_cache_evictions_total counter",
+        "# TYPE infine_pli_cache_hits_total counter",
+        "# TYPE infine_pli_cache_misses_total counter",
+        "# TYPE infine_round_phase_seconds histogram",
+        "# TYPE infine_round_seconds histogram",
+        "# TYPE infine_service_batches_total counter",
+        "# TYPE infine_service_coalesced_total counter",
+        "# TYPE infine_service_queue_depth gauge",
+        "# TYPE infine_service_rejected_total counter",
+        "# TYPE infine_service_round_seconds histogram",
+        "# TYPE infine_service_rounds_total counter",
+        "# TYPE infine_shard_fanout_shards histogram",
+        "# TYPE infine_span_seconds histogram",
+        "# TYPE infine_vacuum_dict_entries_dropped_total counter",
+        "# TYPE infine_vacuum_passes_total counter",
+        "# TYPE infine_vacuum_rows_dropped_total counter",
+    ];
+    assert_eq!(
+        types, expected,
+        "metric catalog drifted — update the catalog test AND the README table\n{render}"
+    );
+
+    // Key series carry real traffic, not just registrations.
+    let snap = registry.snapshot();
+    assert!(snap.total("infine_kernel_checks_total") > 0.0);
+    assert!(snap.total("infine_pli_cache_misses_total") > 0.0);
+    assert!(
+        snap.get("infine_round_seconds_count{engine=\"sharded\"}")
+            .unwrap()
+            >= 2.0
+    );
+    assert!(snap.get("infine_service_rounds_total").unwrap() >= 2.0);
+    assert!(snap.get("infine_service_batches_total").unwrap() >= 1.0);
+    assert_eq!(snap.get("infine_service_queue_depth"), Some(0.0));
+    assert!(snap.total("infine_vacuum_rows_dropped_total") > 0.0);
+    assert!(snap.get("infine_pipeline_seconds_count").unwrap() >= 1.0);
+    assert!(snap.total("infine_miner_seconds") >= 0.0);
+}

@@ -1,0 +1,75 @@
+//! # infine-obs
+//!
+//! Dependency-free, std-only observability for the InFine workspace:
+//! a lock-free metrics registry, span timing with an optional event
+//! ring buffer, and Prometheus text-format exposition. The workspace
+//! builds offline, so this crate plays the role `prometheus` +
+//! `tracing` would otherwise — same shim philosophy as
+//! `crates/shims/`, but a first-class subsystem rather than a stub.
+//!
+//! ## Model
+//!
+//! * **Handles are the hot path.** Register once
+//!   ([`Registry::counter`] / [`gauge`](Registry::gauge) /
+//!   [`histogram`](Registry::histogram)), keep the handle; every
+//!   observation is a handful of relaxed atomic ops — no locks, no
+//!   allocation, cheap enough to be always-on.
+//! * **Scoped registries chain to their parent.** [`Registry::scoped`]
+//!   makes a child of the process-wide [`default_registry`]; bumps on a
+//!   child's handles also land in the parent's same-named series. A
+//!   maintenance engine owns a scope for exact per-round deltas while
+//!   exposition aggregates everything process-wide — this is what fixes
+//!   the historical `KernelCounters` race between concurrent engines.
+//! * **Ambient scope.** [`Registry::enter`] installs a registry as the
+//!   current thread's ambient scope (guard-restored); deeply nested
+//!   code (the validation kernel) resolves handles via
+//!   [`with_current`]. [`ThreadContext`] carries the scope across
+//!   `infine-exec` pool workers.
+//! * **Spans.** [`Registry::span_timer`] preregisters a span;
+//!   [`span`] opens an ad-hoc one against the ambient registry (lands
+//!   in `infine_span_seconds{span="…"}`). Guards record wall time into
+//!   histograms on drop, and — when the event ring is enabled via
+//!   [`Registry::set_event_capacity`] or `INFINE_TRACE_EVENTS` — push
+//!   JSON-drainable events ([`Registry::drain_events_json`]).
+//! * **Exposition.** [`render`] produces Prometheus text format 0.0.4
+//!   with stable ordering; [`serve_from_env`] (`INFINE_METRICS_ADDR`)
+//!   starts a scrape endpoint, [`dump_if_requested`]
+//!   (`INFINE_METRICS_DUMP`) writes a file at exit.
+//!
+//! ## Example
+//!
+//! ```
+//! use infine_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let checks = registry.counter("demo_checks_total", "Probe checks.", &[]);
+//! let latency = registry.duration_histogram("demo_seconds", "Round time.", &[]);
+//! checks.add(3);
+//! latency.observe(0.004);
+//! let text = registry.render();
+//! assert!(text.contains("demo_checks_total 3"));
+//! assert!(text.contains("demo_seconds_count 1"));
+//! ```
+
+mod metrics;
+mod registry;
+mod server;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, DURATION_BUCKETS, FANOUT_BUCKETS};
+pub use registry::{
+    current_registry, default_registry, with_current, MetricKind, Registry, ScopeGuard, Snapshot,
+    ThreadContext,
+};
+pub use server::{dump_if_requested, serve, serve_from_env};
+pub use span::{span, Event, Span, SpanGuard, SpanTimer};
+
+/// Render the process-wide default registry in Prometheus text format.
+pub fn render() -> String {
+    default_registry().render()
+}
+
+/// Snapshot the process-wide default registry.
+pub fn snapshot() -> Snapshot {
+    default_registry().snapshot()
+}

@@ -1,0 +1,243 @@
+//! Lock-free metric handles: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Every handle wraps an `Arc` around an atomic core, so clones are
+//! cheap and observations are wait-free relaxed atomics — no locks, no
+//! allocation. Cores registered in a *child* registry carry a pointer to
+//! the same-named core in the parent, and every observation walks that
+//! chain: a scoped registry (one per maintenance engine) keeps an exact
+//! per-scope delta while the process-wide registry still aggregates the
+//! totals for exposition.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared state behind a [`Counter`] handle.
+pub(crate) struct CounterCore {
+    pub(crate) value: AtomicU64,
+    pub(crate) parent: Option<Arc<CounterCore>>,
+}
+
+impl CounterCore {
+    pub(crate) fn new(parent: Option<Arc<CounterCore>>) -> Arc<Self> {
+        Arc::new(Self {
+            value: AtomicU64::new(0),
+            parent,
+        })
+    }
+}
+
+/// A monotonically increasing counter. Clone freely; all clones share
+/// the same cell. Increments propagate up the registry parent chain.
+#[derive(Clone)]
+pub struct Counter {
+    pub(crate) core: Arc<CounterCore>,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` to this counter and to every parent-registry counter it
+    /// chains to.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let mut core = Some(&self.core);
+        while let Some(c) = core {
+            c.value.fetch_add(n, Ordering::Relaxed);
+            core = c.parent.as_ref();
+        }
+    }
+
+    /// Current value of this registry's cell (parents excluded).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.core.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset this registry's cell to zero. Parents are left alone: a
+    /// scoped reset must not erase process-wide history.
+    pub fn reset(&self) {
+        self.core.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Shared state behind a [`Gauge`] handle.
+pub(crate) struct GaugeCore {
+    pub(crate) value: AtomicI64,
+    pub(crate) parent: Option<Arc<GaugeCore>>,
+}
+
+impl GaugeCore {
+    pub(crate) fn new(parent: Option<Arc<GaugeCore>>) -> Arc<Self> {
+        Arc::new(Self {
+            value: AtomicI64::new(0),
+            parent,
+        })
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, occupancy).
+/// `add`/`sub` propagate up the parent chain so process-wide exposition
+/// sees the sum of all scopes; `set` is scope-local because an absolute
+/// value cannot be meaningfully merged into a parent.
+#[derive(Clone)]
+pub struct Gauge {
+    pub(crate) core: Arc<GaugeCore>,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add `n` (may be negative) here and in every chained parent.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        let mut core = Some(&self.core);
+        while let Some(c) = core {
+            c.value.fetch_add(n, Ordering::Relaxed);
+            core = c.parent.as_ref();
+        }
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Set this registry's cell to an absolute value (scope-local; the
+    /// parent chain is not touched).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.core.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.core.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state behind a [`Histogram`] handle.
+pub(crate) struct HistogramCore {
+    /// Upper bounds (`le`, inclusive), strictly increasing, finite.
+    pub(crate) bounds: Arc<[f64]>,
+    /// One cell per bound plus a final `+Inf` cell. Non-cumulative;
+    /// exposition accumulates at render time.
+    pub(crate) buckets: Box<[AtomicU64]>,
+    pub(crate) count: AtomicU64,
+    /// Sum of observed values as `f64` bits (CAS-loop accumulation).
+    pub(crate) sum_bits: AtomicU64,
+    pub(crate) parent: Option<Arc<HistogramCore>>,
+}
+
+impl HistogramCore {
+    pub(crate) fn new(bounds: Arc<[f64]>, parent: Option<Arc<HistogramCore>>) -> Arc<Self> {
+        let buckets = (0..=bounds.len())
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Arc::new(Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            parent,
+        })
+    }
+
+    fn record(&self, v: f64) {
+        // First bucket whose upper bound is >= v (Prometheus `le` is
+        // inclusive); everything past the last bound lands in +Inf.
+        let idx = self.bounds.partition_point(|b| *b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub(crate) fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram. Observations propagate up the parent
+/// chain; each core buckets with its own bounds, so a scope and its
+/// parent can even disagree on resolution without losing counts.
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Record one observation here and in every chained parent.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let mut core = Some(&self.core);
+        while let Some(c) = core {
+            c.record(v);
+            core = c.parent.as_ref();
+        }
+    }
+
+    /// Record a wall-time duration in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations in this registry's cells.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values in this registry's cells.
+    pub fn sum(&self) -> f64 {
+        self.core.sum()
+    }
+
+    /// The configured upper bounds (`+Inf` excluded).
+    pub fn bounds(&self) -> &[f64] {
+        &self.core.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; the final entry is `+Inf`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Default wall-time buckets in seconds: 10 µs up to one minute. Wide
+/// enough for a kernel probe batch and a full sharded round alike.
+pub const DURATION_BUCKETS: &[f64] = &[
+    1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+];
+
+/// Small-cardinality buckets (shard fan-out occupancy, batch sizes).
+pub const FANOUT_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];

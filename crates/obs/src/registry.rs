@@ -1,0 +1,596 @@
+//! The metric registry: named series, parent chaining, snapshots, and
+//! Prometheus text exposition.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) is get-or-create on
+//! a read-write-locked map — call it once at setup and keep the handle;
+//! observations on the handle never touch the registry again. A *child*
+//! registry ([`Registry::child`] / [`Registry::scoped`]) registers every
+//! series in its parent too and chains the cores, so scoped deltas stay
+//! exact while the process-wide default registry aggregates everything
+//! for exposition.
+
+use crate::metrics::{
+    Counter, CounterCore, Gauge, GaugeCore, Histogram, HistogramCore, DURATION_BUCKETS,
+};
+use crate::span::EventLog;
+use std::cell::RefCell;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// What a series is, for `# TYPE` lines and snapshot delta semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A series identity: metric name plus its sorted label set.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",…}` with escaped label values (bare name if no
+    /// labels) — the identity used by snapshots and exposition.
+    fn render(&self, extra: Option<(&str, &str)>, suffix: &str) -> String {
+        let mut out = String::with_capacity(self.name.len() + 16);
+        out.push_str(&self.name);
+        out.push_str(suffix);
+        if self.labels.is_empty() && extra.is_none() {
+            return out;
+        }
+        out.push('{');
+        let mut first = true;
+        for (k, v) in self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_into(&mut out, v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape_label_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+enum Metric {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Histogram(Arc<HistogramCore>),
+}
+
+struct Inner {
+    id: u64,
+    parent: Option<Registry>,
+    series: RwLock<BTreeMap<SeriesKey, Metric>>,
+    /// name → (kind, help); first registration wins.
+    meta: RwLock<BTreeMap<String, (MetricKind, String)>>,
+    pub(crate) events: Mutex<EventLog>,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A metric registry. Cheap to clone (an `Arc`); see the module docs
+/// for the parent-chaining model.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A standalone root registry (no parent).
+    pub fn new() -> Self {
+        Self::with_parent(None)
+    }
+
+    /// A child of the process-wide default registry: the idiom for
+    /// per-engine scoping. Scope-local deltas are exact; everything
+    /// still aggregates into [`default_registry`] for exposition.
+    pub fn scoped() -> Self {
+        default_registry().child()
+    }
+
+    /// A child of `self`; observations chain upward into `self`.
+    pub fn child(&self) -> Self {
+        Self::with_parent(Some(self.clone()))
+    }
+
+    fn with_parent(parent: Option<Registry>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                parent,
+                series: RwLock::new(BTreeMap::new()),
+                meta: RwLock::new(BTreeMap::new()),
+                events: Mutex::new(EventLog::new(0)),
+            }),
+        }
+    }
+
+    /// A process-unique id, stable for the registry's lifetime. Hot
+    /// paths key per-thread handle caches on it.
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    fn note_meta(&self, name: &str, kind: MetricKind, help: &str) {
+        let mut meta = self.inner.meta.write().expect("obs meta poisoned");
+        meta.entry(name.to_string())
+            .or_insert_with(|| (kind, help.to_string()));
+    }
+
+    /// Get or register a counter series. Keep the returned handle; this
+    /// lookup is not meant for hot paths.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = SeriesKey::new(name, labels);
+        if let Some(Metric::Counter(core)) =
+            self.inner.series.read().expect("obs poisoned").get(&key)
+        {
+            return Counter { core: core.clone() };
+        }
+        // Resolve the parent's core before taking our write lock (the
+        // chain is acyclic, so lock order is always child → parent).
+        let parent = self
+            .inner
+            .parent
+            .as_ref()
+            .map(|p| p.counter(name, help, labels).core);
+        let mut series = self.inner.series.write().expect("obs poisoned");
+        let core = match series.entry(key) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Counter(core) => core.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(e) => {
+                let core = CounterCore::new(parent);
+                e.insert(Metric::Counter(core.clone()));
+                core
+            }
+        };
+        drop(series);
+        self.note_meta(name, MetricKind::Counter, help);
+        Counter { core }
+    }
+
+    /// Get or register a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = SeriesKey::new(name, labels);
+        if let Some(Metric::Gauge(core)) = self.inner.series.read().expect("obs poisoned").get(&key)
+        {
+            return Gauge { core: core.clone() };
+        }
+        let parent = self
+            .inner
+            .parent
+            .as_ref()
+            .map(|p| p.gauge(name, help, labels).core);
+        let mut series = self.inner.series.write().expect("obs poisoned");
+        let core = match series.entry(key) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Gauge(core) => core.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(e) => {
+                let core = GaugeCore::new(parent);
+                e.insert(Metric::Gauge(core.clone()));
+                core
+            }
+        };
+        drop(series);
+        self.note_meta(name, MetricKind::Gauge, help);
+        Gauge { core }
+    }
+
+    /// Get or register a histogram series with the given upper bounds
+    /// (must be finite and strictly increasing; a `+Inf` bucket is
+    /// implicit). First registration pins the bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram `{name}` bounds must be finite and strictly increasing"
+        );
+        let key = SeriesKey::new(name, labels);
+        if let Some(Metric::Histogram(core)) =
+            self.inner.series.read().expect("obs poisoned").get(&key)
+        {
+            return Histogram { core: core.clone() };
+        }
+        let parent = self
+            .inner
+            .parent
+            .as_ref()
+            .map(|p| p.histogram(name, help, labels, bounds).core);
+        let mut series = self.inner.series.write().expect("obs poisoned");
+        let core = match series.entry(key) {
+            Entry::Occupied(e) => match e.get() {
+                Metric::Histogram(core) => core.clone(),
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(e) => {
+                let core = HistogramCore::new(Arc::from(bounds), parent);
+                e.insert(Metric::Histogram(core.clone()));
+                core
+            }
+        };
+        drop(series);
+        self.note_meta(name, MetricKind::Histogram, help);
+        Histogram { core }
+    }
+
+    /// Shorthand: a duration histogram with [`DURATION_BUCKETS`].
+    pub fn duration_histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.histogram(name, help, labels, DURATION_BUCKETS)
+    }
+
+    /// A point-in-time copy of every series (histograms as `_count` and
+    /// `_sum`). Use [`Snapshot::since`] for interval deltas.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut out = BTreeMap::new();
+        let series = self.inner.series.read().expect("obs poisoned");
+        for (key, metric) in series.iter() {
+            match metric {
+                Metric::Counter(core) => {
+                    out.insert(
+                        key.render(None, ""),
+                        (
+                            MetricKind::Counter,
+                            core.value.load(Ordering::Relaxed) as f64,
+                        ),
+                    );
+                }
+                Metric::Gauge(core) => {
+                    out.insert(
+                        key.render(None, ""),
+                        (MetricKind::Gauge, core.value.load(Ordering::Relaxed) as f64),
+                    );
+                }
+                Metric::Histogram(core) => {
+                    out.insert(
+                        key.render(None, "_count"),
+                        (
+                            MetricKind::Counter,
+                            core.count.load(Ordering::Relaxed) as f64,
+                        ),
+                    );
+                    out.insert(key.render(None, "_sum"), (MetricKind::Counter, core.sum()));
+                }
+            }
+        }
+        Snapshot { series: out }
+    }
+
+    /// Render every series in Prometheus text exposition format 0.0.4:
+    /// stable (sorted) ordering, one `# HELP`/`# TYPE` pair per name,
+    /// cumulative histogram buckets with a `+Inf` terminator.
+    pub fn render(&self) -> String {
+        let series = self.inner.series.read().expect("obs poisoned");
+        let meta = self.inner.meta.read().expect("obs meta poisoned");
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, metric) in series.iter() {
+            if last_name != Some(key.name.as_str()) {
+                last_name = Some(key.name.as_str());
+                if let Some((kind, help)) = meta.get(&key.name) {
+                    out.push_str("# HELP ");
+                    out.push_str(&key.name);
+                    out.push(' ');
+                    out.push_str(&escape_help(help));
+                    out.push('\n');
+                    out.push_str("# TYPE ");
+                    out.push_str(&key.name);
+                    out.push(' ');
+                    out.push_str(kind.as_str());
+                    out.push('\n');
+                }
+            }
+            match metric {
+                Metric::Counter(core) => {
+                    let v = core.value.load(Ordering::Relaxed);
+                    out.push_str(&key.render(None, ""));
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                Metric::Gauge(core) => {
+                    let v = core.value.load(Ordering::Relaxed);
+                    out.push_str(&key.render(None, ""));
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                Metric::Histogram(core) => {
+                    let mut cum = 0u64;
+                    for (i, bound) in core.bounds.iter().enumerate() {
+                        cum += core.buckets[i].load(Ordering::Relaxed);
+                        let le = format_f64(*bound);
+                        out.push_str(&key.render(Some(("le", &le)), "_bucket"));
+                        out.push(' ');
+                        out.push_str(&cum.to_string());
+                        out.push('\n');
+                    }
+                    let total = core.count.load(Ordering::Relaxed);
+                    out.push_str(&key.render(Some(("le", "+Inf")), "_bucket"));
+                    out.push(' ');
+                    out.push_str(&total.to_string());
+                    out.push('\n');
+                    out.push_str(&key.render(None, "_sum"));
+                    out.push(' ');
+                    out.push_str(&format_f64(core.sum()));
+                    out.push('\n');
+                    out.push_str(&key.render(None, "_count"));
+                    out.push(' ');
+                    out.push_str(&total.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Cap the span/event ring buffer (0 disables event capture; spans
+    /// still record their histograms).
+    pub fn set_event_capacity(&self, cap: usize) {
+        self.inner
+            .events
+            .lock()
+            .expect("obs events poisoned")
+            .set_capacity(cap);
+    }
+
+    pub(crate) fn events(&self) -> &Mutex<EventLog> {
+        &self.inner.events
+    }
+
+    /// Install `self` as the current thread's ambient registry until
+    /// the guard drops (restores the previous scope, so scopes nest).
+    pub fn enter(&self) -> ScopeGuard {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(self.clone()));
+        ScopeGuard {
+            prev,
+            installed: true,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// Restores the previous ambient registry on drop. Not `Send`: it must
+/// drop on the thread that created it.
+pub struct ScopeGuard {
+    prev: Option<Registry>,
+    installed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Registry>> = const { RefCell::new(None) };
+}
+
+static DEFAULT: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide root registry. Every scoped registry chains into
+/// it; [`crate::render`] and the scrape endpoint expose it. The event
+/// ring capacity is seeded from `INFINE_TRACE_EVENTS` on first use.
+pub fn default_registry() -> &'static Registry {
+    DEFAULT.get_or_init(|| {
+        let registry = Registry::new();
+        if let Ok(cap) = std::env::var("INFINE_TRACE_EVENTS") {
+            if let Ok(cap) = cap.trim().parse::<usize>() {
+                registry.set_event_capacity(cap);
+            }
+        }
+        registry
+    })
+}
+
+/// Run `f` against the current thread's ambient registry (the default
+/// registry when no scope is entered).
+pub fn with_current<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(registry) => f(registry),
+        None => f(default_registry()),
+    })
+}
+
+/// A clone of the current thread's ambient registry.
+pub fn current_registry() -> Registry {
+    with_current(|r| r.clone())
+}
+
+/// The ambient registry captured on one thread for installation on
+/// another — the bridge that carries a scope across `infine-exec` pool
+/// workers (scoped threads never inherit thread-locals).
+#[derive(Clone)]
+pub struct ThreadContext {
+    current: Option<Registry>,
+}
+
+impl ThreadContext {
+    /// Capture the calling thread's ambient registry (if any).
+    pub fn capture() -> Self {
+        Self {
+            current: CURRENT.with(|c| c.borrow().clone()),
+        }
+    }
+
+    /// Install the captured scope on the calling thread until the guard
+    /// drops. Capturing a thread with no scope installs no scope.
+    pub fn install(&self) -> ScopeGuard {
+        match &self.current {
+            Some(registry) => registry.enter(),
+            None => ScopeGuard {
+                prev: None,
+                installed: false,
+                _not_send: PhantomData,
+            },
+        }
+    }
+}
+
+/// An immutable copy of a registry's series at one instant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    series: BTreeMap<String, (MetricKind, f64)>,
+}
+
+impl Snapshot {
+    /// The delta from `earlier` to `self`: counters (and histogram
+    /// `_count`/`_sum`) subtract; gauges keep the newer absolute value.
+    /// Series absent from `earlier` count from zero.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = BTreeMap::new();
+        for (key, (kind, value)) in &self.series {
+            let value = match kind {
+                MetricKind::Gauge => *value,
+                _ => {
+                    let before = earlier.series.get(key).map(|(_, v)| *v).unwrap_or(0.0);
+                    value - before
+                }
+            };
+            out.insert(key.clone(), (*kind, value));
+        }
+        Snapshot { series: out }
+    }
+
+    /// Value of one fully-labelled series, e.g.
+    /// `infine_round_seconds_count{engine="sharded"}`.
+    pub fn get(&self, series: &str) -> Option<f64> {
+        self.series.get(series).map(|(_, v)| *v)
+    }
+
+    /// Sum over every label set of `name` (exact name match; label
+    /// permutations of other metrics never alias because `{` cannot
+    /// appear in a metric name).
+    pub fn total(&self, name: &str) -> f64 {
+        self.series
+            .range(name.to_string()..)
+            .take_while(|(key, _)| {
+                key.as_bytes().get(name.len()).is_none_or(|b| *b == b'{') && key.starts_with(name)
+            })
+            .map(|(_, (_, v))| *v)
+            .sum()
+    }
+
+    /// Iterate `(series, kind, value)` in stable sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricKind, f64)> {
+        self.series
+            .iter()
+            .map(|(key, (kind, value))| (key.as_str(), *kind, *value))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// One flat JSON object, `{"series": value, …}`, stable ordering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (key, (_, value)) in &self.series {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            for c in key.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\":");
+            out.push_str(&format_f64(*value));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Shortest clean decimal for exposition: integers drop the fraction,
+/// everything else uses Rust's shortest round-trip formatting.
+pub(crate) fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}

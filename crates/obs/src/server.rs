@@ -1,0 +1,77 @@
+//! Opt-in exposition plumbing: a minimal scrape endpoint on a std
+//! `TcpListener` thread, plus an exit-time file dump — both driven by
+//! env vars so production binaries pay nothing unless asked.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Serve the default registry in Prometheus text format on `addr`
+/// (e.g. `127.0.0.1:9187`; port 0 picks a free port). Spawns one
+/// detached `infine-metrics` thread that re-renders per request; any
+/// HTTP request path gets the full exposition. Returns the bound
+/// address.
+pub fn serve<A: ToSocketAddrs>(addr: A) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("infine-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                // Drain (one read of) the request; the response is the
+                // same regardless of what was asked.
+                let mut req = [0u8; 1024];
+                let _ = stream.read(&mut req);
+                let body = crate::render();
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\n\
+                     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+                     Content-Length: {}\r\n\
+                     Connection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream
+                    .write_all(head.as_bytes())
+                    .and_then(|()| stream.write_all(body.as_bytes()));
+            }
+        })?;
+    Ok(local)
+}
+
+/// Start the scrape endpoint if `INFINE_METRICS_ADDR` is set. Idempotent
+/// (first call wins); returns the bound address when serving.
+pub fn serve_from_env() -> Option<SocketAddr> {
+    static STARTED: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *STARTED.get_or_init(|| {
+        let addr = std::env::var("INFINE_METRICS_ADDR").ok()?;
+        match serve(addr.trim()) {
+            Ok(bound) => {
+                eprintln!("infine-obs: serving metrics on http://{bound}/metrics");
+                Some(bound)
+            }
+            Err(err) => {
+                eprintln!("infine-obs: cannot serve metrics on {addr}: {err}");
+                None
+            }
+        }
+    })
+}
+
+/// Write the default registry's exposition to the file named by
+/// `INFINE_METRICS_DUMP`, if set. Call at process exit (the bench bins
+/// and examples do); returns the path written.
+pub fn dump_if_requested() -> Option<PathBuf> {
+    let path = PathBuf::from(std::env::var_os("INFINE_METRICS_DUMP")?);
+    match std::fs::write(&path, crate::render()) {
+        Ok(()) => Some(path),
+        Err(err) => {
+            eprintln!(
+                "infine-obs: cannot dump metrics to {}: {err}",
+                path.display()
+            );
+            None
+        }
+    }
+}

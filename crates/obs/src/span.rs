@@ -1,0 +1,288 @@
+//! Span timing and the event ring buffer.
+//!
+//! A [`SpanTimer`] is a preregistered handle (histogram + identity);
+//! [`SpanTimer::start`] returns a guard that records wall time into the
+//! histogram on drop. When the owning registry's event capacity is
+//! nonzero, each completed span also pushes an [`Event`] into a bounded
+//! ring buffer, drainable as JSON lines — a flight recorder for soaks,
+//! off by default so steady-state spans never allocate.
+
+use crate::metrics::Histogram;
+use crate::registry::{format_f64, with_current, Registry};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One completed span (or point event) in the ring buffer.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotone sequence number within the registry.
+    pub seq: u64,
+    /// Microseconds since the first obs timestamp taken in-process.
+    pub at_micros: u64,
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    /// Wall time for spans; `None` for point events.
+    pub duration_secs: Option<f64>,
+    /// Span nesting depth on the recording thread (outermost = 1).
+    pub depth: u32,
+}
+
+impl Event {
+    /// One JSON object on one line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"t_us\":");
+        out.push_str(&self.at_micros.to_string());
+        out.push_str(",\"span\":\"");
+        json_escape_into(&mut out, &self.name);
+        out.push('"');
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape_into(&mut out, k);
+                out.push_str("\":\"");
+                json_escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        if let Some(d) = self.duration_secs {
+            out.push_str(",\"dur_s\":");
+            out.push_str(&format_f64(d));
+        }
+        out.push_str(",\"depth\":");
+        out.push_str(&self.depth.to_string());
+        out.push('}');
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Bounded ring of recent events; capacity 0 = disabled.
+pub(crate) struct EventLog {
+    cap: usize,
+    seq: u64,
+    buf: VecDeque<Event>,
+}
+
+impl EventLog {
+    pub(crate) fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            seq: 0,
+            buf: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn set_capacity(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.buf.len() > cap {
+            self.buf.pop_front();
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    pub(crate) fn push(&mut self, mut event: Event) {
+        if self.cap == 0 {
+            return;
+        }
+        self.seq += 1;
+        event.seq = self.seq;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event);
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn micros_since_epoch(now: Instant) -> u64 {
+    let epoch = *EPOCH.get_or_init(|| now);
+    now.duration_since(epoch).as_micros() as u64
+}
+
+thread_local! {
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A reusable span handle: resolve once, `start()` per occurrence.
+#[derive(Clone)]
+pub struct SpanTimer {
+    registry: Registry,
+    hist: Histogram,
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Registry {
+    /// A span handle recording into histogram `name` (duration buckets)
+    /// with the given label set.
+    pub fn span_timer(&self, name: &str, labels: &[(&str, &str)]) -> SpanTimer {
+        let hist = self.duration_histogram(name, "Span wall time in seconds.", labels);
+        SpanTimer {
+            registry: self.clone(),
+            hist,
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Drain the event ring buffer as newline-delimited JSON (empty
+    /// string when no events are buffered).
+    pub fn drain_events_json(&self) -> String {
+        let events = self.events().lock().expect("obs events poisoned").drain();
+        let mut out = String::new();
+        for event in &events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Push a point event (no duration) into the ring buffer.
+    pub fn event(&self, name: &str, labels: &[(&str, &str)]) {
+        let mut log = self.events().lock().expect("obs events poisoned");
+        if !log.enabled() {
+            return;
+        }
+        log.push(Event {
+            seq: 0,
+            at_micros: micros_since_epoch(Instant::now()),
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            duration_secs: None,
+            depth: SPAN_DEPTH.with(|d| d.get()),
+        });
+    }
+}
+
+impl SpanTimer {
+    /// Begin the span; the returned guard records on drop.
+    pub fn start(&self) -> SpanGuard<'_> {
+        SPAN_DEPTH.with(|d| d.set(d.get() + 1));
+        SpanGuard {
+            timer: self,
+            t0: Instant::now(),
+        }
+    }
+}
+
+/// Records the span's wall time (and an event, when enabled) on drop.
+pub struct SpanGuard<'a> {
+    timer: &'a SpanTimer,
+    t0: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.t0);
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth.saturating_sub(1));
+            depth
+        });
+        self.timer.hist.observe_duration(elapsed);
+        let mut log = self
+            .timer
+            .registry
+            .events()
+            .lock()
+            .expect("obs events poisoned");
+        if log.enabled() {
+            log.push(Event {
+                seq: 0,
+                at_micros: micros_since_epoch(now),
+                name: self.timer.name.clone(),
+                labels: self.timer.labels.clone(),
+                duration_secs: Some(elapsed.as_secs_f64()),
+                depth,
+            });
+        }
+    }
+}
+
+/// An owned span against the *current* registry, recorded into
+/// `infine_span_seconds{span="<name>", …}` — the ad-hoc counterpart to
+/// a preregistered [`SpanTimer`].
+pub struct Span {
+    timer: SpanTimer,
+    t0: Instant,
+}
+
+/// Open an ad-hoc span on the ambient registry; drop the guard to
+/// record it.
+pub fn span(name: &str, labels: &[(&str, &str)]) -> Span {
+    let mut all: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + 1);
+    all.push(("span", name));
+    all.extend_from_slice(labels);
+    let mut timer = with_current(|r| r.span_timer("infine_span_seconds", &all));
+    // Events report the caller's span name, not the histogram it lands in.
+    timer.name = name.to_string();
+    SPAN_DEPTH.with(|d| d.set(d.get() + 1));
+    Span {
+        timer,
+        t0: Instant::now(),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.t0);
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth.saturating_sub(1));
+            depth
+        });
+        self.timer.hist.observe_duration(elapsed);
+        let mut log = self
+            .timer
+            .registry
+            .events()
+            .lock()
+            .expect("obs events poisoned");
+        if log.enabled() {
+            log.push(Event {
+                seq: 0,
+                at_micros: micros_since_epoch(now),
+                name: self.timer.name.clone(),
+                labels: self.timer.labels.clone(),
+                duration_secs: Some(elapsed.as_secs_f64()),
+                depth,
+            });
+        }
+    }
+}

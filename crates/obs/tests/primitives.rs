@@ -1,0 +1,276 @@
+//! Satellite coverage for the `infine-obs` primitives: histogram bucket
+//! semantics, exposition-format golden output, label escaping, span
+//! nesting, registry parent chaining, snapshots, the scrape endpoint,
+//! and a concurrency smoke.
+
+use infine_obs::{span, MetricKind, Registry, ThreadContext};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+#[test]
+fn histogram_bucket_boundaries_are_le_inclusive() {
+    let registry = Registry::new();
+    let hist = registry.histogram("h", "test", &[], &[1.0, 2.0, 5.0]);
+    // On-boundary values land in the bucket whose `le` they equal.
+    for v in [0.5, 1.0, 1.5, 2.0, 5.0, 7.0, f64::INFINITY] {
+        hist.observe(v);
+    }
+    assert_eq!(hist.bucket_counts(), vec![2, 2, 1, 2]);
+    assert_eq!(hist.count(), 7);
+    assert!(hist.sum().is_infinite());
+}
+
+#[test]
+fn histogram_inf_sum_count_invariants() {
+    let registry = Registry::new();
+    let hist = registry.histogram("h", "test", &[], &[0.1, 1.0]);
+    let values = [0.05, 0.1, 0.25, 3.0, 100.0];
+    for v in values {
+        hist.observe(v);
+    }
+    // +Inf cumulative count == total count == sum of all buckets.
+    let buckets = hist.bucket_counts();
+    assert_eq!(buckets.iter().sum::<u64>(), hist.count());
+    assert_eq!(hist.count(), values.len() as u64);
+    assert!((hist.sum() - values.iter().sum::<f64>()).abs() < 1e-9);
+    // Rendered buckets are cumulative and terminated by +Inf == count.
+    let text = registry.render();
+    assert!(text.contains("h_bucket{le=\"0.1\"} 2"));
+    assert!(text.contains("h_bucket{le=\"1\"} 3"));
+    assert!(text.contains("h_bucket{le=\"+Inf\"} 5"));
+    assert!(text.contains("h_count 5"));
+}
+
+#[test]
+fn exposition_golden_stable_ordering_and_escaping() {
+    let registry = Registry::new();
+    // Registered deliberately out of name order; labels out of key order.
+    registry
+        .histogram("z_seconds", "Latency.", &[], &[0.5])
+        .observe(0.25);
+    registry
+        .counter(
+            "a_total",
+            "Things.",
+            &[("table", "supplier"), ("kind", "ins")],
+        )
+        .add(7);
+    registry
+        .counter(
+            "a_total",
+            "Things.",
+            &[("kind", "del"), ("table", "na\"tion\\\n")],
+        )
+        .add(2);
+    registry.gauge("m_depth", "Queue depth.", &[]).set(-3);
+    let golden = "\
+# HELP a_total Things.
+# TYPE a_total counter
+a_total{kind=\"del\",table=\"na\\\"tion\\\\\\n\"} 2
+a_total{kind=\"ins\",table=\"supplier\"} 7
+# HELP m_depth Queue depth.
+# TYPE m_depth gauge
+m_depth -3
+# HELP z_seconds Latency.
+# TYPE z_seconds histogram
+z_seconds_bucket{le=\"0.5\"} 1
+z_seconds_bucket{le=\"+Inf\"} 1
+z_seconds_sum 0.25
+z_seconds_count 1
+";
+    assert_eq!(registry.render(), golden);
+    // Stable: a second render is byte-identical.
+    assert_eq!(registry.render(), golden);
+}
+
+#[test]
+fn registration_is_get_or_create() {
+    let registry = Registry::new();
+    let a = registry.counter("c_total", "first help wins", &[("x", "1")]);
+    let b = registry.counter("c_total", "ignored", &[("x", "1")]);
+    a.add(1);
+    b.add(2);
+    assert_eq!(a.get(), 3);
+    assert!(registry.render().contains("# HELP c_total first help wins"));
+}
+
+#[test]
+fn child_registry_chains_into_parent() {
+    let parent = Registry::new();
+    let child_a = parent.child();
+    let child_b = parent.child();
+    child_a.counter("k_total", "t", &[]).add(5);
+    child_b.counter("k_total", "t", &[]).add(11);
+    // Per-scope deltas are exact; the parent aggregates both.
+    assert_eq!(child_a.counter("k_total", "t", &[]).get(), 5);
+    assert_eq!(child_b.counter("k_total", "t", &[]).get(), 11);
+    assert_eq!(parent.counter("k_total", "t", &[]).get(), 16);
+    // Gauges chain add/sub but not set.
+    child_a.gauge("g", "t", &[]).add(4);
+    child_b.gauge("g", "t", &[]).sub(1);
+    assert_eq!(parent.gauge("g", "t", &[]).get(), 3);
+    // Histograms chain observations.
+    child_a.histogram("h", "t", &[], &[1.0]).observe(0.5);
+    assert_eq!(parent.histogram("h", "t", &[], &[1.0]).count(), 1);
+}
+
+#[test]
+fn snapshot_since_subtracts_counters_keeps_gauges() {
+    let registry = Registry::new();
+    let c = registry.counter("c_total", "t", &[]);
+    let g = registry.gauge("g", "t", &[]);
+    let h = registry.duration_histogram("h_seconds", "t", &[]);
+    c.add(10);
+    g.set(5);
+    h.observe(1.0);
+    let before = registry.snapshot();
+    c.add(7);
+    g.set(2);
+    h.observe(3.0);
+    h.observe(0.5);
+    let delta = registry.snapshot().since(&before);
+    assert_eq!(delta.get("c_total"), Some(7.0));
+    assert_eq!(delta.get("g"), Some(2.0));
+    assert_eq!(delta.get("h_seconds_count"), Some(2.0));
+    assert_eq!(delta.get("h_seconds_sum"), Some(3.5));
+    assert_eq!(delta.total("c_total"), 7.0);
+    // `total` must not match prefix-named metrics.
+    registry.counter("c_total_extra", "t", &[]).add(99);
+    let snap = registry.snapshot();
+    assert_eq!(snap.total("c_total"), 17.0);
+    // JSON emission is a flat object with stable ordering.
+    let json = delta.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"c_total\":7"));
+    // Kinds survive iteration.
+    assert!(delta
+        .iter()
+        .any(|(k, kind, _)| k == "g" && kind == MetricKind::Gauge));
+}
+
+#[test]
+fn span_guards_nest_and_each_level_records() {
+    let registry = Registry::new();
+    let outer = registry.span_timer("round_seconds", &[("engine", "t")]);
+    let inner = registry.span_timer("phase_seconds", &[("phase", "merge")]);
+    {
+        let _o = outer.start();
+        {
+            let _i = inner.start();
+        }
+        {
+            let _i = inner.start();
+        }
+    }
+    let outer_hist = registry.duration_histogram("round_seconds", "", &[("engine", "t")]);
+    let inner_hist = registry.duration_histogram("phase_seconds", "", &[("phase", "merge")]);
+    assert_eq!(outer_hist.count(), 1);
+    assert_eq!(inner_hist.count(), 2);
+    // The outer span's wall time covers both inner spans.
+    assert!(outer_hist.sum() >= inner_hist.sum());
+}
+
+#[test]
+fn span_events_drain_as_json_lines() {
+    let registry = Registry::new();
+    registry.set_event_capacity(4);
+    let outer = registry.span_timer("round_seconds", &[]);
+    let inner = registry.span_timer("phase_seconds", &[("phase", "merge")]);
+    {
+        let _o = outer.start();
+        let _i = inner.start();
+    }
+    let lines: Vec<String> = registry
+        .drain_events_json()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    // Inner drops first (depth 2), then outer (depth 1).
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].contains("\"span\":\"phase_seconds\""));
+    assert!(lines[0].contains("\"depth\":2"));
+    assert!(lines[0].contains("\"dur_s\":"));
+    assert!(lines[1].contains("\"span\":\"round_seconds\""));
+    assert!(lines[1].contains("\"depth\":1"));
+    // Drained: a second drain is empty.
+    assert!(registry.drain_events_json().is_empty());
+    // Ring bound: the buffer keeps only the newest `cap` events.
+    for _ in 0..9 {
+        let _s = outer.start();
+    }
+    assert_eq!(registry.drain_events_json().lines().count(), 4);
+    // Histograms recorded regardless of the ring.
+    assert_eq!(
+        registry
+            .duration_histogram("round_seconds", "", &[])
+            .count(),
+        10
+    );
+}
+
+#[test]
+fn ambient_scope_enter_and_thread_context() {
+    let scoped = Registry::new();
+    {
+        let _guard = scoped.enter();
+        let _s = span("work", &[("table", "supplier")]);
+        // The ambient registry is the scoped one inside the guard.
+        assert_eq!(infine_obs::current_registry().id(), scoped.id());
+        let ctx = ThreadContext::capture();
+        std::thread::spawn(move || {
+            let _guard = ctx.install();
+            infine_obs::with_current(|r| r.counter("cross_total", "t", &[]).inc());
+        })
+        .join()
+        .unwrap();
+    }
+    // Span + cross-thread counter landed in the scoped registry, not the
+    // process default.
+    assert_eq!(scoped.counter("cross_total", "t", &[]).get(), 1);
+    let text = scoped.render();
+    assert!(text.contains("infine_span_seconds_count{span=\"work\",table=\"supplier\"} 1"));
+    assert!(!infine_obs::render().contains("cross_total"));
+}
+
+#[test]
+fn concurrency_smoke_sums_exactly() {
+    const THREADS: usize = 8;
+    const OBS: usize = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("smoke_total", "t", &[]);
+    let hist = registry.histogram("smoke_seconds", "t", &[], &[0.5]);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..OBS {
+                    counter.inc();
+                    hist.observe(if i % 2 == 0 { 0.25 } else { 0.75 });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), (THREADS * OBS) as u64);
+    assert_eq!(hist.count(), (THREADS * OBS) as u64);
+    assert_eq!(hist.bucket_counts(), vec![(THREADS * OBS / 2) as u64; 2]);
+    let expected_sum = (THREADS * OBS) as f64 * 0.5;
+    assert!((hist.sum() - expected_sum).abs() < 1e-6);
+}
+
+#[test]
+fn scrape_endpoint_serves_exposition() {
+    infine_obs::default_registry()
+        .counter("scrape_probe_total", "t", &[])
+        .add(42);
+    let addr = infine_obs::serve("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("response");
+    assert!(response.starts_with("HTTP/1.1 200 OK"));
+    assert!(response.contains("text/plain; version=0.0.4"));
+    assert!(response.contains("scrape_probe_total 42"));
+}

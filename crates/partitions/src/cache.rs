@@ -26,6 +26,36 @@ use crate::pli::{IntersectScratch, Pli};
 use infine_relation::{AttrId, AttrSet, Relation};
 use std::collections::HashMap;
 
+/// Cache traffic counters (`infine_pli_cache_*_total`), resolved from
+/// the ambient `infine-obs` registry once per cache construction.
+struct CacheMetrics {
+    hits: infine_obs::Counter,
+    misses: infine_obs::Counter,
+    evictions: infine_obs::Counter,
+}
+
+impl CacheMetrics {
+    fn resolve() -> Self {
+        infine_obs::with_current(|r| Self {
+            hits: r.counter(
+                "infine_pli_cache_hits_total",
+                "PLI cache lookups answered from a memoized partition.",
+                &[],
+            ),
+            misses: r.counter(
+                "infine_pli_cache_misses_total",
+                "PLI cache lookups that computed (and memoized) a partition.",
+                &[],
+            ),
+            evictions: r.counter(
+                "infine_pli_cache_evictions_total",
+                "Partitions evicted by the two-level retention policy.",
+                &[],
+            ),
+        })
+    }
+}
+
 /// Memoizing provider of stripped partitions for one relation.
 pub struct PliCache<'a> {
     rel: &'a Relation,
@@ -33,6 +63,7 @@ pub struct PliCache<'a> {
     scratch: IntersectScratch,
     hits: usize,
     misses: usize,
+    metrics: CacheMetrics,
 }
 
 impl<'a> PliCache<'a> {
@@ -54,6 +85,7 @@ impl<'a> PliCache<'a> {
             scratch: IntersectScratch::new(),
             hits: 0,
             misses: 0,
+            metrics: CacheMetrics::resolve(),
         }
     }
 
@@ -71,9 +103,11 @@ impl<'a> PliCache<'a> {
     pub fn get(&mut self, set: AttrSet) -> &Pli {
         if self.cache.contains_key(&set) {
             self.hits += 1;
+            self.metrics.hits.inc();
             return &self.cache[&set];
         }
         self.misses += 1;
+        self.metrics.misses.inc();
         let pli = self.compute(set);
         self.cache.entry(set).or_insert(pli)
     }
@@ -147,6 +181,7 @@ impl<'a> PliCache<'a> {
         }
         if missing.len() == 1 {
             self.misses += 1;
+            self.metrics.misses.inc();
             let set = missing[0];
             let pli = self.compute(set);
             self.cache.insert(set, pli);
@@ -171,6 +206,7 @@ impl<'a> PliCache<'a> {
                 }
             });
         self.misses += plans.len();
+        self.metrics.misses.add(plans.len() as u64);
         for ((set, _), pli) in plans.into_iter().zip(computed) {
             self.cache.insert(set, pli);
         }
@@ -233,7 +269,11 @@ impl<'a> PliCache<'a> {
     /// Evict entries whose attribute-set size is strictly below `level`,
     /// keeping singletons (cheap to retain, expensive to recompute).
     pub fn retain_levels(&mut self, level: usize) {
+        let before = self.cache.len();
         self.cache.retain(|k, _| k.len() >= level || k.len() <= 1);
+        self.metrics
+            .evictions
+            .add((before - self.cache.len()) as u64);
     }
 
     /// Insert a partition computed elsewhere (e.g. patched by
@@ -266,6 +306,7 @@ impl<'a> PliCache<'a> {
             scratch: IntersectScratch::new(),
             hits: 0,
             misses: 0,
+            metrics: CacheMetrics::resolve(),
         };
         // Singletons are the seeds every derived partition needs; make
         // sure they exist even if the caller's map was filtered down.

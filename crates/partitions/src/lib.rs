@@ -36,4 +36,6 @@ pub mod validate;
 pub use cache::PliCache;
 pub use delta::{rebase_plis, DirtyClasses, RebaseStats};
 pub use pli::{fd_holds, fd_holds_bruteforce, IntersectScratch, Pli};
-pub use validate::{kernel_counters, reset_kernel_counters, KernelCounters, Verdict};
+pub use validate::{
+    kernel_counters, kernel_counters_in, reset_kernel_counters, KernelCounters, Verdict,
+};

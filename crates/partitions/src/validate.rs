@@ -54,14 +54,22 @@
 //!
 //! ## Counters
 //!
-//! The kernel keeps process-wide relaxed counters — checks run, checks
-//! that early-exited on a split, and products whose materialization the
-//! [`crate::PliCache::check`] fast path avoided — so benches can report
-//! how much validation traffic bypasses the product machinery. See
-//! [`kernel_counters`] / [`reset_kernel_counters`].
+//! The kernel records relaxed counters — checks run, checks that
+//! early-exited on a split, and products whose materialization the
+//! [`crate::PliCache::check`] fast path avoided — into the *ambient*
+//! `infine-obs` registry (`infine_kernel_*_total`), so benches can
+//! report how much validation traffic bypasses the product machinery.
+//! With no scope entered that is the process-wide default registry;
+//! a maintenance engine enters its own scoped registry, which keeps
+//! per-engine deltas exact even when engines (or shard fleets) run
+//! concurrently — the historical global-counter race. Handles are
+//! cached per thread and re-resolved only when the ambient registry
+//! changes, so the hot path stays a couple of relaxed `fetch_add`s.
+//! See [`kernel_counters`] / [`kernel_counters_in`] /
+//! [`reset_kernel_counters`].
 
 use crate::pli::Pli;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::RefCell;
 
 /// Probe sentinel for rows stripped in the refining partition: such a row
 /// shares its refinement value with no other row, so it splits any class
@@ -97,11 +105,62 @@ impl Verdict {
     }
 }
 
-static CHECKS: AtomicU64 = AtomicU64::new(0);
-static EARLY_EXITS: AtomicU64 = AtomicU64::new(0);
-static PRODUCTS_AVOIDED: AtomicU64 = AtomicU64::new(0);
+/// Resolved handles for the three kernel series in one registry.
+#[derive(Clone)]
+struct KernelHandles {
+    registry_id: u64,
+    checks: infine_obs::Counter,
+    early_exits: infine_obs::Counter,
+    products_avoided: infine_obs::Counter,
+}
 
-/// Snapshot of the process-wide kernel counters.
+impl KernelHandles {
+    fn resolve(registry: &infine_obs::Registry) -> Self {
+        Self {
+            registry_id: registry.id(),
+            checks: registry.counter(
+                "infine_kernel_checks_total",
+                "Counting-only validity checks run (refines_with / refines_on calls).",
+                &[],
+            ),
+            early_exits: registry.counter(
+                "infine_kernel_early_exits_total",
+                "Checks that terminated at the first class split (invalid candidates).",
+                &[],
+            ),
+            products_avoided: registry.counter(
+                "infine_kernel_products_avoided_total",
+                "Partition products the PliCache fast path answered without materializing.",
+                &[],
+            ),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread handle cache, keyed by the ambient registry's id:
+    /// the kernel re-resolves only when the scope changes underneath it.
+    static HANDLES: RefCell<Option<KernelHandles>> = const { RefCell::new(None) };
+}
+
+#[inline]
+fn with_handles<R>(f: impl FnOnce(&KernelHandles) -> R) -> R {
+    infine_obs::with_current(|registry| {
+        HANDLES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache
+                .as_ref()
+                .is_none_or(|h| h.registry_id != registry.id())
+            {
+                *cache = Some(KernelHandles::resolve(registry));
+            }
+            f(cache.as_ref().expect("just resolved"))
+        })
+    })
+}
+
+/// Snapshot of one registry's kernel counters (compat shim around the
+/// `infine-obs` series; `since`/`plus` keep the old delta idiom).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelCounters {
     /// Counting-only validity checks run ([`Pli::refines_with`] /
@@ -135,24 +194,38 @@ impl KernelCounters {
     }
 }
 
-/// Read the process-wide kernel counters.
+/// Read the kernel counters of the calling thread's ambient registry.
+/// With no scope entered this is the process-wide default registry,
+/// which (via parent chaining) aggregates every scoped engine's
+/// traffic — the pre-obs behavior.
 pub fn kernel_counters() -> KernelCounters {
+    infine_obs::with_current(kernel_counters_in)
+}
+
+/// Read the kernel counters recorded in a specific registry —
+/// scope-exact even while other engines run concurrently.
+pub fn kernel_counters_in(registry: &infine_obs::Registry) -> KernelCounters {
+    let handles = KernelHandles::resolve(registry);
     KernelCounters {
-        checks: CHECKS.load(Ordering::Relaxed),
-        early_exits: EARLY_EXITS.load(Ordering::Relaxed),
-        products_avoided: PRODUCTS_AVOIDED.load(Ordering::Relaxed),
+        checks: handles.checks.get(),
+        early_exits: handles.early_exits.get(),
+        products_avoided: handles.products_avoided.get(),
     }
 }
 
-/// Reset the process-wide kernel counters to zero (bench harness hook).
+/// Reset the ambient registry's kernel cells to zero (bench harness
+/// hook). Parent registries keep their history; children are untouched.
 pub fn reset_kernel_counters() {
-    CHECKS.store(0, Ordering::Relaxed);
-    EARLY_EXITS.store(0, Ordering::Relaxed);
-    PRODUCTS_AVOIDED.store(0, Ordering::Relaxed);
+    infine_obs::with_current(|registry| {
+        let handles = KernelHandles::resolve(registry);
+        handles.checks.reset();
+        handles.early_exits.reset();
+        handles.products_avoided.reset();
+    });
 }
 
 pub(crate) fn count_product_avoided() {
-    PRODUCTS_AVOIDED.fetch_add(1, Ordering::Relaxed);
+    with_handles(|h| h.products_avoided.inc());
 }
 
 /// First member of `class` whose probe key differs from the first
@@ -193,10 +266,10 @@ impl Pli {
     /// and the early-exit contract). `probe` must cover every row id in
     /// the partition.
     pub fn refines_with(&self, probe: &[u32]) -> Verdict {
-        CHECKS.fetch_add(1, Ordering::Relaxed);
+        with_handles(|h| h.checks.inc());
         for class in self.classes() {
             if let Some(pair) = class_split(class, probe) {
-                EARLY_EXITS.fetch_add(1, Ordering::Relaxed);
+                with_handles(|h| h.early_exits.inc());
                 return Verdict::Violated { pair };
             }
         }
@@ -211,10 +284,10 @@ impl Pli {
     /// verdict (and, because clean classes cannot violate, the witnessing
     /// pair) matches a full [`Pli::refines_with`] scan.
     pub fn refines_on(&self, classes: &[usize], probe: &[u32]) -> Verdict {
-        CHECKS.fetch_add(1, Ordering::Relaxed);
+        with_handles(|h| h.checks.inc());
         for &ci in classes {
             if let Some(pair) = class_split(self.class(ci), probe) {
-                EARLY_EXITS.fetch_add(1, Ordering::Relaxed);
+                with_handles(|h| h.early_exits.inc());
                 return Verdict::Violated { pair };
             }
         }

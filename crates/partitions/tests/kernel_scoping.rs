@@ -1,0 +1,51 @@
+//! Regression for the `KernelCounters` global-race footgun: before the
+//! `infine-obs` migration the kernel bumped one process-wide counter
+//! set, so two engines running concurrently interleaved their traffic
+//! and per-engine `since()` deltas were garbage (the sharded fan-out at
+//! `--shards > 1` hit this every round). With per-registry scoping each
+//! scope's delta is exact, while the process-wide default registry
+//! still aggregates everything via parent chaining.
+
+use infine_obs::Registry;
+use infine_partitions::{kernel_counters, kernel_counters_in, Pli};
+
+#[test]
+fn concurrent_scopes_keep_exact_per_scope_deltas() {
+    const COUNTS: [u64; 3] = [400, 900, 1300];
+    let registries: Vec<Registry> = COUNTS.iter().map(|_| Registry::scoped()).collect();
+    std::thread::scope(|scope| {
+        for (registry, &count) in registries.iter().zip(&COUNTS) {
+            scope.spawn(move || {
+                let _guard = registry.enter();
+                // One two-row class, constant probe: every check scans
+                // fully and holds (no early exit).
+                let pli = Pli::from_classes(vec![vec![0, 1]], 2);
+                let probe = vec![7u32, 7u32];
+                for _ in 0..count {
+                    assert!(pli.refines_with(&probe).holds());
+                }
+            });
+        }
+    });
+    // Per-scope counters are exact despite the interleaved execution…
+    for (registry, &count) in registries.iter().zip(&COUNTS) {
+        let counters = kernel_counters_in(registry);
+        assert_eq!(counters.checks, count);
+        assert_eq!(counters.early_exits, 0);
+    }
+    // …and the unscoped view (the default registry) aggregates them all.
+    assert!(kernel_counters().checks >= COUNTS.iter().sum::<u64>());
+}
+
+#[test]
+fn early_exits_scope_like_checks() {
+    let scoped = Registry::scoped();
+    let _guard = scoped.enter();
+    let pli = Pli::from_classes(vec![vec![0, 1]], 2);
+    for _ in 0..5 {
+        assert!(!pli.refines_with(&[1, 2]).holds());
+    }
+    let counters = kernel_counters_in(&scoped);
+    assert_eq!(counters.checks, 5);
+    assert_eq!(counters.early_exits, 5);
+}

@@ -12,6 +12,13 @@
 //! verifies that the merged state is indistinguishable from full
 //! re-discovery.
 //!
+//! Along the way it polls [`MaintenanceService::stats`] — the lock-free
+//! operational snapshot (queue depth, rounds completed, last-round
+//! latency, worker liveness) a production health check would poll — and
+//! honors the observability env knobs: set `INFINE_METRICS_DUMP=out.prom`
+//! to write the full Prometheus exposition at exit, or
+//! `INFINE_METRICS_ADDR=127.0.0.1:9184` to scrape it live.
+//!
 //! Run with: `cargo run --release --example sharded_service`
 
 use infine_core::InFine;
@@ -23,6 +30,7 @@ use infine_relation::{Database, DeltaRelation};
 use std::time::Instant;
 
 fn main() {
+    infine_obs::serve_from_env();
     let case = find("tpch_q2").expect("catalog view");
     let db = case.dataset.generate(Scale::of(0.02));
     // The producer keeps its own mirror of the tables it feeds, so every
@@ -93,6 +101,13 @@ fn main() {
             }
             println!("async: {}", report.summary());
         }
+        // The operational snapshot a health check would poll: queue
+        // depth still to drain, rounds done, and last-round latency.
+        let stats = service.stats();
+        println!(
+            "stats after burst {burst}: queue_depth={} rounds={} last_round={:.2?} alive={}",
+            stats.queue_depth, stats.rounds_completed, stats.last_round, stats.worker_alive
+        );
     }
 
     // An explicit vacuum command: drains pending work, compacts every
@@ -122,6 +137,13 @@ fn main() {
         }
     }
 
+    let stats = service.stats();
+    println!(
+        "final stats: queue_depth={} rounds={} last_round={:.2?} alive={}",
+        stats.queue_depth, stats.rounds_completed, stats.last_round, stats.worker_alive
+    );
+    assert_eq!(stats.queue_depth, 0, "drained service has an empty queue");
+
     // Shut down (any still-pending batches would run in a final round)
     // and verify the merged state against a from-scratch discovery.
     let engine = service.shutdown().expect("worker alive");
@@ -131,4 +153,5 @@ fn main() {
         .expect("full discovery");
     assert_eq!(engine.report().triples, fresh.triples);
     println!("verified: sharded service state == full re-discovery");
+    infine_obs::dump_if_requested();
 }
