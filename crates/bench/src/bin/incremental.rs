@@ -22,17 +22,18 @@ static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::Counting
 
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
-    apply_cli_flags, bench_scale, bench_shards, mib, run_baseline, run_full_rediscovery,
-    run_maintenance, run_sharded_maintenance, secs, TextTable,
+    apply_cli_flags, bench_durability, bench_scale, bench_shards, mib, run_baseline,
+    run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs, TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, random_delta};
 use infine_discovery::{same_fds, Algorithm, Fd, FdSet};
 use infine_incremental::{
-    DeletePolicy, FdStatus, MaintenanceEngine, MaintenanceMode, ShardedEngine,
+    DeletePolicy, DurabilityOptions, FdStatus, MaintenanceEngine, MaintenanceMode,
+    MaintenanceService, ShardedEngine, SnapshotPolicy, VacuumPolicy,
 };
 use infine_relation::AttrSet;
-use infine_relation::DeltaRelation;
+use infine_relation::{Database, DeltaRelation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -339,6 +340,190 @@ fn main() {
         .exp();
     println!("# delete-churn round speedup geometric mean (tombstoned vs compacting): {delete_geomean:.2}x");
 
+    // ---- durability lane (--durability / INFINE_BENCH_DURABILITY=1) ----
+    //
+    // Two sharded services fed identical pre-generated churn streams:
+    // one plain, one durable (commitlog + snapshot every 3 rounds). The
+    // per-round wall-clock difference is the WAL append overhead; after
+    // shutdown, `MaintenanceService::recover` on the durable directory is
+    // timed against the crash-restart alternative it replaces: full
+    // discovery re-bootstrap on the identical final database plus
+    // `spawn_durable` (a restarted service must be durable again).
+    let mut durability_geomean = None;
+    if bench_durability() {
+        let durable_rounds: usize = std::env::var("INFINE_BENCH_DURABLE_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6);
+        let mut dur_table = TextTable::new(&[
+            "view",
+            "Δtable",
+            "rounds",
+            "t_plain",
+            "t_durable",
+            "wal_overhead/round",
+            "replayed",
+            "t_recover",
+            "t_rebootstrap",
+            "recover_speedup",
+        ]);
+        let mut recover_speedups: Vec<f64> = Vec::new();
+        let mut tpch_recover_ok = true;
+        let mut rng = StdRng::seed_from_u64(0xD04AB1E);
+        for &(case_id, target) in SCENARIOS {
+            let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+            let db = case.dataset.generate(scale);
+
+            // Pre-generate identical rounds by evolving a standalone copy
+            // of the target relation (cheap oracle, no discovery
+            // bootstrap) so both services see the exact same stream.
+            let mut oracle = db.expect(target).clone();
+            let mut rounds: Vec<DeltaRelation> = Vec::new();
+            for _ in 0..durable_rounds {
+                let max = (oracle.live_rows() / 50).max(2);
+                let batch = random_delta(&mut rng, &oracle, max, max);
+                let (next, _) = oracle.apply_delta(&batch, target);
+                oracle = next;
+                rounds.push(DeltaRelation::new(target.to_string(), batch));
+            }
+
+            let bootstrap = |db: Database| {
+                ShardedEngine::new(InFine::default(), db, case.spec.clone(), shards)
+                    .unwrap_or_else(|e| panic!("{case_id}: durability bootstrap failed: {e}"))
+            };
+            let dir = std::env::temp_dir().join(format!(
+                "infine-bench-durable-{}-{case_id}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+            // Cadence divides the round count so the final snapshot lands
+            // at the durable head — recovery then measures the
+            // snapshot-restore path (replay suffix empty), which is the
+            // steady-state restart cost a periodic snapshot policy buys.
+            let options =
+                || DurabilityOptions::new(&dir).snapshot_policy(SnapshotPolicy::every_rounds(3));
+
+            let plain = MaintenanceService::spawn(bootstrap(db.clone()));
+            let durable = MaintenanceService::spawn_durable(
+                bootstrap(db),
+                VacuumPolicy::default(),
+                options(),
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: spawn_durable failed: {e}"));
+            let run_stream = |service: &MaintenanceService| -> f64 {
+                let mut total = 0f64;
+                for delta in &rounds {
+                    let t0 = Instant::now();
+                    service.ingest(vec![delta.clone()]).unwrap();
+                    service
+                        .recv_report()
+                        .expect("worker died mid-bench")
+                        .unwrap_or_else(|e| panic!("{case_id}: round failed: {e}"));
+                    total += t0.elapsed().as_secs_f64();
+                }
+                total
+            };
+            let t_plain = run_stream(&plain);
+            let t_durable = run_stream(&durable);
+            let overhead_per_round = (t_durable - t_plain) / durable_rounds as f64;
+            let plain_engine = plain.shutdown().unwrap();
+            durable.shutdown().unwrap();
+
+            // Crash-restart cost, both roads ending at a *serving durable
+            // service*: recover from snapshot + WAL suffix, vs full
+            // discovery re-bootstrap on the identical final database
+            // followed by `spawn_durable` (the alternative must also cut
+            // its baseline snapshot to be durable again).
+            let t0 = Instant::now();
+            let (recovered, info) = MaintenanceService::recover(
+                options(),
+                InFine::default(),
+                case.spec.clone(),
+                VacuumPolicy::default(),
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: recovery failed: {e}"));
+            let t_recover = t0.elapsed();
+            assert_eq!(info.durable_rounds, durable_rounds as u64);
+            assert!(info.clean_shutdown, "{case_id}: shutdown marker missing");
+            let recovered_engine = recovered.shutdown().unwrap();
+            let dir2 = std::env::temp_dir().join(format!(
+                "infine-bench-reboot-{}-{case_id}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir2);
+            std::fs::create_dir_all(&dir2)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir2.display()));
+            let t0 = Instant::now();
+            let reboot_service = MaintenanceService::spawn_durable(
+                bootstrap(recovered_engine.database().clone()),
+                VacuumPolicy::default(),
+                DurabilityOptions::new(&dir2).snapshot_policy(SnapshotPolicy::every_rounds(3)),
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: re-bootstrap spawn failed: {e}"));
+            let t_rebootstrap = t0.elapsed();
+            let rebootstrapped = reboot_service.shutdown().unwrap();
+            let _ = std::fs::remove_dir_all(&dir2);
+            assert_eq!(
+                recovered_engine.report().triples,
+                rebootstrapped.report().triples,
+                "{case_id}: recovered cover diverged from re-bootstrap"
+            );
+            assert_eq!(
+                recovered_engine.report().triples,
+                plain_engine.report().triples,
+                "{case_id}: durable service diverged from the plain service"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+
+            let recover_speedup = t_rebootstrap.as_secs_f64() / t_recover.as_secs_f64().max(1e-9);
+            recover_speedups.push(recover_speedup);
+            if case_id.starts_with("tpch") && t_recover >= t_rebootstrap {
+                tpch_recover_ok = false;
+            }
+            json_rows.push(
+                Obj::new()
+                    .str("workload", "durability")
+                    .str("view", case_id)
+                    .str("delta_table", target)
+                    .int("rounds", durable_rounds as i64)
+                    .num("plain_round_s", t_plain / durable_rounds as f64)
+                    .num("durable_round_s", t_durable / durable_rounds as f64)
+                    .num("wal_overhead_s_per_round", overhead_per_round)
+                    .int("replayed_rounds", info.replayed_rounds as i64)
+                    .num("recovery_s", t_recover.as_secs_f64())
+                    .num("rebootstrap_s", t_rebootstrap.as_secs_f64())
+                    .num("recover_speedup", recover_speedup),
+            );
+            dur_table.row(vec![
+                case_id.to_string(),
+                target.to_string(),
+                durable_rounds.to_string(),
+                secs(std::time::Duration::from_secs_f64(t_plain)),
+                secs(std::time::Duration::from_secs_f64(t_durable)),
+                secs(std::time::Duration::from_secs_f64(
+                    overhead_per_round.max(0.0),
+                )),
+                info.replayed_rounds.to_string(),
+                secs(t_recover),
+                secs(t_rebootstrap),
+                format!("{recover_speedup:.1}x"),
+            ]);
+        }
+        println!("# durability (plain vs WAL+snapshot service, recovery vs re-bootstrap):");
+        println!("{}", dur_table.render());
+        let geo = (recover_speedups.iter().map(|s| s.ln()).sum::<f64>()
+            / recover_speedups.len().max(1) as f64)
+            .exp();
+        println!("# recovery vs re-bootstrap geometric mean: {geo:.1}x");
+        println!(
+            "# recovery strictly below full re-bootstrap on TPC-H views: {}",
+            if tpch_recover_ok { "PASS" } else { "MISS" }
+        );
+        durability_geomean = Some(geo);
+    }
+
     println!("# 1%-delta speedups (cover maintenance vs full InFine re-discovery):");
     let mut geomeans = Vec::new();
     for workload in [Workload::Churn, Workload::Append] {
@@ -367,7 +552,7 @@ fn main() {
     let out_path =
         std::env::var("INFINE_BENCH_OUT").unwrap_or_else(|_| "BENCH_incremental.json".to_string());
     let kernel = infine_partitions::kernel_counters();
-    let header = Obj::new()
+    let mut header = Obj::new()
         .str(
             "benchmark",
             "incremental maintenance vs full re-discovery (single-shot wall-clock seconds)",
@@ -386,6 +571,9 @@ fn main() {
         // object). The kernel_* fields above predate it and stay for
         // cross-PR trajectory compatibility.
         .raw("metrics", infine_obs::snapshot().to_json());
+    if let Some(geo) = durability_geomean {
+        header = header.num("durability_recover_speedup_geomean", geo);
+    }
     std::fs::write(&out_path, json::render_report(header, &json_rows))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("# wrote {out_path}");

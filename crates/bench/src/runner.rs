@@ -182,7 +182,9 @@ pub fn bench_shards() -> usize {
 /// (equivalent to `INFINE_THREADS=N` but visible in shell history and
 /// recorded via `infine_exec::parallelism()` in the emitted JSON);
 /// `--shards N` pins the shard count of the sharded maintenance lane
-/// (equivalent to `INFINE_SHARDS=N`, recorded via [`bench_shards`]).
+/// (equivalent to `INFINE_SHARDS=N`, recorded via [`bench_shards`]);
+/// `--durability` enables the durability lane of the incremental bench
+/// (equivalent to `INFINE_BENCH_DURABILITY=1`, see [`bench_durability`]).
 ///
 /// Also arms the observability env knobs: `INFINE_METRICS_ADDR` starts
 /// the Prometheus scrape endpoint for the duration of the run (watch a
@@ -209,9 +211,26 @@ pub fn apply_cli_flags() {
                     .unwrap_or_else(|| panic!("--shards needs a positive integer"));
                 SHARDS_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
             }
-            other => panic!("unknown argument {other:?} (supported: --threads N, --shards N)"),
+            "--durability" => {
+                DURABILITY.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            other => panic!(
+                "unknown argument {other:?} (supported: --threads N, --shards N, --durability)"
+            ),
         }
     }
+}
+
+/// Durability-lane switch set by `--durability` or
+/// `INFINE_BENCH_DURABILITY=1`: the incremental bench adds a lane that
+/// measures WAL append overhead per round and recovery time vs full
+/// re-bootstrap.
+static DURABILITY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether the durability bench lane is enabled for this run.
+pub fn bench_durability() -> bool {
+    DURABILITY.load(std::sync::atomic::Ordering::Relaxed)
+        || std::env::var("INFINE_BENCH_DURABILITY").is_ok_and(|v| v != "0")
 }
 
 /// Scale from the environment with a stderr note (shared by binaries).

@@ -1,0 +1,154 @@
+//! Fault injection for the kill-and-recover soak.
+//!
+//! A fail point is a named site in the durability/service code that, when
+//! armed, panics on its *n*-th hit — killing the worker thread exactly
+//! where a real crash could strike (before a WAL append, mid-append with
+//! a torn record already on disk, after a snapshot temp file is written
+//! but before the rename, after a round is applied but before its report
+//! is sent). The soak arms one site, drives churn until the worker dies,
+//! recovers, and pins recovered state equal to a never-crashed run.
+//!
+//! Arming is runtime state, not a cfg gate: integration tests and the
+//! soak live outside the crate, so the hooks must exist in release
+//! builds. Unarmed hits are one mutex-free `Arc` null-check beyond a
+//! `Mutex` lock only taken when at least one site is armed; production
+//! callers pass [`FailPoints::none`] and pay a single branch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Crash before the WAL record for a round is written: the round is lost
+/// entirely and recovery must converge without it.
+pub const WAL_APPEND: &str = "wal_append";
+/// Crash after a *prefix* of the WAL record hits the file: recovery sees
+/// a torn tail and must truncate-and-warn, never panic.
+pub const WAL_APPEND_TORN: &str = "wal_append_torn";
+/// Crash after the snapshot temp file is written but before the atomic
+/// rename: no new snapshot exists and the temp file must be ignored.
+pub const SNAPSHOT_WRITE: &str = "snapshot_write";
+/// Crash after the round is durably logged and applied, but before its
+/// report is sent: recovery replays a round the engine already ran.
+pub const ROUND_COMMIT: &str = "round_commit";
+
+/// A shared set of armed fail-point sites with hit countdowns.
+#[derive(Debug, Clone, Default)]
+pub struct FailPoints {
+    // None = nothing ever armed (the production fast path).
+    armed: Option<Arc<Mutex<HashMap<String, u64>>>>,
+}
+
+impl FailPoints {
+    /// No fail points; every [`FailPoints::hit`] is a no-op branch.
+    pub fn none() -> FailPoints {
+        FailPoints::default()
+    }
+
+    /// Fail points from `INFINE_FAILPOINT` (`"site:N"` or a
+    /// comma-separated list; `N` = 1 kills on the first hit). Unset or
+    /// malformed entries arm nothing.
+    pub fn from_env() -> FailPoints {
+        let mut fp = FailPoints::none();
+        if let Ok(spec) = std::env::var("INFINE_FAILPOINT") {
+            for part in spec.split(',') {
+                if let Some((site, n)) = part.trim().split_once(':') {
+                    if let Ok(n) = n.parse::<u64>() {
+                        fp.arm(site, n);
+                    }
+                } else if !part.trim().is_empty() {
+                    fp.arm(part.trim(), 1);
+                }
+            }
+        }
+        fp
+    }
+
+    /// Arm `site` to panic on its `nth` hit (1-based; 0 is clamped to 1).
+    pub fn arm(&mut self, site: &str, nth: u64) {
+        let armed = self
+            .armed
+            .get_or_insert_with(|| Arc::new(Mutex::new(HashMap::new())));
+        armed.lock().unwrap().insert(site.to_string(), nth.max(1));
+    }
+
+    /// True iff any site is armed (used to skip torn-write staging).
+    pub fn any_armed(&self) -> bool {
+        self.armed
+            .as_ref()
+            .is_some_and(|a| !a.lock().unwrap().is_empty())
+    }
+
+    /// True iff `site` specifically is armed (the torn-append path must
+    /// decide whether to stage a partial write *before* hitting).
+    pub fn is_armed(&self, site: &str) -> bool {
+        self.armed
+            .as_ref()
+            .is_some_and(|a| a.lock().unwrap().contains_key(site))
+    }
+
+    /// True iff the *next* [`FailPoints::hit`] at `site` will fire. The
+    /// torn-append path stages its partial write only on the hit that
+    /// actually crashes — a staged-but-surviving append would corrupt
+    /// the log mid-file, which no real crash can do.
+    pub fn will_fire(&self, site: &str) -> bool {
+        self.armed
+            .as_ref()
+            .is_some_and(|a| a.lock().unwrap().get(site) == Some(&1))
+    }
+
+    /// Register a hit at `site`; panics (killing the calling thread —
+    /// the injected "crash") when the countdown armed for it reaches
+    /// zero. Disarms the site as it fires so a recovered worker does not
+    /// immediately die again.
+    pub fn hit(&self, site: &str) {
+        let Some(armed) = &self.armed else { return };
+        let mut armed = armed.lock().unwrap();
+        let fire = match armed.get_mut(site) {
+            Some(n) => {
+                *n -= 1;
+                *n == 0
+            }
+            None => false,
+        };
+        if fire {
+            armed.remove(site);
+            drop(armed);
+            panic!("failpoint {site:?} fired (injected crash)");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_hits_are_noops() {
+        let fp = FailPoints::none();
+        fp.hit(WAL_APPEND);
+        fp.hit("anything");
+        assert!(!fp.any_armed());
+    }
+
+    #[test]
+    fn fires_on_nth_hit_and_disarms() {
+        let mut fp = FailPoints::none();
+        fp.arm(SNAPSHOT_WRITE, 3);
+        fp.hit(SNAPSHOT_WRITE);
+        fp.hit(SNAPSHOT_WRITE);
+        let fp2 = fp.clone();
+        let died = std::panic::catch_unwind(move || fp2.hit(SNAPSHOT_WRITE));
+        assert!(died.is_err());
+        // The firing disarmed the site (shared state with the clone).
+        fp.hit(SNAPSHOT_WRITE);
+        assert!(!fp.any_armed());
+    }
+
+    #[test]
+    fn other_sites_do_not_fire() {
+        let mut fp = FailPoints::none();
+        fp.arm(WAL_APPEND, 1);
+        fp.hit(SNAPSHOT_WRITE);
+        fp.hit(ROUND_COMMIT);
+        assert!(fp.any_armed());
+    }
+}

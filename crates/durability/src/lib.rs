@@ -1,0 +1,73 @@
+//! # infine-durability
+//!
+//! Crash-safe storage for the incremental maintenance service: a
+//! write-ahead commitlog ([`wal`]), checksummed atomically-published
+//! state snapshots ([`snapshot`]), the [`SnapshotPolicy`] deciding when
+//! to cut one, and runtime [`FailPoints`] for kill-and-recover testing.
+//!
+//! The crate is storage only — it moves opaque byte payloads produced by
+//! the service layer (`infine-incremental`), which owns the engine-state
+//! and round encodings (built on `infine_relation::wire`). Recovery is:
+//! load the newest valid snapshot, [`wal::scan`] the commitlog suffix
+//! from its epoch, replay the salvaged rounds through the normal round
+//! path. Both layers share one failure philosophy: arbitrary on-disk
+//! corruption is *detected and reported*, never a panic and never
+//! silently accepted (per-record and per-snapshot CRC-32, versioned
+//! headers, contiguity checks, truncate-and-warn tails).
+
+pub mod crc32;
+pub mod failpoint;
+pub mod policy;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use failpoint::FailPoints;
+pub use policy::SnapshotPolicy;
+pub use snapshot::{LoadedSnapshot, SnapshotStore, KEEP_SNAPSHOTS};
+pub use wal::{LogScan, Wal, WalRound};
+
+use std::fmt;
+use std::path::Path;
+
+/// A durability-layer failure: I/O, or on-disk state too damaged to use.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Persisted bytes failed validation in a way that has no fallback
+    /// (e.g. a snapshot payload whose inner decoding fails after its
+    /// checksum passed, or a spec mismatch at restore time).
+    Corrupt(String),
+    /// Recovery was requested but no snapshot validates.
+    NoSnapshot,
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
+            DurabilityError::Corrupt(msg) => write!(f, "durable state corrupt: {msg}"),
+            DurabilityError::NoSnapshot => write!(f, "no valid snapshot to recover from"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+/// Parse the epoch out of a `<prefix><epoch-digits><suffix>` file name;
+/// `None` for anything else (shared by the WAL and snapshot stores).
+fn segment_epoch(path: &Path, prefix: &str, suffix: &str) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}

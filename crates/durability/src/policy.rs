@@ -1,0 +1,78 @@
+//! When to cut a snapshot and truncate the commitlog.
+
+/// Snapshot cadence for a durable service. Both triggers are optional
+/// and OR-ed; [`SnapshotPolicy::never`] (the default) means snapshots
+/// happen only on an explicit `Request::Snapshot`.
+///
+/// Due-ness is a pure function of counters the recovery path recomputes
+/// deterministically from the log itself (rounds and encoded bytes since
+/// the last snapshot), so a crashed run and its replay agree on where
+/// snapshots — and the vacuums they imply — happen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotPolicy {
+    /// Snapshot after this many rounds since the last snapshot.
+    pub every_rounds: Option<u64>,
+    /// Snapshot once this many WAL bytes accumulate since the last one.
+    pub max_wal_bytes: Option<u64>,
+}
+
+impl SnapshotPolicy {
+    /// Only explicit snapshot requests.
+    pub fn never() -> SnapshotPolicy {
+        SnapshotPolicy::default()
+    }
+
+    /// Snapshot every `n` rounds (n = 0 is clamped to 1).
+    pub fn every_rounds(n: u64) -> SnapshotPolicy {
+        SnapshotPolicy {
+            every_rounds: Some(n.max(1)),
+            max_wal_bytes: None,
+        }
+    }
+
+    /// Snapshot when the log grows past `bytes` since the last snapshot.
+    pub fn max_wal_bytes(bytes: u64) -> SnapshotPolicy {
+        SnapshotPolicy {
+            every_rounds: None,
+            max_wal_bytes: Some(bytes),
+        }
+    }
+
+    /// Combine with a byte bound.
+    pub fn or_max_wal_bytes(mut self, bytes: u64) -> SnapshotPolicy {
+        self.max_wal_bytes = Some(bytes);
+        self
+    }
+
+    /// Is a snapshot due, given rounds and WAL bytes accumulated since
+    /// the last snapshot?
+    pub fn due(&self, rounds_since: u64, bytes_since: u64) -> bool {
+        self.every_rounds.is_some_and(|n| rounds_since >= n)
+            || self.max_wal_bytes.is_some_and(|b| bytes_since >= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_never_due() {
+        assert!(!SnapshotPolicy::never().due(1_000_000, u64::MAX));
+    }
+
+    #[test]
+    fn round_trigger() {
+        let p = SnapshotPolicy::every_rounds(5);
+        assert!(!p.due(4, u64::MAX - 1));
+        assert!(p.due(5, 0));
+    }
+
+    #[test]
+    fn byte_trigger_ors_in() {
+        let p = SnapshotPolicy::every_rounds(5).or_max_wal_bytes(1024);
+        assert!(p.due(0, 1024));
+        assert!(p.due(5, 0));
+        assert!(!p.due(4, 1023));
+    }
+}

@@ -1,0 +1,290 @@
+//! Checksummed, atomically-published state snapshots.
+//!
+//! A snapshot captures the service's full engine state at a round
+//! boundary (`epoch` = number of rounds incorporated), in the
+//! vacuum-canonical form — byte-equal to a from-scratch rebuild — that
+//! PR 5's invariant guarantees. Publication is write-to-temp →
+//! `sync` → atomic rename, so a crash at any point leaves either the
+//! previous set of snapshots or the previous set plus one complete new
+//! snapshot, never a half-written `.snap` file.
+//!
+//! ## File format (`snap-<epoch>.snap`)
+//!
+//! ```text
+//! magic "INFSNP01" (8) | version u32 | epoch u64 | crc32 u32 | len u64 | payload
+//! ```
+//!
+//! The CRC covers the payload. [`SnapshotStore::load_newest`] walks the
+//! directory newest-first and returns the first snapshot that validates,
+//! recording every skipped (corrupt) candidate — the fallback path the
+//! corruption matrix exercises.
+
+use crate::crc32::crc32;
+use crate::failpoint::{FailPoints, SNAPSHOT_WRITE};
+use crate::{segment_epoch, DurabilityError};
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+const MAGIC: &[u8; 8] = b"INFSNP01";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 8;
+
+/// How many published snapshots to retain. Two: the newest plus one
+/// fallback in case the newest is found corrupt at recovery time.
+pub const KEEP_SNAPSHOTS: usize = 2;
+
+/// Name of the snapshot file for an epoch (zero-padded for lexical =
+/// numeric ordering).
+pub fn snapshot_name(epoch: u64) -> String {
+    format!("snap-{epoch:020}.snap")
+}
+
+/// A directory of published snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    failpoints: FailPoints,
+}
+
+/// A snapshot that passed validation at load time.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// Rounds incorporated in the snapshot (its commitlog epoch).
+    pub epoch: u64,
+    /// The opaque engine-state payload handed to
+    /// [`SnapshotStore::publish`].
+    pub payload: Vec<u8>,
+    /// Newer snapshots that failed validation and were skipped, newest
+    /// first: `(epoch, why)`.
+    pub skipped: Vec<(u64, String)>,
+}
+
+impl SnapshotStore {
+    /// Store over `dir` (created on first publish).
+    pub fn new(dir: impl Into<PathBuf>, failpoints: FailPoints) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.into(),
+            failpoints,
+        }
+    }
+
+    /// Atomically publish the snapshot for `epoch` and prune, keeping
+    /// the newest [`KEEP_SNAPSHOTS`]. Returns the epochs retained after
+    /// pruning (ascending) — the caller prunes WAL segments below the
+    /// smallest. The [`SNAPSHOT_WRITE`] failpoint crashes after the temp
+    /// file is complete but before the rename, the window where a real
+    /// crash leaves a stray `.tmp` and no new snapshot.
+    pub fn publish(&self, epoch: u64, payload: &[u8]) -> Result<Vec<u64>, DurabilityError> {
+        fs::create_dir_all(&self.dir)?;
+        let tmp = self.dir.join(format!("snap-{epoch:020}.tmp"));
+        let mut file = fs::File::create(&tmp)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&epoch.to_le_bytes());
+        header.extend_from_slice(&crc32(payload).to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        file.write_all(&header)?;
+        file.write_all(payload)?;
+        file.sync_data()?;
+        drop(file);
+        self.failpoints.hit(SNAPSHOT_WRITE);
+        fs::rename(&tmp, self.dir.join(snapshot_name(epoch)))?;
+        self.prune()
+    }
+
+    /// Load the newest snapshot that validates, skipping (and reporting)
+    /// corrupt ones. `Ok(None)` means no snapshot file validates.
+    pub fn load_newest(&self) -> Result<Option<LoadedSnapshot>, DurabilityError> {
+        let mut skipped = Vec::new();
+        for (epoch, path) in self.list()?.into_iter().rev() {
+            match Self::validate(&fs::read(&path)?, epoch) {
+                Ok(payload) => {
+                    return Ok(Some(LoadedSnapshot {
+                        epoch,
+                        payload,
+                        skipped,
+                    }))
+                }
+                Err(why) => skipped.push((epoch, why)),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Epochs of the snapshots currently on disk (ascending; validity
+    /// not checked).
+    pub fn epochs(&self) -> Result<Vec<u64>, DurabilityError> {
+        Ok(self.list()?.into_iter().map(|(e, _)| e).collect())
+    }
+
+    fn list(&self) -> Result<Vec<(u64, PathBuf)>, DurabilityError> {
+        let mut out = Vec::new();
+        if !self.dir.exists() {
+            return Ok(out);
+        }
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if let Some(epoch) = segment_epoch(&path, "snap-", ".snap") {
+                out.push((epoch, path));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn prune(&self) -> Result<Vec<u64>, DurabilityError> {
+        let snaps = self.list()?;
+        let cut = snaps.len().saturating_sub(KEEP_SNAPSHOTS);
+        for (_, path) in &snaps[..cut] {
+            fs::remove_file(path)?;
+        }
+        // Stray temp files from crashed publishes are garbage by
+        // definition (the rename never happened).
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(snaps[cut..].iter().map(|&(e, _)| e).collect())
+    }
+
+    fn validate(bytes: &[u8], name_epoch: u64) -> Result<Vec<u8>, String> {
+        if bytes.len() < HEADER_LEN {
+            return Err(format!("file too short ({} bytes)", bytes.len()));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err("bad magic".into());
+        }
+        if u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != VERSION {
+            return Err("unsupported version".into());
+        }
+        let epoch = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        if epoch != name_epoch {
+            return Err(format!(
+                "header epoch {epoch} does not match file name epoch {name_epoch}"
+            ));
+        }
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        if len != (bytes.len() - HEADER_LEN) as u64 {
+            return Err(format!(
+                "length mismatch: header says {len}, file carries {}",
+                bytes.len() - HEADER_LEN
+            ));
+        }
+        let payload = &bytes[HEADER_LEN..];
+        if crc32(payload) != crc {
+            return Err("checksum mismatch".into());
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> SnapshotStore {
+        let dir = std::env::temp_dir().join(format!(
+            "infine-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::new(dir, FailPoints::none())
+    }
+
+    #[test]
+    fn publish_load_round_trip() {
+        let s = store("roundtrip");
+        s.publish(3, b"state-at-3").unwrap();
+        let kept = s.publish(7, b"state-at-7").unwrap();
+        assert_eq!(kept, vec![3, 7]);
+        let loaded = s.load_newest().unwrap().unwrap();
+        assert_eq!(loaded.epoch, 7);
+        assert_eq!(loaded.payload, b"state-at-7");
+        assert!(loaded.skipped.is_empty());
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_the_newest_two() {
+        let s = store("prune");
+        for e in [1, 2, 3, 4] {
+            s.publish(e, format!("state-{e}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.epochs().unwrap(), vec![3, 4]);
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let s = store("fallback");
+        s.publish(1, b"good-old").unwrap();
+        s.publish(2, b"good-new").unwrap();
+        let newest = s.dir.join(snapshot_name(2));
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let loaded = s.load_newest().unwrap().unwrap();
+        assert_eq!(loaded.epoch, 1);
+        assert_eq!(loaded.payload, b"good-old");
+        assert_eq!(loaded.skipped.len(), 1);
+        assert!(loaded.skipped[0].1.contains("checksum"));
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_anywhere_never_validate_silently() {
+        let s = store("bitflip");
+        s.publish(5, b"the snapshot payload").unwrap();
+        let path = s.dir.join(snapshot_name(5));
+        let pristine = fs::read(&path).unwrap();
+        for i in 0..pristine.len() {
+            let mut corrupt = pristine.clone();
+            corrupt[i] ^= 0x10;
+            fs::write(&path, &corrupt).unwrap();
+            assert!(
+                s.load_newest().unwrap().is_none(),
+                "flip at byte {i} validated silently"
+            );
+        }
+        fs::write(&path, &pristine).unwrap();
+        assert!(s.load_newest().unwrap().is_some());
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn failpoint_leaves_no_published_snapshot() {
+        let s = store("fp");
+        s.publish(1, b"base").unwrap();
+        let mut fp = FailPoints::none();
+        fp.arm(SNAPSHOT_WRITE, 1);
+        let s2 = SnapshotStore::new(s.dir.clone(), fp);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s2.publish(2, b"never-lands").unwrap()
+        }));
+        assert!(died.is_err());
+        // The temp file exists, the published set is unchanged.
+        let loaded = s.load_newest().unwrap().unwrap();
+        assert_eq!(loaded.epoch, 1);
+        // The next successful publish sweeps the stray temp file.
+        s.publish(3, b"after-recovery").unwrap();
+        let strays: Vec<_> = fs::read_dir(&s.dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .collect();
+        assert!(strays.is_empty());
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+}

@@ -83,6 +83,23 @@ impl CoverState {
         state
     }
 
+    /// Rebuild a state from a persisted cover without re-mining: the
+    /// snapshot layer stores `fds` (mined before the crash and pinned
+    /// current by the WAL replay contract), and [`CoverState::settle`]
+    /// recomputes the backing partitions from the relation. Witnesses
+    /// start empty — they are a cache of *proofs*, rebuilt lazily as
+    /// rounds run, and their absence never changes any verdict.
+    pub fn restore(rel: &Relation, attrs: AttrSet, fds: FdSet) -> CoverState {
+        let mut state = CoverState {
+            attrs,
+            fds,
+            plis: HashMap::new(),
+            witnesses: HashMap::new(),
+        };
+        state.settle(rel);
+        state
+    }
+
     /// Bring the cover across `old relation → new_rel` as described by
     /// `applied`. Returns the round's accounting.
     pub fn maintain(&mut self, new_rel: &Relation, applied: &AppliedDelta) -> CoverDeltaStats {

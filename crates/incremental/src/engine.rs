@@ -57,6 +57,10 @@ pub enum MaintenanceError {
     /// The maintenance service's worker thread is gone (it panicked or
     /// was shut down); the request could not be (or was not) processed.
     WorkerDied,
+    /// The durability layer failed: commitlog/snapshot I/O, unusable
+    /// on-disk state, or a snapshot that does not match the requested
+    /// view/configuration.
+    Durability(String),
 }
 
 impl From<InFineError> for MaintenanceError {
@@ -80,6 +84,7 @@ impl fmt::Display for MaintenanceError {
             MaintenanceError::WorkerDied => {
                 write!(f, "maintenance worker is gone (panicked or shut down)")
             }
+            MaintenanceError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }
@@ -491,6 +496,71 @@ impl MaintenanceEngine {
         let obs = EngineObs::new(registry, "sharded");
         let _obs_scope = obs.registry.enter();
         let states = bootstrap_states(&db, &spec, infine.config.base_algorithm)?;
+        let subquery_tables = subquery_table_index(&spec);
+        Ok(MaintenanceEngine {
+            infine,
+            spec,
+            db,
+            states,
+            mode: MaintenanceMode::ExactProvenance,
+            view: None,
+            report: InFineReport {
+                schema: Schema::new(),
+                triples: Vec::new(),
+                timings: infine_core::PhaseTimings::default(),
+                stats: infine_core::PipelineStats::default(),
+            },
+            cover: FdSet::new(),
+            stale: HashSet::new(),
+            delete_policy,
+            table_indexes: HashMap::new(),
+            table_row_maps: HashMap::new(),
+            subquery_tables,
+            obs,
+        })
+    }
+
+    /// Rebuild a base-only fragment engine from snapshotted state: the
+    /// fragment database (vacuum-canonical, persisted verbatim) and the
+    /// per-label covers mined before the snapshot. The scoped relations
+    /// re-project from the database — byte-equal to what was running,
+    /// because projection shares columns and both sides are compact —
+    /// and [`CoverState::restore`] recomputes partitions without
+    /// re-mining, which is what makes recovery strictly cheaper than a
+    /// bootstrap.
+    pub(crate) fn restore_base_only(
+        infine: InFine,
+        db: Database,
+        spec: ViewSpec,
+        delete_policy: DeletePolicy,
+        registry: infine_obs::Registry,
+        covers: &BaseFds,
+    ) -> Result<MaintenanceEngine, MaintenanceError> {
+        let obs = EngineObs::new(registry, "sharded");
+        let _obs_scope = obs.registry.enter();
+        let states = base_scopes(&db, &spec)?
+            .into_iter()
+            .map(|scope| {
+                let rel = scope.project(&db);
+                let attrs = rel.attr_set();
+                let fds = covers.get(&scope.label).cloned().ok_or_else(|| {
+                    MaintenanceError::Durability(format!(
+                        "snapshot carries no cover for base label {:?}",
+                        scope.label
+                    ))
+                })?;
+                let cover = CoverState::restore(&rel, attrs, fds);
+                let dict_index = DictIndexes::build(&rel);
+                let row_map = RowMap::identity(rel.nrows());
+                Ok(BaseState {
+                    scope,
+                    rel,
+                    cover,
+                    dict_index,
+                    row_map,
+                })
+            })
+            .collect::<Result<Vec<BaseState>, MaintenanceError>>()?;
         let subquery_tables = subquery_table_index(&spec);
         Ok(MaintenanceEngine {
             infine,

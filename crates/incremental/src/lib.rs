@@ -61,6 +61,7 @@
 pub mod cover;
 pub mod engine;
 mod obs;
+mod persist;
 pub mod service;
 pub mod shard;
 pub mod view;
@@ -71,6 +72,11 @@ pub use engine::{
     MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
 pub use obs::RoundMetrics;
-pub use service::{MaintenanceService, ServiceStats, VacuumPolicy};
+pub use service::{
+    DurabilityOptions, MaintenanceService, RecoveryInfo, ServiceStats, VacuumPolicy,
+};
+// Durability knobs callers need to configure a durable service without
+// depending on the storage crate directly.
+pub use infine_durability::{FailPoints, SnapshotPolicy};
 pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
 pub use view::ViewState;

@@ -54,10 +54,16 @@
 //! [`shutdown`]: MaintenanceService::shutdown
 
 use crate::engine::{MaintenanceError, MaintenanceReport, TombstoneStats};
+use crate::persist;
 use crate::shard::ShardedEngine;
+use infine_algebra::ViewSpec;
+use infine_core::{InFine, InFineConfig};
+use infine_durability::failpoint::ROUND_COMMIT;
+use infine_durability::{wal, DurabilityError, FailPoints, SnapshotPolicy, SnapshotStore, Wal};
 use infine_relation::{DeltaBatch, DeltaRelation};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -68,9 +74,15 @@ enum Request {
     Ingest(Vec<DeltaRelation>),
     Flush,
     Vacuum,
+    /// Cut a snapshot now (durable services; a plain flush otherwise).
+    Snapshot,
     /// Test-only: make the worker panic to exercise death handling.
     #[cfg(test)]
     Poison,
+}
+
+fn dur(e: DurabilityError) -> MaintenanceError {
+    MaintenanceError::Durability(e.to_string())
 }
 
 /// When the service runs a vacuum between rounds (tombstone engines).
@@ -96,6 +108,87 @@ impl VacuumPolicy {
         self.max_tombstone_fraction
             .is_some_and(|t| stats.fraction() > t)
     }
+}
+
+/// Where and how a durable service persists its state
+/// ([`MaintenanceService::spawn_durable`] /
+/// [`MaintenanceService::recover`]).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding the commitlog segments and snapshots.
+    pub dir: PathBuf,
+    /// When the worker cuts a snapshot (an explicit
+    /// [`MaintenanceService::snapshot`] command always does).
+    pub snapshot_policy: SnapshotPolicy,
+    /// Injected-crash sites for kill-and-recover testing
+    /// ([`FailPoints::none`] in production).
+    pub failpoints: FailPoints,
+}
+
+impl DurabilityOptions {
+    /// Durability under `dir` with a snapshot every 32 rounds and no
+    /// fail points.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityOptions {
+        DurabilityOptions {
+            dir: dir.into(),
+            snapshot_policy: SnapshotPolicy::every_rounds(32),
+            failpoints: FailPoints::none(),
+        }
+    }
+
+    /// Replace the snapshot policy.
+    pub fn snapshot_policy(mut self, policy: SnapshotPolicy) -> DurabilityOptions {
+        self.snapshot_policy = policy;
+        self
+    }
+
+    /// Arm fail points (tests; see [`FailPoints::from_env`]).
+    pub fn failpoints(mut self, failpoints: FailPoints) -> DurabilityOptions {
+        self.failpoints = failpoints;
+        self
+    }
+}
+
+/// What [`MaintenanceService::recover`] found and did.
+#[derive(Debug)]
+pub struct RecoveryInfo {
+    /// Rounds durably incorporated in the recovered engine: the snapshot
+    /// epoch plus every commitlog round replayed on top. A producer
+    /// re-feeding its stream resumes after this many rounds.
+    pub durable_rounds: u64,
+    /// Epoch of the snapshot recovery started from.
+    pub snapshot_epoch: u64,
+    /// Commitlog rounds replayed through the normal round path.
+    pub replayed_rounds: u64,
+    /// The log ended with an intact clean-shutdown marker (no tail
+    /// suspicion; any warning below is real corruption, not a crash).
+    pub clean_shutdown: bool,
+    /// What salvage had to tolerate: snapshots skipped for checksum
+    /// failures, a torn or corrupt commitlog tail.
+    pub warnings: Vec<String>,
+}
+
+/// Durability state owned by the worker thread.
+struct DurableWorker {
+    wal: Wal,
+    store: SnapshotStore,
+    policy: SnapshotPolicy,
+    failpoints: FailPoints,
+    /// Index of the last round appended to the commitlog (1-based;
+    /// equals the snapshot epoch right after a cut).
+    round_index: u64,
+    rounds_since_snapshot: u64,
+    bytes_since_snapshot: u64,
+}
+
+/// Everything the handle needs to rebuild the service from disk after
+/// the worker dies ([`MaintenanceService::respawn`]).
+struct DurableContext {
+    options: DurabilityOptions,
+    config: InFineConfig,
+    spec: ViewSpec,
+    vacuum_policy: VacuumPolicy,
+    respawns: infine_obs::Counter,
 }
 
 /// Point-in-time service health, from [`MaintenanceService::stats`] —
@@ -135,10 +228,17 @@ struct ServiceObs {
     coalesced: infine_obs::Counter,
     rejected: infine_obs::Counter,
     round_seconds: infine_obs::Histogram,
+    wal_appends: infine_obs::Counter,
+    wal_bytes: infine_obs::Counter,
+    snapshot_seconds: infine_obs::Histogram,
+    respawns: infine_obs::Counter,
 }
 
 impl ServiceObs {
     fn resolve() -> ServiceObs {
+        // Pin the recovery-path series alongside the rest so the
+        // exposition catalog is identical before and after a recovery.
+        let _ = ServiceObs::recovery_handles();
         infine_obs::with_current(|r| {
             ServiceObs {
             queue_depth: r.gauge(
@@ -171,7 +271,47 @@ impl ServiceObs {
                 "Wall time of one service round: queue drain, coalescing, the engine round, and any folded vacuum.",
                 &[],
             ),
+            wal_appends: r.counter(
+                "infine_wal_appends_total",
+                "Round records appended (and flushed) to the write-ahead commitlog.",
+                &[],
+            ),
+            wal_bytes: r.counter(
+                "infine_wal_bytes_total",
+                "Bytes appended to the write-ahead commitlog.",
+                &[],
+            ),
+            snapshot_seconds: r.duration_histogram(
+                "infine_snapshot_seconds",
+                "Wall time of one snapshot cut: canonicalizing vacuum, engine freeze, atomic publish, and log rotation.",
+                &[],
+            ),
+            respawns: r.counter(
+                "infine_service_respawns_total",
+                "Workers restarted from durable state after a death (MaintenanceService::respawn).",
+                &[],
+            ),
         }
+        })
+    }
+
+    /// The recovery-path series, registered alongside the rest of the
+    /// service catalog so the exposition is identical whether or not a
+    /// recovery has happened yet.
+    fn recovery_handles() -> (infine_obs::Histogram, infine_obs::Counter) {
+        infine_obs::with_current(|r| {
+            (
+                r.duration_histogram(
+                    "infine_recovery_seconds",
+                    "Wall time of one recovery: snapshot load, engine restore, commitlog replay, fresh snapshot.",
+                    &[],
+                ),
+                r.counter(
+                    "infine_wal_replayed_rounds_total",
+                    "Commitlog rounds replayed through the normal round path during recovery.",
+                    &[],
+                ),
+            )
         })
     }
 }
@@ -211,6 +351,9 @@ pub struct MaintenanceService {
     /// Queue-depth gauge (the handle raises it at ingestion, the worker
     /// lowers it when it drains).
     queue_gauge: infine_obs::Gauge,
+    /// Set when durability is on: everything respawn needs to rebuild
+    /// the worker from disk.
+    durable: Option<DurableContext>,
 }
 
 impl MaintenanceService {
@@ -225,6 +368,57 @@ impl MaintenanceService {
     /// a per-shard parallel vacuum when the policy says so — between
     /// rounds, without stopping the ingest loop.
     pub fn spawn_with_policy(engine: ShardedEngine, policy: VacuumPolicy) -> MaintenanceService {
+        MaintenanceService::spawn_inner(engine, policy, None, None)
+    }
+
+    /// [`MaintenanceService::spawn_with_policy`] with crash-safe
+    /// durability: every ingested round is appended (and flushed) to a
+    /// write-ahead commitlog under `options.dir` *before* the engine
+    /// runs it, and the engine state is snapshotted in vacuum-canonical
+    /// form on the snapshot policy (or an explicit
+    /// [`MaintenanceService::snapshot`] command). A baseline snapshot is
+    /// cut here, so [`MaintenanceService::recover`] always has a
+    /// starting point. The engine is vacuumed as part of the cut.
+    pub fn spawn_durable(
+        mut engine: ShardedEngine,
+        policy: VacuumPolicy,
+        options: DurabilityOptions,
+    ) -> Result<MaintenanceService, MaintenanceError> {
+        let context = DurableContext {
+            options: options.clone(),
+            config: engine.infine.config,
+            spec: engine.spec.clone(),
+            vacuum_policy: policy,
+            respawns: ServiceObs::resolve().respawns,
+        };
+        let store = SnapshotStore::new(&options.dir, options.failpoints.clone());
+        engine.vacuum();
+        let payload = persist::freeze_engine(&mut engine)?;
+        store.publish(0, &payload).map_err(dur)?;
+        let wal = Wal::create(&options.dir, 0, options.failpoints.clone()).map_err(dur)?;
+        let durable = DurableWorker {
+            wal,
+            store,
+            policy: options.snapshot_policy,
+            failpoints: options.failpoints,
+            round_index: 0,
+            rounds_since_snapshot: 0,
+            bytes_since_snapshot: 0,
+        };
+        Ok(MaintenanceService::spawn_inner(
+            engine,
+            policy,
+            Some(durable),
+            Some(context),
+        ))
+    }
+
+    fn spawn_inner(
+        engine: ShardedEngine,
+        policy: VacuumPolicy,
+        durable: Option<DurableWorker>,
+        context: Option<DurableContext>,
+    ) -> MaintenanceService {
         let (req_tx, req_rx) = std::sync::mpsc::channel();
         let (rep_tx, rep_rx) = std::sync::mpsc::channel();
         let stats = Arc::new(SharedStats::default());
@@ -233,7 +427,7 @@ impl MaintenanceService {
         let worker_stats = Arc::clone(&stats);
         let worker = std::thread::Builder::new()
             .name("infine-maintenance".into())
-            .spawn(move || run(engine, policy, req_rx, rep_tx, worker_stats, obs))
+            .spawn(move || run(engine, policy, durable, req_rx, rep_tx, worker_stats, obs))
             .expect("spawn maintenance worker");
         MaintenanceService {
             requests: req_tx,
@@ -242,7 +436,185 @@ impl MaintenanceService {
             death_reported: Cell::new(false),
             stats,
             queue_gauge,
+            durable: context,
         }
+    }
+
+    /// Rebuild a service from the durable state under `options.dir`:
+    /// load the newest valid snapshot (falling back to an older one on
+    /// checksum mismatch), replay the commitlog suffix through the
+    /// normal round path — tolerating a torn or corrupt tail by
+    /// truncating at the damage — cut a fresh snapshot at the recovered
+    /// head, and spawn the worker. `infine` and `spec` must match the
+    /// original spawn (the snapshot's spec fingerprint is checked).
+    ///
+    /// The returned [`RecoveryInfo`] says how many rounds are durably
+    /// incorporated; a producer re-feeds its stream from there.
+    pub fn recover(
+        options: DurabilityOptions,
+        infine: InFine,
+        spec: ViewSpec,
+        vacuum_policy: VacuumPolicy,
+    ) -> Result<(MaintenanceService, RecoveryInfo), MaintenanceError> {
+        let t0 = Instant::now();
+        let (recovery_seconds, replayed_counter) = ServiceObs::recovery_handles();
+        let context = DurableContext {
+            options: options.clone(),
+            config: infine.config,
+            spec: spec.clone(),
+            vacuum_policy,
+            respawns: ServiceObs::resolve().respawns,
+        };
+        let store = SnapshotStore::new(&options.dir, options.failpoints.clone());
+        let loaded = store.load_newest().map_err(dur)?.ok_or_else(|| {
+            MaintenanceError::Durability(format!("no valid snapshot under {:?}", options.dir))
+        })?;
+        let mut warnings: Vec<String> = loaded
+            .skipped
+            .iter()
+            .map(|(epoch, why)| format!("snapshot {epoch} skipped: {why}"))
+            .collect();
+        let mut engine = persist::restore_engine(&loaded.payload, infine, spec)?;
+        let scan = wal::scan(&options.dir, loaded.epoch).map_err(dur)?;
+        warnings.extend(scan.warning.clone());
+
+        // Replay the salvaged suffix through the normal round path,
+        // re-deciding every vacuum exactly as the live run decided it:
+        // explicit commands from the record flags, policy vacuums from
+        // the (identical) engine state, snapshot-cut vacuums from the
+        // (identically recomputed) due counters — snapshots themselves
+        // are not re-published; one fresh cut below supersedes them.
+        let mut round_index = loaded.epoch;
+        let mut rounds_since = 0u64;
+        let mut bytes_since = 0u64;
+        for record in &scan.rounds {
+            let (deltas, flags) = persist::decode_round(&record.body)?;
+            engine.apply(&deltas).map_err(|e| {
+                MaintenanceError::Durability(format!(
+                    "replay of round {} failed: {e}",
+                    record.round_index
+                ))
+            })?;
+            if flags & persist::ROUND_VACUUM != 0 || vacuum_policy.should(engine.tombstone_stats())
+            {
+                engine.vacuum();
+            }
+            round_index = record.round_index;
+            rounds_since += 1;
+            bytes_since += Wal::round_record_len(record.body.len());
+            if flags & persist::ROUND_SNAPSHOT != 0
+                || options.snapshot_policy.due(rounds_since, bytes_since)
+            {
+                engine.vacuum();
+                rounds_since = 0;
+                bytes_since = 0;
+            }
+            replayed_counter.inc();
+        }
+
+        // Cut a fresh snapshot at the recovered head and rotate the log:
+        // recovery is idempotent and the next replay suffix starts empty.
+        // Exception: when the newest on-disk snapshot loaded cleanly and
+        // the log held nothing past it, the engine *is* that snapshot —
+        // re-freezing it would only burn serialization and fsync time
+        // (this is the common restart-after-clean-shutdown case), so
+        // only the log segment is reset.
+        let retain_from = if scan.rounds.is_empty() && loaded.skipped.is_empty() {
+            store
+                .epochs()
+                .map_err(dur)?
+                .first()
+                .copied()
+                .unwrap_or(round_index)
+        } else {
+            engine.vacuum();
+            let payload = persist::freeze_engine(&mut engine)?;
+            let retained = store.publish(round_index, &payload).map_err(dur)?;
+            retained.first().copied().unwrap_or(round_index)
+        };
+        let wal =
+            Wal::create(&options.dir, round_index, options.failpoints.clone()).map_err(dur)?;
+        wal::prune_segments(&options.dir, retain_from).map_err(dur)?;
+
+        let info = RecoveryInfo {
+            durable_rounds: round_index,
+            snapshot_epoch: loaded.epoch,
+            replayed_rounds: scan.rounds.len() as u64,
+            clean_shutdown: scan.clean_shutdown,
+            warnings,
+        };
+        recovery_seconds.observe_duration(t0.elapsed());
+        let durable = DurableWorker {
+            wal,
+            store,
+            policy: options.snapshot_policy,
+            failpoints: options.failpoints,
+            round_index,
+            rounds_since_snapshot: 0,
+            bytes_since_snapshot: 0,
+        };
+        let service =
+            MaintenanceService::spawn_inner(engine, vacuum_policy, Some(durable), Some(context));
+        Ok((service, info))
+    }
+
+    /// Restart a dead worker from the durable state on disk (snapshot +
+    /// commitlog), in place: after this returns `Ok`, the handle serves
+    /// requests again. Only valid for services spawned with
+    /// [`MaintenanceService::spawn_durable`] (or recovered) whose worker
+    /// has died; retries the recovery a bounded number of times before
+    /// giving up with the last error. Health counters restart from zero
+    /// with the new worker.
+    pub fn respawn(&mut self) -> Result<RecoveryInfo, MaintenanceError> {
+        const ATTEMPTS: usize = 3;
+        let Some(context) = &self.durable else {
+            return Err(MaintenanceError::Durability(
+                "respawn requires a durable service".into(),
+            ));
+        };
+        let dead =
+            self.death_reported.get() || self.worker.as_ref().is_none_or(JoinHandle::is_finished);
+        if !dead {
+            return Err(MaintenanceError::Durability(
+                "respawn requires a dead worker (the current one is alive)".into(),
+            ));
+        }
+        // Wait out the unwind before rebuilding from the directory the
+        // dying worker still holds open (a reported death guarantees the
+        // join terminates: the report channel only disconnects on exit).
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        let options = context.options.clone();
+        let config = context.config;
+        let spec = context.spec.clone();
+        let vacuum_policy = context.vacuum_policy;
+        let respawns = context.respawns.clone();
+        let mut last = None;
+        for _ in 0..ATTEMPTS {
+            match MaintenanceService::recover(
+                options.clone(),
+                InFine::new(config),
+                spec.clone(),
+                vacuum_policy,
+            ) {
+                Ok((service, info)) => {
+                    // The old handle's dead worker joins in the drop.
+                    *self = service;
+                    respawns.inc();
+                    return Ok(info);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Ask the worker to cut a snapshot now (durable services; on a
+    /// non-durable service this degrades to a flush). A round report is
+    /// emitted. `Err(WorkerDied)` when the worker is gone.
+    pub fn snapshot(&self) -> Result<(), MaintenanceError> {
+        self.send(Request::Snapshot)
     }
 
     /// Queue a round of delta batches (non-blocking).
@@ -361,12 +733,14 @@ impl Drop for MaintenanceService {
 }
 
 /// The worker loop: block for work, drain the queue, coalesce, run one
-/// round, vacuum by policy/command, repeat. A disconnected request
-/// channel ends the loop after a final round for whatever is still
-/// pending.
+/// round (logged first when durable), vacuum by policy/command, cut
+/// snapshots, repeat. A disconnected request channel ends the loop after
+/// a final round for whatever is still pending; a durable worker then
+/// marks the log cleanly shut down.
 fn run(
     mut engine: ShardedEngine,
     policy: VacuumPolicy,
+    mut durable: Option<DurableWorker>,
     requests: Receiver<Request>,
     reports: Sender<Result<MaintenanceReport, MaintenanceError>>,
     stats: Arc<SharedStats>,
@@ -384,6 +758,103 @@ fn run(
             .store(elapsed.as_nanos() as u64, Ordering::Relaxed);
         let _ = reports.send(result);
     };
+
+    // One full round, write-ahead: log the batch set, apply it, vacuum
+    // (commanded or by policy), report, then cut a snapshot when due.
+    // The round is sorted by target so the live apply order equals the
+    // replay order (`decode_round` yields the codec's name-sorted form).
+    let run_round = |engine: &mut ShardedEngine,
+                     durable: &mut Option<DurableWorker>,
+                     mut round: Vec<DeltaRelation>,
+                     vacuum: bool,
+                     snapshot_cmd: bool,
+                     round_t0: Instant| {
+        round.sort_by(|a, b| a.target.cmp(&b.target));
+        if let Some(d) = durable.as_mut() {
+            let mut flags = 0u8;
+            if vacuum {
+                flags |= persist::ROUND_VACUUM;
+            }
+            if snapshot_cmd {
+                flags |= persist::ROUND_SNAPSHOT;
+            }
+            let body = persist::encode_round(&round, flags);
+            match d.wal.append_round(d.round_index + 1, &body) {
+                Ok(bytes) => {
+                    obs.wal_appends.inc();
+                    obs.wal_bytes.add(bytes);
+                    d.round_index += 1;
+                    d.rounds_since_snapshot += 1;
+                    d.bytes_since_snapshot += bytes;
+                }
+                Err(e) => {
+                    // The engine must never run ahead of the log: an
+                    // unloggable round is DROPPED, not applied, and the
+                    // producer re-derives its feed like any rejected
+                    // ingest. Round counters stay put — no round ran.
+                    let _ = reports.send(Err(dur(e)));
+                    return;
+                }
+            }
+        }
+        let mut result = engine.apply(&round);
+        // Vacuum between rounds: commanded, or by policy threshold.
+        // The ingest loop keeps running — producers only ever see the
+        // pass as accounting on a round report.
+        if vacuum || policy.should(engine.tombstone_stats()) {
+            let stats = engine.vacuum();
+            match result.as_mut() {
+                Ok(report) => report.vacuum = Some(stats),
+                Err(_) => {
+                    // The failed round still surfaces as its own Err;
+                    // the pass is then acknowledged on an empty
+                    // follow-up round, keeping the documented "a
+                    // vacuum is always reported" contract (consumers
+                    // drain until they see `report.vacuum`).
+                    let _ = reports.send(result);
+                    result = engine.apply(&[]).map(|mut report| {
+                        report.vacuum = Some(stats);
+                        report
+                    });
+                }
+            }
+        }
+        if let Some(d) = durable.as_ref() {
+            // Logged and applied, report not yet sent — the crash that
+            // makes recovery replay an already-run round.
+            d.failpoints.hit(ROUND_COMMIT);
+        }
+        finish_round(result, round_t0);
+        let Some(d) = durable.as_mut() else { return };
+        if !snapshot_cmd
+            && !d
+                .policy
+                .due(d.rounds_since_snapshot, d.bytes_since_snapshot)
+        {
+            return;
+        }
+        // Counters reset on ENTRY, publish or fail: replay recomputes
+        // due-points from the same counters and must reach the same
+        // decisions whether or not the publish below survived.
+        d.rounds_since_snapshot = 0;
+        d.bytes_since_snapshot = 0;
+        let snap_t0 = Instant::now();
+        let cut = (|| -> Result<(), MaintenanceError> {
+            engine.vacuum();
+            let payload = persist::freeze_engine(engine)?;
+            let retained = d.store.publish(d.round_index, &payload).map_err(dur)?;
+            let retain_from = retained.first().copied().unwrap_or(d.round_index);
+            d.wal.rotate(d.round_index, retain_from).map_err(dur)?;
+            Ok(())
+        })();
+        obs.snapshot_seconds.observe_duration(snap_t0.elapsed());
+        if let Err(e) = cut {
+            // A failed cut is survivable — the previous snapshot plus
+            // the still-growing log cover everything — but loud.
+            let _ = reports.send(Err(e));
+        }
+    };
+
     let mut pending: HashMap<String, DeltaBatch> = HashMap::new();
     while let Ok(first) = requests.recv() {
         let round_t0 = Instant::now();
@@ -393,6 +864,7 @@ fn run(
         }
         let mut flush = false;
         let mut vacuum = false;
+        let mut snapshot = false;
         for req in queued {
             match req {
                 Request::Ingest(deltas) => {
@@ -425,38 +897,17 @@ fn run(
                 }
                 Request::Flush => flush = true,
                 Request::Vacuum => vacuum = true,
+                Request::Snapshot => snapshot = true,
                 #[cfg(test)]
                 Request::Poison => panic!("test-injected worker panic"),
             }
         }
-        if !pending.is_empty() || flush || vacuum {
+        if !pending.is_empty() || flush || vacuum || snapshot {
             let round: Vec<DeltaRelation> = pending
                 .drain()
                 .map(|(target, batch)| DeltaRelation::new(target, batch))
                 .collect();
-            let mut result = engine.apply(&round);
-            // Vacuum between rounds: commanded, or by policy threshold.
-            // The ingest loop keeps running — producers only ever see the
-            // pass as accounting on a round report.
-            if vacuum || policy.should(engine.tombstone_stats()) {
-                let stats = engine.vacuum();
-                match result.as_mut() {
-                    Ok(report) => report.vacuum = Some(stats),
-                    Err(_) => {
-                        // The failed round still surfaces as its own Err;
-                        // the pass is then acknowledged on an empty
-                        // follow-up round, keeping the documented "a
-                        // vacuum is always reported" contract (consumers
-                        // drain until they see `report.vacuum`).
-                        let _ = reports.send(result);
-                        result = engine.apply(&[]).map(|mut report| {
-                            report.vacuum = Some(stats);
-                            report
-                        });
-                    }
-                }
-            }
-            finish_round(result, round_t0);
+            run_round(&mut engine, &mut durable, round, vacuum, snapshot, round_t0);
         }
     }
     if !pending.is_empty() {
@@ -465,7 +916,12 @@ fn run(
             .drain()
             .map(|(target, batch)| DeltaRelation::new(target, batch))
             .collect();
-        finish_round(engine.apply(&round), round_t0);
+        run_round(&mut engine, &mut durable, round, false, false, round_t0);
+    }
+    if let Some(d) = durable.as_mut() {
+        // Everything reported is logged; tell the next recovery it may
+        // treat ANY tail damage as real corruption, not a crash artifact.
+        let _ = d.wal.mark_clean_shutdown();
     }
     engine
 }
@@ -791,5 +1247,219 @@ mod tests {
         assert!(stats.rows_dropped >= 2);
         let engine = service.shutdown().unwrap();
         assert_eq!(engine.tombstone_stats().dead_rows(), 0);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "infine-svc-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn insert_p(v: i64) -> Vec<DeltaRelation> {
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(v), Value::str("c"), Value::Int(2)]);
+        vec![DeltaRelation::new("p", b)]
+    }
+
+    #[test]
+    fn durable_service_recovers_after_clean_shutdown() {
+        let dir = tmpdir("clean");
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir),
+        )
+        .unwrap();
+        service.ingest(insert_p(5)).unwrap();
+        service.recv_report().unwrap().unwrap();
+        let mut b = DeltaBatch::new();
+        b.insert(vec![Value::Int(5), Value::str("z")]);
+        service.ingest(vec![DeltaRelation::new("q", b)]).unwrap();
+        service.recv_report().unwrap().unwrap();
+        let engine = service.shutdown().unwrap();
+        let expect = engine.report().triples.clone();
+
+        let (service, info) = MaintenanceService::recover(
+            DurabilityOptions::new(&dir),
+            InFine::default(),
+            view(),
+            VacuumPolicy::default(),
+        )
+        .unwrap();
+        assert!(info.clean_shutdown);
+        assert_eq!(info.snapshot_epoch, 0);
+        assert_eq!(info.replayed_rounds, 2);
+        assert_eq!(info.durable_rounds, 2);
+        assert!(info.warnings.is_empty(), "{:?}", info.warnings);
+        let recovered = service.shutdown().unwrap();
+        assert_eq!(recovered.report().triples, expect);
+        let fresh = InFine::default()
+            .discover(recovered.database(), recovered.spec())
+            .unwrap();
+        assert_eq!(recovered.report().triples, fresh.triples);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_commit_crash_respawns_without_losing_the_durable_round() {
+        let dir = tmpdir("commit-crash");
+        let mut fp = FailPoints::none();
+        fp.arm(ROUND_COMMIT, 1);
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let mut service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir).failpoints(fp),
+        )
+        .unwrap();
+        service.ingest(insert_p(5)).unwrap();
+        // The worker dies after logging + applying, before the report.
+        let err = service.recv_report().unwrap().unwrap_err();
+        assert!(matches!(err, MaintenanceError::WorkerDied));
+        let info = service.respawn().unwrap();
+        // The crashed round was already durable: nothing to re-feed.
+        assert_eq!(info.durable_rounds, 1);
+        assert_eq!(info.replayed_rounds, 1);
+        assert!(!info.clean_shutdown);
+        service.ingest(insert_p(6)).unwrap();
+        let report = service.recv_report().unwrap().unwrap();
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.database().expect("p").nrows(), 6);
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(report.triples, fresh.triples);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_append_crash_drops_exactly_the_unlogged_round() {
+        let dir = tmpdir("append-crash");
+        let mut fp = FailPoints::none();
+        fp.arm(infine_durability::failpoint::WAL_APPEND, 2);
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let mut service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir).failpoints(fp),
+        )
+        .unwrap();
+        service.ingest(insert_p(5)).unwrap();
+        service.recv_report().unwrap().unwrap();
+        service.ingest(insert_p(6)).unwrap();
+        let err = service.recv_report().unwrap().unwrap_err();
+        assert!(matches!(err, MaintenanceError::WorkerDied));
+        let info = service.respawn().unwrap();
+        // Round 2 never reached the log: the producer re-feeds it.
+        assert_eq!(info.durable_rounds, 1);
+        service.ingest(insert_p(6)).unwrap();
+        service.recv_report().unwrap().unwrap();
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.database().expect("p").nrows(), 6);
+        let fresh = InFine::default()
+            .discover(engine.database(), engine.spec())
+            .unwrap();
+        assert_eq!(engine.report().triples, fresh.triples);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_policy_cuts_and_recovery_replays_only_the_suffix() {
+        let dir = tmpdir("snap-policy");
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir).snapshot_policy(SnapshotPolicy::every_rounds(2)),
+        )
+        .unwrap();
+        for v in [5, 6, 7] {
+            service.ingest(insert_p(v)).unwrap();
+            service.recv_report().unwrap().unwrap();
+        }
+        let engine = service.shutdown().unwrap();
+        let expect = engine.report().triples.clone();
+
+        let (service, info) = MaintenanceService::recover(
+            DurabilityOptions::new(&dir).snapshot_policy(SnapshotPolicy::every_rounds(2)),
+            InFine::default(),
+            view(),
+            VacuumPolicy::default(),
+        )
+        .unwrap();
+        // The round-2 snapshot took; only round 3 replays from the log.
+        assert_eq!(info.snapshot_epoch, 2);
+        assert_eq!(info.replayed_rounds, 1);
+        assert_eq!(info.durable_rounds, 3);
+        assert!(info.clean_shutdown);
+        let recovered = service.shutdown().unwrap();
+        assert_eq!(recovered.report().triples, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_snapshot_command_advances_the_recovery_epoch() {
+        let dir = tmpdir("snap-cmd");
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir),
+        )
+        .unwrap();
+        service.ingest(insert_p(5)).unwrap();
+        service.recv_report().unwrap().unwrap();
+        service.snapshot().unwrap();
+        service.recv_report().unwrap().unwrap();
+        service.ingest(insert_p(6)).unwrap();
+        service.recv_report().unwrap().unwrap();
+        drop(service); // shutdown-less drop still drains + marks clean
+
+        let (service, info) = MaintenanceService::recover(
+            DurabilityOptions::new(&dir),
+            InFine::default(),
+            view(),
+            VacuumPolicy::default(),
+        )
+        .unwrap();
+        // The snapshot command ran as round 2 (an empty flush round).
+        assert_eq!(info.snapshot_epoch, 2);
+        assert_eq!(info.replayed_rounds, 1);
+        assert_eq!(info.durable_rounds, 3);
+        let recovered = service.shutdown().unwrap();
+        assert_eq!(recovered.database().expect("p").nrows(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn respawn_refuses_live_workers_and_non_durable_services() {
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let mut plain = MaintenanceService::spawn(engine);
+        assert!(matches!(
+            plain.respawn(),
+            Err(MaintenanceError::Durability(_))
+        ));
+        plain.shutdown().unwrap();
+
+        let dir = tmpdir("respawn-live");
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let mut service = MaintenanceService::spawn_durable(
+            engine,
+            VacuumPolicy::default(),
+            DurabilityOptions::new(&dir),
+        )
+        .unwrap();
+        assert!(matches!(
+            service.respawn(),
+            Err(MaintenanceError::Durability(_))
+        ));
+        service.shutdown().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

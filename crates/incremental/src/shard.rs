@@ -58,20 +58,21 @@ pub enum InsertPolicy {
 }
 
 /// Home of one global row: which shard owns it and at which local rid.
+/// (`pub(crate)` so [`crate::persist`] can freeze/restore the router.)
 #[derive(Debug, Clone, Copy)]
-struct RowHome {
-    shard: u32,
-    local: u32,
+pub(crate) struct RowHome {
+    pub(crate) shard: u32,
+    pub(crate) local: u32,
 }
 
 /// Per-table routing state, indexed by *current* global row id.
 #[derive(Debug)]
-struct TableMap {
-    home: Vec<RowHome>,
+pub(crate) struct TableMap {
+    pub(crate) home: Vec<RowHome>,
     /// Current fragment sizes per shard.
-    frag_rows: Vec<usize>,
+    pub(crate) frag_rows: Vec<usize>,
     /// Rotating insert cursor ([`InsertPolicy::Spread`]).
-    cursor: usize,
+    pub(crate) cursor: usize,
 }
 
 /// Key-range partitioner for delta batches.
@@ -86,9 +87,9 @@ struct TableMap {
 /// router's whole job — it never touches row *data*.
 #[derive(Debug)]
 pub struct ShardRouter {
-    shards: usize,
-    policy: InsertPolicy,
-    tables: HashMap<String, TableMap>,
+    pub(crate) shards: usize,
+    pub(crate) policy: InsertPolicy,
+    pub(crate) tables: HashMap<String, TableMap>,
 }
 
 impl ShardRouter {
@@ -274,26 +275,42 @@ impl ShardRouter {
 /// database. (The stateless one-shot equivalent of this read side is
 /// [`InFine::discover_sharded`].)
 pub struct ShardedEngine {
-    infine: InFine,
-    spec: ViewSpec,
+    pub(crate) infine: InFine,
+    pub(crate) spec: ViewSpec,
     /// Full-table mirror (the read side the merged pipeline replays on).
-    db: Database,
-    table_indexes: HashMap<String, DictIndexes>,
-    router: ShardRouter,
-    shards: Vec<MaintenanceEngine>,
+    pub(crate) db: Database,
+    pub(crate) table_indexes: HashMap<String, DictIndexes>,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<MaintenanceEngine>,
     /// Base scopes of the spec (label → table/attrs), fixed at bootstrap.
-    scopes: Vec<BaseScope>,
+    pub(crate) scopes: Vec<BaseScope>,
     /// Cached read-time merge: per label, the canonical cover of the full
     /// scoped relation (re-merged only when the label's table changes).
-    merged_base: BaseFds,
-    report: InFineReport,
-    cover: FdSet,
-    subquery_tables: HashMap<String, HashSet<String>>,
+    pub(crate) merged_base: BaseFds,
+    pub(crate) report: InFineReport,
+    pub(crate) cover: FdSet,
+    pub(crate) subquery_tables: HashMap<String, HashSet<String>>,
     /// Fleet-wide metrics registry (shared with every fragment engine)
     /// plus round/phase/vacuum handles, all labeled `engine="sharded"`.
-    obs: EngineObs,
+    pub(crate) obs: EngineObs,
     /// Shards actually touched per round (fan-out occupancy).
-    fanout: infine_obs::Histogram,
+    pub(crate) fanout: infine_obs::Histogram,
+}
+
+/// One registry for the whole fleet: the façade and every fragment
+/// engine record into it, so per-fleet deltas are exact even with
+/// several sharded engines in one process. Shared by bootstrap
+/// ([`ShardedEngine::with_options`]) and snapshot restore
+/// ([`crate::persist`]).
+pub(crate) fn fleet_obs() -> (EngineObs, infine_obs::Histogram) {
+    let obs = EngineObs::new(EngineObs::scoped_registry(), "sharded");
+    let fanout = obs.registry.histogram(
+        "infine_shard_fanout_shards",
+        "Shards touched by one sharded maintenance round.",
+        &[],
+        infine_obs::FANOUT_BUCKETS,
+    );
+    (obs, fanout)
 }
 
 impl ShardedEngine {
@@ -334,16 +351,7 @@ impl ShardedEngine {
         policy: InsertPolicy,
         delete_policy: DeletePolicy,
     ) -> Result<ShardedEngine, MaintenanceError> {
-        // One registry for the whole fleet: the façade and every
-        // fragment engine record into it, so per-fleet deltas are exact
-        // even with several sharded engines in one process.
-        let obs = EngineObs::new(EngineObs::scoped_registry(), "sharded");
-        let fanout = obs.registry.histogram(
-            "infine_shard_fanout_shards",
-            "Shards touched by one sharded maintenance round.",
-            &[],
-            infine_obs::FANOUT_BUCKETS,
-        );
+        let (obs, fanout) = fleet_obs();
         let _obs_scope = obs.registry.enter();
         let router = ShardRouter::with_policy(&db, shards, policy);
         let fragments = router.fragments(&db);

@@ -7,7 +7,10 @@
 
 use infine_algebra::ViewSpec;
 use infine_core::InFine;
-use infine_incremental::{DeletePolicy, MaintenanceEngine, MaintenanceService, ShardedEngine};
+use infine_incremental::{
+    DeletePolicy, DurabilityOptions, MaintenanceEngine, MaintenanceService, ShardedEngine,
+    VacuumPolicy,
+};
 use infine_incremental::{InsertPolicy, ShardRouter};
 use infine_obs::Registry;
 use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Value};
@@ -67,8 +70,17 @@ fn metric_catalog_is_pinned() {
         "one apply call is one round observation"
     );
 
-    // Sharded fleet behind the service loop; tombstoned deletes so the
-    // explicit vacuum below reclaims rows.
+    // Sharded fleet behind a *durable* service loop (commitlog + one
+    // explicit snapshot + a post-snapshot round that recovery replays,
+    // so the WAL/snapshot/recovery series all carry traffic);
+    // tombstoned deletes so the explicit vacuum reclaims rows.
+    let dir = std::env::temp_dir().join(format!(
+        "infine-catalog-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
     let _ = ShardRouter::new(&db(), 2); // router alone registers nothing
     let sharded = ShardedEngine::with_options(
         InFine::default(),
@@ -79,7 +91,12 @@ fn metric_catalog_is_pinned() {
         DeletePolicy::Tombstone,
     )
     .unwrap();
-    let service = MaintenanceService::spawn(sharded);
+    let service = MaintenanceService::spawn_durable(
+        sharded,
+        VacuumPolicy::default(),
+        DurabilityOptions::new(&dir),
+    )
+    .unwrap();
     let mut b = DeltaBatch::new();
     b.delete(0).delete(1);
     service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
@@ -88,12 +105,30 @@ fn metric_catalog_is_pinned() {
     service.vacuum().unwrap();
     let report = service.recv_report().unwrap().unwrap();
     assert!(report.vacuum.unwrap().rows_dropped > 0);
+    service.snapshot().unwrap();
+    service.recv_report().unwrap().unwrap();
+    let mut b = DeltaBatch::new();
+    b.insert(vec![Value::Int(9), Value::str("c"), Value::Int(2)]);
+    service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
+    service.recv_report().unwrap().unwrap();
     let stats = service.stats();
     assert_eq!(stats.queue_depth, 0);
     assert!(stats.rounds_completed >= 2);
     assert!(stats.last_round > std::time::Duration::ZERO);
     assert!(stats.worker_alive);
     service.shutdown().unwrap();
+
+    // Recovery replays the post-snapshot round through the round path.
+    let (recovered, info) = MaintenanceService::recover(
+        DurabilityOptions::new(&dir),
+        InFine::default(),
+        view(),
+        VacuumPolicy::default(),
+    )
+    .unwrap();
+    assert!(info.replayed_rounds >= 1);
+    recovered.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
 
     // One ad-hoc span pins the span series.
     drop(infine_obs::span("catalog_probe", &[]));
@@ -118,19 +153,25 @@ fn metric_catalog_is_pinned() {
         "# TYPE infine_pli_cache_evictions_total counter",
         "# TYPE infine_pli_cache_hits_total counter",
         "# TYPE infine_pli_cache_misses_total counter",
+        "# TYPE infine_recovery_seconds histogram",
         "# TYPE infine_round_phase_seconds histogram",
         "# TYPE infine_round_seconds histogram",
         "# TYPE infine_service_batches_total counter",
         "# TYPE infine_service_coalesced_total counter",
         "# TYPE infine_service_queue_depth gauge",
         "# TYPE infine_service_rejected_total counter",
+        "# TYPE infine_service_respawns_total counter",
         "# TYPE infine_service_round_seconds histogram",
         "# TYPE infine_service_rounds_total counter",
         "# TYPE infine_shard_fanout_shards histogram",
+        "# TYPE infine_snapshot_seconds histogram",
         "# TYPE infine_span_seconds histogram",
         "# TYPE infine_vacuum_dict_entries_dropped_total counter",
         "# TYPE infine_vacuum_passes_total counter",
         "# TYPE infine_vacuum_rows_dropped_total counter",
+        "# TYPE infine_wal_appends_total counter",
+        "# TYPE infine_wal_bytes_total counter",
+        "# TYPE infine_wal_replayed_rounds_total counter",
     ];
     assert_eq!(
         types, expected,
@@ -152,4 +193,13 @@ fn metric_catalog_is_pinned() {
     assert!(snap.total("infine_vacuum_rows_dropped_total") > 0.0);
     assert!(snap.get("infine_pipeline_seconds_count").unwrap() >= 1.0);
     assert!(snap.total("infine_miner_seconds") >= 0.0);
+    // Durability series: four logged rounds, one explicit snapshot cut,
+    // one recovery that replayed the post-snapshot round. Respawns are
+    // registered (catalog above) but idle — no worker died here.
+    assert!(snap.get("infine_wal_appends_total").unwrap() >= 4.0);
+    assert!(snap.get("infine_wal_bytes_total").unwrap() > 0.0);
+    assert!(snap.get("infine_snapshot_seconds_count").unwrap() >= 1.0);
+    assert!(snap.get("infine_recovery_seconds_count").unwrap() >= 1.0);
+    assert!(snap.get("infine_wal_replayed_rounds_total").unwrap() >= 1.0);
+    assert_eq!(snap.get("infine_service_respawns_total"), Some(0.0));
 }

@@ -26,6 +26,7 @@ pub mod relation;
 pub mod schema;
 pub mod vacuum;
 pub mod value;
+pub mod wire;
 
 pub use attrs::{AttrId, AttrSet, AttrSetIter};
 pub use csv::{read_csv, write_csv, TypeInference};

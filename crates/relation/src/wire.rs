@@ -1,0 +1,665 @@
+//! Dependency-free binary codec for the relation layer.
+//!
+//! The durability subsystem (`infine-durability`, the incremental
+//! service's commitlog + snapshots) persists relations, dictionaries, and
+//! delta batches. This module is the one place that knows their byte
+//! layout: a little-endian, length-prefixed format with explicit tags —
+//! no derives, no external serialization crates (the build is offline).
+//!
+//! Design rules, enforced by every decoder here:
+//!
+//! * **Never panic, never allocate unboundedly.** Decoders validate
+//!   counts against the bytes actually remaining before reserving
+//!   anything, and every structural invariant a later consumer relies on
+//!   (codes within dictionary range, column lengths equal to the row
+//!   count, tombstone ids in range) is checked at decode time. Corrupted
+//!   input surfaces as [`WireError`], not as UB or a panic three layers
+//!   later.
+//! * **Verbatim round-trips.** `decode(encode(x))` reproduces `x`
+//!   *byte-for-byte* where it matters: dictionary order, codes, null
+//!   codes, and tombstone bitmaps all survive exactly, so persisted
+//!   engine state is indistinguishable from never-persisted state.
+//!
+//! Integrity (CRCs, file headers, versioning) is layered on top by the
+//! durability crate; this module is pure in-memory encoding.
+
+use crate::attrs::AttrSet;
+use crate::relation::{Column, Database, Relation, Tombstones};
+use crate::schema::{Attribute, Origin, Schema};
+use crate::value::Value;
+use crate::{DeltaBatch, DeltaRelation};
+use std::fmt;
+use std::sync::Arc;
+
+/// A malformed byte stream (truncation, bad tag, violated invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> WireError {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte sink for the codec.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// usize as u64 (the format is architecture-independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Length-prefixed UTF-8.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// `None` as 0, `Some(v)` as 1 + v.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(v) => {
+                self.u8(1);
+                self.u32(v);
+            }
+        }
+    }
+}
+
+/// Bounds-checked cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True iff every byte was consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::new(format!(
+                "truncated: {what} needs {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::new(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4, "i32")?.try_into().unwrap()))
+    }
+
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::new(format!("usize overflow: {v}")))
+    }
+
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len, "string payload")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::new("invalid UTF-8 in string"))
+    }
+
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32()?)),
+            b => Err(WireError::new(format!("invalid option byte {b}"))),
+        }
+    }
+
+    /// A count of items each at least `min_bytes` wide. Rejects counts
+    /// that could not possibly fit the remaining bytes *before* any
+    /// allocation happens — a bit-flipped count must fail cleanly, not
+    /// attempt a multi-gigabyte reserve.
+    pub fn count(&mut self, min_bytes: usize, what: &str) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_bytes.max(1)) > self.remaining() {
+            return Err(WireError::new(format!(
+                "implausible count: {n} {what} cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+}
+
+// ---- value ----
+
+const VAL_NULL: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_BOOL: u8 = 4;
+const VAL_DATE: u8 = 5;
+
+/// Encode one [`Value`] (tag byte + payload).
+pub fn write_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::Null => w.u8(VAL_NULL),
+        Value::Int(i) => {
+            w.u8(VAL_INT);
+            w.i64(*i);
+        }
+        Value::Float(bits) => {
+            w.u8(VAL_FLOAT);
+            w.u64(*bits);
+        }
+        Value::Str(s) => {
+            w.u8(VAL_STR);
+            w.str(s);
+        }
+        Value::Bool(b) => {
+            w.u8(VAL_BOOL);
+            w.bool(*b);
+        }
+        Value::Date(d) => {
+            w.u8(VAL_DATE);
+            w.i32(*d);
+        }
+    }
+}
+
+/// Decode one [`Value`].
+pub fn read_value(r: &mut Reader) -> Result<Value, WireError> {
+    Ok(match r.u8()? {
+        VAL_NULL => Value::Null,
+        VAL_INT => Value::Int(r.i64()?),
+        VAL_FLOAT => Value::Float(r.u64()?),
+        VAL_STR => Value::Str(r.str()?.into()),
+        VAL_BOOL => Value::Bool(r.bool()?),
+        VAL_DATE => Value::Date(r.i32()?),
+        t => return Err(WireError::new(format!("unknown value tag {t}"))),
+    })
+}
+
+// ---- schema ----
+
+/// Encode a [`Schema`] (ordered attributes with optional lineage).
+pub fn write_schema(w: &mut Writer, s: &Schema) {
+    w.u32(s.len() as u32);
+    for attr in s.iter() {
+        w.str(&attr.name);
+        match &attr.origin {
+            None => w.bool(false),
+            Some(o) => {
+                w.bool(true);
+                w.str(&o.relation);
+                w.str(&o.attribute);
+            }
+        }
+    }
+}
+
+/// Decode a [`Schema`].
+pub fn read_schema(r: &mut Reader) -> Result<Schema, WireError> {
+    let n = r.count(5, "schema attributes")?;
+    let mut s = Schema::new();
+    for _ in 0..n {
+        let name = r.str()?;
+        let attr = if r.bool()? {
+            let relation = r.str()?;
+            let attribute = r.str()?;
+            Attribute::with_origin(name, Origin::new(relation, attribute))
+        } else {
+            Attribute::new(name)
+        };
+        if s.len() >= AttrSet::MAX_ATTRS || s.id_of(&attr.name).is_some() {
+            return Err(WireError::new(format!(
+                "invalid schema: duplicate or overflowing attribute {:?}",
+                attr.name
+            )));
+        }
+        s.push(attr);
+    }
+    Ok(s)
+}
+
+// ---- relation ----
+
+fn write_column(w: &mut Writer, col: &Column) {
+    w.u32(col.codes.len() as u32);
+    for &c in &col.codes {
+        w.u32(c);
+    }
+    w.u32(col.dict.len() as u32);
+    for v in col.dict.iter() {
+        write_value(w, v);
+    }
+    w.opt_u32(col.null_code);
+}
+
+fn read_column(r: &mut Reader, nrows: usize) -> Result<Column, WireError> {
+    let ncodes = r.count(4, "codes")?;
+    if ncodes != nrows {
+        return Err(WireError::new(format!(
+            "column has {ncodes} codes but the relation has {nrows} rows"
+        )));
+    }
+    let mut codes = Vec::with_capacity(ncodes);
+    for _ in 0..ncodes {
+        codes.push(r.u32()?);
+    }
+    let dict_len = r.count(1, "dictionary values")?;
+    let mut dict = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        dict.push(read_value(r)?);
+    }
+    if let Some(&bad) = codes.iter().find(|&&c| c as usize >= dict_len) {
+        return Err(WireError::new(format!(
+            "code {bad} out of range for a dictionary of {dict_len} values"
+        )));
+    }
+    let null_code = r.opt_u32()?;
+    if let Some(nc) = null_code {
+        if nc as usize >= dict_len {
+            return Err(WireError::new(format!(
+                "null code {nc} out of range for a dictionary of {dict_len} values"
+            )));
+        }
+    }
+    Ok(Column {
+        codes,
+        dict: Arc::new(dict),
+        null_code,
+    })
+}
+
+/// Encode a [`Relation`] verbatim: name, schema, per-column codes +
+/// dictionaries + null codes, and the tombstone set (as dead row ids) —
+/// the decoded relation is indistinguishable from the original,
+/// including dictionary-code assignment and dead-row bookkeeping.
+pub fn write_relation(w: &mut Writer, rel: &Relation) {
+    w.str(&rel.name);
+    write_schema(w, &rel.schema);
+    w.usize(rel.nrows());
+    w.u32(rel.ncols() as u32);
+    for c in 0..rel.ncols() {
+        write_column(w, rel.column(c));
+    }
+    let dead: Vec<u32> = (0..rel.nrows() as u32)
+        .filter(|&row| !rel.is_live(row as usize))
+        .collect();
+    w.u32(dead.len() as u32);
+    for d in dead {
+        w.u32(d);
+    }
+}
+
+/// Decode a [`Relation`]; every invariant the storage layer relies on is
+/// validated (column lengths, code ranges, tombstone ids).
+pub fn read_relation(r: &mut Reader) -> Result<Relation, WireError> {
+    let name = r.str()?;
+    let schema = read_schema(r)?;
+    let nrows = r.usize()?;
+    if schema.is_empty() && nrows != 0 {
+        // Nothing below would cross-check nrows against column lengths
+        // (there are no columns), and row-bearing zero-column relations
+        // do not exist upstream.
+        return Err(WireError::new(format!(
+            "zero-column relation claims {nrows} rows"
+        )));
+    }
+    let ncols = r.count(9, "columns")?;
+    if ncols != schema.len() {
+        return Err(WireError::new(format!(
+            "relation has {ncols} columns but its schema has {}",
+            schema.len()
+        )));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        columns.push(read_column(r, nrows)?);
+    }
+    let ndead = r.count(4, "tombstones")?;
+    let tombstones = if ndead == 0 {
+        None
+    } else {
+        let mut t = Tombstones::default();
+        t.resize(nrows);
+        for _ in 0..ndead {
+            let row = r.u32()? as usize;
+            if row >= nrows {
+                return Err(WireError::new(format!(
+                    "tombstoned row {row} out of range ({nrows} rows)"
+                )));
+            }
+            if !t.kill(row) {
+                return Err(WireError::new(format!("duplicate tombstone for row {row}")));
+            }
+        }
+        Some(Box::new(t))
+    };
+    Ok(Relation::from_parts(
+        name, schema, columns, nrows, tombstones,
+    ))
+}
+
+// ---- deltas ----
+
+/// Encode a [`DeltaBatch`].
+pub fn write_delta_batch(w: &mut Writer, batch: &DeltaBatch) {
+    w.u32(batch.deletes.len() as u32);
+    for &d in &batch.deletes {
+        w.u32(d);
+    }
+    w.u32(batch.inserts.len() as u32);
+    for row in &batch.inserts {
+        w.u32(row.len() as u32);
+        for v in row {
+            write_value(w, v);
+        }
+    }
+}
+
+/// Decode a [`DeltaBatch`].
+pub fn read_delta_batch(r: &mut Reader) -> Result<DeltaBatch, WireError> {
+    let ndel = r.count(4, "deletes")?;
+    let mut deletes = Vec::with_capacity(ndel);
+    for _ in 0..ndel {
+        deletes.push(r.u32()?);
+    }
+    let nins = r.count(4, "insert rows")?;
+    let mut inserts = Vec::with_capacity(nins);
+    for _ in 0..nins {
+        let arity = r.count(1, "insert values")?;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(read_value(r)?);
+        }
+        inserts.push(row);
+    }
+    Ok(DeltaBatch { deletes, inserts })
+}
+
+/// Encode a [`DeltaRelation`] (target + batch).
+pub fn write_delta_relation(w: &mut Writer, delta: &DeltaRelation) {
+    w.str(&delta.target);
+    write_delta_batch(w, &delta.batch);
+}
+
+/// Decode a [`DeltaRelation`].
+pub fn read_delta_relation(r: &mut Reader) -> Result<DeltaRelation, WireError> {
+    let target = r.str()?;
+    let batch = read_delta_batch(r)?;
+    Ok(DeltaRelation { target, batch })
+}
+
+// ---- database ----
+
+/// Encode a [`Database`] with its relations in name order (the map is
+/// unordered; the encoding must be deterministic for checksums).
+pub fn write_database(w: &mut Writer, db: &Database) {
+    let mut names: Vec<&str> = db.names().collect();
+    names.sort_unstable();
+    w.u32(names.len() as u32);
+    for name in names {
+        write_relation(w, db.expect(name));
+    }
+}
+
+/// Decode a [`Database`].
+pub fn read_database(r: &mut Reader) -> Result<Database, WireError> {
+    let n = r.count(8, "relations")?;
+    let mut db = Database::new();
+    for _ in 0..n {
+        let rel = read_relation(r)?;
+        if db.get(&rel.name).is_some() {
+            return Err(WireError::new(format!(
+                "duplicate relation {:?} in database",
+                rel.name
+            )));
+        }
+        db.insert(rel);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::relation_from_rows;
+
+    fn sample() -> Relation {
+        relation_from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                &[Value::Int(1), Value::str("x"), Value::Null],
+                &[Value::Int(2), Value::str("y"), Value::float(1.5)],
+                &[Value::Int(1), Value::Null, Value::Bool(true)],
+                &[Value::Int(3), Value::str("x"), Value::Date(812)],
+            ],
+        )
+    }
+
+    fn assert_relations_identical(a: &Relation, b: &Relation) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.ncols(), b.ncols());
+        for c in 0..a.ncols() {
+            assert_eq!(a.column(c).codes, b.column(c).codes);
+            assert_eq!(a.column(c).dict.as_slice(), b.column(c).dict.as_slice());
+            assert_eq!(a.column(c).null_code, b.column(c).null_code);
+        }
+        assert_eq!(a.live_row_ids(), b.live_row_ids());
+    }
+
+    #[test]
+    fn relation_round_trips_verbatim() {
+        let rel = sample();
+        let mut w = Writer::new();
+        write_relation(&mut w, &rel);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_relation(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_relations_identical(&rel, &back);
+    }
+
+    #[test]
+    fn tombstoned_relation_round_trips() {
+        let rel = sample();
+        let mut index = crate::DictIndexes::build(&rel);
+        let (rel, _) = rel.apply_delta_tombstoned(&[1, 3], &[], "t".to_string(), &mut index);
+        assert!(rel.has_tombstones());
+        let mut w = Writer::new();
+        write_relation(&mut w, &rel);
+        let bytes = w.into_bytes();
+        let back = read_relation(&mut Reader::new(&bytes)).unwrap();
+        assert_relations_identical(&rel, &back);
+        assert_eq!(back.tombstone_count(), 2);
+        assert!(!back.is_live(1) && !back.is_live(3));
+    }
+
+    #[test]
+    fn delta_batch_round_trips() {
+        let mut batch = DeltaBatch::new();
+        batch
+            .delete(3)
+            .delete(0)
+            .insert(vec![Value::Null, Value::str("z")])
+            .insert(vec![Value::Int(-7), Value::float(-0.0)]);
+        let mut w = Writer::new();
+        write_delta_batch(&mut w, &batch);
+        let bytes = w.into_bytes();
+        let back = read_delta_batch(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.deletes, batch.deletes);
+        assert_eq!(back.inserts, batch.inserts);
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let mut w = Writer::new();
+        write_delta_batch(&mut w, &DeltaBatch::new());
+        let bytes = w.into_bytes();
+        let back = read_delta_batch(&mut Reader::new(&bytes)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn database_round_trips_in_name_order() {
+        let mut db = Database::new();
+        db.insert(sample());
+        db.insert(relation_from_rows(
+            "u",
+            &["k"],
+            &[&[Value::Int(1)], &[Value::Int(2)]],
+        ));
+        let mut w = Writer::new();
+        write_database(&mut w, &db);
+        let bytes = w.into_bytes();
+        // Deterministic encoding: a second pass produces identical bytes.
+        let mut w2 = Writer::new();
+        write_database(&mut w2, &db);
+        assert_eq!(bytes, w2.into_bytes());
+        let back = read_database(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_relations_identical(db.expect("t"), back.expect("t"));
+        assert_relations_identical(db.expect("u"), back.expect("u"));
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut w = Writer::new();
+        write_relation(&mut w, &sample());
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                read_relation(&mut r).is_err(),
+                "truncation at {cut} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_code_is_rejected() {
+        let rel = sample();
+        let mut w = Writer::new();
+        write_relation(&mut w, &rel);
+        let mut bytes = w.into_bytes();
+        // Corrupt the first code of column 0 to a huge value. Layout:
+        // name(4+1) schema(...) nrows(8) ncols(4) then codes count (4)
+        // and the first code. Rather than hand-compute the offset, flip
+        // high bits across the buffer and assert no decode ever panics.
+        let mut rejected = 0;
+        for i in 0..bytes.len() {
+            let orig = bytes[i];
+            bytes[i] ^= 0x80;
+            let mut r = Reader::new(&bytes);
+            match read_relation(&mut r) {
+                Ok(rel2) => {
+                    // A benign flip (e.g. inside a string payload) must
+                    // still produce a structurally sound relation.
+                    for c in 0..rel2.ncols() {
+                        for row in 0..rel2.nrows() {
+                            let _ = rel2.value(row, c);
+                        }
+                    }
+                }
+                Err(_) => rejected += 1,
+            }
+            bytes[i] = orig;
+        }
+        assert!(rejected > 0, "no corruption was ever detected");
+    }
+}
