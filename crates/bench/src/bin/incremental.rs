@@ -22,21 +22,22 @@ static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::Counting
 
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
-    apply_cli_flags, bench_durability, bench_scale, bench_shards, mib, run_baseline,
-    run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs, TextTable,
+    apply_cli_flags, bench_durability, bench_overload, bench_scale, bench_shards, mib,
+    run_baseline, run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs, TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, random_delta};
 use infine_discovery::{same_fds, Algorithm, Fd, FdSet};
 use infine_incremental::{
-    DeletePolicy, DurabilityOptions, FdStatus, MaintenanceEngine, MaintenanceMode,
-    MaintenanceService, ShardedEngine, SnapshotPolicy, VacuumPolicy,
+    DeletePolicy, DurabilityOptions, FdStatus, IngestPolicy, MaintenanceEngine, MaintenanceError,
+    MaintenanceMode, MaintenanceService, ServicePolicies, ShardedEngine, SnapshotPolicy,
+    VacuumPolicy,
 };
 use infine_relation::AttrSet;
 use infine_relation::{Database, DeltaRelation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// (case id, delta target table) — targets chosen as mid-sized tables so
 /// the run shows both skipped mining on the untouched tables and real
@@ -522,6 +523,122 @@ fn main() {
             if tpch_recover_ok { "PASS" } else { "MISS" }
         );
         durability_geomean = Some(geo);
+    }
+
+    // ---- overload lane (--overload / INFINE_BENCH_OVERLOAD=1) ----
+    //
+    // One service per admission policy, each flooded with the same
+    // pre-generated churn stream as fast as it will accept it: the
+    // unbounded queue absorbs the whole burst in memory, the bounded
+    // queue parks the producer at the high-water mark, and
+    // coalesce-in-place folds the backlog into one pending round per
+    // table. Reported per policy: producer-side flood wall-clock, total
+    // time to a drained service, rounds reported, batches shed, and the
+    // peak backlog the producer observed. The final covers must agree
+    // across all policies — admission control changes pacing, never the
+    // answer.
+    if bench_overload() {
+        let overload_rounds: usize = std::env::var("INFINE_BENCH_OVERLOAD_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        let (case_id, target) = ("tpch_q2", "supplier");
+        let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+        let db = case.dataset.generate(scale);
+        let mut rng = StdRng::seed_from_u64(0x0E7010AD);
+        let mut oracle = db.expect(target).clone();
+        let mut rounds: Vec<DeltaRelation> = Vec::new();
+        for _ in 0..overload_rounds {
+            let max = (oracle.live_rows() / 50).max(2);
+            let batch = random_delta(&mut rng, &oracle, max, max);
+            let (next, _) = oracle.apply_delta(&batch, target);
+            oracle = next;
+            rounds.push(DeltaRelation::new(target.to_string(), batch));
+        }
+        let lanes: [(&str, IngestPolicy); 3] = [
+            ("unbounded", IngestPolicy::unbounded()),
+            (
+                "bounded+block",
+                IngestPolicy::block(4, Duration::from_secs(120)),
+            ),
+            ("coalesce", IngestPolicy::coalesce_in_place()),
+        ];
+        let mut over_table = TextTable::new(&[
+            "policy",
+            "rounds",
+            "t_flood",
+            "t_drained",
+            "reports",
+            "shed",
+            "peak_backlog",
+        ]);
+        let mut covers: Vec<(&str, Vec<infine_core::ProvenanceTriple>)> = Vec::new();
+        for (label, ingest) in lanes {
+            let engine =
+                ShardedEngine::new(InFine::default(), db.clone(), case.spec.clone(), shards)
+                    .unwrap_or_else(|e| panic!("{case_id}: overload bootstrap failed: {e}"));
+            let service = MaintenanceService::spawn_with_policies(
+                engine,
+                ServicePolicies::default().ingest(ingest),
+            );
+            let mut shed = 0usize;
+            let mut peak_backlog = 0usize;
+            let t0 = Instant::now();
+            for delta in &rounds {
+                match service.ingest(vec![delta.clone()]) {
+                    Ok(()) => {}
+                    Err(MaintenanceError::Overloaded { shed: s }) => shed += s,
+                    Err(e) => panic!("{case_id}: overload ingest failed: {e}"),
+                }
+                peak_backlog = peak_backlog.max(service.stats().queue_depth);
+            }
+            let t_flood = t0.elapsed();
+            loop {
+                let stats = service.stats();
+                if stats.queue_depth == 0 && stats.in_flight == 0 {
+                    break;
+                }
+                assert!(stats.worker_alive, "{case_id}: overload worker died");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let t_drained = t0.elapsed();
+            let mut reports = 0usize;
+            while let Some(r) = service.try_recv_report() {
+                r.unwrap_or_else(|e| panic!("{case_id}: overload round failed: {e}"));
+                reports += 1;
+            }
+            assert_eq!(shed, 0, "{case_id}: nothing sheds under these deadlines");
+            covers.push((label, service.shutdown().unwrap().report().triples.clone()));
+            json_rows.push(
+                Obj::new()
+                    .str("workload", "overload")
+                    .str("view", case_id)
+                    .str("policy", label)
+                    .int("rounds", overload_rounds as i64)
+                    .num("flood_s", t_flood.as_secs_f64())
+                    .num("drained_s", t_drained.as_secs_f64())
+                    .int("reports", reports as i64)
+                    .int("shed", shed as i64)
+                    .int("peak_backlog", peak_backlog as i64),
+            );
+            over_table.row(vec![
+                label.to_string(),
+                overload_rounds.to_string(),
+                secs(t_flood),
+                secs(t_drained),
+                reports.to_string(),
+                shed.to_string(),
+                peak_backlog.to_string(),
+            ]);
+        }
+        for (label, triples) in &covers[1..] {
+            assert_eq!(
+                triples, &covers[0].1,
+                "{case_id}: policy {label} diverged from the unbounded cover"
+            );
+        }
+        println!("# overload (flood ingest under each admission policy):");
+        println!("{}", over_table.render());
     }
 
     println!("# 1%-delta speedups (cover maintenance vs full InFine re-discovery):");

@@ -184,7 +184,10 @@ pub fn bench_shards() -> usize {
 /// `--shards N` pins the shard count of the sharded maintenance lane
 /// (equivalent to `INFINE_SHARDS=N`, recorded via [`bench_shards`]);
 /// `--durability` enables the durability lane of the incremental bench
-/// (equivalent to `INFINE_BENCH_DURABILITY=1`, see [`bench_durability`]).
+/// (equivalent to `INFINE_BENCH_DURABILITY=1`, see [`bench_durability`]);
+/// `--overload` enables the overload lane — ingest throughput under
+/// each admission policy (equivalent to `INFINE_BENCH_OVERLOAD=1`, see
+/// [`bench_overload`]).
 ///
 /// Also arms the observability env knobs: `INFINE_METRICS_ADDR` starts
 /// the Prometheus scrape endpoint for the duration of the run (watch a
@@ -214,8 +217,11 @@ pub fn apply_cli_flags() {
             "--durability" => {
                 DURABILITY.store(true, std::sync::atomic::Ordering::Relaxed);
             }
+            "--overload" => {
+                OVERLOAD.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
             other => panic!(
-                "unknown argument {other:?} (supported: --threads N, --shards N, --durability)"
+                "unknown argument {other:?} (supported: --threads N, --shards N, --durability, --overload)"
             ),
         }
     }
@@ -231,6 +237,19 @@ static DURABILITY: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool
 pub fn bench_durability() -> bool {
     DURABILITY.load(std::sync::atomic::Ordering::Relaxed)
         || std::env::var("INFINE_BENCH_DURABILITY").is_ok_and(|v| v != "0")
+}
+
+/// Overload-lane switch set by `--overload` or
+/// `INFINE_BENCH_OVERLOAD=1`: the incremental bench adds a lane that
+/// floods a service under each admission policy (unbounded queue,
+/// bounded+block, coalesce-in-place) and reports ingest throughput,
+/// peak backlog, and shed counts.
+static OVERLOAD: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether the overload bench lane is enabled for this run.
+pub fn bench_overload() -> bool {
+    OVERLOAD.load(std::sync::atomic::Ordering::Relaxed)
+        || std::env::var("INFINE_BENCH_OVERLOAD").is_ok_and(|v| v != "0")
 }
 
 /// Scale from the environment with a stderr note (shared by binaries).

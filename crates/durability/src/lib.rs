@@ -22,8 +22,8 @@ pub mod snapshot;
 pub mod wal;
 
 pub use crc32::crc32;
-pub use failpoint::FailPoints;
-pub use policy::SnapshotPolicy;
+pub use failpoint::{FailAction, FailPoints};
+pub use policy::{RetryPolicy, SnapshotPolicy};
 pub use snapshot::{LoadedSnapshot, SnapshotStore, KEEP_SNAPSHOTS};
 pub use wal::{LogScan, Wal, WalRound};
 
@@ -49,6 +49,24 @@ impl fmt::Display for DurabilityError {
             DurabilityError::Io(e) => write!(f, "durability I/O error: {e}"),
             DurabilityError::Corrupt(msg) => write!(f, "durable state corrupt: {msg}"),
             DurabilityError::NoSnapshot => write!(f, "no valid snapshot to recover from"),
+        }
+    }
+}
+
+impl DurabilityError {
+    /// Is this failure worth retrying? Only I/O blips that plausibly
+    /// clear on their own qualify: `Interrupted` (EINTR — also the
+    /// injected-transient stand-in), `WouldBlock`, and `TimedOut`.
+    /// Corruption, validation failures, and every other I/O kind are
+    /// fatal — retrying them cannot help and would mask real damage.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            DurabilityError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+            ),
+            DurabilityError::Corrupt(_) | DurabilityError::NoSnapshot => false,
         }
     }
 }

@@ -1,4 +1,9 @@
-//! When to cut a snapshot and truncate the commitlog.
+//! When to cut a snapshot and truncate the commitlog, and how to retry
+//! transient durability faults.
+
+use std::time::Duration;
+
+use crate::DurabilityError;
 
 /// Snapshot cadence for a durable service. Both triggers are optional
 /// and OR-ed; [`SnapshotPolicy::never`] (the default) means snapshots
@@ -52,6 +57,104 @@ impl SnapshotPolicy {
     }
 }
 
+/// Bounded retry with exponential backoff and deterministic jitter for
+/// transient durability faults (see [`DurabilityError::is_transient`]).
+///
+/// Jitter is a pure function of `(jitter_seed, attempt)` — no system
+/// randomness — so a soak run and its diagnosis replay sleep the exact
+/// same schedule. Each backoff lands in `[base/2, base)` of the capped
+/// exponential step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::attempts(4)
+    }
+}
+
+impl RetryPolicy {
+    /// Fail on the first error, transient or not.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// `n` total attempts (clamped to ≥ 1) with millisecond-scale
+    /// backoff suited to EINTR/slow-sync blips: 2ms base, 50ms cap.
+    pub fn attempts(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: n.max(1),
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+            jitter_seed: 0x1AF1_AE00,
+        }
+    }
+
+    /// Override the jitter seed (soaks derive it from their case seed).
+    pub fn seeded(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The backoff to sleep before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let step = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff)
+            .max(self.base_backoff.min(self.max_backoff));
+        // splitmix64 of (seed ^ attempt) → fraction in [1/2, 1).
+        let frac = splitmix64(self.jitter_seed ^ u64::from(attempt)) % 512;
+        step / 2 + step.mul_f64(frac as f64 / 1024.0)
+    }
+
+    /// Run `op`, retrying transient failures up to the attempt budget
+    /// with jittered backoff. `on_retry(attempt, err)` fires before each
+    /// sleep (attempt = the 1-based attempt that just failed) so callers
+    /// can count injected-vs-real retries. Fatal errors and the final
+    /// exhausted attempt return immediately.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, DurabilityError>,
+        mut on_retry: impl FnMut(u32, &DurabilityError),
+    ) -> Result<T, DurabilityError> {
+        let mut attempt = 1;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.max_attempts && e.is_transient() => {
+                    on_retry(attempt, &e);
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +177,83 @@ mod tests {
         assert!(p.due(0, 1024));
         assert!(p.due(5, 0));
         assert!(!p.due(4, 1023));
+    }
+
+    fn transient() -> DurabilityError {
+        DurabilityError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "blip"))
+    }
+
+    fn fatal() -> DurabilityError {
+        DurabilityError::Corrupt("bad".into())
+    }
+
+    #[test]
+    fn retry_absorbs_transient_failures_within_budget() {
+        let p = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::attempts(3)
+        };
+        let mut calls = 0;
+        let mut retries = 0;
+        let out = p.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(transient())
+                } else {
+                    Ok(calls)
+                }
+            },
+            |_, _| retries += 1,
+        );
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_and_fatal_errors_pass_through() {
+        let p = RetryPolicy {
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            ..RetryPolicy::attempts(2)
+        };
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(
+            || {
+                calls += 1;
+                Err(transient())
+            },
+            |_, _| {},
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 2);
+
+        calls = 0;
+        let out: Result<(), _> = p.run(
+            || {
+                calls += 1;
+                Err(fatal())
+            },
+            |_, _| {},
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "fatal errors must not be retried");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let p = RetryPolicy::attempts(8);
+        for attempt in 1..=8 {
+            assert_eq!(p.backoff(attempt), p.backoff(attempt));
+            assert!(p.backoff(attempt) < p.max_backoff);
+        }
+        assert!(p.backoff(6) > p.backoff(1));
+        let other = RetryPolicy::attempts(8).seeded(99);
+        assert_ne!(
+            (1..=8).map(|a| p.backoff(a)).collect::<Vec<_>>(),
+            (1..=8).map(|a| other.backoff(a)).collect::<Vec<_>>(),
+            "jitter must depend on the seed"
+        );
     }
 }

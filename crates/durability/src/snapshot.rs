@@ -72,9 +72,11 @@ impl SnapshotStore {
     /// Atomically publish the snapshot for `epoch` and prune, keeping
     /// the newest [`KEEP_SNAPSHOTS`]. Returns the epochs retained after
     /// pruning (ascending) — the caller prunes WAL segments below the
-    /// smallest. The [`SNAPSHOT_WRITE`] failpoint crashes after the temp
-    /// file is complete but before the rename, the window where a real
-    /// crash leaves a stray `.tmp` and no new snapshot.
+    /// smallest. The [`SNAPSHOT_WRITE`] failpoint fires after the temp
+    /// file is complete but before the rename: a crash there leaves a
+    /// stray `.tmp` and no new snapshot, and an injected error surfaces
+    /// to the retry path with the rename still pending (a retried
+    /// publish simply rewrites the temp file).
     pub fn publish(&self, epoch: u64, payload: &[u8]) -> Result<Vec<u64>, DurabilityError> {
         fs::create_dir_all(&self.dir)?;
         let tmp = self.dir.join(format!("snap-{epoch:020}.tmp"));
@@ -89,7 +91,7 @@ impl SnapshotStore {
         file.write_all(payload)?;
         file.sync_data()?;
         drop(file);
-        self.failpoints.hit(SNAPSHOT_WRITE);
+        self.failpoints.hit_io(SNAPSHOT_WRITE)?;
         fs::rename(&tmp, self.dir.join(snapshot_name(epoch)))?;
         self.prune()
     }

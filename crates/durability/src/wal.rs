@@ -101,11 +101,17 @@ impl Wal {
     }
 
     /// Append one round record and flush it to disk. Returns the bytes
-    /// appended. Failpoints: [`WAL_APPEND`] crashes before any byte is
-    /// written; [`WAL_APPEND_TORN`] crashes after a strict prefix of the
-    /// record is written and synced (a real torn write).
+    /// appended. Failpoints: [`WAL_APPEND`] crashes, errors, or stalls
+    /// before any byte is written; [`WAL_APPEND_TORN`] crashes after a
+    /// strict prefix of the record is written and synced (a real torn
+    /// write).
+    ///
+    /// On a write or sync error the staged tail is rolled back
+    /// (truncated to the last good record) before the error is returned,
+    /// so a retried append starts from a clean end-of-log instead of
+    /// stacking a duplicate record behind a partial one.
     pub fn append_round(&mut self, round_index: u64, body: &[u8]) -> Result<u64, DurabilityError> {
-        self.failpoints.hit(WAL_APPEND);
+        self.failpoints.hit_io(WAL_APPEND)?;
         let mut payload = Vec::with_capacity(1 + 8 + body.len());
         payload.push(TAG_ROUND);
         payload.extend_from_slice(&round_index.to_le_bytes());
@@ -119,10 +125,27 @@ impl Wal {
             self.file.sync_data()?;
         }
         self.failpoints.hit(WAL_APPEND_TORN);
-        self.file.write_all(&record)?;
-        self.file.sync_data()?;
+        let write = (|| {
+            self.file.write_all(&record)?;
+            self.file.sync_data()
+        })();
+        if let Err(e) = write {
+            self.rollback_tail();
+            return Err(e.into());
+        }
         self.segment_bytes += record.len() as u64;
         Ok(record.len() as u64)
+    }
+
+    // Truncate any partially-written bytes past the last good record and
+    // restore the append cursor, best-effort: if this also fails, the
+    // torn tail stays — which the scanner already handles (truncate and
+    // warn), so the log is no worse off than after a crash.
+    fn rollback_tail(&mut self) {
+        use std::io::{Seek, SeekFrom};
+        let good = HEADER_LEN as u64 + self.segment_bytes;
+        let _ = self.file.set_len(good);
+        let _ = self.file.seek(SeekFrom::Start(good));
     }
 
     /// Append the clean-shutdown marker and flush. The next [`scan`]

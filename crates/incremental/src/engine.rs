@@ -61,6 +61,23 @@ pub enum MaintenanceError {
     /// on-disk state, or a snapshot that does not match the requested
     /// view/configuration.
     Durability(String),
+    /// Admission control shed this ingest: the maintenance queue was at
+    /// capacity and the overflow policy said reject (or the blocking
+    /// deadline elapsed). `shed` is how many batches were dropped —
+    /// none of them were queued, so the producer's stream position is
+    /// unchanged and it may simply re-offer them.
+    Overloaded {
+        /// Batches in the shed ingest call.
+        shed: usize,
+    },
+    /// The supervisor's circuit breaker is open: the worker died too
+    /// many times inside the breaker window and automatic respawns are
+    /// refused until the cooldown elapses (then one half-open probe is
+    /// allowed through).
+    BreakerOpen,
+    /// A deadline-bounded call (`recv_report_timeout`, `flush_deadline`,
+    /// `shutdown_deadline`) ran out of time before the worker responded.
+    Timeout,
 }
 
 impl From<InFineError> for MaintenanceError {
@@ -85,6 +102,15 @@ impl fmt::Display for MaintenanceError {
                 write!(f, "maintenance worker is gone (panicked or shut down)")
             }
             MaintenanceError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            MaintenanceError::Overloaded { shed } => write!(
+                f,
+                "maintenance queue at capacity: {shed} batch(es) shed by admission control"
+            ),
+            MaintenanceError::BreakerOpen => write!(
+                f,
+                "supervisor circuit breaker is open: respawn refused until the cooldown elapses"
+            ),
+            MaintenanceError::Timeout => write!(f, "maintenance deadline elapsed"),
         }
     }
 }

@@ -73,10 +73,11 @@ pub use engine::{
 };
 pub use obs::RoundMetrics;
 pub use service::{
-    DurabilityOptions, MaintenanceService, RecoveryInfo, ServiceStats, VacuumPolicy,
+    DurabilityOptions, IngestPolicy, MaintenanceService, OverflowPolicy, RecoveryInfo,
+    ServicePolicies, ServiceStats, SupervisorPolicy, VacuumPolicy,
 };
 // Durability knobs callers need to configure a durable service without
 // depending on the storage crate directly.
-pub use infine_durability::{FailPoints, SnapshotPolicy};
+pub use infine_durability::{FailPoints, RetryPolicy, SnapshotPolicy};
 pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
 pub use view::ViewState;

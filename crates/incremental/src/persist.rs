@@ -36,6 +36,11 @@ pub(crate) const ROUND_VACUUM: u8 = 1;
 /// (replay repeats the snapshot's canonicalizing vacuum without writing
 /// a new snapshot).
 pub(crate) const ROUND_SNAPSHOT: u8 = 2;
+/// Round flag bit: the round ran degraded (queue depth above the ingest
+/// policy's high-water mark), so policy vacuums and policy snapshot cuts
+/// were skipped. Replay cannot recompute live queue depth, so the
+/// decision is logged and replay skips the same policy triggers.
+pub(crate) const ROUND_DEGRADED: u8 = 4;
 
 fn de(e: WireError) -> MaintenanceError {
     MaintenanceError::Durability(e.to_string())
@@ -61,7 +66,7 @@ pub(crate) fn encode_round(deltas: &[DeltaRelation], flags: u8) -> Vec<u8> {
 pub(crate) fn decode_round(bytes: &[u8]) -> Result<(Vec<DeltaRelation>, u8), MaintenanceError> {
     let mut r = Reader::new(bytes);
     let flags = r.u8().map_err(de)?;
-    if flags & !(ROUND_VACUUM | ROUND_SNAPSHOT) != 0 {
+    if flags & !(ROUND_VACUUM | ROUND_SNAPSHOT | ROUND_DEGRADED) != 0 {
         return Err(MaintenanceError::Durability(format!(
             "unknown round flags {flags:#04x}"
         )));

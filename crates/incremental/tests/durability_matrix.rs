@@ -15,7 +15,8 @@
 
 use infine_core::InFine;
 use infine_datagen::{find, random_delta, Scale};
-use infine_durability::{SnapshotPolicy, KEEP_SNAPSHOTS};
+use infine_durability::failpoint::SNAPSHOT_WRITE;
+use infine_durability::{FailPoints, SnapshotPolicy, KEEP_SNAPSHOTS};
 use infine_incremental::{DurabilityOptions, MaintenanceService, ShardedEngine, VacuumPolicy};
 use infine_relation::wire::{self, Reader, Writer};
 use infine_relation::{relation_from_rows, Database, DeltaRelation, DictIndexes, Value};
@@ -227,6 +228,22 @@ fn seeded_dir(tag: &str) -> (std::path::PathBuf, Vec<infine_core::ProvenanceTrip
     (dir, engine.report().triples.clone())
 }
 
+/// `INFINE_MATRIX_INJECT=1` reruns the whole on-disk matrix with one
+/// transient I/O error armed on every recovery's snapshot
+/// republication: the retry policy must absorb it silently, so the
+/// matrix verdicts — detected, survived-exactly, never-panicked — are
+/// byte-for-byte the same as the unfaulted pass.
+fn inject_options(scratch: &std::path::Path) -> DurabilityOptions {
+    let options = DurabilityOptions::new(scratch);
+    if std::env::var("INFINE_MATRIX_INJECT").is_ok_and(|v| !v.is_empty() && v != "0") {
+        let mut fp = FailPoints::none();
+        fp.arm_err(SNAPSHOT_WRITE, 1, 1, true);
+        options.failpoints(fp)
+    } else {
+        options
+    }
+}
+
 fn try_recover(dir: &std::path::Path) -> Result<Vec<infine_core::ProvenanceTriple>, String> {
     // Recover into a scratch copy: recovery republishes snapshots and
     // rotates the log, which would heal the corruption under test.
@@ -236,7 +253,7 @@ fn try_recover(dir: &std::path::Path) -> Result<Vec<infine_core::ProvenanceTripl
         std::fs::copy(&p, scratch.join(p.file_name().unwrap())).unwrap();
     }
     let out = MaintenanceService::recover(
-        DurabilityOptions::new(&scratch),
+        inject_options(&scratch),
         InFine::default(),
         small_view(),
         VacuumPolicy::default(),

@@ -154,15 +154,20 @@ fn metric_catalog_is_pinned() {
         "# TYPE infine_pli_cache_hits_total counter",
         "# TYPE infine_pli_cache_misses_total counter",
         "# TYPE infine_recovery_seconds histogram",
+        "# TYPE infine_retry_attempts_total counter",
         "# TYPE infine_round_phase_seconds histogram",
         "# TYPE infine_round_seconds histogram",
         "# TYPE infine_service_batches_total counter",
+        "# TYPE infine_service_breaker_state gauge",
         "# TYPE infine_service_coalesced_total counter",
+        "# TYPE infine_service_degraded_rounds_total counter",
+        "# TYPE infine_service_in_flight gauge",
         "# TYPE infine_service_queue_depth gauge",
         "# TYPE infine_service_rejected_total counter",
         "# TYPE infine_service_respawns_total counter",
         "# TYPE infine_service_round_seconds histogram",
         "# TYPE infine_service_rounds_total counter",
+        "# TYPE infine_service_shed_total counter",
         "# TYPE infine_shard_fanout_shards histogram",
         "# TYPE infine_snapshot_seconds histogram",
         "# TYPE infine_span_seconds histogram",
@@ -202,4 +207,12 @@ fn metric_catalog_is_pinned() {
     assert!(snap.get("infine_recovery_seconds_count").unwrap() >= 1.0);
     assert!(snap.get("infine_wal_replayed_rounds_total").unwrap() >= 1.0);
     assert_eq!(snap.get("infine_service_respawns_total"), Some(0.0));
+    // Overload/supervision series register but stay quiet on a healthy,
+    // uncontended run: nothing shed, no retries, breaker closed, no
+    // degraded rounds, and in-flight settled back to zero.
+    assert_eq!(snap.get("infine_service_shed_total"), Some(0.0));
+    assert_eq!(snap.get("infine_service_in_flight"), Some(0.0));
+    assert_eq!(snap.get("infine_service_breaker_state"), Some(0.0));
+    assert_eq!(snap.get("infine_service_degraded_rounds_total"), Some(0.0));
+    assert_eq!(snap.get("infine_retry_attempts_total"), Some(0.0));
 }
