@@ -22,8 +22,9 @@ static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::Counting
 
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
-    apply_cli_flags, bench_durability, bench_overload, bench_scale, bench_shards, mib,
-    run_baseline, run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs, TextTable,
+    apply_cli_flags, bench_durability, bench_overload, bench_readers, bench_scale, bench_shards,
+    mib, run_baseline, run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs,
+    TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, random_delta};
@@ -639,6 +640,114 @@ fn main() {
         }
         println!("# overload (flood ingest under each admission policy):");
         println!("{}", over_table.render());
+    }
+
+    // ---- reader-flood lane (--readers N / INFINE_BENCH_READERS=N) ----
+    //
+    // N threads hammer the wait-free read path (`CoverReader::current`)
+    // while the service churns through the same seeded stream used
+    // uncontended as the baseline. Reported: total reads, read
+    // throughput per thread, the worst round lag any reader observed,
+    // and churn wall-clock with and without the flood — pinning the
+    // tentpole's claim that reads never queue behind ingest and the
+    // flood never stalls the worker.
+    let readers = bench_readers();
+    if readers > 0 {
+        let reader_rounds: usize = std::env::var("INFINE_BENCH_READER_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48);
+        let (case_id, target) = ("tpch_q2", "supplier");
+        let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+        let db = case.dataset.generate(scale);
+        let mut rng = StdRng::seed_from_u64(0x00_5EAD);
+        let mut oracle = db.expect(target).clone();
+        let mut rounds: Vec<DeltaRelation> = Vec::new();
+        for _ in 0..reader_rounds {
+            let max = (oracle.live_rows() / 50).max(2);
+            let batch = random_delta(&mut rng, &oracle, max, max);
+            let (next, _) = oracle.apply_delta(&batch, target);
+            oracle = next;
+            rounds.push(DeltaRelation::new(target.to_string(), batch));
+        }
+        let churn = |flood: usize| -> (Duration, u64, u64) {
+            let engine =
+                ShardedEngine::new(InFine::default(), db.clone(), case.spec.clone(), shards)
+                    .unwrap_or_else(|e| panic!("{case_id}: reader-lane bootstrap failed: {e}"));
+            let service = MaintenanceService::spawn(engine);
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let flooders: Vec<_> = (0..flood)
+                .map(|_| {
+                    let reader = service.reader();
+                    let stop = std::sync::Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let (mut reads, mut worst_lag) = (0u64, 0u64);
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let snap = reader.current();
+                            worst_lag =
+                                worst_lag.max(reader.head_round().saturating_sub(snap.round));
+                            reads += 1;
+                        }
+                        (reads, worst_lag)
+                    })
+                })
+                .collect();
+            let t0 = Instant::now();
+            for delta in &rounds {
+                service
+                    .ingest(vec![delta.clone()])
+                    .unwrap_or_else(|e| panic!("{case_id}: reader-lane ingest failed: {e}"));
+                service
+                    .recv_report()
+                    .unwrap_or_else(|| panic!("{case_id}: reader-lane round lost"))
+                    .unwrap_or_else(|e| panic!("{case_id}: reader-lane round failed: {e}"));
+            }
+            let t_churn = t0.elapsed();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let (mut reads, mut worst_lag) = (0u64, 0u64);
+            for f in flooders {
+                let (r, l) = f.join().expect("reader thread panicked");
+                reads += r;
+                worst_lag = worst_lag.max(l);
+            }
+            service.shutdown().unwrap();
+            (t_churn, reads, worst_lag)
+        };
+        let (t_alone, _, _) = churn(0);
+        let (t_flooded, reads, worst_lag) = churn(readers);
+        let reads_per_sec = reads as f64 / t_flooded.as_secs_f64();
+        let mut read_table = TextTable::new(&[
+            "readers",
+            "rounds",
+            "t_churn_alone",
+            "t_churn_flooded",
+            "reads",
+            "reads_per_sec",
+            "worst_lag",
+        ]);
+        read_table.row(vec![
+            readers.to_string(),
+            reader_rounds.to_string(),
+            secs(t_alone),
+            secs(t_flooded),
+            reads.to_string(),
+            format!("{reads_per_sec:.0}"),
+            worst_lag.to_string(),
+        ]);
+        json_rows.push(
+            Obj::new()
+                .str("workload", "readers")
+                .str("view", case_id)
+                .int("readers", readers as i64)
+                .int("rounds", reader_rounds as i64)
+                .num("churn_alone_s", t_alone.as_secs_f64())
+                .num("churn_flooded_s", t_flooded.as_secs_f64())
+                .int("reads", reads as i64)
+                .num("reads_per_sec", reads_per_sec)
+                .int("worst_lag", worst_lag as i64),
+        );
+        println!("# readers (wait-free cover reads under churn):");
+        println!("{}", read_table.render());
     }
 
     println!("# 1%-delta speedups (cover maintenance vs full InFine re-discovery):");

@@ -187,7 +187,10 @@ pub fn bench_shards() -> usize {
 /// (equivalent to `INFINE_BENCH_DURABILITY=1`, see [`bench_durability`]);
 /// `--overload` enables the overload lane — ingest throughput under
 /// each admission policy (equivalent to `INFINE_BENCH_OVERLOAD=1`, see
-/// [`bench_overload`]).
+/// [`bench_overload`]); `--readers N` enables the reader-flood lane —
+/// N wait-free [`CoverReader`](infine_incremental::CoverReader) threads
+/// hammering `current()` while the service churns (equivalent to
+/// `INFINE_BENCH_READERS=N`, see [`bench_readers`]).
 ///
 /// Also arms the observability env knobs: `INFINE_METRICS_ADDR` starts
 /// the Prometheus scrape endpoint for the duration of the run (watch a
@@ -220,8 +223,16 @@ pub fn apply_cli_flags() {
             "--overload" => {
                 OVERLOAD.store(true, std::sync::atomic::Ordering::Relaxed);
             }
+            "--readers" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| panic!("--readers needs a positive integer"));
+                READERS.store(n, std::sync::atomic::Ordering::Relaxed);
+            }
             other => panic!(
-                "unknown argument {other:?} (supported: --threads N, --shards N, --durability, --overload)"
+                "unknown argument {other:?} (supported: --threads N, --shards N, --durability, --overload, --readers N)"
             ),
         }
     }
@@ -250,6 +261,24 @@ static OVERLOAD: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::
 pub fn bench_overload() -> bool {
     OVERLOAD.load(std::sync::atomic::Ordering::Relaxed)
         || std::env::var("INFINE_BENCH_OVERLOAD").is_ok_and(|v| v != "0")
+}
+
+/// Reader-flood lane thread count set by `--readers N` or
+/// `INFINE_BENCH_READERS=N` (0 = lane disabled): the incremental bench
+/// adds a lane where N threads hammer wait-free `CoverReader::current()`
+/// while the service churns, and reports read throughput and round lag.
+static READERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Reader count for the reader-flood bench lane (0 = disabled).
+pub fn bench_readers() -> usize {
+    let o = READERS.load(std::sync::atomic::Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    std::env::var("INFINE_BENCH_READERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 /// Scale from the environment with a stderr note (shared by binaries).

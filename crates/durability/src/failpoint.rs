@@ -40,6 +40,12 @@ pub const SNAPSHOT_WRITE: &str = "snapshot_write";
 /// report is sent: recovery replays a round the engine already ran.
 /// Panic-only — the site has no error path.
 pub const ROUND_COMMIT: &str = "round_commit";
+/// Fault after a directory entry changes (snapshot rename landed, or a
+/// fresh WAL segment was created) but before the parent directory is
+/// fsynced: a crash here may lose the entry itself even though the file
+/// contents were synced, and recovery must still converge from the
+/// previous snapshot + intact log suffix.
+pub const DIR_FSYNC: &str = "dir_fsync";
 
 /// What an armed fail point does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -24,7 +24,7 @@ pub mod wal;
 pub use crc32::crc32;
 pub use failpoint::{FailAction, FailPoints};
 pub use policy::{RetryPolicy, SnapshotPolicy};
-pub use snapshot::{LoadedSnapshot, SnapshotStore, KEEP_SNAPSHOTS};
+pub use snapshot::{LoadedSnapshot, PublishOutcome, SnapshotStore, KEEP_SNAPSHOTS};
 pub use wal::{LogScan, Wal, WalRound};
 
 use std::fmt;
@@ -77,6 +77,15 @@ impl From<std::io::Error> for DurabilityError {
     fn from(e: std::io::Error) -> Self {
         DurabilityError::Io(e)
     }
+}
+
+/// Fsync a directory so a just-renamed or just-created entry survives a
+/// power cut. File-content `sync_data` alone does not make the *name*
+/// durable: the rename/create lives in the directory inode, and losing
+/// it while WAL segments pruned below a new snapshot survive would
+/// strand recovery on an older snapshot with a missing log suffix.
+fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
 }
 
 /// Parse the epoch out of a `<prefix><epoch-digits><suffix>` file name;

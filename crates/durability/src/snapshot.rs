@@ -20,8 +20,8 @@
 //! corruption matrix exercises.
 
 use crate::crc32::crc32;
-use crate::failpoint::{FailPoints, SNAPSHOT_WRITE};
-use crate::{segment_epoch, DurabilityError};
+use crate::failpoint::{FailPoints, DIR_FSYNC, SNAPSHOT_WRITE};
+use crate::{fsync_dir, segment_epoch, DurabilityError};
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
@@ -45,6 +45,21 @@ pub fn snapshot_name(epoch: u64) -> String {
 pub struct SnapshotStore {
     dir: PathBuf,
     failpoints: FailPoints,
+}
+
+/// The result of a successful [`SnapshotStore::publish`]: the snapshot
+/// is durably renamed (and the directory fsynced) by the time one of
+/// these exists. Pruning older snapshots is best-effort — a prune I/O
+/// failure must not fail (or re-run) a cut that already landed, so it
+/// surfaces here as warnings instead of an `Err`.
+#[derive(Debug)]
+pub struct PublishOutcome {
+    /// Epochs still on disk after pruning, ascending. An epoch whose
+    /// deletion failed stays listed (it *is* still on disk), keeping the
+    /// caller's WAL `retain_from` conservative.
+    pub retained: Vec<u64>,
+    /// Human-readable descriptions of prune failures, if any.
+    pub prune_warnings: Vec<String>,
 }
 
 /// A snapshot that passed validation at load time.
@@ -76,8 +91,18 @@ impl SnapshotStore {
     /// file is complete but before the rename: a crash there leaves a
     /// stray `.tmp` and no new snapshot, and an injected error surfaces
     /// to the retry path with the rename still pending (a retried
-    /// publish simply rewrites the temp file).
-    pub fn publish(&self, epoch: u64, payload: &[u8]) -> Result<Vec<u64>, DurabilityError> {
+    /// publish simply rewrites the temp file). The [`DIR_FSYNC`]
+    /// failpoint fires after the rename but before the directory fsync
+    /// that makes the rename itself durable.
+    ///
+    /// Every `Err` return happens no later than the directory fsync, and
+    /// a publish up to that point is idempotent (rewrite temp,
+    /// re-rename), so retry policies may safely re-run a failed publish.
+    /// After that point nothing fails: pruning is best-effort and its failures are
+    /// reported via [`PublishOutcome::prune_warnings`] — returning an
+    /// error for a cut that already durably landed would make the caller
+    /// re-run (or worse, fail) a snapshot that succeeded.
+    pub fn publish(&self, epoch: u64, payload: &[u8]) -> Result<PublishOutcome, DurabilityError> {
         fs::create_dir_all(&self.dir)?;
         let tmp = self.dir.join(format!("snap-{epoch:020}.tmp"));
         let mut file = fs::File::create(&tmp)?;
@@ -93,15 +118,24 @@ impl SnapshotStore {
         drop(file);
         self.failpoints.hit_io(SNAPSHOT_WRITE)?;
         fs::rename(&tmp, self.dir.join(snapshot_name(epoch)))?;
-        self.prune()
+        self.failpoints.hit_io(DIR_FSYNC)?;
+        fsync_dir(&self.dir)?;
+        Ok(self.prune())
     }
 
     /// Load the newest snapshot that validates, skipping (and reporting)
-    /// corrupt ones. `Ok(None)` means no snapshot file validates.
+    /// corrupt ones. An unreadable snapshot file (I/O error on read) is
+    /// skippable damage exactly like a checksum mismatch — the fallback
+    /// snapshot exists for precisely this case, so recovery must not
+    /// abort on it. `Ok(None)` means no snapshot file validates.
     pub fn load_newest(&self) -> Result<Option<LoadedSnapshot>, DurabilityError> {
         let mut skipped = Vec::new();
         for (epoch, path) in self.list()?.into_iter().rev() {
-            match Self::validate(&fs::read(&path)?, epoch) {
+            let checked = match fs::read(&path) {
+                Ok(bytes) => Self::validate(&bytes, epoch),
+                Err(e) => Err(format!("unreadable: {e}")),
+            };
+            match checked {
                 Ok(payload) => {
                     return Ok(Some(LoadedSnapshot {
                         epoch,
@@ -136,21 +170,44 @@ impl SnapshotStore {
         Ok(out)
     }
 
-    fn prune(&self) -> Result<Vec<u64>, DurabilityError> {
-        let snaps = self.list()?;
+    // Best-effort: called only after a publish durably landed, so no
+    // failure in here may surface as an `Err` (see `publish`). A
+    // snapshot that could not be deleted stays in `retained`.
+    fn prune(&self) -> PublishOutcome {
+        let mut out = PublishOutcome {
+            retained: Vec::new(),
+            prune_warnings: Vec::new(),
+        };
+        let snaps = match self.list() {
+            Ok(snaps) => snaps,
+            Err(e) => {
+                out.prune_warnings
+                    .push(format!("snapshot prune skipped (cannot list dir): {e}"));
+                return out;
+            }
+        };
         let cut = snaps.len().saturating_sub(KEEP_SNAPSHOTS);
-        for (_, path) in &snaps[..cut] {
-            fs::remove_file(path)?;
+        for (i, (epoch, path)) in snaps.iter().enumerate() {
+            if i < cut {
+                if let Err(e) = fs::remove_file(path) {
+                    out.prune_warnings
+                        .push(format!("snapshot prune failed for epoch {epoch}: {e}"));
+                    out.retained.push(*epoch);
+                }
+            } else {
+                out.retained.push(*epoch);
+            }
         }
         // Stray temp files from crashed publishes are garbage by
         // definition (the rename never happened).
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "tmp") {
-                let _ = fs::remove_file(path);
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for path in entries.flatten().map(|e| e.path()) {
+                if path.extension().is_some_and(|e| e == "tmp") {
+                    let _ = fs::remove_file(path);
+                }
             }
         }
-        Ok(snaps[cut..].iter().map(|&(e, _)| e).collect())
+        out
     }
 
     fn validate(bytes: &[u8], name_epoch: u64) -> Result<Vec<u8>, String> {
@@ -204,7 +261,8 @@ mod tests {
         let s = store("roundtrip");
         s.publish(3, b"state-at-3").unwrap();
         let kept = s.publish(7, b"state-at-7").unwrap();
-        assert_eq!(kept, vec![3, 7]);
+        assert_eq!(kept.retained, vec![3, 7]);
+        assert!(kept.prune_warnings.is_empty());
         let loaded = s.load_newest().unwrap().unwrap();
         assert_eq!(loaded.epoch, 7);
         assert_eq!(loaded.payload, b"state-at-7");
@@ -257,6 +315,46 @@ mod tests {
         }
         fs::write(&path, &pristine).unwrap();
         assert!(s.load_newest().unwrap().is_some());
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_newest_falls_back_to_previous() {
+        let s = store("unreadable");
+        s.publish(1, b"good-old").unwrap();
+        s.publish(2, b"good-new").unwrap();
+        // Make the newest snapshot unreadable without relying on
+        // permissions (tests may run as root): replace the file with a
+        // same-named directory so `fs::read` fails with EISDIR.
+        let newest = s.dir.join(snapshot_name(2));
+        fs::remove_file(&newest).unwrap();
+        fs::create_dir(&newest).unwrap();
+        let loaded = s.load_newest().unwrap().unwrap();
+        assert_eq!(loaded.epoch, 1);
+        assert_eq!(loaded.payload, b"good-old");
+        assert_eq!(loaded.skipped.len(), 1);
+        assert!(loaded.skipped[0].1.contains("unreadable"));
+        fs::remove_dir_all(&s.dir).unwrap();
+    }
+
+    #[test]
+    fn prune_failure_is_a_warning_not_an_error() {
+        let s = store("prune-warn");
+        s.publish(1, b"one").unwrap();
+        // Turn the epoch-1 snapshot into a non-empty directory:
+        // `fs::remove_file` on it fails, so the prune triggered by the
+        // third publish cannot delete it — which must not fail the cut.
+        let oldest = s.dir.join(snapshot_name(1));
+        fs::remove_file(&oldest).unwrap();
+        fs::create_dir(&oldest).unwrap();
+        fs::write(oldest.join("pin"), b"x").unwrap();
+        s.publish(2, b"two").unwrap();
+        let out = s.publish(3, b"three").unwrap();
+        assert_eq!(out.retained, vec![1, 2, 3]);
+        assert_eq!(out.prune_warnings.len(), 1);
+        assert!(out.prune_warnings[0].contains("epoch 1"));
+        // The cut itself landed despite the prune failure.
+        assert_eq!(s.load_newest().unwrap().unwrap().epoch, 3);
         fs::remove_dir_all(&s.dir).unwrap();
     }
 

@@ -23,8 +23,8 @@
 //! panics ([`scan`] is total over arbitrary bytes).
 
 use crate::crc32::crc32;
-use crate::failpoint::{FailPoints, WAL_APPEND, WAL_APPEND_TORN};
-use crate::{segment_epoch, DurabilityError};
+use crate::failpoint::{FailPoints, DIR_FSYNC, WAL_APPEND, WAL_APPEND_TORN};
+use crate::{fsync_dir, segment_epoch, DurabilityError};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -72,6 +72,11 @@ impl Wal {
         header.extend_from_slice(&epoch.to_le_bytes());
         file.write_all(&header)?;
         file.sync_data()?;
+        // The new segment's *name* lives in the directory inode; without
+        // this fsync a crash could lose the file while a snapshot-side
+        // prune of older segments survives.
+        failpoints.hit_io(DIR_FSYNC)?;
+        fsync_dir(&dir)?;
         Ok(Wal {
             dir,
             file,

@@ -56,12 +56,15 @@
 //! shard (covers merged exactly at read time), and
 //! [`MaintenanceService`] wraps it in a channel-driven loop — deltas in,
 //! reports out, per-table batch coalescing between rounds — so producers
-//! never block on maintenance.
+//! never block on maintenance. [`MaintenanceService::reader`] hands out
+//! wait-free [`CoverReader`] handles onto the latest published cover
+//! snapshot, so read-side clients never queue behind ingest either.
 
 pub mod cover;
 pub mod engine;
 mod obs;
 mod persist;
+pub mod read;
 pub mod service;
 pub mod shard;
 pub mod view;
@@ -72,6 +75,7 @@ pub use engine::{
     MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
 pub use obs::RoundMetrics;
+pub use read::{CoverReader, PublishedCovers};
 pub use service::{
     DurabilityOptions, IngestPolicy, MaintenanceService, OverflowPolicy, RecoveryInfo,
     ServicePolicies, ServiceStats, SupervisorPolicy, VacuumPolicy,

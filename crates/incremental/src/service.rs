@@ -110,6 +110,7 @@
 
 use crate::engine::{MaintenanceError, MaintenanceReport, TombstoneStats};
 use crate::persist;
+use crate::read::{CoverCell, CoverReader};
 use crate::shard::ShardedEngine;
 use infine_algebra::ViewSpec;
 use infine_core::{InFine, InFineConfig};
@@ -510,6 +511,10 @@ struct ServiceObs {
     wal_bytes: infine_obs::Counter,
     snapshot_seconds: infine_obs::Histogram,
     respawns: infine_obs::Counter,
+    publish_seconds: infine_obs::Histogram,
+    prune_failures: infine_obs::Counter,
+    reads: infine_obs::Counter,
+    read_lag: infine_obs::Gauge,
 }
 
 impl ServiceObs {
@@ -592,6 +597,26 @@ impl ServiceObs {
             respawns: r.counter(
                 "infine_service_respawns_total",
                 "Workers restarted from durable state after a death (MaintenanceService::respawn).",
+                &[],
+            ),
+            publish_seconds: r.duration_histogram(
+                "infine_publish_seconds",
+                "Wall time to build and publish one read-path cover snapshot (MVCC-lite swap at the end of a round).",
+                &[],
+            ),
+            prune_failures: r.counter(
+                "infine_snapshot_prune_failures_total",
+                "Old snapshots whose best-effort prune failed after a durable publish (retained and retried at the next cut).",
+                &[],
+            ),
+            reads: r.counter(
+                "infine_reads_total",
+                "Published-cover snapshot reads served through CoverReader::current.",
+                &[],
+            ),
+            read_lag: r.gauge(
+                "infine_read_round_lag",
+                "Rounds the most recent read lagged the worker's write frontier (head round minus published round).",
                 &[],
             ),
         }
@@ -716,6 +741,10 @@ pub struct MaintenanceService {
     /// Set when durability is on: everything respawn needs to rebuild
     /// the worker from disk.
     durable: Option<DurableContext>,
+    /// The read-path publication cell. Lives on the handle (not in
+    /// [`Conn`]) so it survives respawns: readers registered before a
+    /// crash keep observing the recovered worker's publishes.
+    covers: Arc<CoverCell>,
 }
 
 impl MaintenanceService {
@@ -739,7 +768,7 @@ impl MaintenanceService {
         engine: ShardedEngine,
         policies: ServicePolicies,
     ) -> MaintenanceService {
-        MaintenanceService::spawn_inner(engine, policies, None, None)
+        MaintenanceService::spawn_inner(engine, policies, None, None, None)
     }
 
     /// [`MaintenanceService::spawn_with_policy`] with crash-safe
@@ -778,13 +807,14 @@ impl MaintenanceService {
         let store = SnapshotStore::new(&options.dir, options.failpoints.clone());
         engine.vacuum();
         let payload = persist::freeze_engine(&mut engine)?;
-        options
+        let outcome = options
             .retry
             .run(
-                || store.publish(0, &payload).map(|_| ()),
+                || store.publish(0, &payload),
                 |_, _| obs.retry_attempts.inc(),
             )
             .map_err(dur)?;
+        obs.prune_failures.add(outcome.prune_warnings.len() as u64);
         let wal = Wal::create(&options.dir, 0, options.failpoints.clone()).map_err(dur)?;
         let durable = DurableWorker {
             wal,
@@ -801,6 +831,7 @@ impl MaintenanceService {
             policies,
             Some(durable),
             Some(context),
+            None,
         ))
     }
 
@@ -809,6 +840,7 @@ impl MaintenanceService {
         policies: ServicePolicies,
         durable: Option<DurableWorker>,
         context: Option<DurableContext>,
+        cell: Option<Arc<CoverCell>>,
     ) -> MaintenanceService {
         let (req_tx, req_rx) = std::sync::mpsc::channel();
         let (rep_tx, rep_rx) = std::sync::mpsc::channel();
@@ -817,10 +849,40 @@ impl MaintenanceService {
         let queue_gauge = obs.queue_depth.clone();
         let shed = obs.shed.clone();
         let breaker_gauge = obs.breaker_state.clone();
+        // Publish the bootstrap (or recovered) state before the worker
+        // starts: a reader registered right after spawn always sees a
+        // snapshot, never a null — at round 0, or at the durable round
+        // readers resume from after a recovery. A pre-existing cell
+        // (respawn) keeps its registered readers; durable_rounds is ≥
+        // anything they observed, so rounds stay monotone through it.
+        let initial = durable.as_ref().map_or(0, |d| d.round_index);
+        let covers = match cell {
+            Some(cell) => {
+                cell.publish(engine.published_covers(initial));
+                cell
+            }
+            None => Arc::new(CoverCell::new(
+                engine.published_covers(initial),
+                obs.reads.clone(),
+                obs.read_lag.clone(),
+            )),
+        };
         let worker_stats = Arc::clone(&stats);
+        let worker_covers = Arc::clone(&covers);
         let worker = std::thread::Builder::new()
             .name("infine-maintenance".into())
-            .spawn(move || run(engine, policies, durable, req_rx, rep_tx, worker_stats, obs))
+            .spawn(move || {
+                run(
+                    engine,
+                    policies,
+                    durable,
+                    req_rx,
+                    rep_tx,
+                    worker_stats,
+                    obs,
+                    worker_covers,
+                )
+            })
             .expect("spawn maintenance worker");
         MaintenanceService {
             conn: RefCell::new(Conn {
@@ -838,7 +900,20 @@ impl MaintenanceService {
             shed,
             breaker_gauge,
             durable: context,
+            covers,
         }
+    }
+
+    /// A wait-free read handle onto the published cover state: each
+    /// [`CoverReader::current`] call returns the latest round's
+    /// snapshot without locks and without queueing behind ingest.
+    /// Clone the handle (one hazard slot each) to fan readers out
+    /// across threads; handles keep working across [`respawn`] and
+    /// automatic supervision, resuming at the recovered durable round.
+    ///
+    /// [`respawn`]: MaintenanceService::respawn
+    pub fn reader(&self) -> CoverReader {
+        CoverReader::register(Arc::clone(&self.covers))
     }
 
     /// Rebuild a service from the durable state under `options.dir`:
@@ -871,6 +946,21 @@ impl MaintenanceService {
         infine: InFine,
         spec: ViewSpec,
         policies: ServicePolicies,
+    ) -> Result<(MaintenanceService, RecoveryInfo), MaintenanceError> {
+        MaintenanceService::recover_inner(options, infine, spec, policies, None)
+    }
+
+    /// [`recover_with_policies`] plus an existing publication cell to
+    /// resume (respawn path): readers registered on the old incarnation
+    /// see the recovered state published at `durable_rounds`.
+    ///
+    /// [`recover_with_policies`]: MaintenanceService::recover_with_policies
+    fn recover_inner(
+        options: DurabilityOptions,
+        infine: InFine,
+        spec: ViewSpec,
+        policies: ServicePolicies,
+        cell: Option<Arc<CoverCell>>,
     ) -> Result<(MaintenanceService, RecoveryInfo), MaintenanceError> {
         let t0 = Instant::now();
         let (recovery_seconds, replayed_counter) = ServiceObs::recovery_handles();
@@ -950,14 +1040,21 @@ impl MaintenanceService {
         } else {
             engine.vacuum();
             let payload = persist::freeze_engine(&mut engine)?;
-            let retained = options
+            let outcome = options
                 .retry
                 .run(
                     || store.publish(round_index, &payload),
                     |_, _| obs.retry_attempts.inc(),
                 )
                 .map_err(dur)?;
-            retained.first().copied().unwrap_or(round_index)
+            obs.prune_failures.add(outcome.prune_warnings.len() as u64);
+            warnings.extend(
+                outcome
+                    .prune_warnings
+                    .iter()
+                    .map(|w| format!("snapshot prune: {w}")),
+            );
+            outcome.retained.first().copied().unwrap_or(round_index)
         };
         let wal =
             Wal::create(&options.dir, round_index, options.failpoints.clone()).map_err(dur)?;
@@ -982,7 +1079,7 @@ impl MaintenanceService {
             bytes_since_snapshot: 0,
         };
         let service =
-            MaintenanceService::spawn_inner(engine, policies, Some(durable), Some(context));
+            MaintenanceService::spawn_inner(engine, policies, Some(durable), Some(context), cell);
         Ok((service, info))
     }
 
@@ -1028,11 +1125,12 @@ impl MaintenanceService {
         let respawns = context.respawns.clone();
         let mut last = None;
         for _ in 0..ATTEMPTS {
-            match MaintenanceService::recover_with_policies(
+            match MaintenanceService::recover_inner(
                 options.clone(),
                 InFine::new(config),
                 spec.clone(),
                 self.policies,
+                Some(Arc::clone(&self.covers)),
             ) {
                 Ok((service, info)) => {
                     // Splice the fresh connection into this handle; the
@@ -1472,6 +1570,7 @@ impl Drop for MaintenanceService {
 /// policy/command, cut snapshots, repeat. A disconnected request channel
 /// ends the loop after a final round for whatever is still pending; a
 /// durable worker then marks the log cleanly shut down.
+#[allow(clippy::too_many_arguments)]
 fn run(
     mut engine: ShardedEngine,
     policies: ServicePolicies,
@@ -1480,8 +1579,14 @@ fn run(
     reports: Sender<Result<MaintenanceReport, MaintenanceError>>,
     stats: Arc<SharedStats>,
     obs: ServiceObs,
+    covers: Arc<CoverCell>,
 ) -> ShardedEngine {
     let vacuum_policy = policies.vacuum;
+    // The round id stamped on read-path publishes. Durable services use
+    // the WAL round index (so recovered readers resume exactly where a
+    // producer resumes); non-durable services count completed rounds
+    // from zero with the same advance point.
+    let round_counter = std::cell::Cell::new(durable.as_ref().map_or(0, |d| d.round_index));
     // One round's bookkeeping: observe latency, bump the shared health
     // counters, forward the report.
     let finish_round = |result: Result<MaintenanceReport, MaintenanceError>, t0: Instant| {
@@ -1493,6 +1598,15 @@ fn run(
             .last_round_nanos
             .store(elapsed.as_nanos() as u64, Ordering::Relaxed);
         let _ = reports.send(result);
+    };
+
+    // Publish the engine's covers for wait-free readers, stamped with
+    // the round they are current as of. Pure clones of read-time caches
+    // (the sharded engine's merged per-label covers) — no recomputation.
+    let publish_covers = |engine: &ShardedEngine| {
+        let t0 = Instant::now();
+        covers.publish(engine.published_covers(round_counter.get()));
+        obs.publish_seconds.observe_duration(t0.elapsed());
     };
 
     // One full round, write-ahead: log the batch set, apply it, vacuum
@@ -1536,6 +1650,7 @@ fn run(
                     d.round_index += 1;
                     d.rounds_since_snapshot += 1;
                     d.bytes_since_snapshot += bytes;
+                    round_counter.set(d.round_index);
                 }
                 Err(e) => {
                     // The engine must never run ahead of the log: an
@@ -1546,6 +1661,10 @@ fn run(
                     return;
                 }
             }
+        } else {
+            // Same advance point as the durable path: the round is now
+            // committed to run (nothing after this can drop it).
+            round_counter.set(round_counter.get() + 1);
         }
         let mut result = engine.apply(&round);
         // Vacuum between rounds: commanded, or by policy threshold (the
@@ -1576,6 +1695,7 @@ fn run(
             d.failpoints.hit(ROUND_COMMIT);
         }
         finish_round(result, round_t0);
+        publish_covers(engine);
         let Some(d) = durable.as_mut() else { return };
         // A degraded round defers the policy cut — counters keep
         // accumulating and the first non-degraded round cuts — exactly
@@ -1598,21 +1718,28 @@ fn run(
         let cut = (|| -> Result<(), MaintenanceError> {
             engine.vacuum();
             let payload = persist::freeze_engine(engine)?;
-            let retained = retry
+            let outcome = retry
                 .run(
                     || d.store.publish(d.round_index, &payload),
                     |_, _| obs.retry_attempts.inc(),
                 )
                 .map_err(dur)?;
-            let retain_from = retained.first().copied().unwrap_or(d.round_index);
+            obs.prune_failures.add(outcome.prune_warnings.len() as u64);
+            let retain_from = outcome.retained.first().copied().unwrap_or(d.round_index);
             d.wal.rotate(d.round_index, retain_from).map_err(dur)?;
             Ok(())
         })();
         obs.snapshot_seconds.observe_duration(snap_t0.elapsed());
-        if let Err(e) = cut {
+        match cut {
+            // The cut's canonicalizing vacuum compacted the engine;
+            // re-publish the same round in vacuum-canonical form so
+            // reader-visible tombstone stats match the durable state.
+            Ok(()) => publish_covers(engine),
             // A failed cut is survivable — the previous snapshot plus
             // the still-growing log cover everything — but loud.
-            let _ = reports.send(Err(e));
+            Err(e) => {
+                let _ = reports.send(Err(e));
+            }
         }
     };
 
@@ -1643,10 +1770,15 @@ fn run(
         for deltas in all {
             let n = deltas.len() as i64;
             drained += n;
-            stats.queue_depth.fetch_sub(n, Ordering::Relaxed);
-            obs.queue_depth.sub(n);
+            // Credit `in_flight` BEFORE debiting `queue_depth`: a
+            // concurrent stats() sample (which reads depth first, then
+            // in-flight) may double-count a batch mid-hand-off but can
+            // never miss it — momentary overcounts are honest "work
+            // exists", an undercount would read as a drained service.
             stats.in_flight.fetch_add(n, Ordering::Relaxed);
             obs.in_flight.add(n);
+            stats.queue_depth.fetch_sub(n, Ordering::Relaxed);
+            obs.queue_depth.sub(n);
             // One rejected batch drops the REST of this ingest request
             // too: every later batch addresses a stream state that
             // assumed the rejected one applied, so folding it in would
@@ -1717,6 +1849,8 @@ fn run(
                 .drain()
                 .map(|(target, batch)| DeltaRelation::new(target, batch))
                 .collect();
+            // The write frontier moved: readers lag until the publish.
+            covers.note_head(round_counter.get() + 1);
             run_round(
                 &mut engine,
                 &mut durable,
@@ -1739,6 +1873,7 @@ fn run(
             .drain()
             .map(|(target, batch)| DeltaRelation::new(target, batch))
             .collect();
+        covers.note_head(round_counter.get() + 1);
         run_round(
             &mut engine,
             &mut durable,
@@ -2377,6 +2512,55 @@ mod tests {
             }
             assert!(t0.elapsed() < Duration::from_secs(5), "stats never settled");
             std::thread::yield_now();
+        }
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.database().expect("p").nrows(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite of the queue/in-flight hand-off fix: the drain credits
+    /// `in_flight` BEFORE debiting `queue_depth`, so a stats() sample
+    /// taken any time before a round's report lands counts the batch in
+    /// at least one bucket (the old order had a window where a mid-drain
+    /// sample saw it in neither). The slow-WAL failpoint widens the
+    /// in-flight phase so the samples straddle the hand-off.
+    #[test]
+    fn stats_sample_never_undercounts_mid_drain() {
+        let dir = tmpdir("stats-mid-drain");
+        let mut fp = FailPoints::none();
+        fp.arm_delay(infine_durability::failpoint::WAL_APPEND, 1, 3, 40);
+        let engine = ShardedEngine::new(InFine::default(), db(), view(), 2).unwrap();
+        let service = MaintenanceService::spawn_durable_with_policies(
+            engine,
+            DurabilityOptions::new(&dir).failpoints(fp),
+            ServicePolicies::default(),
+        )
+        .unwrap();
+        for row in [5, 6, 7] {
+            service.ingest(insert_p(row)).unwrap();
+            let t0 = Instant::now();
+            loop {
+                // Sample BEFORE polling the report: a `None` poll proves
+                // the report had not been sent at sample time, so the
+                // batch was still queued or in flight then.
+                let stats = service.stats();
+                match service.try_recv_report() {
+                    Some(r) => {
+                        r.unwrap();
+                        break;
+                    }
+                    None => assert!(
+                        stats.queue_depth + stats.in_flight >= 1,
+                        "unfinished batch invisible to stats \
+                         (queue_depth + in_flight == 0 before its report)"
+                    ),
+                }
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "round never reported"
+                );
+                std::hint::spin_loop();
+            }
         }
         let engine = service.shutdown().unwrap();
         assert_eq!(engine.database().expect("p").nrows(), 7);

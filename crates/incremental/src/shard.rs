@@ -434,6 +434,19 @@ impl ShardedEngine {
         self.cover.clone()
     }
 
+    /// A publishable read snapshot as of `round`: the merged per-label
+    /// base covers (PR 4's read-time cache — cloned, never recomputed),
+    /// the view cover, the provenance triples, and tombstone accounting.
+    pub fn published_covers(&self, round: u64) -> crate::read::PublishedCovers {
+        crate::read::PublishedCovers {
+            round,
+            base: self.merged_base.clone(),
+            cover: self.cover.clone(),
+            triples: self.report.triples.clone(),
+            tombstones: self.tombstone_stats(),
+        }
+    }
+
     /// Apply one batch.
     pub fn apply_one(
         &mut self,

@@ -350,3 +350,47 @@ fn destroyed_newest_snapshot_falls_back_and_replays_the_longer_suffix() {
     assert_eq!(recovered.report().triples, want);
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// A newest snapshot that cannot even be *read* (I/O error, not a
+/// checksum miss) is skipped like corruption, not a recovery abort: an
+/// older snapshot plus the longer log suffix still has everything.
+/// Simulated by replacing the file with a same-named directory, which
+/// fails `fs::read` with EISDIR even when the tests run as root (unlike
+/// a permissions trick).
+#[test]
+fn unreadable_newest_snapshot_falls_back_and_replays_the_longer_suffix() {
+    let (dir, want) = seeded_dir("unreadable");
+    let mut snaps: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .starts_with("snap-")
+        })
+        .collect();
+    snaps.sort();
+    assert_eq!(snaps.len(), KEEP_SNAPSHOTS);
+    let newest = snaps.last().unwrap();
+    std::fs::remove_file(newest).unwrap();
+    std::fs::create_dir(newest).unwrap();
+
+    let (service, info) = MaintenanceService::recover(
+        DurabilityOptions::new(&dir),
+        InFine::default(),
+        small_view(),
+        VacuumPolicy::default(),
+    )
+    .unwrap();
+    assert!(
+        info.warnings.iter().any(|w| w.contains("skipped")),
+        "unreadable fallback must be loud: {:?}",
+        info.warnings
+    );
+    assert_eq!(info.durable_rounds, 5);
+    let recovered = service.shutdown().unwrap();
+    assert_eq!(recovered.report().triples, want);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -111,6 +111,18 @@ fn metric_catalog_is_pinned() {
     b.insert(vec![Value::Int(9), Value::str("c"), Value::Int(2)]);
     service.ingest(vec![DeltaRelation::new("p", b)]).unwrap();
     service.recv_report().unwrap().unwrap();
+    // The wait-free read path: reads + lag + publish series carry
+    // traffic. The report above precedes the round's publish, so spin
+    // until it lands (rounds: delete, vacuum, snapshot, insert = 4).
+    let reader = service.reader();
+    let t0 = std::time::Instant::now();
+    while reader.current().round < 4 {
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "round 4 never published"
+        );
+        std::thread::yield_now();
+    }
     let stats = service.stats();
     assert_eq!(stats.queue_depth, 0);
     assert!(stats.rounds_completed >= 2);
@@ -153,6 +165,9 @@ fn metric_catalog_is_pinned() {
         "# TYPE infine_pli_cache_evictions_total counter",
         "# TYPE infine_pli_cache_hits_total counter",
         "# TYPE infine_pli_cache_misses_total counter",
+        "# TYPE infine_publish_seconds histogram",
+        "# TYPE infine_read_round_lag gauge",
+        "# TYPE infine_reads_total counter",
         "# TYPE infine_recovery_seconds histogram",
         "# TYPE infine_retry_attempts_total counter",
         "# TYPE infine_round_phase_seconds histogram",
@@ -169,6 +184,7 @@ fn metric_catalog_is_pinned() {
         "# TYPE infine_service_rounds_total counter",
         "# TYPE infine_service_shed_total counter",
         "# TYPE infine_shard_fanout_shards histogram",
+        "# TYPE infine_snapshot_prune_failures_total counter",
         "# TYPE infine_snapshot_seconds histogram",
         "# TYPE infine_span_seconds histogram",
         "# TYPE infine_vacuum_dict_entries_dropped_total counter",
@@ -207,6 +223,13 @@ fn metric_catalog_is_pinned() {
     assert!(snap.get("infine_recovery_seconds_count").unwrap() >= 1.0);
     assert!(snap.get("infine_wal_replayed_rounds_total").unwrap() >= 1.0);
     assert_eq!(snap.get("infine_service_respawns_total"), Some(0.0));
+    // Read path: the reader above served at least the publishes it
+    // polled for, each round's publish was timed, the final read saw a
+    // fully caught-up snapshot, and no prune ever failed.
+    assert!(snap.get("infine_reads_total").unwrap() >= 1.0);
+    assert!(snap.get("infine_publish_seconds_count").unwrap() >= 4.0);
+    assert_eq!(snap.get("infine_read_round_lag"), Some(0.0));
+    assert_eq!(snap.get("infine_snapshot_prune_failures_total"), Some(0.0));
     // Overload/supervision series register but stay quiet on a healthy,
     // uncontended run: nothing shed, no retries, breaker closed, no
     // degraded rounds, and in-flight settled back to zero.

@@ -17,7 +17,9 @@
 use infine_core::InFine;
 use infine_datagen::{find, random_delta, Scale};
 use infine_discovery::same_fds;
-use infine_durability::failpoint::{ROUND_COMMIT, SNAPSHOT_WRITE, WAL_APPEND, WAL_APPEND_TORN};
+use infine_durability::failpoint::{
+    DIR_FSYNC, ROUND_COMMIT, SNAPSHOT_WRITE, WAL_APPEND, WAL_APPEND_TORN,
+};
 use infine_durability::{FailPoints, SnapshotPolicy};
 use infine_incremental::{
     DeletePolicy, DurabilityOptions, InsertPolicy, MaintenanceEngine, MaintenanceError,
@@ -32,12 +34,17 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// (site, nth hit that fires). The hit cadence differs per site — WAL
 /// and commit sites hit once per round, the snapshot site once per cut
 /// (including the baseline cut on the spawning thread, which must
-/// survive) — so each lands mid-stream.
-const CRASH_SITES: [(&str, u64); 4] = [
+/// survive) — so each lands mid-stream. The dir-fsync site hits twice
+/// at spawn (baseline publish, then segment creation — both must
+/// survive), so its third hit is the first policy cut's publish: the
+/// crash lands after the snapshot rename but before the directory
+/// entry is durable.
+const CRASH_SITES: [(&str, u64); 5] = [
     (WAL_APPEND, 10),
     (WAL_APPEND_TORN, 10),
     (SNAPSHOT_WRITE, 2),
     (ROUND_COMMIT, 10),
+    (DIR_FSYNC, 3),
 ];
 
 fn soak_rounds() -> usize {
