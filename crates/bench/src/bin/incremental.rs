@@ -23,8 +23,8 @@ static ALLOC: infine_bench::alloc::CountingAlloc = infine_bench::alloc::Counting
 use infine_bench::json::{self, Obj};
 use infine_bench::runner::{
     apply_cli_flags, bench_durability, bench_overload, bench_readers, bench_scale, bench_shards,
-    mib, run_baseline, run_full_rediscovery, run_maintenance, run_sharded_maintenance, secs,
-    TextTable,
+    bench_view_mode, mib, run_baseline, run_full_rediscovery, run_maintenance,
+    run_sharded_maintenance, secs, TextTable,
 };
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, random_delta};
@@ -32,7 +32,7 @@ use infine_discovery::{same_fds, Algorithm, Fd, FdSet};
 use infine_incremental::{
     DeletePolicy, DurabilityOptions, FdStatus, IngestPolicy, MaintenanceEngine, MaintenanceError,
     MaintenanceMode, MaintenanceService, ServicePolicies, ShardedEngine, SnapshotPolicy,
-    VacuumPolicy,
+    VacuumPolicy, ViewMode,
 };
 use infine_relation::AttrSet;
 use infine_relation::{Database, DeltaRelation};
@@ -252,6 +252,7 @@ fn main() {
                 case.spec.clone(),
                 MaintenanceMode::CoverOnly,
                 DeletePolicy::Compact,
+                ViewMode::default(),
             )
             .unwrap_or_else(|e| panic!("{case_id}: compact bootstrap failed: {e}"));
             let mut tomb = MaintenanceEngine::with_options(
@@ -260,6 +261,7 @@ fn main() {
                 case.spec.clone(),
                 MaintenanceMode::CoverOnly,
                 DeletePolicy::Tombstone,
+                ViewMode::default(),
             )
             .unwrap_or_else(|e| panic!("{case_id}: tombstone bootstrap failed: {e}"));
             let baseline = tomb.tombstone_stats();
@@ -341,6 +343,137 @@ fn main() {
         / delete_speedups.len().max(1) as f64)
         .exp();
     println!("# delete-churn round speedup geometric mean (tombstoned vs compacting): {delete_geomean:.2}x");
+
+    // ---- view-mode lane (--view-mode / INFINE_BENCH_VIEW_MODE=1) ----
+    //
+    // Two cover-only engines fed identical churn rounds: one holds the
+    // materialized rid-augmented view, the other only base relations +
+    // join indexes (`ViewMode::JoinIndex`) and validates through the
+    // join-probe kernel. Recorded per scenario: summed round
+    // wall-clock for both, peak resident rows and dictionary entries
+    // (engine-wide tombstone accounting), and the resident materialized
+    // view rows — which the virtual engine must pin at **zero** while
+    // its cover stays equal to the materialized engine's every round.
+    let mut view_mode_geomean = None;
+    if bench_view_mode() {
+        let view_rounds: usize = std::env::var("INFINE_BENCH_VIEW_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(6);
+        let mut vm_table = TextTable::new(&[
+            "view",
+            "Δtable",
+            "rounds",
+            "t_materialized",
+            "t_joinindex",
+            "round_ratio",
+            "view_rows(mat)",
+            "view_rows(virt)",
+            "peak_rows(mat)",
+            "peak_rows(virt)",
+            "peak_dict(mat)",
+            "peak_dict(virt)",
+        ]);
+        let mut ratios: Vec<f64> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0x51E77E);
+        for &(case_id, target) in SCENARIOS {
+            let case = find(case_id).unwrap_or_else(|| panic!("unknown case {case_id}"));
+            let db = case.dataset.generate(scale);
+            let mut mat = MaintenanceEngine::with_options(
+                InFine::default(),
+                db.clone(),
+                case.spec.clone(),
+                MaintenanceMode::CoverOnly,
+                DeletePolicy::Compact,
+                ViewMode::Materialized,
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: materialized bootstrap failed: {e}"));
+            let mut virt = MaintenanceEngine::with_options(
+                InFine::default(),
+                db,
+                case.spec.clone(),
+                MaintenanceMode::CoverOnly,
+                DeletePolicy::Compact,
+                ViewMode::JoinIndex,
+            )
+            .unwrap_or_else(|e| panic!("{case_id}: join-index bootstrap failed: {e}"));
+            assert_eq!(
+                virt.active_view_mode(),
+                Some(ViewMode::JoinIndex),
+                "{case_id}: scenario views must be inside the virtual subset"
+            );
+
+            let (mut t_mat, mut t_virt) = (0f64, 0f64);
+            let mut peak_view_rows = mat.resident_view_rows();
+            let s0m = mat.tombstone_stats();
+            let s0v = virt.tombstone_stats();
+            let (mut peak_rows_mat, mut peak_dict_mat) = (s0m.physical_rows, s0m.dict_entries);
+            let (mut peak_rows_virt, mut peak_dict_virt) = (s0v.physical_rows, s0v.dict_entries);
+            for _ in 0..view_rounds {
+                let rel = virt.database().expect(target);
+                let delta = random_churn(&mut rng, rel, 0.01);
+                let run_m = run_maintenance(&mut mat, std::slice::from_ref(&delta));
+                let run_v = run_maintenance(&mut virt, std::slice::from_ref(&delta));
+                t_mat += run_m.total.as_secs_f64();
+                t_virt += run_v.total.as_secs_f64();
+                assert!(
+                    same_fds(&run_m.report.cover, &run_v.report.cover),
+                    "{case_id}: view modes diverged under the bench stream"
+                );
+                assert_eq!(
+                    virt.resident_view_rows(),
+                    0,
+                    "{case_id}: the virtual engine materialized view rows"
+                );
+                peak_view_rows = peak_view_rows.max(mat.resident_view_rows());
+                let (sm, sv) = (mat.tombstone_stats(), virt.tombstone_stats());
+                peak_rows_mat = peak_rows_mat.max(sm.physical_rows);
+                peak_dict_mat = peak_dict_mat.max(sm.dict_entries);
+                peak_rows_virt = peak_rows_virt.max(sv.physical_rows);
+                peak_dict_virt = peak_dict_virt.max(sv.dict_entries);
+            }
+
+            let round_ratio = t_mat / t_virt.max(1e-9);
+            ratios.push(round_ratio);
+            json_rows.push(
+                Obj::new()
+                    .str("workload", "view_mode")
+                    .str("view", case_id)
+                    .str("delta_table", target)
+                    .int("rounds", view_rounds as i64)
+                    .num("materialized_s", t_mat)
+                    .num("joinindex_s", t_virt)
+                    .num("round_ratio", round_ratio)
+                    .int("resident_view_rows_materialized", peak_view_rows as i64)
+                    .int("resident_view_rows_joinindex", 0)
+                    .int("peak_rows_materialized", peak_rows_mat as i64)
+                    .int("peak_rows_joinindex", peak_rows_virt as i64)
+                    .int("peak_dict_materialized", peak_dict_mat as i64)
+                    .int("peak_dict_joinindex", peak_dict_virt as i64),
+            );
+            vm_table.row(vec![
+                case_id.to_string(),
+                target.to_string(),
+                view_rounds.to_string(),
+                secs(std::time::Duration::from_secs_f64(t_mat)),
+                secs(std::time::Duration::from_secs_f64(t_virt)),
+                format!("{round_ratio:.2}x"),
+                peak_view_rows.to_string(),
+                "0".to_string(),
+                peak_rows_mat.to_string(),
+                peak_rows_virt.to_string(),
+                peak_dict_mat.to_string(),
+                peak_dict_virt.to_string(),
+            ]);
+        }
+        println!("# view modes (materialized vs join-index cover rounds, identical churn):");
+        println!("{}", vm_table.render());
+        let geo = (ratios.iter().map(|s| s.ln()).sum::<f64>() / ratios.len().max(1) as f64).exp();
+        println!(
+            "# view-mode round latency ratio geometric mean (materialized / join-index): {geo:.2}x"
+        );
+        view_mode_geomean = Some(geo);
+    }
 
     // ---- durability lane (--durability / INFINE_BENCH_DURABILITY=1) ----
     //
@@ -799,6 +932,9 @@ fn main() {
         .raw("metrics", infine_obs::snapshot().to_json());
     if let Some(geo) = durability_geomean {
         header = header.num("durability_recover_speedup_geomean", geo);
+    }
+    if let Some(geo) = view_mode_geomean {
+        header = header.num("view_mode_round_ratio_geomean", geo);
     }
     std::fs::write(&out_path, json::render_report(header, &json_rows))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

@@ -223,6 +223,9 @@ pub fn apply_cli_flags() {
             "--overload" => {
                 OVERLOAD.store(true, std::sync::atomic::Ordering::Relaxed);
             }
+            "--view-mode" => {
+                VIEW_MODE.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
             "--readers" => {
                 let n = args
                     .next()
@@ -232,7 +235,7 @@ pub fn apply_cli_flags() {
                 READERS.store(n, std::sync::atomic::Ordering::Relaxed);
             }
             other => panic!(
-                "unknown argument {other:?} (supported: --threads N, --shards N, --durability, --overload, --readers N)"
+                "unknown argument {other:?} (supported: --threads N, --shards N, --durability, --overload, --view-mode, --readers N)"
             ),
         }
     }
@@ -261,6 +264,19 @@ static OVERLOAD: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::
 pub fn bench_overload() -> bool {
     OVERLOAD.load(std::sync::atomic::Ordering::Relaxed)
         || std::env::var("INFINE_BENCH_OVERLOAD").is_ok_and(|v| v != "0")
+}
+
+/// View-mode-lane switch set by `--view-mode` or
+/// `INFINE_BENCH_VIEW_MODE=1`: the incremental bench adds a lane that
+/// drives identical churn through a materialized and a join-index
+/// (virtual) cover-only engine and compares round latency and peak
+/// resident rows/dictionary entries.
+static VIEW_MODE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether the view-mode bench lane is enabled for this run.
+pub fn bench_view_mode() -> bool {
+    VIEW_MODE.load(std::sync::atomic::Ordering::Relaxed)
+        || std::env::var("INFINE_BENCH_VIEW_MODE").is_ok_and(|v| v != "0")
 }
 
 /// Reader-flood lane thread count set by `--readers N` or

@@ -775,15 +775,18 @@ impl Ctx<'_> {
 
         let schema = joined_schema(&l_rel.schema, &r_rel.schema, op);
         let mut builder = ProvenanceBuilder::new();
-        let mut side_sets: Vec<FdSet> = Vec::with_capacity(2);
 
         // ---- Step A: inherited + upstaged (Algorithm 3) ----
+        // The two sides are independent; fan them out over the pool and
+        // merge left-then-right so the triple order matches the serial
+        // path at any worker count.
         let t0 = Instant::now();
-        for is_left in [true, false] {
+        let mut sides = infine_exec::par_map(&[true, false], |_, &is_left| {
             let node = if is_left { &lnode } else { &rnode };
             let offset = if is_left { 0 } else { nl };
             let si = side_instance(&l_rel, &r_rel, &on_ids, op, is_left);
             let mut side_known = FdSet::new();
+            let mut triples: Vec<ProvenanceTriple> = Vec::with_capacity(node.triples.len());
             if si.padded {
                 // Outer padding can break inherited FDs: re-validate.
                 let mut cache = PliCache::new(&si.rel);
@@ -795,13 +798,13 @@ impl Ctx<'_> {
                     };
                     if ok {
                         side_known.insert_minimal(t.fd);
-                        builder.insert(offset_triple(t, offset));
+                        triples.push(offset_triple(t, offset));
                     }
                 }
             } else {
                 for t in &node.triples {
                     side_known.insert_minimal(t.fd);
-                    builder.insert(offset_triple(t, offset));
+                    triples.push(offset_triple(t, offset));
                 }
             }
             let mut side_all = side_known.clone();
@@ -814,7 +817,7 @@ impl Ctx<'_> {
                 };
                 for fd in new.to_sorted_vec() {
                     side_all.insert_minimal(fd);
-                    builder.insert(ProvenanceTriple::new(
+                    triples.push(ProvenanceTriple::new(
                         Fd::new(
                             fd.lhs.iter().map(|a| a + offset).collect::<AttrSet>(),
                             fd.rhs + offset,
@@ -824,10 +827,14 @@ impl Ctx<'_> {
                     ));
                 }
             }
-            side_sets.push(side_all);
+            (side_all, triples)
+        })
+        .into_iter();
+        let (dl, l_triples) = sides.next().expect("left side result");
+        let (dr, r_triples) = sides.next().expect("right side result");
+        for t in l_triples.into_iter().chain(r_triples) {
+            builder.insert(t);
         }
-        let dl = side_sets.remove(0);
-        let dr = side_sets.remove(0);
         self.timings.upstage += t0.elapsed();
 
         // Join-key equivalence FDs (x → y / y → x) where guaranteed by the
@@ -1779,5 +1786,43 @@ mod tests {
         assert!(report.timings.base_mining > Duration::ZERO);
         // upstage ran (semi-joins + mining)
         assert!(report.timings.upstage > Duration::ZERO);
+    }
+
+    #[test]
+    fn step_a_output_is_identical_at_any_worker_count() {
+        // Step A fans the two join sides out over the pool; the merged
+        // triple stream must be byte-identical regardless of worker count.
+        let db = fig1_db();
+        let specs = [
+            fig1_view(),
+            ViewSpec::base("patient").join(
+                ViewSpec::base("admission"),
+                JoinOp::LeftOuter,
+                &[("subject_id", "subject_id")],
+            ),
+            ViewSpec::base("patient").join(
+                ViewSpec::base("admission"),
+                JoinOp::FullOuter,
+                &[("subject_id", "subject_id")],
+            ),
+        ];
+        for spec in &specs {
+            let renders: Vec<String> = [1usize, 2, 4]
+                .iter()
+                .map(|&n| {
+                    infine_exec::set_parallelism(n);
+                    let report = InFine::default().discover(&db, spec).unwrap();
+                    report
+                        .triples
+                        .iter()
+                        .map(|t| t.render(&report.schema))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+                .collect();
+            infine_exec::set_parallelism(0);
+            assert_eq!(renders[0], renders[1], "1 vs 2 workers differ: {spec}");
+            assert_eq!(renders[0], renders[2], "1 vs 4 workers differ: {spec}");
+        }
     }
 }

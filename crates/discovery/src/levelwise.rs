@@ -97,6 +97,22 @@ pub fn mine_new_fds_with<V: Validity>(
     known: &FdSet,
     max_lhs: Option<usize>,
 ) -> FdSet {
+    mine_new_fds_via(validity, constant_attrs(rel, attrs), attrs, known, max_lhs)
+}
+
+/// [`mine_new_fds_with`] with the level-0 constant set supplied by the
+/// caller instead of computed from a [`Relation`] — the whole lattice
+/// walk then runs against the oracle alone, which lets virtual-view
+/// backends mine without any materialized relation to hand. `constants`
+/// must equal the attributes for which `∅ → a` holds under `validity`'s
+/// notion of validity (all of `attrs` for an empty instance).
+pub fn mine_new_fds_via<V: Validity>(
+    validity: &mut V,
+    constants: AttrSet,
+    attrs: AttrSet,
+    known: &FdSet,
+    max_lhs: Option<usize>,
+) -> FdSet {
     let obs = crate::obs::MinerObs::resolve("Levelwise");
     let _span = obs.start();
     let mut found = FdSet::new();
@@ -106,7 +122,6 @@ pub fn mine_new_fds_with<V: Validity>(
     let max_lhs = max_lhs.unwrap_or_else(|| attrs.len().saturating_sub(1));
 
     // Level 0: constant attributes.
-    let constants = constant_attrs(rel, attrs);
     for a in constants.iter() {
         if !known.has_subset_lhs(AttrSet::EMPTY, a) {
             found.insert_minimal(Fd::new(AttrSet::EMPTY, a));

@@ -28,6 +28,6 @@ pub use fun::fun;
 pub use hyfd::hyfd;
 pub use levelwise::{
     constant_attrs, extend_seeds, mine_afds, mine_fds, mine_fds_bruteforce, mine_new_fds,
-    mine_new_fds_with, ApproxValidity, ExactValidity, Validity,
+    mine_new_fds_via, mine_new_fds_with, ApproxValidity, ExactValidity, Validity,
 };
 pub use tane::tane;

@@ -30,7 +30,7 @@
 
 use crate::cover::{CoverDeltaStats, CoverState};
 use crate::obs::{EngineObs, RoundMetrics};
-use crate::view::{self, ViewState};
+use crate::view::{self, ViewBackend, ViewMode, ViewState, VirtualView};
 use infine_algebra::ViewSpec;
 use infine_core::{
     base_scopes, BaseFds, BaseScope, FdKind, InFine, InFineError, InFineReport, ProvenanceTriple,
@@ -182,7 +182,7 @@ impl VacuumStats {
 /// (stored tables + scoped base states + view nodes, rid columns
 /// included). `physical_rows - live_rows` is the reclaimable garbage;
 /// [`TombstoneStats::fraction`] drives the service's vacuum policy.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TombstoneStats {
     /// Physical rows held (dead included), summed over relations.
     pub physical_rows: usize,
@@ -404,8 +404,11 @@ pub struct MaintenanceEngine {
     db: Database,
     states: Vec<BaseState>,
     mode: MaintenanceMode,
-    /// Fast-path view state (cover-only mode on supported specs).
-    view: Option<ViewState>,
+    /// Which backend cover-only rounds run on (materialized view vs
+    /// join-index-only virtual view).
+    view_mode: ViewMode,
+    /// Fast-path view backend (cover-only mode on supported specs).
+    view: Option<Box<dyn ViewBackend>>,
     /// Last exact pipeline report (stale in cover-only mode until
     /// [`MaintenanceEngine::refresh_provenance`]).
     report: InFineReport,
@@ -448,16 +451,27 @@ impl MaintenanceEngine {
         spec: ViewSpec,
         mode: MaintenanceMode,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
-        MaintenanceEngine::with_options(infine, db, spec, mode, DeletePolicy::default())
+        MaintenanceEngine::with_options(
+            infine,
+            db,
+            spec,
+            mode,
+            DeletePolicy::default(),
+            ViewMode::default(),
+        )
     }
 
-    /// Bootstrap with explicit mode and delete policy.
+    /// Bootstrap with explicit mode, delete policy, and view backend.
+    /// [`ViewMode::JoinIndex`] falls back to the materialized backend on
+    /// specs outside the virtual subset (see
+    /// [`view::supports_virtual`]).
     pub fn with_options(
         infine: InFine,
         db: Database,
         spec: ViewSpec,
         mode: MaintenanceMode,
         delete_policy: DeletePolicy,
+        view_mode: ViewMode,
     ) -> Result<MaintenanceEngine, MaintenanceError> {
         // The engine's own registry scopes everything from bootstrap
         // mining onward (kernel checks, cache traffic, miner timings).
@@ -473,7 +487,7 @@ impl MaintenanceEngine {
         let cover = report.fd_set();
         let subquery_tables = subquery_table_index(&spec);
         let view = if mode == MaintenanceMode::CoverOnly {
-            ViewState::bootstrap(&db, &spec, algorithm, delete_policy)
+            bootstrap_backend(&db, &spec, algorithm, delete_policy, view_mode)
         } else {
             None
         };
@@ -483,6 +497,7 @@ impl MaintenanceEngine {
             db,
             states,
             mode,
+            view_mode,
             view,
             report,
             cover,
@@ -529,6 +544,7 @@ impl MaintenanceEngine {
             db,
             states,
             mode: MaintenanceMode::ExactProvenance,
+            view_mode: ViewMode::default(),
             view: None,
             report: InFineReport {
                 schema: Schema::new(),
@@ -594,6 +610,7 @@ impl MaintenanceEngine {
             db,
             states,
             mode: MaintenanceMode::ExactProvenance,
+            view_mode: ViewMode::default(),
             view: None,
             report: InFineReport {
                 schema: Schema::new(),
@@ -626,6 +643,25 @@ impl MaintenanceEngine {
         self.mode
     }
 
+    /// The configured view backend mode.
+    pub fn view_mode(&self) -> ViewMode {
+        self.view_mode
+    }
+
+    /// The backend actually carrying cover-only rounds right now —
+    /// `None` outside cover-only mode, and [`ViewMode::Materialized`]
+    /// when a [`ViewMode::JoinIndex`] request fell back on an
+    /// unsupported spec.
+    pub fn active_view_mode(&self) -> Option<ViewMode> {
+        self.view.as_ref().map(|v| v.mode())
+    }
+
+    /// Resident materialized view rows the active backend holds — zero
+    /// for the virtual backend (and outside cover-only mode).
+    pub fn resident_view_rows(&self) -> usize {
+        self.view.as_ref().map_or(0, |v| v.resident_view_rows())
+    }
+
     /// Does the spec support the cover-only fast path (inner joins, no
     /// repeated base table)?
     pub fn supports_cover_fast_path(&self) -> bool {
@@ -646,11 +682,12 @@ impl MaintenanceEngine {
                 // must be compact (no-op unless fast tombstone rounds
                 // preceded a round-trip through exact mode).
                 self.compact_stored_tables();
-                self.view = ViewState::bootstrap(
+                self.view = bootstrap_backend(
                     &self.db,
                     &self.spec,
                     self.infine.config.base_algorithm,
                     self.delete_policy,
+                    self.view_mode,
                 );
             }
             MaintenanceMode::ExactProvenance => {
@@ -1102,13 +1139,17 @@ impl MaintenanceEngine {
     /// Soak/debug hook: verify the engine's incremental state against
     /// from-scratch rebuilds — every non-stale base state's cover,
     /// partitions, and witnesses are checked against its scoped relation
-    /// ([`CoverState::self_check`]), and row maps must agree with their
+    /// ([`CoverState::self_check`]), and — under the tombstone policy,
+    /// the only one that maintains them — row maps must agree with their
     /// relations' live counts. O(full re-mine); tests only.
     pub fn self_check(&self) {
+        // Compact rounds never consult or update the logical row maps
+        // (they are reset wholesale by vacuum/resync), so row-map sync
+        // is only an invariant under tombstones.
+        let maps_maintained = self.delete_policy == DeletePolicy::Tombstone;
         for state in &self.states {
-            assert_eq!(
-                state.row_map.len(),
-                state.rel.live_rows(),
+            assert!(
+                !maps_maintained || state.row_map.len() == state.rel.live_rows(),
                 "{}: row map diverged from live rows",
                 state.scope.label
             );
@@ -1117,9 +1158,8 @@ impl MaintenanceEngine {
             }
         }
         for (name, map) in &self.table_row_maps {
-            assert_eq!(
-                map.len(),
-                self.db.expect(name).live_rows(),
+            assert!(
+                !maps_maintained || map.len() == self.db.expect(name).live_rows(),
                 "{name}: table row map diverged from live rows"
             );
         }
@@ -1236,6 +1276,27 @@ impl MaintenanceEngine {
         }
         self.stale.clear();
     }
+}
+
+/// Bootstrap the cover-only backend `view_mode` asks for:
+/// [`ViewMode::JoinIndex`] builds a [`VirtualView`] when the spec is in
+/// the virtual subset and falls back to the materialized [`ViewState`]
+/// otherwise; [`ViewMode::Materialized`] always materializes. `None`
+/// when even the materialized fast path cannot carry the spec.
+fn bootstrap_backend(
+    db: &Database,
+    spec: &ViewSpec,
+    algorithm: infine_discovery::Algorithm,
+    delete_policy: DeletePolicy,
+    view_mode: ViewMode,
+) -> Option<Box<dyn ViewBackend>> {
+    if view_mode == ViewMode::JoinIndex {
+        if let Some(v) = VirtualView::bootstrap(db, spec, algorithm, delete_policy) {
+            return Some(Box::new(v));
+        }
+    }
+    ViewState::bootstrap(db, spec, algorithm, delete_policy)
+        .map(|v| Box::new(v) as Box<dyn ViewBackend>)
 }
 
 /// Mine the per-base-occurrence cover state of a view from scratch — the
@@ -1731,6 +1792,7 @@ mod tests {
             view(),
             MaintenanceMode::ExactProvenance,
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .unwrap();
         let rounds: Vec<(&str, DeltaBatch)> = vec![
@@ -1783,6 +1845,7 @@ mod tests {
             view(),
             MaintenanceMode::CoverOnly,
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .unwrap();
         let rounds: Vec<(&str, DeltaBatch)> = vec![
@@ -1840,6 +1903,7 @@ mod tests {
             view(),
             MaintenanceMode::CoverOnly,
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .unwrap();
         let mut b = DeltaBatch::new();

@@ -84,4 +84,4 @@ pub use service::{
 // depending on the storage crate directly.
 pub use infine_durability::{FailPoints, RetryPolicy, SnapshotPolicy};
 pub use shard::{InsertPolicy, ShardRouter, ShardedEngine};
-pub use view::ViewState;
+pub use view::{supports_virtual, MaterializedView, ViewBackend, ViewMode, ViewState, VirtualView};

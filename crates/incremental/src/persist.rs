@@ -19,6 +19,7 @@
 
 use crate::engine::{subquery_table_index, DeletePolicy, MaintenanceEngine, MaintenanceError};
 use crate::shard::{fleet_obs, InsertPolicy, RowHome, ShardRouter, ShardedEngine, TableMap};
+use crate::view::{ViewMode, VirtualView};
 use infine_algebra::ViewSpec;
 use infine_core::{base_scopes, BaseFds, FdKind, InFine, InFineReport, ProvenanceTriple};
 use infine_discovery::{Fd, FdSet};
@@ -281,6 +282,18 @@ pub(crate) fn freeze_engine(engine: &mut ShardedEngine) -> Result<Vec<u8>, Maint
         DeletePolicy::Compact => 0,
         DeletePolicy::Tombstone => 1,
     });
+    // The *active* view mode: a join-index request that fell back to
+    // the exact path freezes (and restores) as materialized. The
+    // virtual view itself is never serialized — only its cover; the
+    // chains and join indexes rebuild from the mirror, which is why
+    // join-index snapshots stay at base size.
+    match engine.active_view_mode() {
+        ViewMode::Materialized => w.u8(0),
+        ViewMode::JoinIndex => {
+            w.u8(1);
+            write_fd_set(&mut w, &engine.cover);
+        }
+    }
     write_router(&mut w, &engine.router);
     wire::write_database(&mut w, &engine.db);
     for s in 0..engine.shards.len() {
@@ -317,6 +330,15 @@ pub(crate) fn restore_engine(
         t => {
             return Err(MaintenanceError::Durability(format!(
                 "unknown delete-policy tag {t}"
+            )))
+        }
+    };
+    let (view_mode, virtual_cover) = match r.u8().map_err(de)? {
+        0 => (ViewMode::Materialized, None),
+        1 => (ViewMode::JoinIndex, Some(read_fd_set(&mut r).map_err(de)?)),
+        t => {
+            return Err(MaintenanceError::Durability(format!(
+                "unknown view-mode tag {t}"
             )))
         }
     };
@@ -383,8 +405,23 @@ pub(crate) fn restore_engine(
         timings: infine_core::PhaseTimings::default(),
         stats: infine_core::PipelineStats::default(),
     };
-    let cover = report.fd_set();
     let subquery_tables = subquery_table_index(&spec);
+    // Join-index snapshots carry the maintained virtual cover (it can
+    // be ahead of the persisted triples, whose labels froze at
+    // bootstrap); the virtual view rebuilds from the restored mirror
+    // with that cover pinned — no re-mining.
+    let (cover, virtual_view) = match virtual_cover {
+        Some(vc) => {
+            let vv = VirtualView::restore(&db, &spec, DeletePolicy::Compact, vc.clone())
+                .ok_or_else(|| {
+                    MaintenanceError::Durability(
+                        "join-index snapshot for a spec outside the virtual subset".into(),
+                    )
+                })?;
+            (vc, Some(vv))
+        }
+        None => (report.fd_set(), None),
+    };
     Ok(ShardedEngine {
         infine,
         spec,
@@ -396,6 +433,8 @@ pub(crate) fn restore_engine(
         merged_base,
         report,
         cover,
+        view_mode,
+        virtual_view,
         subquery_tables,
         obs,
         fanout,
@@ -543,6 +582,7 @@ mod tests {
             2,
             InsertPolicy::default(),
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .unwrap();
         let mut b = DeltaBatch::new();

@@ -2001,6 +2001,7 @@ mod tests {
             2,
             InsertPolicy::default(),
             DeletePolicy::Tombstone,
+            crate::ViewMode::default(),
         )
         .unwrap()
     }

@@ -36,6 +36,8 @@ use crate::engine::{
     MaintenanceError, MaintenanceReport, MaintenanceTimings, TombstoneStats, VacuumStats,
 };
 use crate::obs::{EngineObs, RoundMetrics};
+use crate::view::{ViewBackend, ViewMode, VirtualView};
+use crate::CoverDeltaStats;
 use infine_algebra::ViewSpec;
 use infine_core::{
     base_scopes, merge_label_covers, BaseFds, BaseScope, InFine, InFineReport, ProvenanceTriple,
@@ -289,6 +291,15 @@ pub struct ShardedEngine {
     pub(crate) merged_base: BaseFds,
     pub(crate) report: InFineReport,
     pub(crate) cover: FdSet,
+    /// Which view backend carries the read-side cover between rounds.
+    pub(crate) view_mode: ViewMode,
+    /// Mirror-hosted virtual view ([`ViewMode::JoinIndex`]): rounds
+    /// maintain the cover through the join-probe kernel instead of
+    /// replaying the view-level pipeline on the mirror. Always runs the
+    /// compacting delete policy — the mirror it shadows compacts every
+    /// round. `None` under [`ViewMode::Materialized`] or when the spec
+    /// is outside the virtual subset (exact pipeline replay then).
+    pub(crate) virtual_view: Option<VirtualView>,
     pub(crate) subquery_tables: HashMap<String, HashSet<String>>,
     /// Fleet-wide metrics registry (shared with every fragment engine)
     /// plus round/phase/vacuum handles, all labeled `engine="sharded"`.
@@ -332,10 +343,19 @@ impl ShardedEngine {
         shards: usize,
         policy: InsertPolicy,
     ) -> Result<ShardedEngine, MaintenanceError> {
-        ShardedEngine::with_options(infine, db, spec, shards, policy, DeletePolicy::default())
+        ShardedEngine::with_options(
+            infine,
+            db,
+            spec,
+            shards,
+            policy,
+            DeletePolicy::default(),
+            ViewMode::default(),
+        )
     }
 
-    /// [`ShardedEngine::new`] with explicit insert and delete policies.
+    /// [`ShardedEngine::new`] with explicit insert/delete policies and
+    /// view backend mode.
     ///
     /// Under [`DeletePolicy::Tombstone`] each *fragment* engine
     /// tombstones its deletes (fragment databases never feed a pipeline
@@ -343,6 +363,15 @@ impl ShardedEngine {
     /// [`ShardedEngine::vacuum`] compacts them per shard, in parallel.
     /// The full-table mirror stays compacting either way: the merged
     /// pipeline replays on it every round.
+    ///
+    /// Under [`ViewMode::JoinIndex`] the façade additionally hosts a
+    /// [`VirtualView`] over the mirror and derives each round's cover
+    /// from it through the join-probe kernel — no per-round view-level
+    /// pipeline replay. Provenance labels then stay at their bootstrap
+    /// values (surviving triples keep their last-known labels, like the
+    /// unsharded cover-only fast path) and reports carry
+    /// `exact_provenance = false`. Specs outside the virtual subset fall
+    /// back to the exact replay transparently.
     pub fn with_options(
         infine: InFine,
         db: Database,
@@ -350,6 +379,7 @@ impl ShardedEngine {
         shards: usize,
         policy: InsertPolicy,
         delete_policy: DeletePolicy,
+        view_mode: ViewMode,
     ) -> Result<ShardedEngine, MaintenanceError> {
         let (obs, fanout) = fleet_obs();
         let _obs_scope = obs.registry.enter();
@@ -386,6 +416,12 @@ impl ShardedEngine {
         let report = infine.discover_incremental(&db, &spec, &merged_base)?;
         let cover = report.fd_set();
         let subquery_tables = subquery_table_index(&spec);
+        let virtual_view = if view_mode == ViewMode::JoinIndex {
+            // The mirror compacts every round, so its shadow does too.
+            VirtualView::bootstrap(&db, &spec, config.base_algorithm, DeletePolicy::Compact)
+        } else {
+            None
+        };
         Ok(ShardedEngine {
             infine,
             spec,
@@ -397,6 +433,8 @@ impl ShardedEngine {
             merged_base,
             report,
             cover,
+            view_mode,
+            virtual_view,
             subquery_tables,
             obs,
             fanout,
@@ -423,8 +461,32 @@ impl ShardedEngine {
         &self.router
     }
 
+    /// The configured view backend mode.
+    pub fn view_mode(&self) -> ViewMode {
+        self.view_mode
+    }
+
+    /// The backend actually carrying the cover — `Materialized` when a
+    /// [`ViewMode::JoinIndex`] request fell back on an unsupported spec.
+    pub fn active_view_mode(&self) -> ViewMode {
+        if self.virtual_view.is_some() {
+            ViewMode::JoinIndex
+        } else {
+            ViewMode::Materialized
+        }
+    }
+
+    /// Resident materialized view rows held by the read side — zero
+    /// always: the sharded façade replays the pipeline (materialized
+    /// mode, transient joins) or probes join indexes (virtual mode).
+    pub fn resident_view_rows(&self) -> usize {
+        0
+    }
+
     /// The current merged pipeline report (exact provenance, always
-    /// current — identical to the unsharded engine's).
+    /// current — identical to the unsharded engine's). Under
+    /// [`ViewMode::JoinIndex`] it reflects bootstrap (the per-round cover
+    /// comes from the virtual view; labels are not re-derived).
     pub fn report(&self) -> &InFineReport {
         &self.report
     }
@@ -486,6 +548,26 @@ impl ShardedEngine {
             .filter(|d| !d.batch.is_empty())
             .map(|d| d.target.clone())
             .collect();
+
+        // Virtual-view maintenance first: batch row ids address the
+        // pre-round tables, and the view keeps its own chain copies.
+        let mut view_cover_stats: Option<CoverDeltaStats> = None;
+        if let Some(vv) = self.virtual_view.as_mut() {
+            let tv = Instant::now();
+            for d in deltas {
+                if d.batch.is_empty() {
+                    continue;
+                }
+                if let Some(stats) = vv.apply_table(&d.target, &d.batch) {
+                    let merged = view_cover_stats.get_or_insert_with(CoverDeltaStats::default);
+                    merged.held += stats.held;
+                    merged.broken += stats.broken;
+                    merged.recovered += stats.recovered;
+                    merged.surfaced += stats.surfaced;
+                }
+            }
+            timings.view_maintain += tv.elapsed();
+        }
 
         // Route first (pure bookkeeping), then bring the mirror forward.
         let sub_rounds = self.router.split(deltas);
@@ -560,11 +642,21 @@ impl ShardedEngine {
                     self.merged_base.insert(scope.label.clone(), fds);
                 }
             }
-            let new_report =
-                self.infine
-                    .discover_incremental(&self.db, &self.spec, &self.merged_base)?;
-            self.cover = new_report.fd_set();
-            self.report = new_report;
+            match self.virtual_view.as_ref() {
+                // Join-index mode: the cover comes out of the virtual
+                // view (already maintained above); the bootstrap report
+                // and its labels stand, like the unsharded fast path.
+                Some(vv) => self.cover = vv.dense_cover(),
+                None => {
+                    let new_report = self.infine.discover_incremental(
+                        &self.db,
+                        &self.spec,
+                        &self.merged_base,
+                    )?;
+                    self.cover = new_report.fd_set();
+                    self.report = new_report;
+                }
+            }
         }
         // An empty round changed nothing, so the current report *is* the
         // round's report — no pipeline replay needed (classify_round
@@ -580,8 +672,20 @@ impl ShardedEngine {
             &self.subquery_tables,
             &changed,
         );
+        let exact = self.virtual_view.is_none();
         let schema = self.report.schema.clone();
-        let triples = self.report.triples.clone();
+        // Virtual mode: surviving triples with their last-known labels,
+        // exactly like the unsharded cover-only fast path.
+        let triples: Vec<ProvenanceTriple> = if exact {
+            self.report.triples.clone()
+        } else {
+            self.report
+                .triples
+                .iter()
+                .filter(|t| new_cover.contains(&t.fd))
+                .cloned()
+                .collect()
+        };
         self.obs.observe_round(&timings, round_t0.elapsed());
         Ok(MaintenanceReport {
             schema,
@@ -590,8 +694,8 @@ impl ShardedEngine {
             held,
             fresh,
             base: base_reports,
-            view_cover: None,
-            exact_provenance: true,
+            view_cover: view_cover_stats,
+            exact_provenance: exact,
             vacuum: None,
             timings,
             metrics: RoundMetrics::capture(&self.obs.registry, &obs_before),
@@ -648,6 +752,9 @@ impl ShardedEngine {
     /// [`MaintenanceEngine::self_check`] plus router/fragment size
     /// consistency. O(full re-mine per fragment); tests only.
     pub fn self_check(&self) {
+        if let Some(vv) = &self.virtual_view {
+            vv.self_check();
+        }
         for (s, engine) in self.shards.iter().enumerate() {
             engine.self_check();
             for (name, tm_rows) in self
@@ -823,6 +930,7 @@ mod tests {
             2,
             InsertPolicy::default(),
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .unwrap();
         let rounds: Vec<Vec<DeltaRelation>> = vec![

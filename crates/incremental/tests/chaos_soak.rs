@@ -31,7 +31,7 @@ use infine_durability::{FailPoints, SnapshotPolicy};
 use infine_incremental::{
     DeletePolicy, DurabilityOptions, IngestPolicy, InsertPolicy, MaintenanceEngine,
     MaintenanceError, MaintenanceService, ServicePolicies, ShardedEngine, SupervisorPolicy,
-    VacuumPolicy,
+    VacuumPolicy, ViewMode,
 };
 use infine_relation::{DeltaBatch, DeltaRelation};
 use rand::rngs::StdRng;
@@ -115,6 +115,7 @@ fn engine(
         shards,
         InsertPolicy::default(),
         DeletePolicy::Tombstone,
+        ViewMode::default(),
     )
     .unwrap_or_else(|e| panic!("{case_id}: {shards}-shard bootstrap failed: {e}"))
 }

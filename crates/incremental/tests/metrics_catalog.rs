@@ -9,7 +9,7 @@ use infine_algebra::ViewSpec;
 use infine_core::InFine;
 use infine_incremental::{
     DeletePolicy, DurabilityOptions, MaintenanceEngine, MaintenanceService, ShardedEngine,
-    VacuumPolicy,
+    VacuumPolicy, ViewMode,
 };
 use infine_incremental::{InsertPolicy, ShardRouter};
 use infine_obs::Registry;
@@ -73,7 +73,8 @@ fn metric_catalog_is_pinned() {
     // Sharded fleet behind a *durable* service loop (commitlog + one
     // explicit snapshot + a post-snapshot round that recovery replays,
     // so the WAL/snapshot/recovery series all carry traffic);
-    // tombstoned deletes so the explicit vacuum reclaims rows.
+    // tombstoned deletes so the explicit vacuum reclaims rows; the
+    // join-index view mode so the join-probe series register and count.
     let dir = std::env::temp_dir().join(format!(
         "infine-catalog-{}-{:?}",
         std::process::id(),
@@ -89,6 +90,7 @@ fn metric_catalog_is_pinned() {
         2,
         InsertPolicy::default(),
         DeletePolicy::Tombstone,
+        ViewMode::JoinIndex,
     )
     .unwrap();
     let service = MaintenanceService::spawn_durable(
@@ -155,6 +157,9 @@ fn metric_catalog_is_pinned() {
         "# TYPE infine_exec_inline_tasks_total counter",
         "# TYPE infine_exec_steals_total counter",
         "# TYPE infine_exec_tasks_total counter",
+        "# TYPE infine_join_probe_early_exits_total counter",
+        "# TYPE infine_join_probe_index_hops_total counter",
+        "# TYPE infine_join_probe_probes_total counter",
         "# TYPE infine_kernel_checks_total counter",
         "# TYPE infine_kernel_early_exits_total counter",
         "# TYPE infine_kernel_products_avoided_total counter",
@@ -203,6 +208,10 @@ fn metric_catalog_is_pinned() {
     let snap = registry.snapshot();
     assert!(snap.total("infine_kernel_checks_total") > 0.0);
     assert!(snap.total("infine_pli_cache_misses_total") > 0.0);
+    // Join-index rounds validate through the probe kernel: probes ran,
+    // and every probe resolved codes through the join index.
+    assert!(snap.total("infine_join_probe_probes_total") > 0.0);
+    assert!(snap.total("infine_join_probe_index_hops_total") > 0.0);
     assert!(
         snap.get("infine_round_seconds_count{engine=\"sharded\"}")
             .unwrap()

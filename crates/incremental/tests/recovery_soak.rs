@@ -23,7 +23,7 @@ use infine_durability::failpoint::{
 use infine_durability::{FailPoints, SnapshotPolicy};
 use infine_incremental::{
     DeletePolicy, DurabilityOptions, InsertPolicy, MaintenanceEngine, MaintenanceError,
-    MaintenanceService, ShardedEngine, VacuumPolicy,
+    MaintenanceService, ShardedEngine, VacuumPolicy, ViewMode,
 };
 use infine_relation::{DeltaBatch, DeltaRelation};
 use rand::rngs::StdRng;
@@ -117,6 +117,7 @@ fn engine(
         shards,
         InsertPolicy::default(),
         DeletePolicy::Tombstone,
+        ViewMode::default(),
     )
     .unwrap_or_else(|e| panic!("{case_id}: {shards}-shard bootstrap failed: {e}"))
 }

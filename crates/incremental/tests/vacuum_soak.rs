@@ -34,7 +34,7 @@ use infine_datagen::{find, random_delta, Scale};
 use infine_discovery::same_fds;
 use infine_incremental::{
     DeletePolicy, InsertPolicy, MaintenanceEngine, MaintenanceMode, MaintenanceReport,
-    ShardedEngine,
+    ShardedEngine, ViewMode,
 };
 use infine_relation::{relation_from_rows, Database, DeltaBatch, DeltaRelation, Relation, Value};
 use rand::rngs::StdRng;
@@ -172,6 +172,7 @@ fn soak(case_id: &str, seed: u64) {
                 n,
                 InsertPolicy::default(),
                 DeletePolicy::Tombstone,
+                ViewMode::default(),
             )
             .unwrap_or_else(|e| panic!("{case_id}: {n}-shard tombstone bootstrap failed: {e}"))
         })
@@ -280,6 +281,7 @@ fn churn_memory_stays_bounded_with_periodic_vacuum() {
         case.spec.clone(),
         MaintenanceMode::CoverOnly,
         DeletePolicy::Tombstone,
+        ViewMode::default(),
     )
     .expect("bootstrap");
     let tables: Vec<String> = case
@@ -322,6 +324,7 @@ fn churn_memory_stays_bounded_with_periodic_vacuum() {
             case.spec.clone(),
             MaintenanceMode::CoverOnly,
             DeletePolicy::Tombstone,
+            ViewMode::default(),
         )
         .expect("fresh bootstrap")
         .tombstone_stats();

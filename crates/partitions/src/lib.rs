@@ -37,5 +37,7 @@ pub use cache::PliCache;
 pub use delta::{rebase_plis, DirtyClasses, RebaseStats};
 pub use pli::{fd_holds, fd_holds_bruteforce, IntersectScratch, Pli};
 pub use validate::{
-    kernel_counters, kernel_counters_in, reset_kernel_counters, KernelCounters, Verdict,
+    join_probe_counters, join_probe_counters_in, kernel_counters, kernel_counters_in,
+    reset_join_probe_counters, reset_kernel_counters, JoinProbe, JoinProbeCounters, KernelCounters,
+    ProbeSink, Verdict,
 };

@@ -70,6 +70,8 @@
 
 use crate::pli::Pli;
 use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 
 /// Probe sentinel for rows stripped in the refining partition: such a row
 /// shares its refinement value with no other row, so it splits any class
@@ -315,6 +317,264 @@ impl Pli {
     }
 }
 
+/// Resolved handles for the three join-probe series in one registry.
+#[derive(Clone)]
+struct JoinProbeHandles {
+    registry_id: u64,
+    probes: infine_obs::Counter,
+    early_exits: infine_obs::Counter,
+    index_hops: infine_obs::Counter,
+}
+
+impl JoinProbeHandles {
+    fn resolve(registry: &infine_obs::Registry) -> Self {
+        Self {
+            registry_id: registry.id(),
+            probes: registry.counter(
+                "infine_join_probe_probes_total",
+                "Join-index validity checks run (JoinProbe::check / check_class calls).",
+                &[],
+            ),
+            early_exits: registry.counter(
+                "infine_join_probe_early_exits_total",
+                "Join-probe checks that terminated at the first conflicting expansion.",
+                &[],
+            ),
+            index_hops: registry.counter(
+                "infine_join_probe_index_hops_total",
+                "Join-index lookups performed while expanding probe rows.",
+                &[],
+            ),
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread join-probe handle cache, keyed like [`HANDLES`].
+    static JP_HANDLES: RefCell<Option<JoinProbeHandles>> = const { RefCell::new(None) };
+}
+
+#[inline]
+fn with_probe_handles<R>(f: impl FnOnce(&JoinProbeHandles) -> R) -> R {
+    infine_obs::with_current(|registry| {
+        JP_HANDLES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache
+                .as_ref()
+                .is_none_or(|h| h.registry_id != registry.id())
+            {
+                *cache = Some(JoinProbeHandles::resolve(registry));
+            }
+            f(cache.as_ref().expect("just resolved"))
+        })
+    })
+}
+
+/// Snapshot of one registry's join-probe counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinProbeCounters {
+    /// Join-index validity checks run ([`JoinProbe::check`] /
+    /// [`JoinProbe::check_class`] calls).
+    pub probes: u64,
+    /// Checks that terminated at the first conflicting expansion.
+    pub early_exits: u64,
+    /// Join-index lookups performed while expanding probe rows.
+    pub index_hops: u64,
+}
+
+impl JoinProbeCounters {
+    /// Counter movement since an earlier snapshot.
+    pub fn since(self, earlier: JoinProbeCounters) -> JoinProbeCounters {
+        JoinProbeCounters {
+            probes: self.probes - earlier.probes,
+            early_exits: self.early_exits - earlier.early_exits,
+            index_hops: self.index_hops - earlier.index_hops,
+        }
+    }
+
+    /// Component-wise sum (aggregating per-scenario deltas).
+    pub fn plus(self, other: JoinProbeCounters) -> JoinProbeCounters {
+        JoinProbeCounters {
+            probes: self.probes + other.probes,
+            early_exits: self.early_exits + other.early_exits,
+            index_hops: self.index_hops + other.index_hops,
+        }
+    }
+}
+
+/// Read the join-probe counters of the calling thread's ambient registry.
+pub fn join_probe_counters() -> JoinProbeCounters {
+    infine_obs::with_current(join_probe_counters_in)
+}
+
+/// Read the join-probe counters recorded in a specific registry.
+pub fn join_probe_counters_in(registry: &infine_obs::Registry) -> JoinProbeCounters {
+    let handles = JoinProbeHandles::resolve(registry);
+    JoinProbeCounters {
+        probes: handles.probes.get(),
+        early_exits: handles.early_exits.get(),
+        index_hops: handles.index_hops.get(),
+    }
+}
+
+/// Reset the ambient registry's join-probe cells to zero (bench hook).
+pub fn reset_join_probe_counters() {
+    infine_obs::with_current(|registry| {
+        let handles = JoinProbeHandles::resolve(registry);
+        handles.probes.reset();
+        handles.early_exits.reset();
+        handles.index_hops.reset();
+    });
+}
+
+/// Collector handed to a [`JoinProbe`] expansion closure: the closure
+/// reports, for one anchor row, every view-row expansion as a
+/// `(probe key, rhs code)` pair, plus the join-index lookups it made.
+#[derive(Debug, Default)]
+pub struct ProbeSink {
+    emits: Vec<(Vec<u32>, u32)>,
+    hops: u64,
+}
+
+impl ProbeSink {
+    /// Report one expansion of the current anchor row: `key` holds the
+    /// dictionary codes of the lhs columns living *outside* the anchor
+    /// relation (layout fixed by the caller, identical across the whole
+    /// check), `code` the rhs dictionary code.
+    #[inline]
+    pub fn emit(&mut self, key: Vec<u32>, code: u32) {
+        self.emits.push((key, code));
+    }
+
+    /// Record `n` join-index lookups (flows into
+    /// `infine_join_probe_index_hops_total`).
+    #[inline]
+    pub fn hops(&mut self, n: u64) {
+        self.hops += n;
+    }
+}
+
+/// Counting-kernel twin for *virtual* (non-materialized) views: validates
+/// a view-level FD `X → a` by walking CSR classes of an **anchor** PLI —
+/// `π_{X∩anchor}` over the base relation owning `a` — and resolving each
+/// member row's view expansions through join indexes instead of a
+/// materialized column.
+///
+/// The caller supplies an `expand` closure mapping one anchor row to the
+/// `(key, rhs code)` pairs of every view row it joins into, where `key`
+/// carries the codes of the lhs columns outside the anchor relation.
+/// Two view rows agree on `X` iff their anchor rows share a class (the
+/// in-anchor lhs codes) *and* their keys are equal; they then must agree
+/// on the rhs code or the FD is violated. Like [`Pli::refines_with`],
+/// the scan early-exits at the first conflict with a witnessing pair —
+/// here a pair of *anchor* rows `(first emitter of the key, conflicting
+/// row)`, which may name the same row twice when a single anchor row
+/// expands to two conflicting view rows through different join partners.
+///
+/// Anchor rows that dangle (zero expansions — eliminated by the join)
+/// simply emit nothing; rows the stripped anchor partition dropped as
+/// singletons are *not* skippable (one base row can expand to many view
+/// rows) and are passed separately via `singles`, each its own group.
+#[derive(Debug, Default)]
+pub struct JoinProbe {
+    seen: HashMap<Vec<u32>, (u32, u32)>,
+    sink: ProbeSink,
+}
+
+/// Scan one agree-group of anchor rows; `seen` maps key → (rhs code,
+/// emitting row) within the group. Returns the first conflicting pair.
+fn scan_group(
+    seen: &mut HashMap<Vec<u32>, (u32, u32)>,
+    sink: &mut ProbeSink,
+    rows: &[u32],
+    expand: &mut impl FnMut(u32, &mut ProbeSink),
+) -> Option<(u32, u32)> {
+    seen.clear();
+    for &row in rows {
+        sink.emits.clear();
+        expand(row, sink);
+        for (key, code) in sink.emits.drain(..) {
+            match seen.entry(key) {
+                Entry::Occupied(e) => {
+                    let (code0, row0) = *e.get();
+                    if code0 != code {
+                        return Some((row0, row));
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert((code, row));
+                }
+            }
+        }
+    }
+    None
+}
+
+impl JoinProbe {
+    /// Fresh probe state (the internal key table is reused across checks).
+    pub fn new() -> JoinProbe {
+        JoinProbe::default()
+    }
+
+    /// Validate over `anchor`'s CSR classes plus `singles` (anchor rows
+    /// the stripped partition dropped), expanding each row through
+    /// `expand`. Early-exits with the first witnessing anchor-row pair.
+    pub fn check(
+        &mut self,
+        anchor: &Pli,
+        singles: &[u32],
+        mut expand: impl FnMut(u32, &mut ProbeSink),
+    ) -> Verdict {
+        with_probe_handles(|h| h.probes.inc());
+        self.sink.hops = 0;
+        let mut verdict = Verdict::Holds;
+        'scan: {
+            for class in anchor.classes() {
+                if let Some(pair) = scan_group(&mut self.seen, &mut self.sink, class, &mut expand) {
+                    verdict = Verdict::Violated { pair };
+                    break 'scan;
+                }
+            }
+            for &row in singles {
+                if let Some(pair) = scan_group(&mut self.seen, &mut self.sink, &[row], &mut expand)
+                {
+                    verdict = Verdict::Violated { pair };
+                    break 'scan;
+                }
+            }
+        }
+        self.settle(verdict)
+    }
+
+    /// Validate `rows` as one agree-group — the empty-`X∩anchor` case,
+    /// where every anchor row belongs to the same class.
+    pub fn check_class(
+        &mut self,
+        rows: &[u32],
+        mut expand: impl FnMut(u32, &mut ProbeSink),
+    ) -> Verdict {
+        with_probe_handles(|h| h.probes.inc());
+        self.sink.hops = 0;
+        let verdict = match scan_group(&mut self.seen, &mut self.sink, rows, &mut expand) {
+            Some(pair) => Verdict::Violated { pair },
+            None => Verdict::Holds,
+        };
+        self.settle(verdict)
+    }
+
+    fn settle(&mut self, verdict: Verdict) -> Verdict {
+        with_probe_handles(|h| {
+            if !verdict.holds() {
+                h.early_exits.inc();
+            }
+            if self.sink.hops > 0 {
+                h.index_hops.add(self.sink.hops);
+            }
+        });
+        verdict
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +709,61 @@ mod tests {
         assert!(pa.refines_on(&[0], codes).holds());
         assert_eq!(pa.refines_on(&[1], codes).violating_pair(), Some((2, 3)));
         assert_eq!(pa.refines_on(&[0, 1], codes), pa.refines_with(codes));
+    }
+
+    #[test]
+    fn join_probe_detects_cross_partner_conflicts() {
+        // Anchor rows 0,1 share a class; both expand to the same foreign
+        // key but disagree on the rhs code → violated with that pair.
+        let p = Pli::from_classes(vec![vec![0, 1]], 2);
+        let mut jp = JoinProbe::new();
+        let v = jp.check(&p, &[], |row, sink| {
+            sink.hops(1);
+            sink.emit(vec![0], if row == 0 { 5 } else { 6 });
+        });
+        assert_eq!(v.violating_pair(), Some((0, 1)));
+    }
+
+    #[test]
+    fn join_probe_single_row_self_conflict() {
+        // A singleton anchor row fanning out to two view rows with equal
+        // keys but different rhs codes violates on its own: the pair
+        // names the same anchor row twice.
+        let p = Pli::from_classes(vec![], 1);
+        let mut jp = JoinProbe::new();
+        let v = jp.check(&p, &[0], |_, sink| {
+            sink.emit(vec![3], 1);
+            sink.emit(vec![3], 2);
+        });
+        assert_eq!(v.violating_pair(), Some((0, 0)));
+    }
+
+    #[test]
+    fn join_probe_holds_when_keys_differ_or_rows_dangle() {
+        let p = Pli::from_classes(vec![vec![0, 1, 2]], 3);
+        let mut jp = JoinProbe::new();
+        let v = jp.check(&p, &[], |row, sink| {
+            if row == 2 {
+                return; // dangling: eliminated by the join, emits nothing
+            }
+            sink.emit(vec![row], 7); // distinct keys never conflict
+        });
+        assert!(v.holds());
+    }
+
+    #[test]
+    fn join_probe_check_class_and_counters() {
+        let before = join_probe_counters();
+        let mut jp = JoinProbe::new();
+        let v = jp.check_class(&[0, 1], |row, sink| {
+            sink.hops(2);
+            sink.emit(Vec::new(), row); // empty key: rhs must be constant
+        });
+        assert_eq!(v.violating_pair(), Some((0, 1)));
+        let held = jp.check_class(&[0, 1], |_, sink| sink.emit(Vec::new(), 9));
+        assert!(held.holds());
+        let d = join_probe_counters().since(before);
+        assert!(d.probes >= 2 && d.early_exits >= 1 && d.index_hops >= 2);
     }
 
     #[test]

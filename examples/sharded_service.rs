@@ -24,7 +24,7 @@
 use infine_core::InFine;
 use infine_datagen::{find, random_churn, Scale};
 use infine_incremental::{
-    DeletePolicy, InsertPolicy, MaintenanceService, ShardedEngine, VacuumPolicy,
+    DeletePolicy, InsertPolicy, MaintenanceService, ShardedEngine, VacuumPolicy, ViewMode,
 };
 use infine_relation::{Database, DeltaRelation};
 use std::time::Instant;
@@ -47,6 +47,7 @@ fn main() {
         4,
         InsertPolicy::default(),
         DeletePolicy::Tombstone,
+        ViewMode::default(),
     )
     .expect("bootstrap");
     println!(
